@@ -1,0 +1,123 @@
+// Command proteusbench regenerates the tables and figures of the ProteusTM
+// paper's evaluation section (§6).
+//
+// Usage:
+//
+//	proteusbench -experiment all            # everything, paper scale
+//	proteusbench -experiment fig4 -quick    # one experiment, reduced scale
+//
+// Experiments: fig1, table4, table5, fig4, fig5, fig6, fig7, fig8 (includes
+// Table 6), fig9, all. Trace-driven experiments (fig1, fig4–fig7) replay the
+// analytic performance model; table4/table5/fig8/fig9 run the real runtime
+// on this machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to run: fig1|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|all")
+	quick := flag.Bool("quick", false, "reduced scale for a fast run")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	if err := run(*exp, scale); err != nil {
+		fmt.Fprintln(os.Stderr, "proteusbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, scale experiments.Scale) error {
+	w := os.Stdout
+	runners := map[string]func() error{
+		"fig1": func() error {
+			experiments.Fig1(scale).Print(w)
+			return nil
+		},
+		"table4": func() error {
+			r, err := experiments.Table4(scale)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		},
+		"table5": func() error {
+			r, err := experiments.Table5(scale)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		},
+		"fig4": func() error {
+			r, err := experiments.Fig4(scale)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		},
+		"fig5": func() error {
+			r, err := experiments.Fig5(scale)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		},
+		"fig6": func() error {
+			r, err := experiments.Fig6(scale)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		},
+		"fig7": func() error {
+			r, err := experiments.Fig7(scale)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		},
+		"fig8": func() error {
+			r, err := experiments.Fig8(scale)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		},
+		"fig9": func() error {
+			r, err := experiments.Fig9(scale)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		},
+	}
+	if name == "all" {
+		for _, key := range []string{"fig1", "table4", "table5", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"} {
+			if err := runners[key](); err != nil {
+				return fmt.Errorf("%s: %w", key, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := runners[name]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return fn()
+}

@@ -1,0 +1,77 @@
+package proteustm_test
+
+import (
+	"fmt"
+
+	proteustm "repro"
+)
+
+// ExampleOpen demonstrates the minimal ProteusTM program: one worker
+// incrementing a transactional counter.
+func ExampleOpen() {
+	sys, err := proteustm.Open(proteustm.WithWorkers(1), proteustm.WithHeapWords(1<<12))
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+
+	counter := sys.MustAlloc(1)
+	w, _ := sys.Worker(0)
+	for i := 0; i < 10; i++ {
+		w.Atomic(func(tx proteustm.Txn) {
+			tx.Store(counter, tx.Load(counter)+1)
+		})
+	}
+	fmt.Println(sys.Load(counter))
+	// Output: 10
+}
+
+// ExampleSystem_SetConfig shows manual configuration control: the same
+// atomic block runs under different TM backends.
+func ExampleSystem_SetConfig() {
+	sys, err := proteustm.Open(proteustm.WithWorkers(2), proteustm.WithHeapWords(1<<12))
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+
+	a := sys.MustAlloc(1)
+	w, _ := sys.Worker(0)
+	for _, cfg := range []proteustm.Config{
+		{Alg: proteustm.NOrec, Threads: 2},
+		{Alg: proteustm.SwissTM, Threads: 2},
+	} {
+		if err := sys.SetConfig(cfg); err != nil {
+			panic(err)
+		}
+		w.Atomic(func(tx proteustm.Txn) {
+			tx.Store(a, tx.Load(a)+1)
+		})
+	}
+	fmt.Println(sys.Load(a), sys.CurrentConfig().Alg == proteustm.SwissTM)
+	// Output: 2 true
+}
+
+// ExampleSystem_Spawn runs a worker body on each free slot and waits.
+func ExampleSystem_Spawn() {
+	sys, err := proteustm.Open(proteustm.WithWorkers(4), proteustm.WithHeapWords(1<<12))
+	if err != nil {
+		panic(err)
+	}
+	defer sys.Close()
+
+	sum := sys.MustAlloc(1)
+	for i := 0; i < 4; i++ {
+		share := uint64(i + 1)
+		if err := sys.Spawn(func(w *proteustm.Worker) {
+			w.Atomic(func(tx proteustm.Txn) {
+				tx.Store(sum, tx.Load(sum)+share)
+			})
+		}); err != nil {
+			panic(err)
+		}
+	}
+	sys.Wait()
+	fmt.Println(sys.Load(sum))
+	// Output: 10
+}

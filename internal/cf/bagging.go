@@ -1,0 +1,142 @@
+package cf
+
+import "math"
+
+// Bagging is the bootstrap-aggregated ensemble of CF learners the Controller
+// uses as its probabilistic model (§5.2): k base predictors are trained on
+// random row subsets of the training matrix, and the per-configuration mean
+// and variance across their predictions provide the Gaussian pM(c|x) of the
+// Expected-Improvement computation. The paper uses k = 10.
+type Bagging struct {
+	// Learners is the number of bagged models (default 10).
+	Learners int
+	// SampleFrac is the fraction of training rows drawn (with
+	// replacement) for each learner (default 1.0, classic bootstrap).
+	SampleFrac float64
+	// New constructs a fresh base predictor for learner i.
+	New func(i int) Predictor
+	// Seed makes bootstrap sampling deterministic.
+	Seed uint64
+
+	models []Predictor
+}
+
+// Fit trains the ensemble on the rating matrix.
+func (b *Bagging) Fit(train *Matrix) {
+	k := b.Learners
+	if k <= 0 {
+		k = 10
+	}
+	frac := b.SampleFrac
+	if frac <= 0 {
+		frac = 1
+	}
+	rng := splitmix64(b.Seed + 0x9E3779B97F4A7C15)
+	b.models = make([]Predictor, k)
+	for i := 0; i < k; i++ {
+		n := int(frac * float64(train.Rows))
+		if n < 1 {
+			n = 1
+		}
+		boot := NewMatrix(n, train.Cols)
+		for r := 0; r < n; r++ {
+			src := int(rand01(&rng) * float64(train.Rows))
+			if src >= train.Rows {
+				src = train.Rows - 1
+			}
+			copy(boot.Data[r], train.Data[src])
+		}
+		m := b.New(i)
+		m.Fit(boot)
+		b.models[i] = m
+	}
+}
+
+// Predict returns the ensemble-mean prediction row.
+func (b *Bagging) Predict(active []float64) []float64 {
+	mean, _ := b.PredictDist(active)
+	return mean
+}
+
+// PredictDist returns, per configuration, the frequentist mean and variance
+// of the base learners' predictions — the Gaussian surrogate the SMBO
+// acquisition functions consume. Entries no learner can predict are NaN in
+// both outputs.
+func (b *Bagging) PredictDist(active []float64) (mean, variance []float64) {
+	cols := len(active)
+	mean = make([]float64, cols)
+	variance = make([]float64, cols)
+	sums := make([]float64, cols)
+	sqs := make([]float64, cols)
+	counts := make([]int, cols)
+	for _, m := range b.models {
+		pred := m.Predict(active)
+		for i, v := range pred {
+			if IsMissing(v) || math.IsInf(v, 0) {
+				continue
+			}
+			sums[i] += v
+			sqs[i] += v * v
+			counts[i]++
+		}
+	}
+	for i := 0; i < cols; i++ {
+		if counts[i] == 0 {
+			mean[i], variance[i] = Missing, Missing
+			continue
+		}
+		n := float64(counts[i])
+		mean[i] = sums[i] / n
+		variance[i] = sqs[i]/n - mean[i]*mean[i]
+		if variance[i] < 0 {
+			variance[i] = 0
+		}
+	}
+	return mean, variance
+}
+
+// FullPredictor is the optional interface of predictors that can produce
+// model output for every column (not echoing the known entries).
+type FullPredictor interface {
+	PredictFull(active []float64) []float64
+}
+
+// PredictFull returns the ensemble-mean model prediction for every column,
+// using PredictFull on base learners that support it and Predict otherwise.
+func (b *Bagging) PredictFull(active []float64) []float64 {
+	cols := len(active)
+	sums := make([]float64, cols)
+	counts := make([]int, cols)
+	for _, m := range b.models {
+		var pred []float64
+		if fp, ok := m.(FullPredictor); ok {
+			pred = fp.PredictFull(active)
+		} else {
+			pred = m.Predict(active)
+		}
+		for i, v := range pred {
+			if IsMissing(v) || math.IsInf(v, 0) {
+				continue
+			}
+			sums[i] += v
+			counts[i]++
+		}
+	}
+	out := make([]float64, cols)
+	for i := range out {
+		if counts[i] == 0 {
+			out[i] = Missing
+		} else {
+			out[i] = sums[i] / float64(counts[i])
+		}
+	}
+	return out
+}
+
+// Name identifies the ensemble (after the first base learner).
+func (b *Bagging) Name() string {
+	if len(b.models) > 0 {
+		return "bagged-" + b.models[0].Name()
+	}
+	return "bagged"
+}

@@ -1,0 +1,143 @@
+package cf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distiller implements ProteusTM's rating distillation (Algorithm 3 of the
+// paper). The training matrix is normalized row-wise against a single
+// reference column C*, chosen to minimize the index of dispersion
+// (variance/mean) of the per-row maxima in the normalized domain. The two
+// properties of §5.1 follow: (i) ratios between configurations are preserved
+// within each row, and (ii) every row's ratings live on a near-common scale
+// topped by a tight M_w, so similarities between heterogeneous workloads
+// become minable by standard CF.
+//
+// For an online workload the reference column is simply the first
+// configuration the Controller profiles, making the scale exact. For
+// trace-driven evaluation where the reference may be absent from the sampled
+// set (Fig. 4 "without forcing the presence of the column used for
+// normalization"), the scale is estimated by least-squares alignment of the
+// row's known goodness values against the training matrix's column means.
+type Distiller struct {
+	// RefCol is the reference configuration C* selected by Fit.
+	RefCol int
+	// Dispersion is the index of dispersion achieved by RefCol.
+	Dispersion float64
+	colMeans   []float64
+}
+
+// Name implements Normalizer.
+func (*Distiller) Name() string { return "distill" }
+
+// Fit implements Normalizer: Algorithm 3. For every candidate reference
+// column, normalize each training row by its entry in that column, collect
+// the per-row maxima M_w, and keep the column minimizing var(M)/mean(M).
+func (d *Distiller) Fit(train *Matrix) error {
+	bestCol, bestD := -1, math.Inf(1)
+	maxima := make([]float64, 0, train.Rows)
+	for c := 0; c < train.Cols; c++ {
+		maxima = maxima[:0]
+		usable := true
+		for _, row := range train.Data {
+			ref := row[c]
+			if IsMissing(ref) || ref <= 0 {
+				// Candidate must be profiled (and meaningful) on
+				// every training row to serve as the reference.
+				usable = false
+				break
+			}
+			m, ok := RowMax(row)
+			if !ok {
+				continue
+			}
+			maxima = append(maxima, m/ref)
+		}
+		if !usable || len(maxima) == 0 {
+			continue
+		}
+		disp := indexOfDispersion(maxima)
+		if disp < bestD {
+			bestD, bestCol = disp, c
+		}
+	}
+	if bestCol < 0 {
+		return fmt.Errorf("cf: distillation found no fully-profiled reference column")
+	}
+	d.RefCol, d.Dispersion = bestCol, bestD
+	// Column means of the distilled training matrix, used to estimate the
+	// scale of rows lacking the reference sample.
+	distilled := NewMatrix(train.Rows, train.Cols)
+	for u, row := range train.Data {
+		ref := row[bestCol]
+		for i, v := range row {
+			if !IsMissing(v) {
+				distilled.Data[u][i] = v / ref
+			}
+		}
+	}
+	d.colMeans = distilled.ColMeans()
+	return nil
+}
+
+// NormalizeRow implements Normalizer: ratings are goodness values divided by
+// the row's reference-column goodness (exact when sampled, least-squares
+// estimated otherwise).
+func (d *Distiller) NormalizeRow(_ int, raw []float64) ([]float64, func(int, float64) float64) {
+	scale := d.rowScale(raw)
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		if IsMissing(v) {
+			out[i] = Missing
+		} else {
+			out[i] = v / scale
+		}
+	}
+	s := scale
+	return out, func(_ int, r float64) float64 { return r * s }
+}
+
+// rowScale returns the per-row normalization constant: the reference
+// column's goodness when known, otherwise the least-squares fit of the known
+// entries to the training column means: λ = Σg² / Σ(g·m).
+func (d *Distiller) rowScale(raw []float64) float64 {
+	if d.RefCol >= 0 && d.RefCol < len(raw) {
+		if v := raw[d.RefCol]; !IsMissing(v) && v > 0 {
+			return v
+		}
+	}
+	num, den := 0.0, 0.0
+	for i, v := range raw {
+		if IsMissing(v) || i >= len(d.colMeans) || d.colMeans[i] == 0 {
+			continue
+		}
+		num += v * v
+		den += v * d.colMeans[i]
+	}
+	if den > 0 && num > 0 {
+		return num / den
+	}
+	if m, ok := RowMax(raw); ok && m > 0 {
+		return m
+	}
+	return 1
+}
+
+// indexOfDispersion returns var(x)/mean(x).
+func indexOfDispersion(x []float64) float64 {
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	if mean == 0 {
+		return math.Inf(1)
+	}
+	variance := 0.0
+	for _, v := range x {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(x))
+	return variance / mean
+}

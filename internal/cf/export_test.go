@@ -1,0 +1,8 @@
+package cf
+
+// RowSimilarityForTest exposes the internal similarity computation to the
+// external test package.
+func RowSimilarityForTest(s Similarity, a, b []float64) float64 {
+	sim, _ := rowSimilarity(s, a, b)
+	return sim
+}

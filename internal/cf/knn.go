@@ -1,0 +1,222 @@
+package cf
+
+import (
+	"math"
+	"sort"
+)
+
+// Similarity identifies a KNN row-similarity function (§5.1 discusses why
+// the choice matters under heterogeneous scales).
+type Similarity int
+
+const (
+	// Cosine similarity: scale-insensitive angle between co-rated parts.
+	Cosine Similarity = iota
+	// Pearson correlation: mean-centered cosine.
+	Pearson
+	// Euclidean similarity: 1/(1+distance); scale-sensitive.
+	Euclidean
+)
+
+// String returns the similarity name.
+func (s Similarity) String() string {
+	switch s {
+	case Cosine:
+		return "cosine"
+	case Pearson:
+		return "pearson"
+	case Euclidean:
+		return "euclidean"
+	}
+	return "?"
+}
+
+// Predictor is a CF algorithm that, once fitted on a (normalized) training
+// utility matrix, completes the missing entries of an active workload's
+// rating row.
+type Predictor interface {
+	// Name identifies the predictor in experiment output.
+	Name() string
+	// Fit trains on the rating matrix.
+	Fit(train *Matrix)
+	// Predict returns a full row of ratings for the active row: known
+	// entries are echoed, missing ones filled with predictions (NaN if no
+	// prediction is possible).
+	Predict(active []float64) []float64
+}
+
+// KNN is user-based K-nearest-neighbours CF: the predicted rating of the
+// active workload for configuration i is a similarity-weighted average over
+// the k most similar training workloads that rated i. Item-based KNN is
+// deliberately absent — as footnote 3 of the paper notes, it cannot predict
+// outside the range already witnessed by the active row.
+type KNN struct {
+	// K is the neighbourhood size.
+	K int
+	// Sim selects the similarity function.
+	Sim Similarity
+	// MeanCenter, when true, predicts deviations from row means rather
+	// than raw ratings (the standard bias-corrected KNN formula).
+	MeanCenter bool
+	// MinOverlap is the minimum number of co-rated columns for a
+	// neighbour to be considered (default 1).
+	MinOverlap int
+
+	train *Matrix
+}
+
+// Name implements Predictor.
+func (k *KNN) Name() string {
+	n := "knn-" + k.Sim.String()
+	if k.MeanCenter {
+		n += "-centered"
+	}
+	return n
+}
+
+// Fit implements Predictor.
+func (k *KNN) Fit(train *Matrix) { k.train = train }
+
+type neighbour struct {
+	row int
+	sim float64
+}
+
+// Predict implements Predictor.
+func (k *KNN) Predict(active []float64) []float64 {
+	return k.predict(active, false)
+}
+
+// PredictFull returns model predictions for every column, including the
+// columns whose rating is already known (the known entries still drive the
+// similarity search, but the output is pure neighbour consensus). RecTM uses
+// this to estimate a workload's rating scale when the distillation reference
+// configuration has not been sampled.
+func (k *KNN) PredictFull(active []float64) []float64 {
+	return k.predict(active, true)
+}
+
+func (k *KNN) predict(active []float64, full bool) []float64 {
+	out := make([]float64, len(active))
+	copy(out, active)
+	if k.train == nil {
+		return out
+	}
+	minOv := k.MinOverlap
+	if minOv < 1 {
+		minOv = 1
+	}
+	neighbours := make([]neighbour, 0, k.train.Rows)
+	for u, row := range k.train.Data {
+		sim, overlap := rowSimilarity(k.Sim, active, row)
+		if overlap >= minOv && sim > 0 {
+			neighbours = append(neighbours, neighbour{u, sim})
+		}
+	}
+	sort.Slice(neighbours, func(a, b int) bool { return neighbours[a].sim > neighbours[b].sim })
+	kk := k.K
+	if kk <= 0 {
+		kk = 10
+	}
+	if kk > len(neighbours) {
+		kk = len(neighbours)
+	}
+	neighbours = neighbours[:kk]
+
+	activeMean, _ := RowMean(active)
+	for i := range out {
+		if !full && !IsMissing(out[i]) {
+			continue
+		}
+		num, den := 0.0, 0.0
+		for _, nb := range neighbours {
+			v := k.train.Data[nb.row][i]
+			if IsMissing(v) {
+				continue
+			}
+			if k.MeanCenter {
+				m, _ := RowMean(k.train.Data[nb.row])
+				v -= m
+			}
+			num += nb.sim * v
+			den += math.Abs(nb.sim)
+		}
+		if den == 0 {
+			out[i] = Missing
+			continue
+		}
+		pred := num / den
+		if k.MeanCenter {
+			pred += activeMean
+		}
+		out[i] = pred
+	}
+	return out
+}
+
+// rowSimilarity computes the similarity between two partially known rows
+// over their co-rated columns, returning the similarity and the overlap
+// size.
+func rowSimilarity(s Similarity, a, b []float64) (float64, int) {
+	switch s {
+	case Cosine:
+		dot, na, nb, n := 0.0, 0.0, 0.0, 0
+		for i := range a {
+			if IsMissing(a[i]) || IsMissing(b[i]) {
+				continue
+			}
+			dot += a[i] * b[i]
+			na += a[i] * a[i]
+			nb += b[i] * b[i]
+			n++
+		}
+		if na == 0 || nb == 0 {
+			return 0, n
+		}
+		return dot / (math.Sqrt(na) * math.Sqrt(nb)), n
+	case Pearson:
+		// Means over the overlap.
+		sa, sb, n := 0.0, 0.0, 0
+		for i := range a {
+			if IsMissing(a[i]) || IsMissing(b[i]) {
+				continue
+			}
+			sa += a[i]
+			sb += b[i]
+			n++
+		}
+		if n < 2 {
+			return 0, n
+		}
+		ma, mb := sa/float64(n), sb/float64(n)
+		dot, na, nb := 0.0, 0.0, 0.0
+		for i := range a {
+			if IsMissing(a[i]) || IsMissing(b[i]) {
+				continue
+			}
+			da, db := a[i]-ma, b[i]-mb
+			dot += da * db
+			na += da * da
+			nb += db * db
+		}
+		if na == 0 || nb == 0 {
+			return 0, n
+		}
+		return dot / (math.Sqrt(na) * math.Sqrt(nb)), n
+	case Euclidean:
+		sum, n := 0.0, 0
+		for i := range a {
+			if IsMissing(a[i]) || IsMissing(b[i]) {
+				continue
+			}
+			d := a[i] - b[i]
+			sum += d * d
+			n++
+		}
+		if n == 0 {
+			return 0, 0
+		}
+		return 1 / (1 + math.Sqrt(sum/float64(n))), n
+	}
+	return 0, 0
+}

@@ -1,0 +1,227 @@
+package cf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normalizer maps raw goodness rows to the rating space a CF predictor
+// operates in, and back. Fit learns any global statistics from the (fully or
+// partially profiled) training matrix; NormalizeRow maps one workload's raw
+// goodness row (NaN for unsampled configurations) to ratings and returns the
+// inverse mapping for converting predicted ratings back to goodness.
+//
+// The five implementations are exactly the preprocessing contenders of
+// Fig. 4 in the paper: no normalization (Quasar-style), normalization by a
+// global maximum (Paragon-style), the oracle "ideal" per-row normalization,
+// row-column subtraction, and ProteusTM's rating distillation (distill.go).
+type Normalizer interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// Fit learns global statistics from the training matrix.
+	Fit(train *Matrix) error
+	// NormalizeRow converts a raw goodness row to ratings. rowIdx is the
+	// row's index in the full matrix when meaningful (used only by the
+	// oracle scheme), or -1 for out-of-matrix workloads. The returned
+	// denorm maps a predicted rating at a given column back to goodness.
+	NormalizeRow(rowIdx int, raw []float64) (ratings []float64, denorm func(col int, r float64) float64)
+}
+
+// NormalizeMatrix applies n row-wise to every row of m, returning the rating
+// matrix and per-row inverse mappings.
+func NormalizeMatrix(n Normalizer, m *Matrix) (*Matrix, []func(int, float64) float64) {
+	out := NewMatrix(m.Rows, m.Cols)
+	den := make([]func(int, float64) float64, m.Rows)
+	for u := range m.Data {
+		out.Data[u], den[u] = n.NormalizeRow(u, m.Data[u])
+	}
+	return out, den
+}
+
+// --- No normalization -------------------------------------------------------
+
+// NoNorm feeds raw goodness values straight to the CF predictor, as Quasar
+// does. Heterogeneous KPI scales across workloads are preserved, which is
+// what cripples similarity mining (§5.1).
+type NoNorm struct{}
+
+// Name implements Normalizer.
+func (NoNorm) Name() string { return "none" }
+
+// Fit implements Normalizer.
+func (NoNorm) Fit(*Matrix) error { return nil }
+
+// NormalizeRow implements Normalizer.
+func (NoNorm) NormalizeRow(_ int, raw []float64) ([]float64, func(int, float64) float64) {
+	out := make([]float64, len(raw))
+	copy(out, raw)
+	return out, func(_ int, r float64) float64 { return r }
+}
+
+// --- Normalization w.r.t. a global maximum ----------------------------------
+
+// MaxNorm divides every entry by the largest value in the training matrix —
+// one machine-wide constant, resembling Paragon's normalization by the
+// machine's peak rate. Per-workload scale heterogeneity survives intact.
+type MaxNorm struct {
+	max float64
+}
+
+// Name implements Normalizer.
+func (*MaxNorm) Name() string { return "max" }
+
+// Fit implements Normalizer.
+func (m *MaxNorm) Fit(train *Matrix) error {
+	m.max = 0
+	for _, row := range train.Data {
+		if v, ok := RowMax(row); ok && v > m.max {
+			m.max = v
+		}
+	}
+	if m.max == 0 {
+		return fmt.Errorf("cf: MaxNorm: training matrix has no positive entries")
+	}
+	return nil
+}
+
+// NormalizeRow implements Normalizer.
+func (m *MaxNorm) NormalizeRow(_ int, raw []float64) ([]float64, func(int, float64) float64) {
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		if IsMissing(v) {
+			out[i] = Missing
+		} else {
+			out[i] = v / m.max
+		}
+	}
+	scale := m.max
+	return out, func(_ int, r float64) float64 { return r * scale }
+}
+
+// --- Ideal (oracle) normalization -------------------------------------------
+
+// IdealNorm normalizes each row by the row's true maximum, which requires
+// knowing the best achievable KPI a priori — the unattainable upper bound of
+// §5.1 that rating distillation approximates. It is constructed with oracle
+// access to the complete ground-truth matrix.
+type IdealNorm struct {
+	truth *Matrix
+}
+
+// NewIdealNorm builds the oracle normalizer over the full ground-truth
+// goodness matrix.
+func NewIdealNorm(truth *Matrix) *IdealNorm { return &IdealNorm{truth: truth} }
+
+// Name implements Normalizer.
+func (*IdealNorm) Name() string { return "ideal" }
+
+// Fit implements Normalizer.
+func (*IdealNorm) Fit(*Matrix) error { return nil }
+
+// NormalizeRow implements Normalizer. The oracle row is located by content:
+// the truth row whose entries coincide with the known entries of raw (train
+// and test splits re-index rows, so positional lookup would mis-align).
+// When no truth row matches, the known entries' max is used.
+func (n *IdealNorm) NormalizeRow(_ int, raw []float64) ([]float64, func(int, float64) float64) {
+	scale := 0.0
+	if n.truth != nil {
+		if r := n.matchRow(raw); r >= 0 {
+			scale, _ = RowMax(n.truth.Data[r])
+		}
+	}
+	if scale == 0 {
+		scale, _ = RowMax(raw)
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		if IsMissing(v) {
+			out[i] = Missing
+		} else {
+			out[i] = v / scale
+		}
+	}
+	s := scale
+	return out, func(_ int, r float64) float64 { return r * s }
+}
+
+// matchRow returns the index of the truth row whose entries agree with every
+// known entry of raw, or -1.
+func (n *IdealNorm) matchRow(raw []float64) int {
+	for r, row := range n.truth.Data {
+		match := true
+		for i, v := range raw {
+			if IsMissing(v) {
+				continue
+			}
+			tv := row[i]
+			if IsMissing(tv) || math.Abs(tv-v) > 1e-9*math.Max(math.Abs(tv), math.Abs(v)) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return r
+		}
+	}
+	return -1
+}
+
+// --- Row-column subtraction ---------------------------------------------------
+
+// RCNorm is the classic bias-removal preprocessing of CF (§6.3 item iv):
+// subtract each row's mean from its entries, then subtract the resulting
+// per-column means (learned on the training matrix).
+type RCNorm struct {
+	colMeans []float64
+}
+
+// Name implements Normalizer.
+func (*RCNorm) Name() string { return "rc" }
+
+// Fit implements Normalizer: compute column means of row-centered training
+// data.
+func (n *RCNorm) Fit(train *Matrix) error {
+	centered := NewMatrix(train.Rows, train.Cols)
+	for u, row := range train.Data {
+		mean, cnt := RowMean(row)
+		if cnt == 0 {
+			continue
+		}
+		for i, v := range row {
+			if !IsMissing(v) {
+				centered.Data[u][i] = v - mean
+			}
+		}
+	}
+	n.colMeans = centered.ColMeans()
+	return nil
+}
+
+// NormalizeRow implements Normalizer.
+func (n *RCNorm) NormalizeRow(_ int, raw []float64) ([]float64, func(int, float64) float64) {
+	mean, _ := RowMean(raw)
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		if IsMissing(v) {
+			out[i] = Missing
+			continue
+		}
+		cm := 0.0
+		if i < len(n.colMeans) {
+			cm = n.colMeans[i]
+		}
+		out[i] = v - mean - cm
+	}
+	rm := mean
+	cms := n.colMeans
+	return out, func(col int, r float64) float64 {
+		cm := 0.0
+		if col >= 0 && col < len(cms) {
+			cm = cms[col]
+		}
+		return r + cm + rm
+	}
+}

@@ -1,0 +1,83 @@
+package cf
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the matrix as CSV: one row per workload, one column
+// per configuration, empty cells for missing entries. An optional header of
+// column labels is emitted first when labels is non-nil. Utility matrices
+// are the system's training artifact, so they need a durable interchange
+// format (the paper's off-line profiling step produces exactly this).
+func (m *Matrix) WriteCSV(w io.Writer, labels []string) error {
+	cw := csv.NewWriter(w)
+	if labels != nil {
+		if len(labels) != m.Cols {
+			return fmt.Errorf("cf: %d labels for %d columns", len(labels), m.Cols)
+		}
+		if err := cw.Write(labels); err != nil {
+			return err
+		}
+	}
+	record := make([]string, m.Cols)
+	for _, row := range m.Data {
+		for i, v := range row {
+			if IsMissing(v) {
+				// "NaN" rather than an empty field: a row of empty
+				// fields in a one-column matrix would serialize as a
+				// blank line, which CSV readers skip.
+				record[i] = "NaN"
+			} else {
+				record[i] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a matrix written by WriteCSV. When header is true the
+// first record is returned as column labels.
+func ReadCSV(r io.Reader, header bool) (*Matrix, []string, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("cf: reading CSV: %w", err)
+	}
+	var labels []string
+	if header {
+		if len(records) == 0 {
+			return nil, nil, fmt.Errorf("cf: empty CSV")
+		}
+		labels = records[0]
+		records = records[1:]
+	}
+	if len(records) == 0 {
+		return nil, nil, fmt.Errorf("cf: CSV has no data rows")
+	}
+	cols := len(records[0])
+	m := NewMatrix(len(records), cols)
+	for u, rec := range records {
+		if len(rec) != cols {
+			return nil, nil, fmt.Errorf("cf: row %d has %d fields, want %d", u, len(rec), cols)
+		}
+		for i, field := range rec {
+			if field == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("cf: row %d col %d: %w", u, i, err)
+			}
+			m.Data[u][i] = v
+		}
+	}
+	return m, labels, nil
+}

@@ -1,0 +1,97 @@
+package cf_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cf"
+)
+
+// TestCSVRoundTrip property-tests matrix persistence: write → read is the
+// identity (treating NaN as missing).
+func TestCSVRoundTrip(t *testing.T) {
+	f := func(vals []float64, colsSeed uint8) bool {
+		cols := int(colsSeed%5) + 1
+		rows := len(vals)/cols + 1
+		m := cf.NewMatrix(rows, cols)
+		for i, v := range vals {
+			if math.IsInf(v, 0) {
+				v = 1
+			}
+			if i/cols >= rows {
+				break
+			}
+			m.Data[i/cols][i%cols] = v
+		}
+		var buf bytes.Buffer
+		if err := m.WriteCSV(&buf, nil); err != nil {
+			t.Fatal(err)
+		}
+		back, _, err := cf.ReadCSV(&buf, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Rows != m.Rows || back.Cols != m.Cols {
+			return false
+		}
+		for u := range m.Data {
+			for i := range m.Data[u] {
+				a, b := m.Data[u][i], back.Data[u][i]
+				if cf.IsMissing(a) != cf.IsMissing(b) {
+					return false
+				}
+				if !cf.IsMissing(a) && a != b {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCSVHeader round-trips column labels.
+func TestCSVHeader(t *testing.T) {
+	m := cf.NewMatrix(2, 3)
+	m.Data[0][0] = 1.5
+	m.Data[1][2] = -2
+	labels := []string{"TL2:1t", "Tiny:4t", "HTM:8t GiveUp-4"}
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf, labels); err != nil {
+		t.Fatal(err)
+	}
+	back, gotLabels, err := cf.ReadCSV(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if gotLabels[i] != labels[i] {
+			t.Errorf("label %d = %q, want %q", i, gotLabels[i], labels[i])
+		}
+	}
+	if back.Data[0][0] != 1.5 || back.Data[1][2] != -2 {
+		t.Error("values corrupted")
+	}
+	if !cf.IsMissing(back.Data[0][1]) {
+		t.Error("missing cell materialized")
+	}
+}
+
+// TestCSVErrors covers malformed input.
+func TestCSVErrors(t *testing.T) {
+	if _, _, err := cf.ReadCSV(bytes.NewBufferString(""), false); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, _, err := cf.ReadCSV(bytes.NewBufferString("1,notanumber\n"), false); err == nil {
+		t.Error("expected error for non-numeric field")
+	}
+	m := cf.NewMatrix(1, 2)
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf, []string{"only-one"}); err == nil {
+		t.Error("expected error for label/column mismatch")
+	}
+}

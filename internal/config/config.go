@@ -1,0 +1,99 @@
+// Package config defines the TM configuration encoding shared by PolyTM,
+// the machine profiles and the recommender: which TM algorithm runs, at what
+// parallelism degree, and with which HTM contention-management parameters.
+// A configuration is one column of RecTM's Utility Matrix.
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+)
+
+// AlgID identifies one TM backend in PolyTM's library.
+type AlgID uint8
+
+const (
+	// TL2 is commit-time-locking STM (Dice/Shalev/Shavit).
+	TL2 AlgID = iota
+	// TinySTM is encounter-time-locking STM with timestamp extension.
+	TinySTM
+	// NOrec is the ownership-record-free STM.
+	NOrec
+	// SwissTM is the mixed eager/lazy STM.
+	SwissTM
+	// HTM is the simulated best-effort hardware TM with lock fallback.
+	HTM
+	// Hybrid is the HTM fast path with NOrec software fallback.
+	Hybrid
+	// GlobalLock is the single-lock baseline ("sequential").
+	GlobalLock
+
+	// NumAlgs is the number of algorithm identifiers.
+	NumAlgs = int(GlobalLock) + 1
+)
+
+// String returns the short algorithm label used throughout the paper's
+// tables ("Tiny: 8t", "HTM: 4t GiveUp-4", ...).
+func (a AlgID) String() string {
+	switch a {
+	case TL2:
+		return "TL2"
+	case TinySTM:
+		return "Tiny"
+	case NOrec:
+		return "NOrec"
+	case SwissTM:
+		return "Swiss"
+	case HTM:
+		return "HTM"
+	case Hybrid:
+		return "Hybrid"
+	case GlobalLock:
+		return "GL"
+	}
+	return "?"
+}
+
+// IsHTM reports whether the algorithm has hardware contention-management
+// parameters worth tuning.
+func (a AlgID) IsHTM() bool { return a == HTM || a == Hybrid }
+
+// Config is one point of the multi-dimensional tuning space: the four
+// dimensions of Table 3 in the paper.
+type Config struct {
+	// Alg is the TM backend.
+	Alg AlgID
+	// Threads is the parallelism degree (active worker threads).
+	Threads int
+	// Budget is the HTM retry budget (ignored for STMs).
+	Budget int
+	// Policy is the HTM capacity-abort policy (ignored for STMs).
+	Policy htm.CapacityPolicy
+}
+
+// String renders the configuration in the paper's label style.
+func (c Config) String() string {
+	if c.Alg.IsHTM() {
+		return fmt.Sprintf("%s:%dt %s-%d", c.Alg, c.Threads, policyLabel(c.Policy), c.Budget)
+	}
+	return fmt.Sprintf("%s:%dt", c.Alg, c.Threads)
+}
+
+func policyLabel(p htm.CapacityPolicy) string {
+	switch p {
+	case htm.PolicyGiveUp:
+		return "GiveUp"
+	case htm.PolicyDecrease:
+		return "Linear"
+	case htm.PolicyHalve:
+		return "Half"
+	}
+	return "?"
+}
+
+// Key returns a compact comparable encoding, usable as a map key and stable
+// across runs.
+func (c Config) Key() uint32 {
+	return uint32(c.Alg)<<24 | uint32(c.Threads)<<16 | uint32(c.Budget)<<8 | uint32(c.Policy)
+}

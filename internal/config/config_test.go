@@ -1,0 +1,66 @@
+package config_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/htm"
+)
+
+// TestKeyUniqueness: distinct configurations must encode to distinct keys.
+func TestKeyUniqueness(t *testing.T) {
+	f := func(a1, a2, t1, t2, b1, b2 uint8, p1, p2 uint8) bool {
+		c1 := config.Config{
+			Alg:     config.AlgID(a1 % uint8(config.NumAlgs)),
+			Threads: int(t1%64) + 1,
+			Budget:  int(b1 % 32),
+			Policy:  htm.CapacityPolicy(p1 % 3),
+		}
+		c2 := config.Config{
+			Alg:     config.AlgID(a2 % uint8(config.NumAlgs)),
+			Threads: int(t2%64) + 1,
+			Budget:  int(b2 % 32),
+			Policy:  htm.CapacityPolicy(p2 % 3),
+		}
+		if c1 == c2 {
+			return c1.Key() == c2.Key()
+		}
+		return c1.Key() != c2.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStrings covers every algorithm label.
+func TestStrings(t *testing.T) {
+	want := map[config.AlgID]string{
+		config.TL2:        "TL2",
+		config.TinySTM:    "Tiny",
+		config.NOrec:      "NOrec",
+		config.SwissTM:    "Swiss",
+		config.HTM:        "HTM",
+		config.Hybrid:     "Hybrid",
+		config.GlobalLock: "GL",
+	}
+	for alg, s := range want {
+		if alg.String() != s {
+			t.Errorf("%d.String() = %q, want %q", alg, alg.String(), s)
+		}
+	}
+	c := config.Config{Alg: config.HTM, Threads: 4, Budget: 16, Policy: htm.PolicyGiveUp}
+	if got := c.String(); got != "HTM:4t GiveUp-16" {
+		t.Errorf("HTM label = %q", got)
+	}
+}
+
+// TestIsHTM covers the CM-relevance predicate.
+func TestIsHTM(t *testing.T) {
+	if !config.HTM.IsHTM() || !config.Hybrid.IsHTM() {
+		t.Error("HTM/Hybrid must report IsHTM")
+	}
+	if config.TL2.IsHTM() || config.GlobalLock.IsHTM() {
+		t.Error("STM/GL must not report IsHTM")
+	}
+}

@@ -1,0 +1,318 @@
+// Package core assembles the complete ProteusTM runtime: PolyTM's
+// polymorphic execution underneath, RecTM's recommender + SMBO controller
+// deciding configurations, and the CUSUM Monitor watching the KPI stream for
+// workload or environment changes (Fig. 2 of the paper).
+//
+// The runtime drives the online loop of §6.4: on startup (and whenever the
+// Monitor raises an alarm) it enters an exploration phase, profiling a
+// handful of configurations chosen by Expected Improvement, installs the
+// best explored configuration, and returns to steady-state monitoring.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cf"
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/monitor"
+	"repro/internal/polytm"
+	"repro/internal/rectm"
+	"repro/internal/smbo"
+	"repro/internal/tm"
+)
+
+// KPI selects the online key performance indicator being optimized.
+type KPI int
+
+const (
+	// Throughput maximizes committed transactions per second.
+	Throughput KPI = iota
+	// ThroughputPerJoule maximizes energy efficiency (Fig. 1a's KPI),
+	// using the machine's power model.
+	ThroughputPerJoule
+)
+
+// HigherIsBetter reports the KPI orientation (both online KPIs maximize).
+func (k KPI) HigherIsBetter() bool { return true }
+
+// Options configures a Runtime.
+type Options struct {
+	// HeapWords sizes the transactional heap.
+	HeapWords int
+	// MaxThreads is the number of worker slots (≥ the largest thread
+	// count in Configs).
+	MaxThreads int
+	// Configs is the tuned configuration space (columns of the UM).
+	Configs []config.Config
+	// TrainKPI is the offline training Utility Matrix in KPI space
+	// (rows: training workloads, columns aligned with Configs).
+	TrainKPI *cf.Matrix
+	// KPI selects the optimization target.
+	KPI KPI
+	// Energy is the power model for ThroughputPerJoule.
+	Energy energy.Model
+	// SamplePeriod is the Monitor's KPI sampling period (default 100 ms;
+	// the paper uses 1 s).
+	SamplePeriod time.Duration
+	// SettleTime is the wait after a reconfiguration before measuring
+	// (default SamplePeriod/2).
+	SettleTime time.Duration
+	// Epsilon is the SMBO stopping threshold (default 0.01).
+	Epsilon float64
+	// MaxExplorations bounds each exploration phase (default 10).
+	MaxExplorations int
+	// Seed drives randomized components.
+	Seed uint64
+}
+
+// TimelinePoint is one KPI observation, recorded for experiment plots.
+type TimelinePoint struct {
+	At        time.Duration
+	KPI       float64
+	Config    config.Config
+	Exploring bool
+}
+
+// Runtime is a live ProteusTM instance.
+type Runtime struct {
+	Pool *polytm.Pool
+	Rec  *rectm.Recommender
+
+	opts    Options
+	cfgs    []config.Config
+	cus     *monitor.CUSUM
+	started time.Time
+
+	mu         sync.Mutex
+	timeline   []TimelinePoint
+	phases     int
+	exploring  atomic.Bool
+	reoptimize chan struct{}
+	stop       chan struct{}
+	done       sync.WaitGroup
+
+	lastStats tm.Stats
+	lastTime  time.Time
+}
+
+// New builds the runtime: trains the recommender on the offline UM and
+// creates the PolyTM pool in the recommender's reference configuration.
+func New(opts Options) (*Runtime, error) {
+	if len(opts.Configs) == 0 {
+		return nil, fmt.Errorf("core: no configurations")
+	}
+	if opts.TrainKPI == nil || opts.TrainKPI.Cols != len(opts.Configs) {
+		return nil, fmt.Errorf("core: training matrix must have one column per configuration")
+	}
+	if opts.HeapWords <= 0 {
+		opts.HeapWords = 1 << 22
+	}
+	if opts.MaxThreads <= 0 {
+		for _, c := range opts.Configs {
+			if c.Threads > opts.MaxThreads {
+				opts.MaxThreads = c.Threads
+			}
+		}
+	}
+	if opts.SamplePeriod <= 0 {
+		opts.SamplePeriod = 100 * time.Millisecond
+	}
+	if opts.SettleTime <= 0 {
+		opts.SettleTime = opts.SamplePeriod / 2
+	}
+	if opts.Epsilon == 0 {
+		opts.Epsilon = 0.01
+	}
+	if opts.MaxExplorations == 0 {
+		opts.MaxExplorations = 10
+	}
+	rec, err := rectm.Train(opts.TrainKPI, opts.KPI.HigherIsBetter(), rectm.Options{Seed: opts.Seed, Learners: 10})
+	if err != nil {
+		return nil, fmt.Errorf("core: training recommender: %w", err)
+	}
+	initial := opts.Configs[rec.RefCol()]
+	pool := polytm.New(opts.HeapWords, opts.MaxThreads, initial)
+	return &Runtime{
+		Pool:       pool,
+		Rec:        rec,
+		opts:       opts,
+		cfgs:       opts.Configs,
+		cus:        monitor.NewCUSUM(),
+		reoptimize: make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+	}, nil
+}
+
+// Heap exposes the transactional heap for application setup.
+func (rt *Runtime) Heap() *tm.Heap { return rt.Pool.Heap() }
+
+// Atomic executes an atomic block on worker slot self.
+func (rt *Runtime) Atomic(self int, fn func(tm.Txn)) { rt.Pool.Atomic(self, fn) }
+
+// Start launches the adapter thread: an immediate optimization phase
+// followed by steady-state monitoring.
+func (rt *Runtime) Start() {
+	rt.started = time.Now()
+	rt.lastStats = rt.Pool.SnapshotStats()
+	rt.lastTime = rt.started
+	rt.done.Add(1)
+	go rt.adapterLoop()
+}
+
+// Stop terminates the adapter thread.
+func (rt *Runtime) Stop() {
+	close(rt.stop)
+	rt.done.Wait()
+}
+
+// ForceReoptimize triggers a new exploration phase (used by tests; the
+// Monitor triggers it autonomously in production).
+func (rt *Runtime) ForceReoptimize() {
+	select {
+	case rt.reoptimize <- struct{}{}:
+	default:
+	}
+}
+
+// Timeline returns a copy of the KPI timeline.
+func (rt *Runtime) Timeline() []TimelinePoint {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]TimelinePoint, len(rt.timeline))
+	copy(out, rt.timeline)
+	return out
+}
+
+// Phases returns the number of optimization phases run so far.
+func (rt *Runtime) Phases() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.phases
+}
+
+// Exploring reports whether an exploration phase is in progress.
+func (rt *Runtime) Exploring() bool { return rt.exploring.Load() }
+
+// adapterLoop is the adapter thread (§4): optimize, then monitor.
+func (rt *Runtime) adapterLoop() {
+	defer rt.done.Done()
+	rt.optimizePhase()
+	ticker := time.NewTicker(rt.opts.SamplePeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-rt.reoptimize:
+			rt.optimizePhase()
+		case <-ticker.C:
+			kpi := rt.measureWindow()
+			rt.record(kpi, false)
+			if rt.cus.Observe(kpi) {
+				rt.optimizePhase()
+			}
+		}
+	}
+}
+
+// optimizePhase runs one SMBO exploration and installs the winner.
+func (rt *Runtime) optimizePhase() {
+	rt.exploring.Store(true)
+	rt.mu.Lock()
+	rt.phases++
+	seed := rt.opts.Seed + uint64(rt.phases)*0x9E3779B97F4A7C15
+	rt.mu.Unlock()
+
+	res := rt.Rec.Optimize(func(i int) float64 {
+		return rt.profileConfig(rt.cfgs[i])
+	}, nil, smbo.Options{
+		Policy:          smbo.EI,
+		Stop:            smbo.StopCautious,
+		Epsilon:         rt.opts.Epsilon,
+		MaxExplorations: rt.opts.MaxExplorations,
+		Seed:            seed,
+	})
+	if res.Best >= 0 {
+		rt.Pool.Reconfigure(rt.cfgs[res.Best]) //nolint:errcheck // validated configs
+	}
+	rt.exploring.Store(false)
+	// Re-anchor the detector on the installed configuration's level.
+	settle := rt.measureWindowAfter(rt.opts.SettleTime)
+	rt.cus.Reset(settle)
+	rt.record(settle, false)
+}
+
+// profileConfig installs cfg, lets the system settle, and measures one KPI
+// window.
+func (rt *Runtime) profileConfig(cfg config.Config) float64 {
+	if err := rt.Pool.Reconfigure(cfg); err != nil {
+		return 0
+	}
+	kpi := rt.measureWindowAfter(rt.opts.SettleTime)
+	rt.record(kpi, true)
+	return kpi
+}
+
+// measureWindowAfter waits the settle time, resets the window, and measures
+// one sampling period.
+func (rt *Runtime) measureWindowAfter(settle time.Duration) float64 {
+	rt.sleep(settle)
+	rt.resetWindow()
+	rt.sleep(rt.opts.SamplePeriod)
+	return rt.measureWindow()
+}
+
+func (rt *Runtime) sleep(d time.Duration) {
+	select {
+	case <-time.After(d):
+	case <-rt.stop:
+	}
+}
+
+// resetWindow re-anchors the stats window.
+func (rt *Runtime) resetWindow() {
+	rt.lastStats = rt.Pool.SnapshotStats()
+	rt.lastTime = time.Now()
+}
+
+// measureWindow computes the KPI over the stats window since the last call.
+func (rt *Runtime) measureWindow() float64 {
+	now := time.Now()
+	cur := rt.Pool.SnapshotStats()
+	win := cur.Sub(rt.lastStats)
+	elapsed := now.Sub(rt.lastTime)
+	rt.lastStats = cur
+	rt.lastTime = now
+	if elapsed <= 0 {
+		return 0
+	}
+	tput := float64(win.Commits) / elapsed.Seconds()
+	switch rt.opts.KPI {
+	case ThroughputPerJoule:
+		s := energy.Sample{
+			Elapsed: elapsed,
+			Threads: rt.Pool.Config().Threads,
+			Commits: win.Commits,
+			Aborts:  win.Aborts,
+		}
+		return rt.opts.Energy.ThroughputPerJoule(s)
+	default:
+		return tput
+	}
+}
+
+// record appends a timeline point.
+func (rt *Runtime) record(kpi float64, exploring bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.timeline = append(rt.timeline, TimelinePoint{
+		At:        time.Since(rt.started),
+		KPI:       kpi,
+		Config:    rt.Pool.Config(),
+		Exploring: exploring,
+	})
+}

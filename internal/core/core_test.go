@@ -1,0 +1,123 @@
+package core_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cf"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/tm"
+)
+
+func testConfigs() []config.Config {
+	var out []config.Config
+	for _, alg := range []config.AlgID{config.TL2, config.TinySTM, config.NOrec} {
+		for _, t := range []int{1, 2, 4} {
+			out = append(out, config.Config{Alg: alg, Threads: t})
+		}
+	}
+	out = append(out, config.Config{Alg: config.HTM, Threads: 4, Budget: 4, Policy: htm.PolicyHalve})
+	return out
+}
+
+func trainFor(cfgs []config.Config) *cf.Matrix {
+	prof := machine.Profile{Name: "t", Cores: 4, HWThreads: 4, Sockets: 1, HasHTM: true,
+		ThreadCounts: []int{1, 2, 4}, StaticPower: 10, PowerPerThread: 5}
+	gen := &perfmodel.Generator{Machine: prof, Seed: 3}
+	return gen.Matrix(gen.Workloads(40), cfgs, perfmodel.Throughput)
+}
+
+// TestRuntimeOptimizesAndReacts drives the full runtime with a live workload
+// whose cost structure flips mid-run; the Monitor must detect the change and
+// trigger a second optimization phase.
+func TestRuntimeOptimizesAndReacts(t *testing.T) {
+	cfgs := testConfigs()
+	rt, err := core.New(core.Options{
+		HeapWords:       1 << 16,
+		MaxThreads:      4,
+		Configs:         cfgs,
+		TrainKPI:        trainFor(cfgs),
+		KPI:             core.Throughput,
+		SamplePeriod:    40 * time.Millisecond,
+		SettleTime:      20 * time.Millisecond,
+		MaxExplorations: 5,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := rt.Heap().MustAlloc(256)
+	var heavy atomic.Bool
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := uint64(id + 1)
+			for !stop.Load() {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				slot := tm.Addr(rng % 256)
+				if heavy.Load() {
+					slot = tm.Addr(rng % 4) // heavy contention
+				}
+				rt.Atomic(id, func(tx tm.Txn) {
+					v := tx.Load(words + slot)
+					tx.Store(words+slot, v+1)
+					if heavy.Load() {
+						for i := tm.Addr(0); i < 32; i++ {
+							_ = tx.Load(words + 128 + i)
+						}
+					}
+				})
+			}
+		}(w)
+	}
+
+	rt.Start()
+	// Wait for the initial optimization phase to complete (generously:
+	// the test may share the machine with parallel benchmark load).
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Phases() < 1 || rt.Exploring() {
+		if time.Now().After(deadline) {
+			t.Fatalf("no initial optimization phase ran")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(400 * time.Millisecond) // steady-state baseline for CUSUM
+	phase1 := rt.Phases()
+	heavy.Store(true) // drastic workload change
+	deadline = time.Now().Add(10 * time.Second)
+	for rt.Phases() <= phase1 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	phase2 := rt.Phases()
+	rt.Stop()
+
+	// Unpark workers before joining.
+	cfg := rt.Pool.Config()
+	cfg.Threads = 4
+	if err := rt.Pool.Reconfigure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if phase2 <= phase1 {
+		t.Errorf("workload change not detected: phases before=%d after=%d", phase1, phase2)
+		for _, pt := range rt.Timeline() {
+			t.Logf("t=%6.2fs kpi=%12.0f cfg=%-12s exploring=%v", pt.At.Seconds(), pt.KPI, pt.Config, pt.Exploring)
+		}
+	}
+	if got := len(rt.Timeline()); got == 0 {
+		t.Error("no timeline recorded")
+	}
+}

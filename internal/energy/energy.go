@@ -1,0 +1,79 @@
+// Package energy is the RAPL substitute: a package-level power model that
+// converts observed execution behaviour (active threads, commit/abort rates,
+// wall time) into energy (Joules) and the EDP metric the paper optimizes.
+//
+// The paper reads Intel RAPL counters on Machine A; no such counters exist
+// in this environment, so energy is modeled as
+//
+//	P = Pstatic + Pthread · t · u
+//
+// where t is the number of active threads and u the useful-work utilization
+// (committed work over total attempted work). Wasted (aborted) work still
+// burns dynamic power at a configurable fraction. Only the *relative*
+// ordering of configurations matters for the tuner, and this model preserves
+// the two effects the paper relies on: more threads draw more power, and
+// abort-heavy configurations waste energy without adding throughput.
+package energy
+
+import "time"
+
+// Model is a machine power model.
+type Model struct {
+	// StaticPower is the always-on package power in watts.
+	StaticPower float64
+	// PowerPerThread is the dynamic power of one fully busy thread.
+	PowerPerThread float64
+	// AbortedWorkFactor scales the dynamic power of work that ends up
+	// aborted (speculative execution still burns energy; a value of 1
+	// means aborted work costs the same as committed work).
+	AbortedWorkFactor float64
+}
+
+// NewModel builds a power model from machine parameters with the default
+// aborted-work factor of 1 (speculation burns full power).
+func NewModel(staticPower, powerPerThread float64) Model {
+	return Model{StaticPower: staticPower, PowerPerThread: powerPerThread, AbortedWorkFactor: 1}
+}
+
+// Sample is one observation window of an execution.
+type Sample struct {
+	// Elapsed is the wall-clock duration of the window.
+	Elapsed time.Duration
+	// Threads is the number of active worker threads.
+	Threads int
+	// Commits and Aborts are the transaction counts in the window.
+	Commits, Aborts uint64
+}
+
+// Power returns the modeled average power draw (watts) for the sample.
+func (m Model) Power(s Sample) float64 {
+	total := float64(s.Commits + s.Aborts)
+	if total == 0 {
+		return m.StaticPower
+	}
+	useful := float64(s.Commits) / total
+	wasted := float64(s.Aborts) / total
+	util := useful + m.AbortedWorkFactor*wasted
+	return m.StaticPower + m.PowerPerThread*float64(s.Threads)*util
+}
+
+// Energy returns the modeled energy (Joules) consumed during the sample.
+func (m Model) Energy(s Sample) float64 {
+	return m.Power(s) * s.Elapsed.Seconds()
+}
+
+// EDP returns the Energy-Delay Product of the sample (J·s), the energy
+// -efficiency KPI of the paper (lower is better).
+func (m Model) EDP(s Sample) float64 {
+	return m.Energy(s) * s.Elapsed.Seconds()
+}
+
+// ThroughputPerJoule returns committed transactions per Joule (higher is
+// better), the KPI of Fig. 1a.
+func (m Model) ThroughputPerJoule(s Sample) float64 {
+	e := m.Energy(s)
+	if e == 0 {
+		return 0
+	}
+	return float64(s.Commits) / e
+}

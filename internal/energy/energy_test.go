@@ -1,0 +1,56 @@
+package energy_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/energy"
+)
+
+func TestPowerModel(t *testing.T) {
+	m := energy.NewModel(20, 5)
+	idle := energy.Sample{Elapsed: time.Second, Threads: 4}
+	if got := m.Power(idle); got != 20 {
+		t.Errorf("idle power = %f, want static 20", got)
+	}
+	busy := energy.Sample{Elapsed: time.Second, Threads: 4, Commits: 100}
+	if got := m.Power(busy); got != 40 {
+		t.Errorf("busy power = %f, want 20 + 4×5", got)
+	}
+}
+
+// TestMoreThreadsMoreEnergy and wasted work burns power.
+func TestEnergyMonotonicity(t *testing.T) {
+	m := energy.NewModel(20, 5)
+	f := func(threads uint8, commits, aborts uint16) bool {
+		th := int(threads%16) + 1
+		s := energy.Sample{Elapsed: time.Second, Threads: th, Commits: uint64(commits) + 1, Aborts: uint64(aborts)}
+		s2 := s
+		s2.Threads = th + 1
+		return m.Energy(s2) >= m.Energy(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEDPQuadraticInTime(t *testing.T) {
+	m := energy.NewModel(20, 5)
+	s1 := energy.Sample{Elapsed: time.Second, Threads: 2, Commits: 10}
+	s2 := energy.Sample{Elapsed: 2 * time.Second, Threads: 2, Commits: 10}
+	r := m.EDP(s2) / m.EDP(s1)
+	if math.Abs(r-4) > 1e-9 {
+		t.Errorf("EDP ratio for 2× time = %f, want 4 (quadratic)", r)
+	}
+}
+
+func TestThroughputPerJoule(t *testing.T) {
+	m := energy.NewModel(10, 1)
+	s := energy.Sample{Elapsed: time.Second, Threads: 1, Commits: 110}
+	// Power = 10 + 1 = 11 W → 11 J; 110 commits → 10 commits/J.
+	if got := m.ThroughputPerJoule(s); math.Abs(got-10) > 1e-9 {
+		t.Errorf("throughput/J = %f, want 10", got)
+	}
+}

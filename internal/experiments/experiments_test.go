@@ -1,0 +1,179 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestFig1Shapes asserts the heterogeneity message of Fig. 1: every
+// highlighted configuration is strong somewhere and weak somewhere else.
+func TestFig1Shapes(t *testing.T) {
+	r := experiments.Fig1(experiments.Quick)
+	for _, panel := range []experiments.Fig1Panel{r.MachineA, r.MachineB} {
+		for c := range panel.Configs {
+			best, worst := 0.0, 1.0
+			for w := range panel.Workloads {
+				v := panel.Normalized[w][c]
+				if v > best {
+					best = v
+				}
+				if v < worst {
+					worst = v
+				}
+			}
+			if best < 0.7 {
+				t.Errorf("%s: config %s never near-optimal (best %.2f)", panel.KPI, panel.Configs[c], best)
+			}
+			if worst > 0.9 {
+				t.Errorf("%s: config %s good everywhere (worst %.2f) — no heterogeneity", panel.KPI, panel.Configs[c], worst)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 1") {
+		t.Error("Print output missing title")
+	}
+}
+
+// TestFig4Shapes asserts distillation ≈ ideal ≪ none/max.
+func TestFig4Shapes(t *testing.T) {
+	r, err := experiments.Fig4(experiments.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]int{}
+	for i, s := range r.Schemes {
+		idx[s] = i
+	}
+	last := len(r.SampleCounts) - 1
+	distill, ideal := r.MDFO[idx["distill"]][last], r.MDFO[idx["ideal"]][last]
+	none := r.MDFO[idx["none"]][last]
+	if distill > 2.5*ideal+0.02 {
+		t.Errorf("distill MDFO %.3f does not track ideal %.3f", distill, ideal)
+	}
+	if none < distill {
+		t.Errorf("no-normalization (%.3f) beat distillation (%.3f)", none, distill)
+	}
+	if r.MAPE[idx["distill"]][last] > r.MAPE[idx["none"]][last] {
+		t.Error("distillation MAPE worse than raw KPIs")
+	}
+}
+
+// TestFig5Shapes asserts EI's dominance and Variance's MAPE edge.
+func TestFig5Shapes(t *testing.T) {
+	r, err := experiments.Fig5(experiments.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Policies are ordered EI, Greedy, Random, Variance.
+	const (
+		ei = iota
+		greedy
+		random
+		variance
+	)
+	mid := len(r.Budgets) / 2
+	if r.MDFOEDPA[ei][mid] > r.MDFOEDPA[random][mid] {
+		t.Errorf("EI MDFO %.3f worse than Random %.3f at %d explorations",
+			r.MDFOEDPA[ei][mid], r.MDFOEDPA[random][mid], r.Budgets[mid])
+	}
+	if r.MDFOExecB[ei][mid] > r.MDFOExecB[variance][mid] {
+		t.Errorf("EI MDFO %.3f worse than Variance %.3f (exec time B)",
+			r.MDFOExecB[ei][mid], r.MDFOExecB[variance][mid])
+	}
+	if r.MAPEExecB[variance][mid] > r.MAPEExecB[ei][mid]*1.2 {
+		t.Errorf("Variance MAPE %.3f should be competitive with EI %.3f",
+			r.MAPEExecB[variance][mid], r.MAPEExecB[ei][mid])
+	}
+}
+
+// TestFig6Shapes asserts Cautious ≤ Naive and monotonicity in ε.
+func TestFig6Shapes(t *testing.T) {
+	r, err := experiments.Fig6(experiments.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, panel := range []experiments.Fig6Panel{r.EDPA, r.ExecB} {
+		for ei := range r.Epsilons {
+			naive, cautious := panel.Mean[0][ei], panel.Mean[1][ei]
+			if cautious > naive+0.02 {
+				t.Errorf("Cautious (%.3f) worse than Naive (%.3f) at ε=%.2f",
+					cautious, naive, r.Epsilons[ei])
+			}
+		}
+		if panel.Mean[1][0] > panel.Mean[1][len(r.Epsilons)-1]+0.05 {
+			t.Errorf("Cautious DFO not improving as ε shrinks: %v", panel.Mean[1])
+		}
+	}
+}
+
+// TestFig7Shapes asserts ProteusTM beats every ML baseline at 30% training.
+func TestFig7Shapes(t *testing.T) {
+	r, err := experiments.Fig7(experiments.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s30 := r.Splits[0]
+	for _, ml := range []string{"CART", "SMO", "MLP"} {
+		if s30.Mean["ProteusTM"] > s30.Mean[ml] {
+			t.Errorf("ProteusTM mean DFO %.3f worse than %s %.3f at 30%% training",
+				s30.Mean["ProteusTM"], ml, s30.Mean[ml])
+		}
+	}
+	if s30.MedianExpl > 10 {
+		t.Errorf("median explorations %.0f too high", s30.MedianExpl)
+	}
+	// ProteusTM's accuracy is nearly split-independent (paper's point).
+	s70 := r.Splits[1]
+	if s70.Mean["ProteusTM"] > s30.Mean["ProteusTM"]*2+0.02 {
+		t.Errorf("ProteusTM degraded with more data: %.3f vs %.3f",
+			s70.Mean["ProteusTM"], s30.Mean["ProteusTM"])
+	}
+}
+
+// TestTable4Shapes runs the live overhead measurement and asserts the
+// dual-path ablation: naive HTM instrumentation costs several times the
+// optimized path's overhead.
+func TestTable4Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live measurement")
+	}
+	r, err := experiments.Table4(experiments.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var naiveMax float64
+	for bi, b := range r.Backends {
+		for _, v := range r.OverheadPct[bi] {
+			if b == "HTM-naive" && v > naiveMax {
+				naiveMax = v
+			}
+		}
+	}
+	if naiveMax < 5 {
+		t.Errorf("naive HTM instrumentation overhead %.1f%%; expected substantial", naiveMax)
+	}
+}
+
+// TestTable5Shapes runs the live reconfiguration-latency measurement.
+func TestTable5Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live measurement")
+	}
+	r, err := experiments.Table5(experiments.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wi, rows := range r.LatencyMicros {
+		for ti, v := range rows {
+			if v <= 0 || v > 1e6 {
+				t.Errorf("%s @%dt: implausible latency %.0f µs",
+					r.Workloads[wi], r.Threads[ti], v)
+			}
+		}
+	}
+}

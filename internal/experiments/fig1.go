@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/htm"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+)
+
+// Fig1Result reproduces Fig. 1: performance heterogeneity of TM
+// configurations across workloads on both machines. For each workload the
+// KPI of a small set of named configurations is normalized to the best
+// configuration of the whole space.
+type Fig1Result struct {
+	MachineA Fig1Panel // throughput/Joule on Machine A (Fig. 1a)
+	MachineB Fig1Panel // throughput on Machine B (Fig. 1b)
+}
+
+// Fig1Panel is one subfigure: workloads × configurations, normalized.
+type Fig1Panel struct {
+	KPI        string
+	Workloads  []string
+	Configs    []string
+	Normalized [][]float64 // [workload][config], 1.0 = space-wide best
+}
+
+// Fig1 regenerates both panels from the performance model.
+func Fig1(scale Scale) Fig1Result {
+	res := Fig1Result{}
+
+	// Panel (a): energy efficiency on Machine A; genome-, rbtree- and
+	// labyrinth-like workloads vs NOrec:4t, Tiny:8t, HTM:8t.
+	profA := machine.A()
+	genA := &perfmodel.Generator{Machine: profA, Seed: 1001}
+	wsA := pickArchetypes(genA, []perfmodel.Archetype{
+		perfmodel.LongReadMostly,  // genome-like
+		perfmodel.ShortTxScalable, // red-black-tree-like
+		perfmodel.LongWriteHeavy,  // labyrinth-like
+	})
+	cfgA := []config.Config{
+		{Alg: config.NOrec, Threads: 4},
+		{Alg: config.TinySTM, Threads: 8},
+		{Alg: config.HTM, Threads: 8, Budget: 4, Policy: htm.PolicyDecrease},
+	}
+	res.MachineA = buildPanel(genA, profA, wsA,
+		[]string{"genome", "red-black tree", "labyrinth"}, cfgA,
+		perfmodel.EDP, "Throughput/Joule (Machine A)")
+
+	// Panel (b): throughput on Machine B; vacation-, rbtree- and
+	// intruder-like workloads vs NOrec:48t, Tiny:8t, Swiss:32t.
+	profB := machine.B()
+	genB := &perfmodel.Generator{Machine: profB, Seed: 2002}
+	wsB := pickArchetypes(genB, []perfmodel.Archetype{
+		perfmodel.LongReadMostly,   // vacation-like
+		perfmodel.ShortTxScalable,  // red-black-tree-like
+		perfmodel.ShortTxContended, // intruder-like
+	})
+	cfgB := []config.Config{
+		{Alg: config.NOrec, Threads: 48},
+		{Alg: config.TinySTM, Threads: 8},
+		{Alg: config.SwissTM, Threads: 32},
+	}
+	res.MachineB = buildPanel(genB, profB, wsB,
+		[]string{"vacation", "red-black tree", "intruder"}, cfgB,
+		perfmodel.Throughput, "Throughput (Machine B)")
+	return res
+}
+
+// pickArchetypes samples one workload per requested archetype.
+func pickArchetypes(gen *perfmodel.Generator, kinds []perfmodel.Archetype) []perfmodel.Workload {
+	pool := gen.Workloads(120)
+	out := make([]perfmodel.Workload, 0, len(kinds))
+	for _, k := range kinds {
+		for _, w := range pool {
+			if w.Archetype == k {
+				out = append(out, w)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func buildPanel(gen *perfmodel.Generator, prof machine.Profile, ws []perfmodel.Workload, names []string, cfgs []config.Config, kind perfmodel.KPIKind, kpiName string) Fig1Panel {
+	space := prof.Configs()
+	panel := Fig1Panel{KPI: kpiName, Workloads: names}
+	for _, c := range cfgs {
+		panel.Configs = append(panel.Configs, c.String())
+	}
+	for _, w := range ws {
+		// Space-wide best for normalization.
+		row := make([]float64, len(space))
+		for i, c := range space {
+			row[i] = gen.KPI(w, c, kind)
+		}
+		bestIdx := metrics.OptimumIndex(row, kind.HigherIsBetter())
+		best := row[bestIdx]
+		vals := make([]float64, len(cfgs))
+		for i, c := range cfgs {
+			v := gen.KPI(w, c, kind)
+			if kind.HigherIsBetter() {
+				vals[i] = v / best
+			} else {
+				vals[i] = best / v // lower is better → invert ratio
+			}
+			if math.IsNaN(vals[i]) {
+				vals[i] = 0
+			}
+		}
+		panel.Normalized = append(panel.Normalized, vals)
+	}
+	return panel
+}
+
+// Print renders the two panels as tables.
+func (r Fig1Result) Print(w io.Writer) {
+	header(w, "Figure 1: performance heterogeneity in TM applications")
+	for _, panel := range []Fig1Panel{r.MachineA, r.MachineB} {
+		fmt.Fprintf(w, "\n%s (normalized to the best of the full space)\n", panel.KPI)
+		fmt.Fprintf(w, "%-16s", "workload")
+		for _, c := range panel.Configs {
+			fmt.Fprintf(w, "%18s", c)
+		}
+		fmt.Fprintln(w)
+		for i, name := range panel.Workloads {
+			fmt.Fprintf(w, "%-16s", name)
+			for _, v := range panel.Normalized[i] {
+				fmt.Fprintf(w, "%18.3f", v)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "\nShape check: each column should be near 1.0 on one row and far below on another.")
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cf"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/rectm"
+)
+
+// Fig4Result reproduces Fig. 4: accuracy of the rating-distillation
+// preprocessing versus the alternatives, as a function of the number of
+// randomly sampled configurations per test workload (execution time on
+// Machine A, KNN with cosine similarity).
+type Fig4Result struct {
+	SampleCounts []int
+	Schemes      []string
+	// MAPE and MDFO are [scheme][sampleCount] means over the test set.
+	MAPE [][]float64
+	MDFO [][]float64
+}
+
+// Fig4 runs the experiment.
+func Fig4(scale Scale) (Fig4Result, error) {
+	_, ws, truth := truthFor(machine.A(), scale.workloadCount(), perfmodel.ExecTime, 12345)
+	train, test, _, _ := splitRows(truth, ws, 0.3)
+
+	counts := []int{2, 3, 5, 10, 20}
+	schemes := []string{"none", "max", "rc", "distill", "ideal"}
+	res := Fig4Result{SampleCounts: counts, Schemes: schemes}
+
+	for _, name := range schemes {
+		var norm cf.Normalizer
+		switch name {
+		case "none":
+			norm = cf.NoNorm{}
+		case "max":
+			norm = &cf.MaxNorm{}
+		case "rc":
+			norm = &cf.RCNorm{}
+		case "distill":
+			norm = &cf.Distiller{}
+		case "ideal":
+			norm = cf.NewIdealNorm(cf.GoodnessMatrix(truth, false))
+		}
+		rec, err := rectm.Train(train, false, rectm.Options{
+			Normalizer: norm,
+			Predictor:  func() cf.Predictor { return &cf.KNN{K: 10, Sim: cf.Cosine} },
+			Learners:   10,
+			Seed:       7,
+		})
+		if err != nil {
+			return res, fmt.Errorf("fig4: training %s: %w", name, err)
+		}
+		var mapeRow, mdfoRow []float64
+		for _, nKnown := range counts {
+			var dfos, mapes []float64
+			rng := uint64(99)
+			for u := 0; u < test.Rows; u++ {
+				row := make([]float64, test.Cols)
+				for i := range row {
+					row[i] = cf.Missing
+				}
+				seen := 0
+				for seen < nKnown {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					i := int(rng>>33) % test.Cols
+					if cf.IsMissing(row[i]) {
+						row[i] = test.Data[u][i]
+						seen++
+					}
+				}
+				pred := rec.PredictKPI(row)
+				chosen := metrics.OptimumIndex(pred, false)
+				dfos = append(dfos, metrics.DFO(test.Data[u], chosen, false))
+				mapes = append(mapes, metrics.MAPE(test.Data[u], pred))
+			}
+			mapeRow = append(mapeRow, metrics.Mean(mapes))
+			mdfoRow = append(mdfoRow, metrics.Mean(dfos))
+		}
+		res.MAPE = append(res.MAPE, mapeRow)
+		res.MDFO = append(res.MDFO, mdfoRow)
+	}
+	return res, nil
+}
+
+// Print renders the two panels.
+func (r Fig4Result) Print(w io.Writer) {
+	header(w, "Figure 4: rating distillation vs alternative normalizations (exec time, Machine A, KNN-cosine)")
+	panels := []struct {
+		name string
+		data [][]float64
+	}{{"MAPE (Fig. 4a)", r.MAPE}, {"MDFO (Fig. 4b)", r.MDFO}}
+	for _, p := range panels {
+		panel, data := p.name, p.data
+		fmt.Fprintf(w, "\n%s\n%-10s", panel, "scheme")
+		for _, c := range r.SampleCounts {
+			fmt.Fprintf(w, "%10s", fmt.Sprintf("n=%d", c))
+		}
+		fmt.Fprintln(w)
+		for si, s := range r.Schemes {
+			fmt.Fprintf(w, "%-10s", s)
+			for ci := range r.SampleCounts {
+				fmt.Fprintf(w, "%10.3f", data[si][ci])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "\nShape check: distill ≈ ideal ≪ {none, max}; rc in between on MAPE.")
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cf"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/rectm"
+	"repro/internal/smbo"
+)
+
+// Fig6Result reproduces Fig. 6: the Cautious early-stop predicate versus the
+// Naive one across the ε threshold, reporting the DFO distribution (mean,
+// median, 90th percentile) and the exploration cost.
+type Fig6Result struct {
+	Epsilons []float64
+	// Panels: [rule][epsilon] with rule 0 = Naive, 1 = Cautious, on the
+	// two (machine, KPI) pairs of the paper.
+	EDPA  Fig6Panel // Fig. 6a: EDP, Machine A
+	ExecB Fig6Panel // Fig. 6b: exec time, Machine B
+}
+
+// Fig6Panel is one subfigure.
+type Fig6Panel struct {
+	Mean, Median, P90 [2][]float64
+	Explorations      [2][]float64
+}
+
+// Fig6 runs the experiment.
+func Fig6(scale Scale) (Fig6Result, error) {
+	res := Fig6Result{Epsilons: []float64{0.01, 0.05, 0.10, 0.15}}
+	a, err := fig6Sweep(machine.A(), perfmodel.EDP, scale, res.Epsilons)
+	if err != nil {
+		return res, err
+	}
+	res.EDPA = a
+	b, err := fig6Sweep(machine.B(), perfmodel.ExecTime, scale, res.Epsilons)
+	if err != nil {
+		return res, err
+	}
+	res.ExecB = b
+	return res, nil
+}
+
+func fig6Sweep(prof machine.Profile, kind perfmodel.KPIKind, scale Scale, epsilons []float64) (Fig6Panel, error) {
+	panel := Fig6Panel{}
+	_, ws, truth := truthFor(prof, scale.workloadCount(), kind, 555)
+	train, test, _, _ := splitRows(truth, ws, 0.3)
+	rec, err := rectm.Train(train, kind.HigherIsBetter(), rectm.Options{
+		Predictor: func() cf.Predictor { return &cf.KNN{K: 10, Sim: cf.Cosine} },
+		Learners:  10,
+		Seed:      17,
+	})
+	if err != nil {
+		return panel, fmt.Errorf("fig6: %w", err)
+	}
+	hib := kind.HigherIsBetter()
+	rules := []smbo.StopRule{smbo.StopNaive, smbo.StopCautious}
+	for ri, rule := range rules {
+		for _, eps := range epsilons {
+			var dfos, expl []float64
+			for u := 0; u < test.Rows; u++ {
+				row := test.Data[u]
+				opt := rec.Optimize(func(i int) float64 { return row[i] }, nil, smbo.Options{
+					Policy:  smbo.EI,
+					Stop:    rule,
+					Epsilon: eps,
+					Seed:    uint64(u) * 7,
+				})
+				dfos = append(dfos, metrics.DFO(row, opt.Best, hib))
+				expl = append(expl, float64(len(opt.Explored)))
+			}
+			panel.Mean[ri] = append(panel.Mean[ri], metrics.Mean(dfos))
+			panel.Median[ri] = append(panel.Median[ri], metrics.Median(dfos))
+			panel.P90[ri] = append(panel.P90[ri], metrics.Percentile(dfos, 90))
+			panel.Explorations[ri] = append(panel.Explorations[ri], metrics.Mean(expl))
+		}
+	}
+	return panel, nil
+}
+
+// Print renders both panels.
+func (r Fig6Result) Print(w io.Writer) {
+	header(w, "Figure 6: early-stop predicates (Cautious vs Naive)")
+	panels := []struct {
+		name  string
+		panel Fig6Panel
+	}{
+		{"Fig. 6a — DFO vs ε (EDP, Machine A)", r.EDPA},
+		{"Fig. 6b — DFO vs ε (exec time, Machine B)", r.ExecB},
+	}
+	rules := []string{"Naive", "Cautious"}
+	for _, p := range panels {
+		fmt.Fprintf(w, "\n%s\n", p.name)
+		fmt.Fprintf(w, "%-10s%-10s%10s%10s%10s%10s\n", "rule", "eps", "mean", "median", "p90", "expl")
+		for ri, rule := range rules {
+			for ei, eps := range r.Epsilons {
+				fmt.Fprintf(w, "%-10s%-10.2f%10.3f%10.3f%10.3f%10.1f\n", rule, eps,
+					p.panel.Mean[ri][ei], p.panel.Median[ri][ei], p.panel.P90[ri][ei],
+					p.panel.Explorations[ri][ei])
+			}
+		}
+	}
+	fmt.Fprintln(w, "\nShape check: Cautious ≤ Naive at equal ε; DFO shrinks as ε shrinks.")
+}

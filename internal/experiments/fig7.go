@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/ml"
+	"repro/internal/perfmodel"
+	"repro/internal/rectm"
+	"repro/internal/smbo"
+)
+
+// Fig7Result reproduces Fig. 7: ProteusTM's CF pipeline versus pure
+// machine-learning classifiers (CART, SMO, MLP) trained on workload
+// characterization features, at 30 % and 70 % training fractions
+// (throughput, Machine A).
+type Fig7Result struct {
+	Splits []Fig7Split
+}
+
+// Fig7Split is one panel (one train/test split).
+type Fig7Split struct {
+	TrainFrac float64
+	// Systems maps system name → DFO samples over the test set.
+	Systems map[string][]float64
+	// P90 and Mean summarize each system's DFO distribution.
+	P90, Mean map[string]float64
+	// MedianExpl and P90Expl are ProteusTM's exploration counts.
+	MedianExpl, P90Expl float64
+}
+
+// Fig7 runs the experiment.
+func Fig7(scale Scale) (Fig7Result, error) {
+	res := Fig7Result{}
+	for _, frac := range []float64{0.3, 0.7} {
+		split, err := fig7Split(scale, frac)
+		if err != nil {
+			return res, err
+		}
+		res.Splits = append(res.Splits, split)
+	}
+	return res, nil
+}
+
+func fig7Split(scale Scale, trainFrac float64) (Fig7Split, error) {
+	split := Fig7Split{
+		TrainFrac: trainFrac,
+		Systems:   map[string][]float64{},
+		P90:       map[string]float64{},
+		Mean:      map[string]float64{},
+	}
+	_, ws, truth := truthFor(machine.A(), scale.workloadCount(), perfmodel.Throughput, 31337)
+	train, test, trainW, testW := splitRows(truth, ws, trainFrac)
+
+	// --- ProteusTM: CF pipeline with model selection + EI + Cautious stop.
+	rec, err := rectm.Train(train, true, rectm.Options{
+		Learners:     10,
+		CVFolds:      4,
+		SearchBudget: 20,
+		Seed:         3,
+	})
+	if err != nil {
+		return split, fmt.Errorf("fig7: %w", err)
+	}
+	var expl []float64
+	for u := 0; u < test.Rows; u++ {
+		row := test.Data[u]
+		opt := rec.Optimize(func(i int) float64 { return row[i] }, nil, smbo.Options{
+			Policy:  smbo.EI,
+			Stop:    smbo.StopCautious,
+			Epsilon: 0.01,
+			Seed:    uint64(u) * 11,
+		})
+		split.Systems["ProteusTM"] = append(split.Systems["ProteusTM"], metrics.DFO(row, opt.Best, true))
+		expl = append(expl, float64(len(opt.Explored)))
+	}
+	split.MedianExpl = metrics.Median(expl)
+	split.P90Expl = metrics.Percentile(expl, 90)
+
+	// --- ML baselines: features → best-config class.
+	trainX := make([][]float64, len(trainW))
+	trainY := make([]int, len(trainW))
+	for i, w := range trainW {
+		trainX[i] = w.Features()
+		trainY[i] = metrics.OptimumIndex(train.Data[i], true)
+	}
+	testX := make([][]float64, len(testW))
+	for i, w := range testW {
+		testX[i] = w.Features()
+	}
+	baselines := []struct {
+		name  string
+		specs []ml.TuneSpec
+	}{
+		{"CART", ml.CandidatesCART()},
+		{"SMO", ml.CandidatesSMO()},
+		{"MLP", ml.CandidatesMLP()},
+	}
+	budget := 100 // the paper evaluates 100 random combinations
+	for _, b := range baselines {
+		spec := ml.Tune(b.specs, trainX, trainY, 3, budget, 77)
+		clf := spec.New()
+		clf.Fit(trainX, trainY)
+		for u := 0; u < test.Rows; u++ {
+			chosen := clf.Predict(testX[u])
+			split.Systems[b.name] = append(split.Systems[b.name], metrics.DFO(test.Data[u], chosen, true))
+		}
+	}
+	for name, dfos := range split.Systems {
+		split.P90[name] = metrics.Percentile(dfos, 90)
+		split.Mean[name] = metrics.Mean(dfos)
+	}
+	return split, nil
+}
+
+// Print renders both panels.
+func (r Fig7Result) Print(w io.Writer) {
+	header(w, "Figure 7: ProteusTM vs machine-learning classifiers (throughput, Machine A)")
+	for _, split := range r.Splits {
+		fmt.Fprintf(w, "\n%.0f%% training data:\n", split.TrainFrac*100)
+		fmt.Fprintf(w, "%-12s%12s%12s\n", "system", "mean DFO", "90th pct")
+		for _, name := range []string{"ProteusTM", "CART", "SMO", "MLP"} {
+			fmt.Fprintf(w, "%-12s%12s%12s\n", name, pct(split.Mean[name]), pct(split.P90[name]))
+		}
+		fmt.Fprintf(w, "ProteusTM explorations: median %.0f, 90th pct %.0f\n",
+			split.MedianExpl, split.P90Expl)
+	}
+	fmt.Fprintln(w, "\nShape check: ProteusTM ≪ ML at 30% training; the gap narrows at 70%;")
+	fmt.Fprintln(w, "ProteusTM's accuracy is nearly split-independent.")
+}

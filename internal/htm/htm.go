@@ -1,0 +1,361 @@
+// Package htm simulates best-effort hardware transactional memory (Intel
+// TSX / IBM POWER8 class) and a hybrid TM on top of the transactional heap.
+//
+// The simulation reproduces the properties that matter to a TM tuner:
+//
+//   - low per-access cost (no ownership-record writes on the common path,
+//     mirroring the paper's non-instrumented code path for HTM);
+//   - bounded speculative capacity: transactions whose footprint exceeds the
+//     modeled cache raise capacity aborts no matter how often they retry;
+//   - eager conflict detection at cache-line granularity with remote aborts
+//     (a writer invalidates concurrent readers, as coherence-based HTM does);
+//   - a software fallback path guarded by a global lock, plus the retry
+//     budget and capacity-abort policies of §4.3 that PolyTM retunes online.
+package htm
+
+import (
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/tm"
+)
+
+// CapacityPolicy is the reaction to a capacity abort (§4.3): how the
+// remaining hardware retry budget is adjusted.
+type CapacityPolicy int32
+
+const (
+	// PolicyGiveUp sets the budget to zero: go straight to the fallback.
+	PolicyGiveUp CapacityPolicy = iota
+	// PolicyDecrease decreases the budget by one, like any other abort.
+	PolicyDecrease
+	// PolicyHalve halves the remaining budget.
+	PolicyHalve
+)
+
+// String returns the short label used in configuration encodings.
+func (p CapacityPolicy) String() string {
+	switch p {
+	case PolicyGiveUp:
+		return "giveup"
+	case PolicyDecrease:
+		return "decr"
+	case PolicyHalve:
+		return "half"
+	}
+	return "?"
+}
+
+// CM is the contention-management configuration shared by all threads
+// running HTM. Both fields may be retuned at any moment without
+// synchronization (different policies can coexist safely, §4.3), so they are
+// plain atomics.
+type CM struct {
+	budget atomic.Int64
+	policy atomic.Int32
+}
+
+// NewCM returns a contention manager with the given initial retry budget and
+// capacity policy.
+func NewCM(budget int, policy CapacityPolicy) *CM {
+	cm := &CM{}
+	cm.Set(budget, policy)
+	return cm
+}
+
+// Set reconfigures the manager.
+func (cm *CM) Set(budget int, policy CapacityPolicy) {
+	cm.budget.Store(int64(budget))
+	cm.policy.Store(int32(policy))
+}
+
+// Get returns the current configuration.
+func (cm *CM) Get() (budget int, policy CapacityPolicy) {
+	return int(cm.budget.Load()), CapacityPolicy(cm.policy.Load())
+}
+
+// HTM is the simulated best-effort hardware TM. ReadCap and WriteCap bound
+// the speculative footprint in cache lines (stripes); the zero value of
+// either selects the Machine-A-like defaults.
+type HTM struct {
+	ReadCap  int
+	WriteCap int
+	CM       *CM
+}
+
+// Default speculative capacities: the write set is bounded by an L1-sized
+// buffer (32 KiB / 64 B = 512 lines); reads are tracked more loosely (an
+// L2-backed bloom filter in real hardware).
+const (
+	DefaultReadCap  = 4096
+	DefaultWriteCap = 448
+)
+
+func (h *HTM) caps() (int, int) {
+	r, w := h.ReadCap, h.WriteCap
+	if r == 0 {
+		r = DefaultReadCap
+	}
+	if w == 0 {
+		w = DefaultWriteCap
+	}
+	return r, w
+}
+
+// Name implements tm.Algorithm.
+func (h *HTM) Name() string { return "htm" }
+
+// Begin implements tm.Algorithm. The first attempt of a transaction loads
+// the retry budget from the contention manager; once the budget is exhausted
+// the attempt runs on the fallback path under the global lock. Hardware
+// attempts subscribe to the fallback lock so that a fallback acquisition
+// aborts them.
+func (h *HTM) Begin(c *tm.Ctx) {
+	c.ResetSets()
+	c.AbortReason = tm.AbortNone
+	st := &c.HTM
+	if st.RLines == nil {
+		st.RLines = make([]uint32, 0, 64)
+		st.WLines = make([]uint32, 0, 64)
+		c.H.RegisterDoomFlag(c.ID, &st.Doomed)
+	}
+	if st.LastTxn != c.TxnID {
+		st.LastTxn = c.TxnID
+		b := 5
+		if h.CM != nil {
+			b, _ = h.CM.Get()
+		}
+		st.Budget = b
+	}
+	st.Doomed.Store(false)
+	st.RLines = st.RLines[:0]
+	st.WLines = st.WLines[:0]
+	if st.Budget <= 0 {
+		st.Fallback = true
+		c.Stats.IncFallbackRun()
+		c.H.FallbackAcquire()
+		st.InTx = true
+		return
+	}
+	st.Fallback = false
+	// Subscribe to the fallback lock: spin past any in-flight serial
+	// transaction, then record the (even) lock value.
+	for {
+		v := c.H.FallbackLock()
+		if v&1 == 0 {
+			st.SnapshotRV = v
+			break
+		}
+	}
+	st.InTx = true
+}
+
+// Load implements tm.Algorithm. Hardware reads mark the line in the reader
+// bitmap, refuse lines with an active speculative writer, and re-check the
+// doom flag and fallback subscription after reading so no inconsistent value
+// ever escapes to the application.
+func (h *HTM) Load(c *tm.Ctx, a tm.Addr) uint64 {
+	heap := c.H
+	st := &c.HTM
+	if st.Fallback {
+		// The serial path may still conflict with committing hardware
+		// transactions holding writer slots: doom them and wait.
+		s := heap.Stripe(a)
+		h.evictWriter(c, s)
+		if v, ok := c.WS.Get(a); ok {
+			return v
+		}
+		return heap.LoadWord(a)
+	}
+	if c.WS.Len() > 0 {
+		if v, ok := c.WS.Get(a); ok {
+			return v
+		}
+	}
+	s := heap.Stripe(a)
+	bit := uint64(1) << uint(c.ID&63)
+	if heap.ReaderMaskLoad(s)&bit == 0 {
+		rcap, _ := h.caps()
+		if len(st.RLines) >= rcap {
+			h.cleanup(c)
+			c.Retry(tm.AbortCapacity)
+		}
+		heap.ReaderMaskOr(s, bit)
+		st.RLines = append(st.RLines, s)
+	}
+	if w := heap.WriterLoad(s); w != 0 && int(w-1) != c.ID {
+		h.cleanup(c)
+		c.Retry(tm.AbortConflict)
+	}
+	v := heap.LoadWord(a)
+	h.check(c)
+	return v
+}
+
+// Store implements tm.Algorithm. Hardware writes claim the line's writer
+// slot (aborting on a writer-writer conflict), invalidate concurrent
+// speculative readers, and buffer the value until commit.
+func (h *HTM) Store(c *tm.Ctx, a tm.Addr, v uint64) {
+	heap := c.H
+	st := &c.HTM
+	if st.Fallback {
+		s := heap.Stripe(a)
+		h.evictWriter(c, s)
+		h.doomReaders(c, s)
+		c.WS.Put(a, v)
+		return
+	}
+	s := heap.Stripe(a)
+	if w := heap.WriterLoad(s); int(w) != c.ID+1 {
+		if w != 0 {
+			h.cleanup(c)
+			c.Retry(tm.AbortConflict)
+		}
+		_, wcap := h.caps()
+		if len(st.WLines) >= wcap {
+			h.cleanup(c)
+			c.Retry(tm.AbortCapacity)
+		}
+		if !heap.WriterCAS(s, 0, uint64(c.ID+1)) {
+			h.cleanup(c)
+			c.Retry(tm.AbortConflict)
+		}
+		st.WLines = append(st.WLines, s)
+		h.doomReaders(c, s)
+	}
+	c.WS.Put(a, v)
+	h.check(c)
+}
+
+// Commit implements tm.Algorithm: a final doom/subscription check, then the
+// redo log is published while the writer slots are still held (so racing
+// reads observe the conflict), and the footprint is released.
+func (h *HTM) Commit(c *tm.Ctx) bool {
+	heap := c.H
+	st := &c.HTM
+	if st.Fallback {
+		for _, e := range c.WS.Entries() {
+			heap.StoreWord(e.Addr, e.Val)
+		}
+		heap.FallbackRelease()
+		st.InTx = false
+		st.Fallback = false
+		return true
+	}
+	if st.Doomed.Load() || heap.FallbackLock() != st.SnapshotRV {
+		h.cleanup(c)
+		c.AbortReason = tm.AbortConflict
+		if heap.FallbackLock() != st.SnapshotRV {
+			c.AbortReason = tm.AbortFallback
+		}
+		return false
+	}
+	// Invalidate readers of written lines once more: anything that marked
+	// its bit after our Store-time sweep must not commit a mixed view.
+	for _, s := range st.WLines {
+		h.doomReaders(c, s)
+	}
+	for _, e := range c.WS.Entries() {
+		heap.StoreWord(e.Addr, e.Val)
+	}
+	h.cleanup(c)
+	st.InTx = false
+	return true
+}
+
+// Abort implements tm.Algorithm: release the speculative footprint and apply
+// the contention-management policy to the retry budget.
+func (h *HTM) Abort(c *tm.Ctx) {
+	st := &c.HTM
+	if st.Fallback && st.InTx {
+		c.H.FallbackRelease()
+		st.Fallback = false
+		st.InTx = false
+		return
+	}
+	h.cleanup(c)
+	st.InTx = false
+	switch c.AbortReason {
+	case tm.AbortCapacity:
+		policy := PolicyDecrease
+		if h.CM != nil {
+			_, policy = h.CM.Get()
+		}
+		switch policy {
+		case PolicyGiveUp:
+			st.Budget = 0
+		case PolicyHalve:
+			st.Budget /= 2
+		default:
+			st.Budget--
+		}
+	default:
+		st.Budget--
+	}
+}
+
+// check aborts the current hardware attempt if it has been doomed by a
+// conflicting transaction or if a fallback transaction acquired the lock.
+func (h *HTM) check(c *tm.Ctx) {
+	st := &c.HTM
+	if st.Doomed.Load() {
+		h.cleanup(c)
+		c.Retry(tm.AbortConflict)
+	}
+	if c.H.FallbackLock() != st.SnapshotRV {
+		h.cleanup(c)
+		c.Retry(tm.AbortFallback)
+	}
+}
+
+// cleanup releases every reader bit and writer slot held by the attempt.
+func (h *HTM) cleanup(c *tm.Ctx) {
+	heap := c.H
+	st := &c.HTM
+	bit := uint64(1) << uint(c.ID&63)
+	for _, s := range st.RLines {
+		heap.ReaderMaskAndNot(s, bit)
+	}
+	for _, s := range st.WLines {
+		heap.WriterStore(s, 0)
+	}
+	st.RLines = st.RLines[:0]
+	st.WLines = st.WLines[:0]
+}
+
+// doomReaders remotely aborts every speculative reader of stripe s other
+// than c itself.
+func (h *HTM) doomReaders(c *tm.Ctx, s uint32) {
+	mask := c.H.ReaderMaskLoad(s)
+	mask &^= uint64(1) << uint(c.ID&63)
+	for mask != 0 {
+		id := trailingZeros(mask)
+		c.H.DoomThread(id)
+		mask &= mask - 1
+	}
+}
+
+// evictWriter (fallback path only) dooms the speculative writer of stripe s,
+// if any, and waits for it to release the slot.
+func (h *HTM) evictWriter(c *tm.Ctx, s uint32) {
+	heap := c.H
+	for {
+		w := heap.WriterLoad(s)
+		if w == 0 || int(w-1) == c.ID {
+			return
+		}
+		heap.DoomThread(int(w - 1))
+		for i := 0; i < 128 && heap.WriterLoad(s) == w; i++ {
+		}
+		if heap.WriterLoad(s) == w {
+			// Let the victim's goroutine run so it can observe the
+			// doom flag and clean up.
+			yield()
+		}
+	}
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+func yield() { runtime.Gosched() }

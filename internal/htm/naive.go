@@ -1,0 +1,54 @@
+package htm
+
+import (
+	"sync/atomic"
+
+	"repro/internal/tm"
+)
+
+// NaiveHTM wraps HTM with the overhead of the *fully instrumented* code
+// path: the paper's GCC integration generates two versions of each atomic
+// block and runs the non-instrumented one under HTM (§4, "dual path
+// optimization"); NaiveHTM models what happens without that optimization —
+// every read and write pays STM-style software bookkeeping that hardware TM
+// does not need. It exists only for the "HTM-naive" column of Table 4.
+type NaiveHTM struct {
+	HTM
+}
+
+// Name implements tm.Algorithm.
+func (n *NaiveHTM) Name() string { return "htm-naive" }
+
+// Load implements tm.Algorithm: the useless instrumentation logs the read
+// into the value read set and maintains a running checksum, the work a
+// software barrier would do.
+func (n *NaiveHTM) Load(c *tm.Ctx, a tm.Addr) uint64 {
+	v := n.HTM.Load(c, a)
+	c.VRS.Add(a, v)
+	instrumentationWork(a, v)
+	return v
+}
+
+// Store implements tm.Algorithm: the redundant write barrier double-logs
+// the write.
+func (n *NaiveHTM) Store(c *tm.Ctx, a tm.Addr, v uint64) {
+	c.RS.Add(uint32(a), v)
+	instrumentationWork(a, v)
+	n.HTM.Store(c, a, v)
+}
+
+// instrumentationWork models the per-access cost of a software barrier
+// (address hashing plus a few dependent ALU operations).
+//
+//go:noinline
+func instrumentationWork(a tm.Addr, v uint64) uint64 {
+	h := uint64(a) * 0x9E3779B97F4A7C15
+	h ^= v
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	naiveSink.Store(h)
+	return h
+}
+
+var naiveSink atomic.Uint64

@@ -1,0 +1,127 @@
+// Package machine defines the two machine profiles of the paper's test-bed
+// (Table 2) and the TM configuration spaces tuned on each (Table 3). A
+// profile fixes the set of configurations that form the columns of RecTM's
+// Utility Matrix, plus the hardware parameters used by the analytic
+// performance and energy models.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/htm"
+)
+
+// Profile describes one machine of the experimental test-bed.
+type Profile struct {
+	// Name identifies the profile ("A" or "B").
+	Name string
+	// Cores is the number of physical cores; HWThreads includes SMT.
+	Cores, HWThreads int
+	// Sockets is the number of NUMA domains (1 on Machine A, 4 on B).
+	Sockets int
+	// HasHTM reports hardware TM support (TSX on Machine A).
+	HasHTM bool
+	// HasRAPL reports energy-measurement support.
+	HasRAPL bool
+	// ThreadCounts is the tuned parallelism-degree dimension.
+	ThreadCounts []int
+	// Budgets and Policies are the HTM contention-management dimensions
+	// (empty when HasHTM is false).
+	Budgets  []int
+	Policies []htm.CapacityPolicy
+
+	// Power-model parameters for the RAPL substitute (see
+	// internal/energy): package static power and per-active-thread
+	// dynamic power, in watts.
+	StaticPower, PowerPerThread float64
+}
+
+// A is the paper's Machine A: 1× Intel Haswell Xeon E3-1275, 4 cores / 8
+// hyper-threads, TSX and RAPL available.
+func A() Profile {
+	return Profile{
+		Name:           "A",
+		Cores:          4,
+		HWThreads:      8,
+		Sockets:        1,
+		HasHTM:         true,
+		HasRAPL:        true,
+		ThreadCounts:   []int{1, 2, 3, 4, 5, 6, 7, 8},
+		Budgets:        []int{1, 2, 4, 8, 16, 20},
+		Policies:       []htm.CapacityPolicy{htm.PolicyGiveUp, htm.PolicyDecrease, htm.PolicyHalve},
+		StaticPower:    18,
+		PowerPerThread: 6.5,
+	}
+}
+
+// B is the paper's Machine B: 4× AMD Opteron 6172, 48 cores, no HTM, no
+// RAPL.
+func B() Profile {
+	return Profile{
+		Name:           "B",
+		Cores:          48,
+		HWThreads:      48,
+		Sockets:        4,
+		HasHTM:         false,
+		HasRAPL:        false,
+		ThreadCounts:   []int{1, 2, 4, 6, 8, 16, 32, 48},
+		StaticPower:    140,
+		PowerPerThread: 4.2,
+	}
+}
+
+// stms is the STM dimension tuned on both machines (Table 3).
+var stms = []config.AlgID{config.TinySTM, config.SwissTM, config.NOrec, config.TL2}
+
+// Configs enumerates the tuned configuration space of the profile: every
+// (STM × thread-count), plus on HTM machines every (HTM × thread-count ×
+// budget × capacity-policy) with the budget-1 policies deduplicated (all
+// three behave identically when a single attempt is allowed). Hybrids are
+// excluded, as in the paper (§6 footnote 4). On Machine A this yields 152
+// configurations (the paper reports 130 with its budget subset) and on
+// Machine B exactly the paper's 32.
+func (p Profile) Configs() []config.Config {
+	var out []config.Config
+	for _, alg := range stms {
+		for _, t := range p.ThreadCounts {
+			out = append(out, config.Config{Alg: alg, Threads: t})
+		}
+	}
+	if p.HasHTM {
+		for _, t := range p.ThreadCounts {
+			for _, b := range p.Budgets {
+				if b <= 1 {
+					out = append(out, config.Config{Alg: config.HTM, Threads: t, Budget: b, Policy: htm.PolicyGiveUp})
+					continue
+				}
+				for _, pol := range p.Policies {
+					out = append(out, config.Config{Alg: config.HTM, Threads: t, Budget: b, Policy: pol})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxThreads returns the largest tuned thread count.
+func (p Profile) MaxThreads() int {
+	max := 1
+	for _, t := range p.ThreadCounts {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, error) {
+	switch name {
+	case "A", "a":
+		return A(), nil
+	case "B", "b":
+		return B(), nil
+	}
+	return Profile{}, fmt.Errorf("machine: unknown profile %q (want A or B)", name)
+}

@@ -1,0 +1,85 @@
+package machine_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/machine"
+)
+
+// TestMachineBSpace checks Machine B's space matches the paper exactly:
+// 4 STMs × 8 thread counts = 32 configurations, no HTM.
+func TestMachineBSpace(t *testing.T) {
+	cfgs := machine.B().Configs()
+	if len(cfgs) != 32 {
+		t.Errorf("Machine B has %d configs, want 32", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if c.Alg.IsHTM() {
+			t.Errorf("HTM config %v on the no-TSX machine", c)
+		}
+	}
+}
+
+// TestMachineASpace checks Machine A's space structure: STMs plus HTM
+// contention-management variants, with budget-1 policies deduplicated.
+func TestMachineASpace(t *testing.T) {
+	cfgs := machine.A().Configs()
+	stm, htmCount := 0, 0
+	seen := map[uint32]bool{}
+	for _, c := range cfgs {
+		if seen[c.Key()] {
+			t.Errorf("duplicate configuration %v", c)
+		}
+		seen[c.Key()] = true
+		if c.Alg.IsHTM() {
+			htmCount++
+		} else {
+			stm++
+		}
+	}
+	if stm != 32 {
+		t.Errorf("STM configs = %d, want 32", stm)
+	}
+	// 8 threads × (5 budgets × 3 policies + 1 deduped budget-1) = 128.
+	if htmCount != 128 {
+		t.Errorf("HTM configs = %d, want 128", htmCount)
+	}
+}
+
+// TestByName round-trips profile lookup.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"A", "B", "a", "b"} {
+		if _, err := machine.ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := machine.ByName("Z"); err == nil {
+		t.Error("expected error for unknown machine")
+	}
+}
+
+// TestConfigStrings spot-checks the paper's label style.
+func TestConfigStrings(t *testing.T) {
+	c := config.Config{Alg: config.TinySTM, Threads: 8}
+	if got := c.String(); got != "Tiny:8t" {
+		t.Errorf("String = %q, want Tiny:8t", got)
+	}
+	h := machine.A().Configs()[len(machine.A().Configs())-1]
+	if !h.Alg.IsHTM() {
+		t.Skip("last config not HTM")
+	}
+	if got := h.String(); got == "" {
+		t.Error("empty HTM label")
+	}
+}
+
+// TestMaxThreads checks the helper.
+func TestMaxThreads(t *testing.T) {
+	if got := machine.A().MaxThreads(); got != 8 {
+		t.Errorf("A MaxThreads = %d, want 8", got)
+	}
+	if got := machine.B().MaxThreads(); got != 48 {
+		t.Errorf("B MaxThreads = %d, want 48", got)
+	}
+}

@@ -1,0 +1,132 @@
+// Package metrics implements the two accuracy metrics of the paper's
+// evaluation (§6.1) plus distribution helpers: MAPE (how well the CF learner
+// predicts raw performance) and MDFO (how far the recommended configuration
+// is from the true optimum), with CDF/percentile utilities for the
+// Fig. 5b/Fig. 7 style plots.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// MAPE is the Mean Absolute Percentage Error Σ |r − r̂| / r over a set of
+// (true, predicted) pairs. Pairs with missing predictions or zero truth are
+// skipped.
+func MAPE(truth, pred []float64) float64 {
+	sum, n := 0.0, 0
+	for i := range truth {
+		t := truth[i]
+		if i >= len(pred) {
+			break
+		}
+		p := pred[i]
+		if math.IsNaN(t) || math.IsNaN(p) || t == 0 {
+			continue
+		}
+		sum += math.Abs(t-p) / math.Abs(t)
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// DFO is the Distance From Optimum of a chosen configuration for one
+// workload: |kpi(opt) − kpi(chosen)| / kpi(opt), computed on the true KPI
+// row. higherIsBetter selects the optimum's orientation.
+func DFO(kpiRow []float64, chosen int, higherIsBetter bool) float64 {
+	opt := OptimumIndex(kpiRow, higherIsBetter)
+	if opt < 0 || chosen < 0 || chosen >= len(kpiRow) || math.IsNaN(kpiRow[chosen]) {
+		return math.NaN()
+	}
+	o := kpiRow[opt]
+	if o == 0 {
+		return math.NaN()
+	}
+	return math.Abs(o-kpiRow[chosen]) / math.Abs(o)
+}
+
+// OptimumIndex returns the index of the best known KPI in the row.
+func OptimumIndex(kpiRow []float64, higherIsBetter bool) int {
+	best, idx := math.NaN(), -1
+	for i, v := range kpiRow {
+		if math.IsNaN(v) {
+			continue
+		}
+		if idx < 0 || (higherIsBetter && v > best) || (!higherIsBetter && v < best) {
+			best, idx = v, i
+		}
+	}
+	return idx
+}
+
+// Mean returns the arithmetic mean of the non-NaN values.
+func Mean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of the non-NaN
+// values using nearest-rank interpolation.
+func Percentile(xs []float64, p float64) float64 {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(clean)
+	if p <= 0 {
+		return clean[0]
+	}
+	if p >= 100 {
+		return clean[len(clean)-1]
+	}
+	rank := p / 100 * float64(len(clean)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return clean[lo]
+	}
+	frac := rank - float64(lo)
+	return clean[lo]*(1-frac) + clean[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // cumulative probability
+}
+
+// CDF returns the empirical CDF of the non-NaN values.
+func CDF(xs []float64) []CDFPoint {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	sort.Float64s(clean)
+	out := make([]CDFPoint, len(clean))
+	for i, v := range clean {
+		out[i] = CDFPoint{X: v, P: float64(i+1) / float64(len(clean))}
+	}
+	return out
+}

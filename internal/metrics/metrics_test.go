@@ -1,0 +1,83 @@
+package metrics_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+)
+
+func TestMAPE(t *testing.T) {
+	truth := []float64{100, 200, math.NaN(), 50}
+	pred := []float64{110, 180, 5, math.NaN()}
+	// |100-110|/100 = 0.1; |200-180|/200 = 0.1 → mean 0.1 (NaN pairs skipped)
+	if got := metrics.MAPE(truth, pred); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MAPE = %f, want 0.1", got)
+	}
+	if !math.IsNaN(metrics.MAPE(nil, nil)) {
+		t.Error("empty MAPE should be NaN")
+	}
+}
+
+func TestDFO(t *testing.T) {
+	row := []float64{10, 5, 20, 8}
+	// minimize: optimum 5 at index 1
+	if got := metrics.DFO(row, 1, false); got != 0 {
+		t.Errorf("DFO at optimum = %f", got)
+	}
+	if got := metrics.DFO(row, 0, false); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("DFO(10 vs 5) = %f, want 1.0", got)
+	}
+	// maximize: optimum 20 at index 2
+	if got := metrics.OptimumIndex(row, true); got != 2 {
+		t.Errorf("OptimumIndex max = %d, want 2", got)
+	}
+	if got := metrics.DFO(row, 3, true); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("DFO(8 vs 20) = %f, want 0.6", got)
+	}
+}
+
+func TestPercentileProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		p0 := metrics.Percentile(xs, 0)
+		p50 := metrics.Percentile(xs, 50)
+		p100 := metrics.Percentile(xs, 100)
+		return p0 <= p50 && p50 <= p100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	cdf := metrics.CDF([]float64{3, 1, 2, math.NaN(), 2})
+	if len(cdf) != 4 {
+		t.Fatalf("CDF length %d, want 4 (NaN dropped)", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X < cdf[i-1].X || cdf[i].P <= cdf[i-1].P {
+			t.Errorf("CDF not monotone at %d: %+v", i, cdf)
+		}
+	}
+	if cdf[len(cdf)-1].P != 1 {
+		t.Errorf("CDF must end at probability 1")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := metrics.Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %f", got)
+	}
+	if got := metrics.Median(xs); got != 2.5 {
+		t.Errorf("Median = %f", got)
+	}
+}

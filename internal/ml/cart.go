@@ -1,0 +1,174 @@
+// Package ml implements the machine-learning baselines ProteusTM is
+// compared against in Fig. 7 of the paper (the Wang et al. approach):
+// classifiers trained on workload-characterization features to predict the
+// best TM configuration directly — a CART decision tree, a linear SVM
+// trained with SMO (one-vs-one multi-class), and a multi-layer perceptron.
+// Hyper-parameters are tuned by random search with cross-validation, as in
+// §6.3 ("their parameters were chosen via random search optimization, which
+// evaluated 100 combinations with cross-validation on the training set").
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// Classifier predicts a class label (the index of the best configuration)
+// from a feature vector.
+type Classifier interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Fit trains on feature rows X with class labels y.
+	Fit(x [][]float64, y []int)
+	// Predict returns the class for one feature vector.
+	Predict(x []float64) int
+}
+
+// CART is a classification tree with Gini-impurity binary splits on numeric
+// features (the paper's "Decision Trees (CART)" baseline from Weka).
+type CART struct {
+	// MaxDepth bounds the tree depth (default 12).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 2).
+	MinLeaf int
+
+	root *cartNode
+}
+
+type cartNode struct {
+	feature   int
+	threshold float64
+	left      *cartNode
+	right     *cartNode
+	class     int
+	leaf      bool
+}
+
+// Name implements Classifier.
+func (c *CART) Name() string { return "CART" }
+
+// Fit implements Classifier.
+func (c *CART) Fit(x [][]float64, y []int) {
+	depth := c.MaxDepth
+	if depth <= 0 {
+		depth = 12
+	}
+	minLeaf := c.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	c.root = buildCART(x, y, idx, depth, minLeaf)
+}
+
+// Predict implements Classifier.
+func (c *CART) Predict(x []float64) int {
+	n := c.root
+	if n == nil {
+		return 0
+	}
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.class
+}
+
+func buildCART(x [][]float64, y []int, idx []int, depth, minLeaf int) *cartNode {
+	if len(idx) == 0 {
+		return &cartNode{leaf: true, class: 0}
+	}
+	maj, pure := majority(y, idx)
+	if pure || depth == 0 || len(idx) < 2*minLeaf {
+		return &cartNode{leaf: true, class: maj}
+	}
+	bestGini := math.Inf(1)
+	bestF, bestT := -1, 0.0
+	nFeatures := len(x[idx[0]])
+	vals := make([]float64, 0, len(idx))
+	for f := 0; f < nFeatures; f++ {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, x[i][f])
+		}
+		sort.Float64s(vals)
+		for k := 0; k+1 < len(vals); k++ {
+			if vals[k] == vals[k+1] {
+				continue
+			}
+			t := (vals[k] + vals[k+1]) / 2
+			g := splitGini(x, y, idx, f, t)
+			if g < bestGini {
+				bestGini, bestF, bestT = g, f, t
+			}
+		}
+	}
+	if bestF < 0 {
+		return &cartNode{leaf: true, class: maj}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if x[i][bestF] <= bestT {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) < minLeaf || len(ri) < minLeaf {
+		return &cartNode{leaf: true, class: maj}
+	}
+	return &cartNode{
+		feature:   bestF,
+		threshold: bestT,
+		left:      buildCART(x, y, li, depth-1, minLeaf),
+		right:     buildCART(x, y, ri, depth-1, minLeaf),
+	}
+}
+
+func majority(y []int, idx []int) (int, bool) {
+	counts := map[int]int{}
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	best, bestN := 0, -1
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best, len(counts) <= 1
+}
+
+func splitGini(x [][]float64, y []int, idx []int, f int, t float64) float64 {
+	lc := map[int]int{}
+	rc := map[int]int{}
+	ln, rn := 0, 0
+	for _, i := range idx {
+		if x[i][f] <= t {
+			lc[y[i]]++
+			ln++
+		} else {
+			rc[y[i]]++
+			rn++
+		}
+	}
+	gini := func(counts map[int]int, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		s := 1.0
+		for _, c := range counts {
+			p := float64(c) / float64(n)
+			s -= p * p
+		}
+		return s
+	}
+	tot := float64(ln + rn)
+	return float64(ln)/tot*gini(lc, ln) + float64(rn)/tot*gini(rc, rn)
+}

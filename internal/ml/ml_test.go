@@ -1,0 +1,88 @@
+package ml_test
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+)
+
+// xorish builds a simple 2-class dataset separable by x0 > 0.5 with a third
+// class in a corner, to exercise multi-class paths.
+func dataset() (x [][]float64, y []int) {
+	grid := []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}
+	for _, a := range grid {
+		for _, b := range grid {
+			x = append(x, []float64{a, b})
+			switch {
+			case a > 0.6 && b > 0.6:
+				y = append(y, 2)
+			case a > 0.5:
+				y = append(y, 1)
+			default:
+				y = append(y, 0)
+			}
+		}
+	}
+	return x, y
+}
+
+func accuracy(c ml.Classifier, x [][]float64, y []int) float64 {
+	correct := 0
+	for i := range x {
+		if c.Predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+func TestCARTSeparates(t *testing.T) {
+	x, y := dataset()
+	c := &ml.CART{MaxDepth: 8, MinLeaf: 1}
+	c.Fit(x, y)
+	if acc := accuracy(c, x, y); acc < 0.98 {
+		t.Errorf("CART training accuracy %.2f, want ≥0.98 on separable data", acc)
+	}
+}
+
+func TestSMOSeparates(t *testing.T) {
+	x, y := dataset()
+	c := &ml.SMO{C: 10, Seed: 5}
+	c.Fit(x, y)
+	if acc := accuracy(c, x, y); acc < 0.85 {
+		t.Errorf("SMO training accuracy %.2f, want ≥0.85 on near-separable data", acc)
+	}
+}
+
+func TestMLPSeparates(t *testing.T) {
+	x, y := dataset()
+	c := &ml.MLP{Hidden: 16, Epochs: 300, LR: 0.05, Seed: 9}
+	c.Fit(x, y)
+	if acc := accuracy(c, x, y); acc < 0.9 {
+		t.Errorf("MLP training accuracy %.2f, want ≥0.9", acc)
+	}
+}
+
+func TestTunePicksWorkingSpec(t *testing.T) {
+	x, y := dataset()
+	spec := ml.Tune(ml.CandidatesCART(), x, y, 3, 6, 42)
+	if spec.New == nil {
+		t.Fatal("no spec selected")
+	}
+	c := spec.New()
+	c.Fit(x, y)
+	if acc := accuracy(c, x, y); acc < 0.9 {
+		t.Errorf("tuned CART accuracy %.2f", acc)
+	}
+}
+
+func TestClassifiersHandleSingleClass(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	y := []int{7, 7, 7}
+	for _, c := range []ml.Classifier{&ml.CART{}, &ml.SMO{}, &ml.MLP{Epochs: 10}} {
+		c.Fit(x, y)
+		if got := c.Predict([]float64{2, 3}); got != 7 {
+			t.Errorf("%s: predicted %d on single-class data, want 7", c.Name(), got)
+		}
+	}
+}

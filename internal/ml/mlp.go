@@ -1,0 +1,169 @@
+package ml
+
+import "math"
+
+// MLP is a one-hidden-layer perceptron with tanh activations and a softmax
+// output over the classes present in training, trained by SGD with
+// cross-entropy loss — the "Artificial Neural Networks (MLP)" baseline.
+type MLP struct {
+	// Hidden is the hidden-layer width (default 16).
+	Hidden int
+	// Epochs is the number of SGD sweeps (default 200).
+	Epochs int
+	// LR is the learning rate (default 0.01).
+	LR float64
+	// Seed makes initialization deterministic.
+	Seed uint64
+
+	classes  []int
+	classIdx map[int]int
+	w1       [][]float64 // hidden × features
+	b1       []float64
+	w2       [][]float64 // classes × hidden
+	b2       []float64
+	mean     []float64
+	std      []float64
+}
+
+// Name implements Classifier.
+func (m *MLP) Name() string { return "MLP" }
+
+// Fit implements Classifier.
+func (m *MLP) Fit(x [][]float64, y []int) {
+	hidden := m.Hidden
+	if hidden <= 0 {
+		hidden = 16
+	}
+	epochs := m.Epochs
+	if epochs <= 0 {
+		epochs = 200
+	}
+	lr := m.LR
+	if lr == 0 {
+		lr = 0.01
+	}
+	m.mean, m.std = standardFit(x)
+	xs := standardApply(x, m.mean, m.std)
+
+	m.classIdx = map[int]int{}
+	m.classes = m.classes[:0]
+	for _, c := range y {
+		if _, ok := m.classIdx[c]; !ok {
+			m.classIdx[c] = len(m.classes)
+			m.classes = append(m.classes, c)
+		}
+	}
+	nc := len(m.classes)
+	nf := 0
+	if len(xs) > 0 {
+		nf = len(xs[0])
+	}
+	rng := m.Seed ^ 0xBF58476D1CE4E5B9
+	if rng == 0 {
+		rng = 1
+	}
+	randf := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return (float64(rng%2000)/1000 - 1) * 0.3
+	}
+	m.w1 = make([][]float64, hidden)
+	m.b1 = make([]float64, hidden)
+	for h := range m.w1 {
+		m.w1[h] = make([]float64, nf)
+		for f := range m.w1[h] {
+			m.w1[h][f] = randf()
+		}
+	}
+	m.w2 = make([][]float64, nc)
+	m.b2 = make([]float64, nc)
+	for c := range m.w2 {
+		m.w2[c] = make([]float64, hidden)
+		for h := range m.w2[c] {
+			m.w2[c][h] = randf()
+		}
+	}
+
+	hAct := make([]float64, hidden)
+	probs := make([]float64, nc)
+	for e := 0; e < epochs; e++ {
+		for i, row := range xs {
+			m.forward(row, hAct, probs)
+			target := m.classIdx[y[i]]
+			// Backprop: output layer gradient = probs − onehot.
+			for c := 0; c < nc; c++ {
+				grad := probs[c]
+				if c == target {
+					grad -= 1
+				}
+				for h := 0; h < hidden; h++ {
+					m.w2[c][h] -= lr * grad * hAct[h]
+				}
+				m.b2[c] -= lr * grad
+			}
+			for h := 0; h < hidden; h++ {
+				var up float64
+				for c := 0; c < nc; c++ {
+					grad := probs[c]
+					if c == target {
+						grad -= 1
+					}
+					up += grad * m.w2[c][h]
+				}
+				dh := up * (1 - hAct[h]*hAct[h]) // tanh'
+				for f := 0; f < nf; f++ {
+					m.w1[h][f] -= lr * dh * row[f]
+				}
+				m.b1[h] -= lr * dh
+			}
+		}
+	}
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(x []float64) int {
+	if len(m.classes) == 0 {
+		return 0
+	}
+	xs := standardRow(x, m.mean, m.std)
+	hAct := make([]float64, len(m.w1))
+	probs := make([]float64, len(m.classes))
+	m.forward(xs, hAct, probs)
+	best, bestP := 0, -1.0
+	for c, p := range probs {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return m.classes[best]
+}
+
+func (m *MLP) forward(x []float64, hAct, probs []float64) {
+	for h := range m.w1 {
+		s := m.b1[h]
+		for f, w := range m.w1[h] {
+			s += w * x[f]
+		}
+		hAct[h] = math.Tanh(s)
+	}
+	maxZ := math.Inf(-1)
+	for c := range m.w2 {
+		s := m.b2[c]
+		for h, w := range m.w2[c] {
+			s += w * hAct[h]
+		}
+		probs[c] = s
+		if s > maxZ {
+			maxZ = s
+		}
+	}
+	sum := 0.0
+	for c := range probs {
+		probs[c] = math.Exp(probs[c] - maxZ)
+		sum += probs[c]
+	}
+	for c := range probs {
+		probs[c] /= sum
+	}
+}

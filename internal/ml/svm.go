@@ -1,0 +1,270 @@
+package ml
+
+import "math"
+
+// SMO is a linear soft-margin SVM trained with a simplified Sequential
+// Minimal Optimization (Platt's algorithm), extended to multi-class with
+// one-vs-one voting — the structure of Weka's SMO used by the paper.
+type SMO struct {
+	// C is the soft-margin penalty (default 1).
+	C float64
+	// Tol is the KKT violation tolerance (default 1e-3).
+	Tol float64
+	// MaxPasses bounds the optimization passes without progress
+	// (default 5).
+	MaxPasses int
+	// Seed drives the second-multiplier choice.
+	Seed uint64
+
+	machines []binarySVM
+	classes  []int
+	// feature standardization learned on the training set
+	mean, std []float64
+}
+
+type binarySVM struct {
+	a, b int // class pair
+	w    []float64
+	bias float64
+}
+
+// Name implements Classifier.
+func (s *SMO) Name() string { return "SMO" }
+
+// Fit implements Classifier: train one binary SVM per pair of classes
+// present in the training labels.
+func (s *SMO) Fit(x [][]float64, y []int) {
+	s.mean, s.std = standardFit(x)
+	xs := standardApply(x, s.mean, s.std)
+
+	present := map[int][]int{}
+	for i, c := range y {
+		present[c] = append(present[c], i)
+	}
+	s.classes = s.classes[:0]
+	for c := range present {
+		s.classes = append(s.classes, c)
+	}
+	sortInts(s.classes)
+	s.machines = s.machines[:0]
+	for i := 0; i < len(s.classes); i++ {
+		for j := i + 1; j < len(s.classes); j++ {
+			ca, cb := s.classes[i], s.classes[j]
+			var px [][]float64
+			var py []float64
+			for _, r := range present[ca] {
+				px = append(px, xs[r])
+				py = append(py, 1)
+			}
+			for _, r := range present[cb] {
+				px = append(px, xs[r])
+				py = append(py, -1)
+			}
+			w, b := s.trainBinary(px, py)
+			s.machines = append(s.machines, binarySVM{a: ca, b: cb, w: w, bias: b})
+		}
+	}
+}
+
+// Predict implements Classifier: one-vs-one majority vote.
+func (s *SMO) Predict(x []float64) int {
+	if len(s.machines) == 0 {
+		if len(s.classes) > 0 {
+			return s.classes[0]
+		}
+		return 0
+	}
+	xs := standardRow(x, s.mean, s.std)
+	votes := map[int]int{}
+	for _, m := range s.machines {
+		score := m.bias
+		for f := range m.w {
+			score += m.w[f] * xs[f]
+		}
+		if score >= 0 {
+			votes[m.a]++
+		} else {
+			votes[m.b]++
+		}
+	}
+	best, bestV := s.classes[0], -1
+	for _, c := range s.classes {
+		if votes[c] > bestV {
+			best, bestV = c, votes[c]
+		}
+	}
+	return best
+}
+
+// trainBinary runs simplified SMO on (+1/-1)-labeled rows, returning the
+// primal weight vector and bias of a linear SVM.
+func (s *SMO) trainBinary(x [][]float64, y []float64) ([]float64, float64) {
+	n := len(x)
+	if n == 0 {
+		return nil, 0
+	}
+	c := s.C
+	if c == 0 {
+		c = 1
+	}
+	tol := s.Tol
+	if tol == 0 {
+		tol = 1e-3
+	}
+	maxPasses := s.MaxPasses
+	if maxPasses == 0 {
+		maxPasses = 5
+	}
+	alpha := make([]float64, n)
+	b := 0.0
+	rng := s.Seed ^ 0x9E3779B97F4A7C15
+	if rng == 0 {
+		rng = 1
+	}
+	dot := func(a, bb []float64) float64 {
+		s := 0.0
+		for i := range a {
+			s += a[i] * bb[i]
+		}
+		return s
+	}
+	f := func(xi []float64) float64 {
+		s := b
+		for k := 0; k < n; k++ {
+			if alpha[k] != 0 {
+				s += alpha[k] * y[k] * dot(x[k], xi)
+			}
+		}
+		return s
+	}
+	passes := 0
+	for passes < maxPasses {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(x[i]) - y[i]
+			if (y[i]*ei < -tol && alpha[i] < c) || (y[i]*ei > tol && alpha[i] > 0) {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				j := int(rng % uint64(n))
+				if j == i {
+					j = (j + 1) % n
+				}
+				ej := f(x[j]) - y[j]
+				aiOld, ajOld := alpha[i], alpha[j]
+				var lo, hi float64
+				if y[i] != y[j] {
+					lo = math.Max(0, ajOld-aiOld)
+					hi = math.Min(c, c+ajOld-aiOld)
+				} else {
+					lo = math.Max(0, aiOld+ajOld-c)
+					hi = math.Min(c, aiOld+ajOld)
+				}
+				if lo == hi {
+					continue
+				}
+				eta := 2*dot(x[i], x[j]) - dot(x[i], x[i]) - dot(x[j], x[j])
+				if eta >= 0 {
+					continue
+				}
+				alpha[j] = ajOld - y[j]*(ei-ej)/eta
+				if alpha[j] > hi {
+					alpha[j] = hi
+				}
+				if alpha[j] < lo {
+					alpha[j] = lo
+				}
+				if math.Abs(alpha[j]-ajOld) < 1e-5 {
+					continue
+				}
+				alpha[i] = aiOld + y[i]*y[j]*(ajOld-alpha[j])
+				b1 := b - ei - y[i]*(alpha[i]-aiOld)*dot(x[i], x[i]) - y[j]*(alpha[j]-ajOld)*dot(x[i], x[j])
+				b2 := b - ej - y[i]*(alpha[i]-aiOld)*dot(x[i], x[j]) - y[j]*(alpha[j]-ajOld)*dot(x[j], x[j])
+				switch {
+				case alpha[i] > 0 && alpha[i] < c:
+					b = b1
+				case alpha[j] > 0 && alpha[j] < c:
+					b = b2
+				default:
+					b = (b1 + b2) / 2
+				}
+				changed++
+			}
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+	// Primal weights of the linear machine.
+	w := make([]float64, len(x[0]))
+	for k := 0; k < n; k++ {
+		if alpha[k] != 0 {
+			for fidx := range w {
+				w[fidx] += alpha[k] * y[k] * x[k][fidx]
+			}
+		}
+	}
+	return w, b
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// --- feature standardization -------------------------------------------------
+
+func standardFit(x [][]float64) (mean, std []float64) {
+	if len(x) == 0 {
+		return nil, nil
+	}
+	nf := len(x[0])
+	mean = make([]float64, nf)
+	std = make([]float64, nf)
+	for _, row := range x {
+		for f, v := range row {
+			mean[f] += v
+		}
+	}
+	for f := range mean {
+		mean[f] /= float64(len(x))
+	}
+	for _, row := range x {
+		for f, v := range row {
+			d := v - mean[f]
+			std[f] += d * d
+		}
+	}
+	for f := range std {
+		std[f] = math.Sqrt(std[f] / float64(len(x)))
+		if std[f] == 0 {
+			std[f] = 1
+		}
+	}
+	return mean, std
+}
+
+func standardApply(x [][]float64, mean, std []float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = standardRow(row, mean, std)
+	}
+	return out
+}
+
+func standardRow(row, mean, std []float64) []float64 {
+	out := make([]float64, len(row))
+	for f, v := range row {
+		if f < len(mean) {
+			out[f] = (v - mean[f]) / std[f]
+		} else {
+			out[f] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package ml
+
+// TuneSpec is one hyper-parameter combination for random search.
+type TuneSpec struct {
+	// Name labels the algorithm family ("CART", "SMO", "MLP").
+	Name string
+	// New constructs the configured classifier.
+	New func() Classifier
+}
+
+// CandidatesCART enumerates the CART hyper-parameter grid.
+func CandidatesCART() []TuneSpec {
+	var out []TuneSpec
+	for _, depth := range []int{4, 8, 12, 16} {
+		for _, leaf := range []int{1, 2, 4} {
+			depth, leaf := depth, leaf
+			out = append(out, TuneSpec{Name: "CART", New: func() Classifier {
+				return &CART{MaxDepth: depth, MinLeaf: leaf}
+			}})
+		}
+	}
+	return out
+}
+
+// CandidatesSMO enumerates the SVM hyper-parameter grid.
+func CandidatesSMO() []TuneSpec {
+	var out []TuneSpec
+	for _, c := range []float64{0.1, 1, 10} {
+		for _, passes := range []int{3, 5} {
+			c, passes := c, passes
+			out = append(out, TuneSpec{Name: "SMO", New: func() Classifier {
+				return &SMO{C: c, MaxPasses: passes, Seed: 17}
+			}})
+		}
+	}
+	return out
+}
+
+// CandidatesMLP enumerates the MLP hyper-parameter grid.
+func CandidatesMLP() []TuneSpec {
+	var out []TuneSpec
+	for _, hidden := range []int{8, 16, 32} {
+		for _, lr := range []float64{0.003, 0.01, 0.03} {
+			for _, ep := range []int{100, 200} {
+				hidden, lr, ep := hidden, lr, ep
+				out = append(out, TuneSpec{Name: "MLP", New: func() Classifier {
+					return &MLP{Hidden: hidden, LR: lr, Epochs: ep, Seed: 23}
+				}})
+			}
+		}
+	}
+	return out
+}
+
+// Tune random-searches up to budget specs with k-fold cross-validation on
+// (x, y), returning the constructor of the best-scoring spec (§6.3's "random
+// search optimization ... with cross-validation on the training set").
+func Tune(specs []TuneSpec, x [][]float64, y []int, folds, budget int, seed uint64) TuneSpec {
+	if folds < 2 {
+		folds = 3
+	}
+	if folds > len(x) {
+		folds = len(x)
+	}
+	rng := seed ^ 0x9E3779B97F4A7C15
+	if rng == 0 {
+		rng = 1
+	}
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	order := make([]int, len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	for i := len(order) - 1; i > 0; i-- {
+		j := next(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	if budget <= 0 || budget > len(order) {
+		budget = len(order)
+	}
+
+	perm := make([]int, len(x))
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := next(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+
+	best := specs[order[0]]
+	bestAcc := -1.0
+	for _, oi := range order[:budget] {
+		spec := specs[oi]
+		correct, total := 0, 0
+		for f := 0; f < folds; f++ {
+			lo, hi := f*len(x)/folds, (f+1)*len(x)/folds
+			var trX [][]float64
+			var trY []int
+			for i, p := range perm {
+				if i < lo || i >= hi {
+					trX = append(trX, x[p])
+					trY = append(trY, y[p])
+				}
+			}
+			if len(trX) == 0 {
+				continue
+			}
+			clf := spec.New()
+			clf.Fit(trX, trY)
+			for _, p := range perm[lo:hi] {
+				if clf.Predict(x[p]) == y[p] {
+					correct++
+				}
+				total++
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		acc := float64(correct) / float64(total)
+		if acc > bestAcc {
+			bestAcc, best = acc, spec
+		}
+	}
+	return best
+}

@@ -1,0 +1,111 @@
+// Package monitor implements RecTM's Monitor (§5.3): lightweight detection
+// of workload and environment behaviour changes from the stream of KPI
+// samples, using the Adaptive CUSUM algorithm. A detected change triggers a
+// fresh optimization phase in the Controller.
+package monitor
+
+import "math"
+
+// CUSUM is an adaptive two-sided cumulative-sum change detector. The
+// reference mean and deviation scale are tracked with exponentially weighted
+// moving averages, so both the drift allowance K and the alarm threshold H
+// adapt to the signal's recent behaviour — detecting abrupt jumps as well as
+// smooth drifts, as §5.3 requires, without per-workload tuning.
+type CUSUM struct {
+	// Alpha is the EWMA weight for the running mean/deviation (default
+	// 0.1: roughly a 10-sample memory).
+	Alpha float64
+	// K is the drift allowance in deviation units (default 1).
+	K float64
+	// H is the alarm threshold in deviation units (default 10).
+	H float64
+	// Warmup is the number of samples consumed before alarms may fire
+	// (default 5).
+	Warmup int
+
+	mean   float64
+	dev    float64
+	sPos   float64
+	sNeg   float64
+	n      int
+	alarms int
+}
+
+// NewCUSUM returns a detector with the default parameters.
+func NewCUSUM() *CUSUM {
+	return &CUSUM{Alpha: 0.1, K: 1, H: 10, Warmup: 5}
+}
+
+// Observe consumes one KPI sample and reports whether a behaviour change was
+// detected at this sample. After an alarm the detector re-anchors on the new
+// level.
+func (c *CUSUM) Observe(x float64) bool {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return false
+	}
+	alpha := c.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.1
+	}
+	k := c.K
+	if k <= 0 {
+		k = 1
+	}
+	h := c.H
+	if h <= 0 {
+		h = 10
+	}
+	warm := c.Warmup
+	if warm <= 0 {
+		warm = 5
+	}
+
+	c.n++
+	if c.n == 1 {
+		c.mean = x
+		c.dev = math.Abs(x) * 0.05
+		return false
+	}
+	dev := c.dev
+	if dev <= 0 {
+		dev = math.Max(math.Abs(c.mean)*0.01, 1e-12)
+	}
+	kUnit := k * dev
+	c.sPos = math.Max(0, c.sPos+(x-c.mean)-kUnit)
+	c.sNeg = math.Max(0, c.sNeg-(x-c.mean)-kUnit)
+
+	alarm := c.n > warm && (c.sPos > h*dev || c.sNeg > h*dev)
+
+	// Adapt the reference level and deviation scale — but freeze the
+	// adaptation while a change is suspected (either statistic past half
+	// the threshold); otherwise a level shift inflates the deviation
+	// estimate and the alarm threshold chases the drifting signal.
+	suspected := c.sPos > h*dev/2 || c.sNeg > h*dev/2
+	if !suspected {
+		c.mean = (1-alpha)*c.mean + alpha*x
+		c.dev = (1-alpha)*c.dev + alpha*math.Abs(x-c.mean)
+	}
+
+	if alarm {
+		c.Reset(x)
+		c.alarms++
+		return true
+	}
+	return false
+}
+
+// Reset re-anchors the detector on a new reference level (called after an
+// alarm or after the Controller installs a new configuration, whose KPI
+// level is expected to differ).
+func (c *CUSUM) Reset(level float64) {
+	c.mean = level
+	c.dev = math.Abs(level) * 0.05
+	c.sPos, c.sNeg = 0, 0
+	c.n = 1
+}
+
+// Alarms returns the number of changes detected so far.
+func (c *CUSUM) Alarms() int { return c.alarms }
+
+// Mean returns the current reference level estimate.
+func (c *CUSUM) Mean() float64 { return c.mean }

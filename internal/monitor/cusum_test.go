@@ -1,0 +1,111 @@
+package monitor_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/monitor"
+)
+
+// feed pushes a constant-plus-noise signal and returns whether any alarm
+// fired.
+func feed(c *monitor.CUSUM, level float64, n int, seed *uint64) bool {
+	alarm := false
+	for i := 0; i < n; i++ {
+		*seed = *seed*6364136223846793005 + 1442695040888963407
+		noise := float64(int64(*seed>>40)%100)/100*0.04 - 0.02 // ±2 %
+		if c.Observe(level * (1 + noise)) {
+			alarm = true
+		}
+	}
+	return alarm
+}
+
+// TestNoFalseAlarmsOnStableSignal: a stationary noisy signal must not
+// trigger.
+func TestNoFalseAlarmsOnStableSignal(t *testing.T) {
+	c := monitor.NewCUSUM()
+	seed := uint64(42)
+	if feed(c, 1000, 500, &seed) {
+		t.Error("false alarm on stable signal")
+	}
+}
+
+// TestDetectsAbruptDrop: a 40 % throughput drop must alarm quickly.
+func TestDetectsAbruptDrop(t *testing.T) {
+	c := monitor.NewCUSUM()
+	seed := uint64(7)
+	feed(c, 1000, 100, &seed)
+	alarmAt := -1
+	for i := 0; i < 50; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		noise := float64(int64(seed>>40)%100)/100*0.04 - 0.02
+		if c.Observe(600 * (1 + noise)) {
+			alarmAt = i
+			break
+		}
+	}
+	if alarmAt < 0 {
+		t.Fatal("abrupt 40% drop never detected")
+	}
+	if alarmAt > 20 {
+		t.Errorf("detection took %d samples; want prompt detection", alarmAt)
+	}
+}
+
+// TestDetectsAbruptRise: improvement is also a behaviour change (the
+// optimum may have moved).
+func TestDetectsAbruptRise(t *testing.T) {
+	c := monitor.NewCUSUM()
+	seed := uint64(9)
+	feed(c, 1000, 100, &seed)
+	if !feed(c, 1700, 50, &seed) {
+		t.Error("abrupt 70% rise never detected")
+	}
+}
+
+// TestDetectsSmoothDrift: a slow drift must eventually alarm (adaptive
+// CUSUM's selling point vs simple thresholding).
+func TestDetectsSmoothDrift(t *testing.T) {
+	c := monitor.NewCUSUM()
+	seed := uint64(11)
+	feed(c, 1000, 100, &seed)
+	level := 1000.0
+	alarmed := false
+	for i := 0; i < 300; i++ {
+		level *= 0.997 // −0.3 % per sample
+		seed = seed*6364136223846793005 + 1442695040888963407
+		noise := float64(int64(seed>>40)%100)/100*0.04 - 0.02
+		if c.Observe(level * (1 + noise)) {
+			alarmed = true
+			break
+		}
+	}
+	if !alarmed {
+		t.Error("smooth drift to 40% of original level never detected")
+	}
+}
+
+// TestResetReanchors: after Reset, the detector accepts the new level.
+func TestResetReanchors(t *testing.T) {
+	c := monitor.NewCUSUM()
+	seed := uint64(13)
+	feed(c, 1000, 100, &seed)
+	c.Reset(500)
+	if feed(c, 500, 200, &seed) {
+		t.Error("false alarm after Reset onto the new level")
+	}
+	if c.Alarms() != 0 {
+		t.Errorf("alarms = %d, want 0", c.Alarms())
+	}
+}
+
+// TestIgnoresNonFinite: NaN/Inf samples must be ignored.
+func TestIgnoresNonFinite(t *testing.T) {
+	c := monitor.NewCUSUM()
+	seed := uint64(17)
+	feed(c, 100, 50, &seed)
+	if c.Observe(math.NaN()) {
+		t.Error("alarm on NaN")
+	}
+}

@@ -1,0 +1,179 @@
+package perfmodel_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/htm"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+)
+
+func gen(m machine.Profile) *perfmodel.Generator {
+	return &perfmodel.Generator{Machine: m, Seed: 99}
+}
+
+// TestDeterminism: the model must be reproducible (experiments depend on
+// stable ground truth).
+func TestDeterminism(t *testing.T) {
+	g := gen(machine.A())
+	ws := g.Workloads(20)
+	cfg := config.Config{Alg: config.TL2, Threads: 4}
+	for _, w := range ws {
+		a := g.KPI(w, cfg, perfmodel.Throughput)
+		b := g.KPI(w, cfg, perfmodel.Throughput)
+		if a != b {
+			t.Fatalf("KPI not deterministic: %f vs %f", a, b)
+		}
+	}
+}
+
+// TestKPIRelationships: exec time must be inverse to throughput up to the
+// batch constant; EDP must be positive.
+func TestKPIRelationships(t *testing.T) {
+	g := gen(machine.A())
+	w := g.Workloads(6)[3]
+	for _, cfg := range g.Machine.Configs()[:10] {
+		x := g.KPI(w, cfg, perfmodel.Throughput)
+		tt := g.KPI(w, cfg, perfmodel.ExecTime)
+		edp := g.KPI(w, cfg, perfmodel.EDP)
+		if x <= 0 || tt <= 0 || edp <= 0 {
+			t.Fatalf("non-positive KPI: %f %f %f", x, tt, edp)
+		}
+		// Same noise draw applies to both, so the product is constant.
+		if math.Abs(x*tt-1e6)/1e6 > 0.15 {
+			t.Errorf("throughput × exec-time = %f, want ≈1e6", x*tt)
+		}
+	}
+}
+
+// TestLabyrinthLikeAvoidsHTM: a workload that never fits HTM capacity must
+// rank HTM poorly.
+func TestLabyrinthLikeAvoidsHTM(t *testing.T) {
+	g := gen(machine.A())
+	var w perfmodel.Workload
+	found := false
+	for _, cand := range g.Workloads(60) {
+		if cand.Archetype == perfmodel.LongWriteHeavy && cand.HTMFit < 0.05 {
+			w, found = cand, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no suitable workload sampled")
+	}
+	cfgs := g.Machine.Configs()
+	row := make([]float64, len(cfgs))
+	for i, c := range cfgs {
+		row[i] = g.KPI(w, c, perfmodel.Throughput)
+	}
+	best := metrics.OptimumIndex(row, true)
+	if cfgs[best].Alg == config.HTM {
+		t.Errorf("HTM optimal for a capacity-overflowing workload: %v", cfgs[best])
+	}
+}
+
+// TestShortTxLikesHTM: a short-transaction scalable workload should rank an
+// HTM configuration at or near the top on Machine A.
+func TestShortTxLikesHTM(t *testing.T) {
+	g := gen(machine.A())
+	cfgs := g.Machine.Configs()
+	countTop := 0
+	total := 0
+	for _, w := range g.Workloads(120) {
+		if w.Archetype != perfmodel.ShortTxScalable {
+			continue
+		}
+		total++
+		row := make([]float64, len(cfgs))
+		for i, c := range cfgs {
+			row[i] = g.KPI(w, c, perfmodel.Throughput)
+		}
+		if cfgs[metrics.OptimumIndex(row, true)].Alg == config.HTM {
+			countTop++
+		}
+	}
+	if total == 0 {
+		t.Skip("no short-scalable workloads")
+	}
+	if countTop == 0 {
+		t.Errorf("HTM never optimal for short scalable workloads (0/%d)", total)
+	}
+}
+
+// TestNUMAPenaltyOnB: a memory-bound workload on Machine B should prefer a
+// thread count at or below one socket over the full 48 threads.
+func TestNUMAPenaltyOnB(t *testing.T) {
+	g := gen(machine.B())
+	for _, w := range g.Workloads(60) {
+		if w.MemBound < 0.6 || w.Archetype != perfmodel.LongWriteHeavy {
+			continue
+		}
+		low := g.KPI(w, config.Config{Alg: config.TinySTM, Threads: 8}, perfmodel.Throughput)
+		high := g.KPI(w, config.Config{Alg: config.TinySTM, Threads: 48}, perfmodel.Throughput)
+		if high > low*1.5 {
+			t.Errorf("48t (%f) ≫ 8t (%f) for a NUMA-averse contended workload", high, low)
+		}
+		return
+	}
+	t.Skip("no suitable workload sampled")
+}
+
+// TestCapacityPolicyMatters: for a partially fitting workload, the GiveUp
+// and Decrease policies must produce different KPIs (the dimension the
+// paper tunes in Fig. 8's RBT/Memcached rows).
+func TestCapacityPolicyMatters(t *testing.T) {
+	g := gen(machine.A())
+	for _, w := range g.Workloads(120) {
+		if w.HTMFit < 0.2 || w.HTMFit > 0.8 {
+			continue
+		}
+		a := g.KPI(w, config.Config{Alg: config.HTM, Threads: 4, Budget: 16, Policy: htm.PolicyGiveUp}, perfmodel.Throughput)
+		b := g.KPI(w, config.Config{Alg: config.HTM, Threads: 4, Budget: 16, Policy: htm.PolicyDecrease}, perfmodel.Throughput)
+		if math.Abs(a-b)/math.Max(a, b) < 0.01 {
+			t.Errorf("capacity policy has no effect: giveup=%f decrease=%f", a, b)
+		}
+		return
+	}
+	t.Skip("no partially fitting workload sampled")
+}
+
+// TestFeatureVectorShape: the ML feature vector must have 17 entries and be
+// finite.
+func TestFeatureVectorShape(t *testing.T) {
+	g := gen(machine.A())
+	for _, w := range g.Workloads(12) {
+		f := w.Features()
+		if len(f) != 17 {
+			t.Fatalf("features = %d, want 17", len(f))
+		}
+		for i, v := range f {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("feature %d not finite: %f", i, v)
+			}
+		}
+	}
+}
+
+// TestScaleHeterogeneity: workload KPI scales must span orders of magnitude
+// (the property that motivates rating distillation).
+func TestScaleHeterogeneity(t *testing.T) {
+	g := gen(machine.A())
+	ws := g.Workloads(120)
+	cfg := config.Config{Alg: config.TinySTM, Threads: 4}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, w := range ws {
+		x := g.KPI(w, cfg, perfmodel.Throughput)
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if max/min < 100 {
+		t.Errorf("KPI scale spread %f×; want ≥100× across workloads", max/min)
+	}
+}

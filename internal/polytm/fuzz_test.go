@@ -1,0 +1,111 @@
+package polytm_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/htm"
+	"repro/internal/polytm"
+	"repro/internal/tm"
+)
+
+// TestReconfigureFuzz property-tests the reconfiguration protocol: any
+// random sequence of configurations applied while workers hammer counters
+// must preserve the counter total and leave the pool in the last requested
+// configuration.
+func TestReconfigureFuzz(t *testing.T) {
+	f := func(seq []uint16) bool {
+		const workers = 6
+		p := polytm.New(1<<12, workers, config.Config{Alg: config.TL2, Threads: workers, Budget: 4})
+		base := p.Heap().MustAlloc(16)
+		var done atomic.Bool
+		var committed atomic.Uint64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				c := p.Ctx(id)
+				for !done.Load() {
+					slot := tm.Addr(c.Rand() % 16)
+					p.Atomic(id, func(tx tm.Txn) {
+						tx.Store(base+slot, tx.Load(base+slot)+1)
+					})
+					committed.Add(1)
+				}
+			}(w)
+		}
+		var last config.Config
+		applied := false
+		for _, raw := range seq {
+			cfg := config.Config{
+				Alg:     config.AlgID(raw % uint16(config.NumAlgs)),
+				Threads: int(raw>>3)%workers + 1,
+				Budget:  int(raw>>6)%8 + 1,
+				Policy:  htm.CapacityPolicy(raw % 3),
+			}
+			if err := p.Reconfigure(cfg); err != nil {
+				t.Errorf("Reconfigure(%v): %v", cfg, err)
+				break
+			}
+			last, applied = cfg, true
+		}
+		// Reopen everyone so workers can observe done.
+		final := config.Config{Alg: config.TL2, Threads: workers}
+		if err := p.Reconfigure(final); err != nil {
+			t.Fatal(err)
+		}
+		done.Store(true)
+		wg.Wait()
+		if applied && p.Config() != final {
+			t.Errorf("final config %v, want %v (last requested %v)", p.Config(), final, last)
+		}
+		var total uint64
+		for i := 0; i < 16; i++ {
+			total += p.Heap().LoadWord(base + tm.Addr(i))
+		}
+		return total == committed.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGateReentryAfterManyCycles stresses repeated block/unblock cycles of
+// a single slot (the fetch-and-add state must never drift).
+func TestGateReentryAfterManyCycles(t *testing.T) {
+	p := polytm.New(1<<10, 2, config.Config{Alg: config.NOrec, Threads: 2})
+	a := p.Heap().MustAlloc(1)
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !done.Load() {
+			p.Atomic(1, func(tx tm.Txn) {
+				tx.Store(a, tx.Load(a)+1)
+			})
+		}
+	}()
+	// Wait for the worker's first commit so progress is attributable to
+	// surviving the gate cycles, then churn the gate.
+	for p.Heap().LoadWord(a) == 0 {
+	}
+	for i := 0; i < 300; i++ {
+		threads := 1 + i%2
+		if err := p.Reconfigure(config.Config{Alg: config.NOrec, Threads: threads}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Reconfigure(config.Config{Alg: config.NOrec, Threads: 2}); err != nil {
+		t.Fatal(err)
+	}
+	done.Store(true)
+	wg.Wait()
+	if p.Heap().LoadWord(a) == 0 {
+		t.Error("worker made no progress across gate cycles")
+	}
+}

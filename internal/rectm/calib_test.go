@@ -1,0 +1,72 @@
+package rectm_test
+
+import (
+	"testing"
+
+	"repro/internal/cf"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/rectm"
+)
+
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration")
+	}
+	gen := &perfmodel.Generator{Machine: machine.A(), Seed: 12345}
+	ws := gen.Workloads(300)
+	cfgs := gen.Machine.Configs()
+	truth := gen.Matrix(ws, cfgs, perfmodel.ExecTime)
+	train, test := splitRows(truth, 0.3)
+	t.Logf("train=%d test=%d cols=%d", train.Rows, test.Rows, truth.Cols)
+
+	for _, nKnown := range []int{2, 3, 5, 10, 20} {
+		for _, normName := range []string{"distill", "none", "max", "rc", "ideal"} {
+			var norm cf.Normalizer
+			switch normName {
+			case "distill":
+				norm = &cf.Distiller{}
+			case "none":
+				norm = cf.NoNorm{}
+			case "max":
+				norm = &cf.MaxNorm{}
+			case "rc":
+				norm = &cf.RCNorm{}
+			case "ideal":
+				norm = cf.NewIdealNorm(cf.GoodnessMatrix(truth, false))
+			}
+			rec, err := rectm.Train(train, false, rectm.Options{
+				Normalizer: norm,
+				Predictor:  func() cf.Predictor { return &cf.KNN{K: 10, Sim: cf.Cosine} },
+				Learners:   10,
+				Seed:       7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dfos, mapes []float64
+			rng := uint64(99)
+			for u := 0; u < test.Rows; u++ {
+				row := make([]float64, test.Cols)
+				for i := range row {
+					row[i] = cf.Missing
+				}
+				seen := 0
+				for seen < nKnown {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					i := int(rng>>33) % test.Cols
+					if cf.IsMissing(row[i]) {
+						row[i] = test.Data[u][i]
+						seen++
+					}
+				}
+				pred := rec.PredictKPI(row)
+				chosen := metrics.OptimumIndex(pred, false)
+				dfos = append(dfos, metrics.DFO(test.Data[u], chosen, false))
+				mapes = append(mapes, metrics.MAPE(test.Data[u], pred))
+			}
+			t.Logf("nKnown=%2d norm=%-8s MAPE=%.3f MDFO=%.4f", nKnown, normName, metrics.Mean(mapes), metrics.Mean(dfos))
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package smbo_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/smbo"
+)
+
+// constModel returns fixed means/variances.
+type constModel struct {
+	mean, variance []float64
+}
+
+func (m constModel) PredictDist(active []float64) ([]float64, []float64) {
+	return m.mean, m.variance
+}
+
+// TestExpectedImprovementProperties checks the closed-form EI: zero when the
+// mean is far below the incumbent with no uncertainty, positive with
+// uncertainty, monotone in the mean.
+func TestExpectedImprovementProperties(t *testing.T) {
+	if ei := smbo.ExpectedImprovement(0, 0, 1); ei != 0 {
+		t.Errorf("EI with mean<best, sigma=0: got %f, want 0", ei)
+	}
+	if ei := smbo.ExpectedImprovement(2, 0, 1); ei != 1 {
+		t.Errorf("EI with mean>best, sigma=0: got %f, want mean-best=1", ei)
+	}
+	if ei := smbo.ExpectedImprovement(0, 1, 1); ei <= 0 {
+		t.Errorf("EI with uncertainty must be positive, got %f", ei)
+	}
+	f := func(a, b uint8) bool {
+		mu1 := float64(a) / 16
+		mu2 := mu1 + float64(b)/16 + 0.01
+		return smbo.ExpectedImprovement(mu2, 1, 2) >= smbo.ExpectedImprovement(mu1, 1, 2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimizeFindsMaximum: with a perfect surrogate, EI must find the best
+// column in far fewer samples than the column count.
+func TestOptimizeFindsMaximum(t *testing.T) {
+	truth := []float64{1, 3, 2, 9, 4, 5, 0.5, 8, 7, 6, 2.5, 3.5}
+	variance := make([]float64, len(truth))
+	for i := range variance {
+		variance[i] = 0.25
+	}
+	model := constModel{mean: truth, variance: variance}
+	active := make([]float64, len(truth))
+	for i := range active {
+		active[i] = math.NaN()
+	}
+	active[0] = truth[0]
+	samples := 0
+	res := smbo.Optimize(model, active, func(i int) float64 {
+		samples++
+		return truth[i]
+	}, smbo.Options{Policy: smbo.EI, Stop: smbo.StopNone, MaxExplorations: 3})
+	if res.Best != 3 {
+		t.Errorf("best = %d (rating %f), want 3", res.Best, res.BestRating)
+	}
+	if samples > 4 {
+		t.Errorf("used %d samples; EI should find the max almost immediately", samples)
+	}
+}
+
+// TestPoliciesDiffer: Greedy goes straight to the top predicted mean;
+// Variance goes to the most uncertain column.
+func TestPoliciesDiffer(t *testing.T) {
+	mean := []float64{1, 5, 2}
+	variance := []float64{0.01, 0.01, 4}
+	row := []float64{2, math.NaN(), math.NaN()}
+	rng := uint64(9)
+	next, _ := smbo.PickNext(row, mean, variance, 2, smbo.Greedy, &rng)
+	if next != 1 {
+		t.Errorf("Greedy picked %d, want 1 (highest mean)", next)
+	}
+	next, _ = smbo.PickNext(row, mean, variance, 2, smbo.Variance, &rng)
+	if next != 2 {
+		t.Errorf("Variance picked %d, want 2 (highest uncertainty)", next)
+	}
+}
+
+// TestStopRules: Naive stops as soon as EI is marginal; Cautious requires
+// the decreasing-EI history and a stalled improvement too.
+func TestStopRules(t *testing.T) {
+	inf := math.Inf(1)
+	// Naive: relative EI below epsilon → stop, regardless of history.
+	if !smbo.ShouldStop(smbo.StopNaive, 0.05, 10, 0.4, inf, inf, inf) {
+		t.Error("Naive should stop when EI/incumbent < eps")
+	}
+	if smbo.ShouldStop(smbo.StopNaive, 0.05, 10, 0.6, inf, inf, inf) {
+		t.Error("Naive should continue when EI/incumbent >= eps")
+	}
+	// Cautious: same marginal EI but fresh history → continue.
+	if smbo.ShouldStop(smbo.StopCautious, 0.05, 10, 0.4, inf, inf, inf) {
+		t.Error("Cautious must not stop without a decreasing-EI history")
+	}
+	// Cautious: decreasing EI + marginal + stalled → stop.
+	if !smbo.ShouldStop(smbo.StopCautious, 0.05, 10, 0.3, 0.5, 0.9, 0.0) {
+		t.Error("Cautious should stop when all three conditions hold")
+	}
+	// Cautious: recent improvement keeps it going.
+	if smbo.ShouldStop(smbo.StopCautious, 0.05, 10, 0.3, 0.5, 0.9, 0.2) {
+		t.Error("Cautious must not stop right after a real improvement")
+	}
+}
+
+// TestRandomPolicyCoverage: the Random policy eventually samples everything.
+func TestRandomPolicyCoverage(t *testing.T) {
+	n := 10
+	truth := make([]float64, n)
+	for i := range truth {
+		truth[i] = float64(i)
+	}
+	model := constModel{mean: make([]float64, n), variance: make([]float64, n)}
+	active := make([]float64, n)
+	for i := range active {
+		active[i] = math.NaN()
+	}
+	seen := map[int]bool{}
+	smbo.Optimize(model, active, func(i int) float64 {
+		seen[i] = true
+		return truth[i]
+	}, smbo.Options{Policy: smbo.Random, Stop: smbo.StopNone, MaxExplorations: n, Seed: 4, NoFinalCheck: true})
+	if len(seen) != n {
+		t.Errorf("Random explored %d of %d columns", len(seen), n)
+	}
+}

@@ -1,0 +1,48 @@
+package stm
+
+import (
+	"sync"
+
+	"repro/internal/tm"
+)
+
+// GlobalLock is the single-global-lock "TM": every atomic block runs under
+// one mutex with direct heap access. It is the sequential baseline of
+// Figs. 8–9 (the paper's non-instrumented serial execution) and the simplest
+// correct point in the design space.
+type GlobalLock struct {
+	mu sync.Mutex
+}
+
+// Name implements tm.Algorithm.
+func (*GlobalLock) Name() string { return "gl" }
+
+// Begin implements tm.Algorithm: take the lock.
+func (g *GlobalLock) Begin(c *tm.Ctx) {
+	g.mu.Lock()
+	c.AbortReason = tm.AbortNone
+}
+
+// Load implements tm.Algorithm: direct read under the lock.
+func (g *GlobalLock) Load(c *tm.Ctx, a tm.Addr) uint64 {
+	return c.H.LoadWord(a)
+}
+
+// Store implements tm.Algorithm: direct in-place write under the lock.
+func (g *GlobalLock) Store(c *tm.Ctx, a tm.Addr, v uint64) {
+	c.H.StoreWord(a, v)
+}
+
+// Commit implements tm.Algorithm: release the lock; never fails.
+func (g *GlobalLock) Commit(c *tm.Ctx) bool {
+	g.mu.Unlock()
+	return true
+}
+
+// Abort implements tm.Algorithm. Global-lock transactions cannot abort
+// through the TM, but an explicit Retry by the programmer still unwinds
+// here, so the lock must be released. In-place writes are NOT rolled back;
+// explicit retry under GlobalLock is therefore disallowed by PolyTM.
+func (g *GlobalLock) Abort(c *tm.Ctx) {
+	g.mu.Unlock()
+}

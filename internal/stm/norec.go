@@ -1,0 +1,101 @@
+package stm
+
+import "repro/internal/tm"
+
+// NOrec (Dalessandro, Spear, Scott — PPoPP 2010) abolishes ownership
+// records: the only global metadata is a sequence lock (we reuse the heap's
+// global clock; odd values mean a writer is committing). Reads are validated
+// by value, so NOrec has minimal metadata traffic and excels at low thread
+// counts and short transactions, but commits serialize on the single lock,
+// capping write scalability — exactly the trade-off that makes it
+// complementary to the other STMs in PolyTM's library.
+type NOrec struct{}
+
+// Name implements tm.Algorithm.
+func (NOrec) Name() string { return "norec" }
+
+// Begin implements tm.Algorithm: wait for a quiescent (even) sequence-lock
+// value and snapshot it.
+func (NOrec) Begin(c *tm.Ctx) {
+	c.ResetSets()
+	c.RV = waitEven(c.H)
+	c.AbortReason = tm.AbortNone
+}
+
+// Load implements tm.Algorithm. If the sequence lock moved since the
+// snapshot, the whole value-based read set is revalidated against a new
+// snapshot before the read is retried (NOrec's post-validation loop).
+func (n NOrec) Load(c *tm.Ctx, a tm.Addr) uint64 {
+	if c.WS.Len() > 0 {
+		if v, ok := c.WS.Get(a); ok {
+			return v
+		}
+	}
+	h := c.H
+	v := h.LoadWord(a)
+	for h.Clock() != c.RV {
+		c.RV = validateValues(c)
+		v = h.LoadWord(a)
+	}
+	c.VRS.Add(a, v)
+	return v
+}
+
+// Store implements tm.Algorithm: buffer the write.
+func (NOrec) Store(c *tm.Ctx, a tm.Addr, v uint64) {
+	c.WS.Put(a, v)
+}
+
+// Commit implements tm.Algorithm: acquire the global sequence lock with a
+// CAS from the snapshot (revalidating on every failure), publish the redo
+// log, and release by bumping the lock to the next even value.
+func (NOrec) Commit(c *tm.Ctx) bool {
+	if c.WS.Len() == 0 {
+		return true
+	}
+	h := c.H
+	for !h.ClockCAS(c.RV, c.RV+1) {
+		c.RV = validateValues(c)
+	}
+	for _, e := range c.WS.Entries() {
+		h.StoreWord(e.Addr, e.Val)
+	}
+	h.ClockStore(c.RV + 2)
+	return true
+}
+
+// Abort implements tm.Algorithm. NOrec holds nothing between attempts.
+func (NOrec) Abort(*tm.Ctx) {}
+
+// waitEven spins until the sequence lock is even (no writer) and returns it.
+func waitEven(h *tm.Heap) uint64 {
+	for {
+		v := h.Clock()
+		if v&1 == 0 {
+			return v
+		}
+	}
+}
+
+// validateValues re-reads every address in the value-based read set under a
+// stable sequence-lock value; a single changed value aborts the transaction.
+// Returns the new consistent snapshot.
+func validateValues(c *tm.Ctx) uint64 {
+	h := c.H
+	for {
+		snap := waitEven(h)
+		ok := true
+		for _, e := range c.VRS.Entries() {
+			if h.LoadWord(e.Addr) != e.Val {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			c.Retry(tm.AbortConflict)
+		}
+		if h.Clock() == snap {
+			return snap
+		}
+	}
+}

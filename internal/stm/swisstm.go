@@ -1,0 +1,206 @@
+package stm
+
+import "repro/internal/tm"
+
+// SwissTM (Dragojević, Guerraoui, Kapałka — PLDI 2009) mixes eager and lazy
+// conflict detection: write-write conflicts are detected eagerly by
+// acquiring a per-stripe write lock at first write, while read-write
+// conflicts stay invisible until commit thanks to a separate per-stripe read
+// version. A two-phase contention manager lets short transactions abort
+// themselves cheaply while long transactions (many accesses) escalate to a
+// greedy priority scheme, which is what gives SwissTM its edge on mixed
+// workloads with long transactions.
+type SwissTM struct{}
+
+// Name implements tm.Algorithm.
+func (SwissTM) Name() string { return "swiss" }
+
+// swissEagerThreshold is the number of completed accesses after which a
+// transaction switches from polite self-abort to greedy priority (SwissTM's
+// two-phase contention manager).
+const swissEagerThreshold = 16
+
+// swissRLocked is the read-version sentinel a committing writer installs on
+// its written stripes before publishing the redo log, so concurrent readers
+// can never pair new data with an old read version.
+const swissRLocked = ^uint64(0)
+
+// Begin implements tm.Algorithm.
+func (SwissTM) Begin(c *tm.Ctx) {
+	c.ResetSets()
+	c.RV = c.H.Clock()
+	c.AbortReason = tm.AbortNone
+}
+
+// Load implements tm.Algorithm. Reads consult the separate read-version
+// table (not the write-lock word), so a stripe being write-locked by a
+// concurrent transaction does not stall readers until that writer commits —
+// SwissTM's lazy read-write detection.
+func (s SwissTM) Load(c *tm.Ctx, a tm.Addr) uint64 {
+	h := c.H
+	st := h.Stripe(a)
+	if w := h.OrecLoad(st); func() bool { o, l := tm.OrecLocked(w); return l && o == c.ID }() {
+		if v, ok := c.WS.Get(a); ok {
+			return v
+		}
+		return h.LoadWord(a)
+	}
+	for {
+		v1 := h.RVerLoad(st)
+		if v1 == swissRLocked {
+			continue // a writer is publishing this stripe; respin
+		}
+		v := h.LoadWord(a)
+		if h.RVerLoad(st) != v1 {
+			continue
+		}
+		if v1 > c.RV {
+			if !swissExtend(c) {
+				c.Retry(tm.AbortConflict)
+			}
+			continue
+		}
+		c.RS.Add(st, v1)
+		return v
+	}
+}
+
+// Store implements tm.Algorithm: acquire the stripe's write lock eagerly.
+// On a write-write conflict the two-phase contention manager decides who
+// aborts: young transactions abort themselves; transactions past the eager
+// threshold compare greedy priorities (restart counts) and doom the loser.
+func (s SwissTM) Store(c *tm.Ctx, a tm.Addr, v uint64) {
+	h := c.H
+	st := h.Stripe(a)
+	mine := tm.OrecLockedBy(c.ID)
+	for {
+		cur := h.OrecLoad(st)
+		if owner, locked := tm.OrecLocked(cur); locked {
+			if owner == c.ID {
+				c.WS.Put(a, v)
+				return
+			}
+			if c.WS.Len()+c.RS.Len() < swissEagerThreshold || c.Priority == 0 {
+				c.Retry(tm.AbortConflict) // phase one: polite
+			}
+			// Phase two (greedy): spin briefly hoping the owner
+			// finishes; if the lock does not change hands we
+			// abort ourselves anyway — remote aborts are not
+			// observable in a redo-log STM without doom flags.
+			for i := 0; i < 64; i++ {
+				if h.OrecLoad(st) != cur {
+					break
+				}
+			}
+			if h.OrecLoad(st) == cur {
+				c.Retry(tm.AbortConflict)
+			}
+			continue
+		}
+		if rv := h.RVerLoad(st); rv > c.RV {
+			if rv == swissRLocked {
+				continue // publishing writer; respin
+			}
+			if !swissExtend(c) {
+				c.Retry(tm.AbortConflict)
+			}
+			continue
+		}
+		if h.OrecCAS(st, cur, mine) {
+			// Re-sample the read version now that the lock freezes it:
+			// a foreign commit may have slipped in (releasing the orec
+			// back to the same value) between the check above and the
+			// CAS. A frozen version ≤ RV also guarantees it equals the
+			// version any earlier read of this stripe observed, which
+			// is what lets validation skip self-locked stripes.
+			frozen := h.RVerLoad(st)
+			c.Locked.AddWithRVer(st, cur, frozen)
+			if frozen > c.RV {
+				c.Retry(tm.AbortConflict)
+			}
+			c.WS.Put(a, v)
+			return
+		}
+	}
+}
+
+// Commit implements tm.Algorithm. Publication order is crucial for opacity:
+// the read versions of written stripes are locked *before* the global clock
+// advances, so a transaction that begins after the clock bump (and whose
+// snapshot therefore covers this commit) can never read the stripe's stale
+// pre-image — it spins on the locked read version until the new data is
+// published.
+func (s SwissTM) Commit(c *tm.Ctx) bool {
+	h := c.H
+	if c.WS.Len() == 0 {
+		c.Priority = 0
+		return true
+	}
+	for _, le := range c.Locked.Entries() {
+		h.RVerStore(le.Stripe, swissRLocked)
+	}
+	wv := h.ClockAdd(1)
+	if wv != c.RV+1 && !swissValidate(c) {
+		// Unlock the read versions before reporting failure; Abort will
+		// release the write locks.
+		for _, le := range c.Locked.Entries() {
+			h.RVerStore(le.Stripe, le.PrevRVer)
+		}
+		c.AbortReason = tm.AbortConflict
+		return false
+	}
+	for _, e := range c.WS.Entries() {
+		h.StoreWord(e.Addr, e.Val)
+	}
+	for _, le := range c.Locked.Entries() {
+		h.RVerStore(le.Stripe, wv)
+		h.OrecStore(le.Stripe, le.PrevVal) // release the write lock
+	}
+	c.Locked.Reset()
+	c.Priority = 0
+	return true
+}
+
+// Abort implements tm.Algorithm: restore the read versions of any stripes
+// still frozen, release the write locks, and raise the greedy priority for
+// the retry. Read-version restore must precede the write-lock release:
+// once the orec is free another writer may lock the stripe and own its read
+// version.
+func (s SwissTM) Abort(c *tm.Ctx) {
+	h := c.H
+	for _, le := range c.Locked.Entries() {
+		if h.RVerLoad(le.Stripe) == swissRLocked {
+			h.RVerStore(le.Stripe, le.PrevRVer)
+		}
+		h.OrecStore(le.Stripe, le.PrevVal)
+	}
+	c.Locked.Reset()
+	c.Priority++
+}
+
+// swissExtend is timestamp extension against the read-version table.
+func swissExtend(c *tm.Ctx) bool {
+	now := c.H.Clock()
+	if !swissValidate(c) {
+		return false
+	}
+	c.RV = now
+	return true
+}
+
+// swissValidate checks that no read stripe's read version moved past the
+// value observed at read time. Stripes whose write lock this transaction
+// holds are skipped: their read version is frozen since we locked them
+// (commit freezes them to the sentinel before validating).
+func swissValidate(c *tm.Ctx) bool {
+	h := c.H
+	for _, re := range c.RS.Entries() {
+		if h.RVerLoad(re.Stripe) != re.Version {
+			if owner, locked := tm.OrecLocked(h.OrecLoad(re.Stripe)); locked && owner == c.ID {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+package stm
+
+import "repro/internal/tm"
+
+// TinySTM is the word-based STM of Felber, Fetzer and Riegel (PPoPP 2008):
+// encounter-time locking with a write-back redo log and timestamp extension.
+// A transaction locks each stripe at its first write, so write-write
+// conflicts surface immediately; reads are invisible but may *extend* the
+// read snapshot instead of aborting when they meet a version newer than the
+// snapshot, which makes TinySTM markedly stronger than TL2 on long
+// read-dominated transactions.
+type TinySTM struct{}
+
+// Name implements tm.Algorithm.
+func (TinySTM) Name() string { return "tiny" }
+
+// Begin implements tm.Algorithm.
+func (TinySTM) Begin(c *tm.Ctx) {
+	c.ResetSets()
+	c.RV = c.H.Clock()
+	c.AbortReason = tm.AbortNone
+}
+
+// Load implements tm.Algorithm. Reads from stripes this transaction has
+// locked are served from the redo log; otherwise the read validates against
+// the snapshot, attempting timestamp extension on failure.
+func (t TinySTM) Load(c *tm.Ctx, a tm.Addr) uint64 {
+	h := c.H
+	s := h.Stripe(a)
+	for {
+		pre := h.OrecLoad(s)
+		if owner, locked := tm.OrecLocked(pre); locked {
+			if owner == c.ID {
+				if v, ok := c.WS.Get(a); ok {
+					return v
+				}
+				// Stripe locked by us for a different word:
+				// the in-place value is protected by our lock.
+				return h.LoadWord(a)
+			}
+			c.Retry(tm.AbortConflict)
+		}
+		ver := tm.OrecVersion(pre)
+		if ver > c.RV {
+			// Timestamp extension: if every prior read is still
+			// valid we can slide the snapshot forward.
+			if !extendSnapshot(c) {
+				c.Retry(tm.AbortConflict)
+			}
+			continue
+		}
+		v := h.LoadWord(a)
+		if h.OrecLoad(s) != pre {
+			continue // raced with a writer; resample
+		}
+		c.RS.Add(s, ver)
+		return v
+	}
+}
+
+// Store implements tm.Algorithm: acquire the stripe lock encounter-time,
+// then buffer the write.
+func (t TinySTM) Store(c *tm.Ctx, a tm.Addr, v uint64) {
+	h := c.H
+	s := h.Stripe(a)
+	mine := tm.OrecLockedBy(c.ID)
+	for {
+		cur := h.OrecLoad(s)
+		if owner, locked := tm.OrecLocked(cur); locked {
+			if owner == c.ID {
+				c.WS.Put(a, v)
+				return
+			}
+			// Encounter-time conflict: suicide contention
+			// management with backoff (the policy TinySTM ships
+			// by default).
+			c.Retry(tm.AbortConflict)
+		}
+		if tm.OrecVersion(cur) > c.RV {
+			if !extendSnapshot(c) {
+				c.Retry(tm.AbortConflict)
+			}
+			continue
+		}
+		if h.OrecCAS(s, cur, mine) {
+			c.Locked.Add(s, cur)
+			c.WS.Put(a, v)
+			return
+		}
+	}
+}
+
+// Commit implements tm.Algorithm: writers bump the clock, validate if any
+// concurrent commit interleaved, publish the redo log, and release their
+// locks at the new version.
+func (TinySTM) Commit(c *tm.Ctx) bool {
+	if c.WS.Len() == 0 {
+		return true
+	}
+	h := c.H
+	wv := h.ClockAdd(1)
+	if wv != c.RV+1 && !validateReadSet(c) {
+		c.AbortReason = tm.AbortConflict
+		return false
+	}
+	for _, e := range c.WS.Entries() {
+		h.StoreWord(e.Addr, e.Val)
+	}
+	unlocked := tm.OrecUnlocked(wv)
+	for _, le := range c.Locked.Entries() {
+		h.OrecStore(le.Stripe, unlocked)
+	}
+	c.Locked.Reset()
+	return true
+}
+
+// Abort implements tm.Algorithm: restore the pre-lock record values of every
+// encounter-locked stripe.
+func (TinySTM) Abort(c *tm.Ctx) {
+	releaseLockedStripes(c)
+}
+
+// extendSnapshot attempts TinySTM's timestamp extension: re-sample the clock
+// and revalidate the read set; on success the transaction's snapshot moves
+// forward and the pending access can be retried.
+func extendSnapshot(c *tm.Ctx) bool {
+	now := c.H.Clock()
+	if !validateReadSet(c) {
+		return false
+	}
+	c.RV = now
+	return true
+}

@@ -1,0 +1,159 @@
+// Package stm implements the software transactional memory algorithms
+// encapsulated by PolyTM: TL2, TinySTM, NOrec and SwissTM, plus the
+// global-lock baseline. Each is a from-scratch Go port of the published
+// algorithm, sharing the transactional heap and context of internal/tm.
+//
+// The algorithms differ exactly along the axes the paper's tuner exploits:
+// TL2 locks at commit time and validates a version read set; TinySTM locks
+// encounter-time with timestamp extension; NOrec keeps no ownership records
+// and validates by value under a single global sequence lock; SwissTM
+// detects write-write conflicts eagerly and read-write conflicts lazily with
+// a two-counter contention manager.
+package stm
+
+import "repro/internal/tm"
+
+// TL2 is Transactional Locking II (Dice, Shalev, Shavit — DISC 2006):
+// commit-time locking over a striped versioned-lock table with a global
+// version clock. Reads are invisible and validated against the transaction's
+// read version; writes are buffered and published at commit under per-stripe
+// locks.
+type TL2 struct{}
+
+// Name implements tm.Algorithm.
+func (TL2) Name() string { return "tl2" }
+
+// Begin implements tm.Algorithm: snapshot the global clock as the read
+// version.
+func (TL2) Begin(c *tm.Ctx) {
+	c.ResetSets()
+	c.RV = c.H.Clock()
+	c.AbortReason = tm.AbortNone
+}
+
+// Load implements tm.Algorithm. TL2 reads are invisible: sample the stripe's
+// ownership record, read the word, and re-sample to detect racing writers;
+// any version newer than the read snapshot aborts (classic TL2 has no
+// timestamp extension).
+func (TL2) Load(c *tm.Ctx, a tm.Addr) uint64 {
+	if c.WS.Len() > 0 {
+		if v, ok := c.WS.Get(a); ok {
+			return v
+		}
+	}
+	h := c.H
+	s := h.Stripe(a)
+	pre := h.OrecLoad(s)
+	if _, locked := tm.OrecLocked(pre); locked || tm.OrecVersion(pre) > c.RV {
+		c.Retry(tm.AbortConflict)
+	}
+	v := h.LoadWord(a)
+	post := h.OrecLoad(s)
+	if post != pre {
+		c.Retry(tm.AbortConflict)
+	}
+	c.RS.Add(s, tm.OrecVersion(pre))
+	return v
+}
+
+// Store implements tm.Algorithm: buffer the write in the redo log.
+func (TL2) Store(c *tm.Ctx, a tm.Addr, v uint64) {
+	c.WS.Put(a, v)
+}
+
+// Commit implements tm.Algorithm: acquire the write-stripe locks, advance
+// the global clock, validate the read set (skipped when no concurrent commit
+// interleaved), publish the redo log, and release the locks at the new
+// version.
+func (TL2) Commit(c *tm.Ctx) bool {
+	if c.WS.Len() == 0 {
+		return true // invisible read-only transactions commit for free
+	}
+	h := c.H
+	if !lockWriteStripes(c) {
+		c.AbortReason = tm.AbortConflict
+		return false
+	}
+	wv := h.ClockAdd(1)
+	if wv != c.RV+1 && !validateReadSet(c) {
+		releaseLockedStripes(c)
+		c.AbortReason = tm.AbortConflict
+		return false
+	}
+	for _, e := range c.WS.Entries() {
+		h.StoreWord(e.Addr, e.Val)
+	}
+	unlocked := tm.OrecUnlocked(wv)
+	for _, le := range c.Locked.Entries() {
+		h.OrecStore(le.Stripe, unlocked)
+	}
+	return true
+}
+
+// Abort implements tm.Algorithm: release any commit-time locks still held.
+func (TL2) Abort(c *tm.Ctx) {
+	releaseLockedStripes(c)
+}
+
+// lockWriteStripes try-locks every distinct stripe in the write set,
+// recording prior record values in c.Locked. On any failure it releases what
+// it acquired and returns false (TL2 aborts rather than spinning, avoiding
+// deadlock without lock ordering).
+func lockWriteStripes(c *tm.Ctx) bool {
+	h := c.H
+	mine := tm.OrecLockedBy(c.ID)
+	for _, e := range c.WS.Entries() {
+		s := h.Stripe(e.Addr)
+		if c.Locked.Holds(s) {
+			continue
+		}
+		cur := h.OrecLoad(s)
+		if _, locked := tm.OrecLocked(cur); locked {
+			releaseLockedStripes(c)
+			return false
+		}
+		if tm.OrecVersion(cur) > c.RV {
+			// A writer already published a newer version: the
+			// read of this stripe (if any) is stale and validation
+			// would fail anyway.
+			releaseLockedStripes(c)
+			return false
+		}
+		if !h.OrecCAS(s, cur, mine) {
+			releaseLockedStripes(c)
+			return false
+		}
+		c.Locked.Add(s, cur)
+	}
+	return true
+}
+
+// releaseLockedStripes restores the pre-lock record values of every stripe
+// in the lock set and clears it. Safe to call when nothing is held.
+func releaseLockedStripes(c *tm.Ctx) {
+	h := c.H
+	for _, le := range c.Locked.Entries() {
+		h.OrecStore(le.Stripe, le.PrevVal)
+	}
+	c.Locked.Reset()
+}
+
+// validateReadSet checks that every read stripe is still at the version
+// observed (or locked by this transaction, which implies it is in the write
+// set and protected).
+func validateReadSet(c *tm.Ctx) bool {
+	h := c.H
+	for _, re := range c.RS.Entries() {
+		cur := h.OrecLoad(re.Stripe)
+		if owner, locked := tm.OrecLocked(cur); locked {
+			if owner != c.ID {
+				return false
+			}
+			continue
+		}
+		if tm.OrecVersion(cur) != re.Version {
+			return false
+		}
+	}
+	return true
+}

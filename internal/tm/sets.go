@@ -1,0 +1,189 @@
+package tm
+
+// smallSetLinear is the write-set size up to which membership lookups use a
+// linear scan; beyond it a map index is maintained. Most transactions in the
+// benchmark suite write fewer than a dozen words, so the common case stays
+// allocation- and hash-free.
+const smallSetLinear = 16
+
+// WEntry is one redo-log entry of a WriteSet.
+type WEntry struct {
+	Addr Addr
+	Val  uint64
+}
+
+// WriteSet is a redo log with O(1) amortized lookup. It is reused across
+// transactions: Reset keeps the backing storage.
+type WriteSet struct {
+	entries []WEntry
+	idx     map[Addr]int32
+	indexed bool
+}
+
+func (w *WriteSet) init() {
+	w.entries = make([]WEntry, 0, 64)
+	w.idx = make(map[Addr]int32, 64)
+}
+
+// Len returns the number of distinct addresses in the set.
+func (w *WriteSet) Len() int { return len(w.entries) }
+
+// Entries exposes the log in insertion order; callers must not retain the
+// slice across Reset.
+func (w *WriteSet) Entries() []WEntry { return w.entries }
+
+// Put records the write of v to a, overwriting any earlier write to a.
+func (w *WriteSet) Put(a Addr, v uint64) {
+	if w.indexed {
+		if i, ok := w.idx[a]; ok {
+			w.entries[i].Val = v
+			return
+		}
+		w.idx[a] = int32(len(w.entries))
+		w.entries = append(w.entries, WEntry{a, v})
+		return
+	}
+	for i := range w.entries {
+		if w.entries[i].Addr == a {
+			w.entries[i].Val = v
+			return
+		}
+	}
+	w.entries = append(w.entries, WEntry{a, v})
+	if len(w.entries) > smallSetLinear {
+		w.buildIndex()
+	}
+}
+
+// Get returns the buffered value for a, if any.
+func (w *WriteSet) Get(a Addr) (uint64, bool) {
+	if w.indexed {
+		if i, ok := w.idx[a]; ok {
+			return w.entries[i].Val, true
+		}
+		return 0, false
+	}
+	for i := len(w.entries) - 1; i >= 0; i-- {
+		if w.entries[i].Addr == a {
+			return w.entries[i].Val, true
+		}
+	}
+	return 0, false
+}
+
+func (w *WriteSet) buildIndex() {
+	if w.idx == nil {
+		w.idx = make(map[Addr]int32, 2*len(w.entries))
+	}
+	for i := range w.entries {
+		w.idx[w.entries[i].Addr] = int32(i)
+	}
+	w.indexed = true
+}
+
+// Reset empties the set, retaining capacity.
+func (w *WriteSet) Reset() {
+	w.entries = w.entries[:0]
+	if w.indexed {
+		clear(w.idx)
+		w.indexed = false
+	}
+}
+
+// RSEntry is one ownership-record read-set entry: the stripe index and the
+// version observed when the read was performed.
+type RSEntry struct {
+	Stripe  uint32
+	Version uint64
+}
+
+// ReadSet is the ownership-record read set used by TL2, TinySTM and SwissTM.
+type ReadSet struct {
+	entries []RSEntry
+}
+
+// Len returns the number of recorded reads.
+func (r *ReadSet) Len() int { return len(r.entries) }
+
+// Entries exposes the recorded reads; callers must not retain across Reset.
+func (r *ReadSet) Entries() []RSEntry { return r.entries }
+
+// Add records that the stripe was read at the given version.
+func (r *ReadSet) Add(stripe uint32, version uint64) {
+	r.entries = append(r.entries, RSEntry{stripe, version})
+}
+
+// Reset empties the set, retaining capacity.
+func (r *ReadSet) Reset() { r.entries = r.entries[:0] }
+
+// VEntry is one value-based read-set entry (NOrec).
+type VEntry struct {
+	Addr Addr
+	Val  uint64
+}
+
+// ValueReadSet is NOrec's value-based read log.
+type ValueReadSet struct {
+	entries []VEntry
+}
+
+// Len returns the number of recorded reads.
+func (r *ValueReadSet) Len() int { return len(r.entries) }
+
+// Entries exposes the recorded reads; callers must not retain across Reset.
+func (r *ValueReadSet) Entries() []VEntry { return r.entries }
+
+// Add records that address a held value v when read.
+func (r *ValueReadSet) Add(a Addr, v uint64) {
+	r.entries = append(r.entries, VEntry{a, v})
+}
+
+// Reset empties the set, retaining capacity.
+func (r *ValueReadSet) Reset() { r.entries = r.entries[:0] }
+
+// LockEntry records a stripe locked encounter-time together with the record
+// value it held before locking, so aborts can restore it. PrevRVer
+// additionally preserves SwissTM's read-version for the stripe (unused by
+// the single-lock-word algorithms).
+type LockEntry struct {
+	Stripe   uint32
+	PrevVal  uint64
+	PrevRVer uint64
+}
+
+// LockSet tracks the ownership records a transaction holds.
+type LockSet struct {
+	entries []LockEntry
+}
+
+func (l *LockSet) init() { l.entries = make([]LockEntry, 0, 32) }
+
+// Len returns the number of held locks.
+func (l *LockSet) Len() int { return len(l.entries) }
+
+// Entries exposes the held locks; callers must not retain across Reset.
+func (l *LockSet) Entries() []LockEntry { return l.entries }
+
+// Add records that the stripe was locked and held prev before.
+func (l *LockSet) Add(stripe uint32, prev uint64) {
+	l.entries = append(l.entries, LockEntry{Stripe: stripe, PrevVal: prev})
+}
+
+// AddWithRVer records a locked stripe together with its read-version at lock
+// time (SwissTM).
+func (l *LockSet) AddWithRVer(stripe uint32, prev, prevRVer uint64) {
+	l.entries = append(l.entries, LockEntry{Stripe: stripe, PrevVal: prev, PrevRVer: prevRVer})
+}
+
+// Holds reports whether the stripe is already in the lock set.
+func (l *LockSet) Holds(stripe uint32) bool {
+	for i := range l.entries {
+		if l.entries[i].Stripe == stripe {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset empties the set, retaining capacity.
+func (l *LockSet) Reset() { l.entries = l.entries[:0] }

@@ -1,0 +1,56 @@
+package workloads
+
+import "repro/internal/tm"
+
+// NodePool recycles fixed-size node blocks through transactional free
+// lists, so long-running insert/delete workloads stay within a bounded
+// arena. The free lists are manipulated inside the caller's transaction:
+// a node freed by an aborted transaction is rolled back with everything
+// else, and version-based validation prevents use-after-recycle anomalies.
+//
+// The pool is striped by worker slot: in the steady state each thread pops
+// the nodes it pushed, adding no cross-thread conflicts to the workload.
+type NodePool struct {
+	// NodeWords is the block size.
+	NodeWords int
+	// next is the word index (within each node) reused as the free-list
+	// link; any word overwritten on reuse works.
+	next tm.Addr
+
+	h     *tm.Heap
+	heads tm.Addr // poolStripes head words
+}
+
+// poolStripes is the number of per-thread free lists.
+const poolStripes = 16
+
+// NewNodePool allocates the pool's head words.
+func NewNodePool(h *tm.Heap, nodeWords int, nextWord tm.Addr) (*NodePool, error) {
+	heads, err := h.Alloc(poolStripes * 8) // one per cache line
+	if err != nil {
+		return nil, err
+	}
+	return &NodePool{NodeWords: nodeWords, next: nextWord, h: h, heads: heads}, nil
+}
+
+func (p *NodePool) head(self int) tm.Addr {
+	return p.heads + tm.Addr((self%poolStripes)*8)
+}
+
+// Get returns a recycled node or allocates a fresh one.
+func (p *NodePool) Get(tx tm.Txn, self int) tm.Addr {
+	h := p.head(self)
+	n := tm.Addr(tx.Load(h))
+	if n != tm.NilAddr {
+		tx.Store(h, tx.Load(n+p.next))
+		return n
+	}
+	return p.h.MustAlloc(p.NodeWords)
+}
+
+// Put recycles a node onto the caller's stripe.
+func (p *NodePool) Put(tx tm.Txn, self int, n tm.Addr) {
+	h := p.head(self)
+	tx.Store(n+p.next, tx.Load(h))
+	tx.Store(h, uint64(n))
+}

@@ -1,0 +1,91 @@
+package workloads_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stm"
+	"repro/internal/tm"
+	"repro/internal/workloads"
+)
+
+// TestDriverLifecycle covers start/stop/measure and error paths.
+func TestDriverLifecycle(t *testing.T) {
+	h := tm.NewHeap(1<<16, 2)
+	wl := &workloads.HashMap{Buckets: 64, KeyRange: 256, InitialSize: 32}
+	if err := wl.Setup(h, workloads.NewRand(4)); err != nil {
+		t.Fatal(err)
+	}
+	d := &workloads.Driver{
+		Workload:   wl,
+		Runner:     workloads.NewBareRunner(stm.TL2{}, h, 2),
+		MaxThreads: 2,
+		Seed:       5,
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err == nil {
+		t.Error("double Start must fail")
+	}
+	x := d.MeasureThroughput(30 * time.Millisecond)
+	if x <= 0 {
+		t.Errorf("throughput = %f, want positive", x)
+	}
+	d.Stop()
+	d.Stop() // idempotent
+	if d.Ops() == 0 {
+		t.Error("no operations recorded")
+	}
+
+	bad := &workloads.Driver{Workload: wl, Runner: d.Runner, MaxThreads: 0}
+	if err := bad.Start(); err == nil {
+		t.Error("MaxThreads=0 must fail")
+	}
+}
+
+// TestKMeansAccumulatorConsistency: each cluster's per-dimension sums are
+// committed atomically with the count, so sums must be consistent with the
+// number of updates (every update adds < 1024 per dimension).
+func TestKMeansAccumulatorConsistency(t *testing.T) {
+	h := tm.NewHeap(1<<12, 4)
+	km := &workloads.KMeans{Clusters: 4, Dims: 4}
+	if err := km.Setup(h, workloads.NewRand(2)); err != nil {
+		t.Fatal(err)
+	}
+	runner := workloads.NewBareRunner(stm.SwissTM{}, h, 4)
+	d := &workloads.Driver{Workload: km, Runner: runner, MaxThreads: 4, Seed: 3}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for d.Ops() < 5000 {
+	}
+	d.Stop()
+	sums, counts := workloads.KMeansAccumulators(km, h)
+	for c := range counts {
+		for dim, s := range sums[c] {
+			if counts[c] == 0 {
+				if s != 0 {
+					t.Errorf("cluster %d has sum without updates", c)
+				}
+				continue
+			}
+			if s/counts[c] >= 1024 {
+				t.Errorf("cluster %d dim %d mean %d out of range (torn update?)", c, dim, s/counts[c])
+			}
+		}
+	}
+}
+
+// TestInterferenceStartStop exercises every antagonist kind.
+func TestInterferenceStartStop(t *testing.T) {
+	for _, k := range []workloads.InterferenceKind{workloads.StressCPU, workloads.StressMemory, workloads.StressAlloc} {
+		inf := &workloads.Interference{Kind: k, Workers: 2}
+		inf.Start()
+		time.Sleep(10 * time.Millisecond)
+		inf.Stop()
+		if k.String() == "?" {
+			t.Errorf("missing name for kind %d", k)
+		}
+	}
+}

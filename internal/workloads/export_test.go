@@ -1,0 +1,60 @@
+package workloads
+
+import "repro/internal/tm"
+
+// Test-only accessors for unexported data-structure operations.
+
+// SkipListInsert exposes SkipList.insert.
+func SkipListInsert(s *SkipList, tx tm.Txn, k uint64) { s.insert(tx, 0, k, k, 4) }
+
+// SkipListRemove exposes SkipList.remove.
+func SkipListRemove(s *SkipList, tx tm.Txn, k uint64) { s.remove(tx, 0, k) }
+
+// SkipListContains exposes SkipList.contains.
+func SkipListContains(s *SkipList, tx tm.Txn, k uint64) bool { return s.contains(tx, k) }
+
+// HashMapPut exposes HashMap.put.
+func HashMapPut(m *HashMap, tx tm.Txn, k, v uint64) { m.put(tx, 0, k, v) }
+
+// HashMapDel exposes HashMap.del.
+func HashMapDel(m *HashMap, tx tm.Txn, k uint64) { m.del(tx, 0, k) }
+
+// HashMapGet exposes HashMap.get.
+func HashMapGet(m *HashMap, tx tm.Txn, k uint64) (uint64, bool) { return m.get(tx, k) }
+
+// TPCCWarehouseYTD sums warehouse year-to-date totals (quiesced).
+func TPCCWarehouseYTD(t *TPCC, h *tm.Heap) uint64 {
+	var sum uint64
+	for w := 0; w < t.Warehouses; w++ {
+		sum += h.LoadWord(t.wTax + tm.Addr(w))
+	}
+	return sum
+}
+
+// TPCCDistrictYTD sums district year-to-date totals (quiesced).
+func TPCCDistrictYTD(t *TPCC, h *tm.Heap) uint64 {
+	var sum uint64
+	for w := 0; w < t.Warehouses; w++ {
+		for d := 0; d < t.Districts; d++ {
+			sum += h.LoadWord(t.district(w, d) + 1)
+		}
+	}
+	return sum
+}
+
+// KMeansAccumulators exposes the cluster accumulators: per-cluster
+// per-dimension sums and the update counts (quiesced).
+func KMeansAccumulators(k *KMeans, h *tm.Heap) (sums [][]uint64, counts []uint64) {
+	sums = make([][]uint64, k.Clusters)
+	counts = make([]uint64, k.Clusters)
+	for c := 0; c < k.Clusters; c++ {
+		base := k.centers + tm.Addr(c*(k.Dims+1))
+		row := make([]uint64, k.Dims)
+		for d := 0; d < k.Dims; d++ {
+			row[d] = h.LoadWord(base + tm.Addr(d))
+		}
+		sums[c] = row
+		counts[c] = h.LoadWord(base + tm.Addr(k.Dims))
+	}
+	return sums, counts
+}

@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// InterferenceKind selects what machine resource the antagonist stresses —
+// the substitute for the `stress` Unix tool used in Fig. 9.
+type InterferenceKind int
+
+const (
+	// StressCPU burns cycles on busy loops.
+	StressCPU InterferenceKind = iota
+	// StressMemory streams over a large buffer, trashing caches and
+	// memory bandwidth.
+	StressMemory
+	// StressAlloc churns the allocator/GC.
+	StressAlloc
+)
+
+// String names the antagonist kind.
+func (k InterferenceKind) String() string {
+	switch k {
+	case StressCPU:
+		return "cpu"
+	case StressMemory:
+		return "memory"
+	case StressAlloc:
+		return "alloc"
+	}
+	return "?"
+}
+
+// Interference runs antagonist goroutines that compete with the TM
+// application for machine resources, making the environment change
+// indistinguishable from a workload change from the Monitor's viewpoint
+// (§5.3).
+type Interference struct {
+	Kind    InterferenceKind
+	Workers int
+
+	stop atomic.Bool
+	wg   sync.WaitGroup
+	sink atomic.Uint64
+}
+
+// Start launches the antagonists.
+func (in *Interference) Start() {
+	n := in.Workers
+	if n <= 0 {
+		n = 2
+	}
+	in.stop.Store(false)
+	for w := 0; w < n; w++ {
+		in.wg.Add(1)
+		go func(id int) {
+			defer in.wg.Done()
+			switch in.Kind {
+			case StressCPU:
+				in.burnCPU()
+			case StressMemory:
+				in.streamMemory()
+			case StressAlloc:
+				in.churnAllocator()
+			}
+		}(w)
+	}
+}
+
+// Stop terminates the antagonists and waits for them.
+func (in *Interference) Stop() {
+	in.stop.Store(true)
+	in.wg.Wait()
+}
+
+func (in *Interference) burnCPU() {
+	acc := uint64(1)
+	for !in.stop.Load() {
+		for i := 0; i < 1<<14; i++ {
+			acc = acc*6364136223846793005 + 1442695040888963407
+		}
+		in.sink.Store(acc)
+	}
+}
+
+func (in *Interference) streamMemory() {
+	buf := make([]uint64, 1<<21) // 16 MiB
+	acc := uint64(0)
+	for !in.stop.Load() {
+		for i := 0; i < len(buf); i += 8 {
+			buf[i] = buf[i] + acc
+			acc += buf[(i*7)%len(buf)]
+		}
+		in.sink.Store(acc)
+	}
+}
+
+func (in *Interference) churnAllocator() {
+	keep := make([][]byte, 64)
+	i := 0
+	for !in.stop.Load() {
+		b := make([]byte, 1<<14)
+		b[0] = byte(i)
+		keep[i%len(keep)] = b
+		i++
+		if i%1024 == 0 {
+			in.sink.Add(uint64(len(keep[0])))
+		}
+	}
+}

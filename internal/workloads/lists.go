@@ -1,0 +1,413 @@
+package workloads
+
+import "repro/internal/tm"
+
+// --- Skip list ----------------------------------------------------------------
+
+// skip-list node layout: key, val, level, next[maxLevel].
+const (
+	slKey = iota
+	slVal
+	slLevel
+	slNext // first of maxLevel next pointers
+)
+
+const slMaxLevel = 12
+
+// SkipList is the concurrent skip-list benchmark: same API and operation
+// mix as RBTree but with probabilistic balancing — longer read paths, no
+// rotations, so writes touch fewer shared words.
+type SkipList struct {
+	KeyRange    int
+	UpdateRatio float64
+	InitialSize int
+
+	h    *tm.Heap
+	head tm.Addr
+	pool *NodePool
+}
+
+// Name implements Workload.
+func (s *SkipList) Name() string { return "skiplist" }
+
+func (s *SkipList) params() (keyRange, initial int, update float64) {
+	keyRange = s.KeyRange
+	if keyRange <= 0 {
+		keyRange = 1 << 14
+	}
+	initial = s.InitialSize
+	if initial <= 0 {
+		initial = keyRange / 2
+	}
+	update = s.UpdateRatio
+	if update == 0 {
+		update = 0.2
+	}
+	return
+}
+
+// Setup implements Workload.
+func (s *SkipList) Setup(h *tm.Heap, rng *Rand) error {
+	s.h = h
+	head, err := h.Alloc(slNext + slMaxLevel)
+	if err != nil {
+		return err
+	}
+	s.head = head
+	h.StoreWord(head+slLevel, slMaxLevel)
+	if s.pool, err = NewNodePool(h, slNext+slMaxLevel, slVal); err != nil {
+		return err
+	}
+	keyRange, initial, _ := s.params()
+	seq := NewBareRunner(seqAlg(), h, 1)
+	for i := 0; i < initial; i++ {
+		k := uint64(rng.Intn(keyRange)) + 1
+		lvl := s.randLevel(rng)
+		seq.Atomic(0, func(tx tm.Txn) { s.insert(tx, 0, k, k, lvl) })
+	}
+	return nil
+}
+
+// Op implements Workload.
+func (s *SkipList) Op(r Runner, self int, rng *Rand) {
+	keyRange, _, update := s.params()
+	k := uint64(rng.Intn(keyRange)) + 1
+	p := rng.Float64()
+	switch {
+	case p < update/2:
+		lvl := s.randLevel(rng)
+		r.Atomic(self, func(tx tm.Txn) { s.insert(tx, self, k, k, lvl) })
+	case p < update:
+		r.Atomic(self, func(tx tm.Txn) { s.remove(tx, self, k) })
+	default:
+		r.Atomic(self, func(tx tm.Txn) { s.contains(tx, k) })
+	}
+}
+
+func (s *SkipList) randLevel(rng *Rand) int {
+	lvl := 1
+	for lvl < slMaxLevel && rng.Float64() < 0.5 {
+		lvl++
+	}
+	return lvl
+}
+
+func (s *SkipList) contains(tx tm.Txn, k uint64) bool {
+	n := s.head
+	for lvl := slMaxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			next := tm.Addr(tx.Load(n + slNext + tm.Addr(lvl)))
+			if next == tm.NilAddr || tx.Load(next+slKey) >= k {
+				break
+			}
+			n = next
+		}
+	}
+	n = tm.Addr(tx.Load(n + slNext))
+	return n != tm.NilAddr && tx.Load(n+slKey) == k
+}
+
+func (s *SkipList) insert(tx tm.Txn, self int, k, v uint64, level int) bool {
+	var update [slMaxLevel]tm.Addr
+	n := s.head
+	for lvl := slMaxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			next := tm.Addr(tx.Load(n + slNext + tm.Addr(lvl)))
+			if next == tm.NilAddr || tx.Load(next+slKey) >= k {
+				break
+			}
+			n = next
+		}
+		update[lvl] = n
+	}
+	candidate := tm.Addr(tx.Load(n + slNext))
+	if candidate != tm.NilAddr && tx.Load(candidate+slKey) == k {
+		tx.Store(candidate+slVal, v)
+		return false
+	}
+	fresh := s.pool.Get(tx, self)
+	tx.Store(fresh+slKey, k)
+	tx.Store(fresh+slVal, v)
+	tx.Store(fresh+slLevel, uint64(level))
+	for lvl := 0; lvl < level; lvl++ {
+		tx.Store(fresh+slNext+tm.Addr(lvl), tx.Load(update[lvl]+slNext+tm.Addr(lvl)))
+		tx.Store(update[lvl]+slNext+tm.Addr(lvl), uint64(fresh))
+	}
+	return true
+}
+
+func (s *SkipList) remove(tx tm.Txn, self int, k uint64) bool {
+	var update [slMaxLevel]tm.Addr
+	n := s.head
+	for lvl := slMaxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			next := tm.Addr(tx.Load(n + slNext + tm.Addr(lvl)))
+			if next == tm.NilAddr || tx.Load(next+slKey) >= k {
+				break
+			}
+			n = next
+		}
+		update[lvl] = n
+	}
+	victim := tm.Addr(tx.Load(n + slNext))
+	if victim == tm.NilAddr || tx.Load(victim+slKey) != k {
+		return false
+	}
+	level := int(tx.Load(victim + slLevel))
+	for lvl := 0; lvl < level; lvl++ {
+		if tm.Addr(tx.Load(update[lvl]+slNext+tm.Addr(lvl))) == victim {
+			tx.Store(update[lvl]+slNext+tm.Addr(lvl), tx.Load(victim+slNext+tm.Addr(lvl)))
+		}
+	}
+	s.pool.Put(tx, self, victim)
+	return true
+}
+
+// --- Sorted linked list ---------------------------------------------------------
+
+// list node layout: key, val, next.
+const (
+	llKey = iota
+	llVal
+	llNext
+	llNodeWords
+)
+
+// LinkedList is the sorted-linked-list benchmark: linear search makes every
+// operation read a long prefix of the structure, the classic stress test
+// for invisible-read STMs.
+type LinkedList struct {
+	KeyRange    int
+	UpdateRatio float64
+	InitialSize int
+
+	h    *tm.Heap
+	head tm.Addr
+	pool *NodePool
+}
+
+// Name implements Workload.
+func (l *LinkedList) Name() string { return "linkedlist" }
+
+func (l *LinkedList) params() (keyRange, initial int, update float64) {
+	keyRange = l.KeyRange
+	if keyRange <= 0 {
+		keyRange = 1 << 9
+	}
+	initial = l.InitialSize
+	if initial <= 0 {
+		initial = keyRange / 2
+	}
+	update = l.UpdateRatio
+	if update == 0 {
+		update = 0.2
+	}
+	return
+}
+
+// Setup implements Workload.
+func (l *LinkedList) Setup(h *tm.Heap, rng *Rand) error {
+	l.h = h
+	head, err := h.Alloc(llNodeWords)
+	if err != nil {
+		return err
+	}
+	l.head = head // sentinel with key 0
+	if l.pool, err = NewNodePool(h, llNodeWords, llVal); err != nil {
+		return err
+	}
+	keyRange, initial, _ := l.params()
+	seq := NewBareRunner(seqAlg(), h, 1)
+	for i := 0; i < initial; i++ {
+		k := uint64(rng.Intn(keyRange)) + 1
+		seq.Atomic(0, func(tx tm.Txn) { l.insert(tx, 0, k, k) })
+	}
+	return nil
+}
+
+// Op implements Workload.
+func (l *LinkedList) Op(r Runner, self int, rng *Rand) {
+	keyRange, _, update := l.params()
+	k := uint64(rng.Intn(keyRange)) + 1
+	p := rng.Float64()
+	switch {
+	case p < update/2:
+		r.Atomic(self, func(tx tm.Txn) { l.insert(tx, self, k, k) })
+	case p < update:
+		r.Atomic(self, func(tx tm.Txn) { l.remove(tx, self, k) })
+	default:
+		r.Atomic(self, func(tx tm.Txn) { l.contains(tx, k) })
+	}
+}
+
+func (l *LinkedList) locate(tx tm.Txn, k uint64) (prev, cur tm.Addr) {
+	prev = l.head
+	cur = tm.Addr(tx.Load(prev + llNext))
+	for cur != tm.NilAddr && tx.Load(cur+llKey) < k {
+		prev = cur
+		cur = tm.Addr(tx.Load(cur + llNext))
+	}
+	return prev, cur
+}
+
+func (l *LinkedList) contains(tx tm.Txn, k uint64) bool {
+	_, cur := l.locate(tx, k)
+	return cur != tm.NilAddr && tx.Load(cur+llKey) == k
+}
+
+func (l *LinkedList) insert(tx tm.Txn, self int, k, v uint64) bool {
+	prev, cur := l.locate(tx, k)
+	if cur != tm.NilAddr && tx.Load(cur+llKey) == k {
+		tx.Store(cur+llVal, v)
+		return false
+	}
+	fresh := l.pool.Get(tx, self)
+	tx.Store(fresh+llKey, k)
+	tx.Store(fresh+llVal, v)
+	tx.Store(fresh+llNext, uint64(cur))
+	tx.Store(prev+llNext, uint64(fresh))
+	return true
+}
+
+func (l *LinkedList) remove(tx tm.Txn, self int, k uint64) bool {
+	prev, cur := l.locate(tx, k)
+	if cur == tm.NilAddr || tx.Load(cur+llKey) != k {
+		return false
+	}
+	tx.Store(prev+llNext, tx.Load(cur+llNext))
+	l.pool.Put(tx, self, cur)
+	return true
+}
+
+// --- Hash map -------------------------------------------------------------------
+
+// HashMap is the chained-bucket hash-map benchmark: very short transactions
+// over a wide bucket array — the HTM-friendliest of the data structures.
+type HashMap struct {
+	Buckets     int
+	KeyRange    int
+	UpdateRatio float64
+	InitialSize int
+
+	h    *tm.Heap
+	base tm.Addr
+	pool *NodePool
+}
+
+// Name implements Workload.
+func (m *HashMap) Name() string { return "hashmap" }
+
+func (m *HashMap) params() (buckets, keyRange, initial int, update float64) {
+	buckets = m.Buckets
+	if buckets <= 0 {
+		buckets = 1 << 12
+	}
+	keyRange = m.KeyRange
+	if keyRange <= 0 {
+		keyRange = 1 << 15
+	}
+	initial = m.InitialSize
+	if initial <= 0 {
+		initial = keyRange / 2
+	}
+	update = m.UpdateRatio
+	if update == 0 {
+		update = 0.2
+	}
+	return
+}
+
+// Setup implements Workload.
+func (m *HashMap) Setup(h *tm.Heap, rng *Rand) error {
+	m.h = h
+	buckets, keyRange, initial, _ := m.params()
+	base, err := h.Alloc(buckets)
+	if err != nil {
+		return err
+	}
+	m.base = base
+	if m.pool, err = NewNodePool(h, llNodeWords, llVal); err != nil {
+		return err
+	}
+	seq := NewBareRunner(seqAlg(), h, 1)
+	for i := 0; i < initial; i++ {
+		k := uint64(rng.Intn(keyRange)) + 1
+		seq.Atomic(0, func(tx tm.Txn) { m.put(tx, 0, k, k) })
+	}
+	return nil
+}
+
+// Op implements Workload.
+func (m *HashMap) Op(r Runner, self int, rng *Rand) {
+	_, keyRange, _, update := m.params()
+	k := uint64(rng.Intn(keyRange)) + 1
+	p := rng.Float64()
+	switch {
+	case p < update/2:
+		r.Atomic(self, func(tx tm.Txn) { m.put(tx, self, k, k) })
+	case p < update:
+		r.Atomic(self, func(tx tm.Txn) { m.del(tx, self, k) })
+	default:
+		r.Atomic(self, func(tx tm.Txn) { m.get(tx, k) })
+	}
+}
+
+func (m *HashMap) bucket(k uint64) tm.Addr {
+	buckets, _, _, _ := m.params()
+	h := k * 0x9E3779B97F4A7C15
+	return m.base + tm.Addr(h%uint64(buckets))
+}
+
+func (m *HashMap) get(tx tm.Txn, k uint64) (uint64, bool) {
+	n := tm.Addr(tx.Load(m.bucket(k)))
+	for n != tm.NilAddr {
+		if tx.Load(n+llKey) == k {
+			return tx.Load(n + llVal), true
+		}
+		n = tm.Addr(tx.Load(n + llNext))
+	}
+	return 0, false
+}
+
+func (m *HashMap) put(tx tm.Txn, self int, k, v uint64) bool {
+	b := m.bucket(k)
+	n := tm.Addr(tx.Load(b))
+	for n != tm.NilAddr {
+		if tx.Load(n+llKey) == k {
+			tx.Store(n+llVal, v)
+			return false
+		}
+		n = tm.Addr(tx.Load(n + llNext))
+	}
+	fresh := m.pool.Get(tx, self)
+	tx.Store(fresh+llKey, k)
+	tx.Store(fresh+llVal, v)
+	tx.Store(fresh+llNext, tx.Load(b))
+	tx.Store(b, uint64(fresh))
+	return true
+}
+
+func (m *HashMap) del(tx tm.Txn, self int, k uint64) bool {
+	b := m.bucket(k)
+	n := tm.Addr(tx.Load(b))
+	if n == tm.NilAddr {
+		return false
+	}
+	if tx.Load(n+llKey) == k {
+		tx.Store(b, tx.Load(n+llNext))
+		m.pool.Put(tx, self, n)
+		return true
+	}
+	prev := n
+	n = tm.Addr(tx.Load(n + llNext))
+	for n != tm.NilAddr {
+		if tx.Load(n+llKey) == k {
+			tx.Store(prev+llNext, tx.Load(n+llNext))
+			m.pool.Put(tx, self, n)
+			return true
+		}
+		prev = n
+		n = tm.Addr(tx.Load(n + llNext))
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package workloads
+
+import "repro/internal/tm"
+
+// Memcached models the transactionalized memcached port of Ruan et al.
+// (ASPLOS 2014): a shared hash-table cache with get-dominated traffic,
+// short transactions, LRU bookkeeping, and substantial non-transactional
+// request-processing work between operations — the service-style profile
+// whose optimum sits at high thread counts.
+type Memcached struct {
+	Buckets  int
+	KeyRange int
+	// GetRatio is the fraction of get operations (default 0.9).
+	GetRatio float64
+	// ValueWords is the stored value size (default 4).
+	ValueWords int
+
+	h     *tm.Heap
+	base  tm.Addr
+	stats tm.Addr // hits, misses, evictions, sets — padded apart
+	pool  *NodePool
+}
+
+// Name implements Workload.
+func (mc *Memcached) Name() string { return "memcached" }
+
+func (mc *Memcached) defaults() {
+	if mc.Buckets <= 0 {
+		mc.Buckets = 1 << 13
+	}
+	if mc.KeyRange <= 0 {
+		mc.KeyRange = 1 << 15
+	}
+	if mc.GetRatio == 0 {
+		mc.GetRatio = 0.9
+	}
+	if mc.ValueWords <= 0 {
+		mc.ValueWords = 4
+	}
+}
+
+// cache entry layout: key, lastUsed, next, value[ValueWords].
+func (mc *Memcached) entryWords() int { return 3 + mc.ValueWords }
+
+// Setup implements Workload.
+func (mc *Memcached) Setup(h *tm.Heap, rng *Rand) error {
+	mc.defaults()
+	mc.h = h
+	var err error
+	if mc.base, err = h.Alloc(mc.Buckets); err != nil {
+		return err
+	}
+	if mc.stats, err = h.Alloc(32); err != nil {
+		return err
+	}
+	if mc.pool, err = NewNodePool(h, mc.entryWords(), 1); err != nil {
+		return err
+	}
+	// Pre-warm half the key range.
+	seq := NewBareRunner(seqAlg(), h, 1)
+	for i := 0; i < mc.KeyRange/2; i++ {
+		k := uint64(rng.Intn(mc.KeyRange)) + 1
+		seq.Atomic(0, func(tx tm.Txn) { mc.set(tx, 0, k, uint64(i)) })
+	}
+	return nil
+}
+
+func (mc *Memcached) bucket(k uint64) tm.Addr {
+	return mc.base + tm.Addr((k*0xff51afd7ed558ccd)%uint64(mc.Buckets))
+}
+
+// Op implements Workload: parse a request (non-transactional spin), then a
+// short get or set transaction.
+func (mc *Memcached) Op(r Runner, self int, rng *Rand) {
+	Spin(6) // request parsing / socket handling
+	k := uint64(rng.Intn(mc.KeyRange)) + 1
+	if rng.Float64() < mc.GetRatio {
+		r.Atomic(self, func(tx tm.Txn) { mc.get(tx, k) })
+	} else {
+		v := rng.Next()
+		r.Atomic(self, func(tx tm.Txn) { mc.set(tx, self, k, v) })
+	}
+}
+
+func (mc *Memcached) get(tx tm.Txn, k uint64) (uint64, bool) {
+	n := tm.Addr(tx.Load(mc.bucket(k)))
+	for n != tm.NilAddr {
+		if tx.Load(n) == k {
+			// Touch the LRU stamp and read the value.
+			tx.Store(n+1, tx.Load(n+1)+1)
+			v := tx.Load(n + 3)
+			tx.Store(mc.stats, tx.Load(mc.stats)+1) // hit
+			return v, true
+		}
+		n = tm.Addr(tx.Load(n + 2))
+	}
+	tx.Store(mc.stats+8, tx.Load(mc.stats+8)+1) // miss
+	return 0, false
+}
+
+func (mc *Memcached) set(tx tm.Txn, self int, k, v uint64) {
+	b := mc.bucket(k)
+	n := tm.Addr(tx.Load(b))
+	depth := 0
+	for n != tm.NilAddr {
+		if tx.Load(n) == k {
+			for w := 0; w < mc.ValueWords; w++ {
+				tx.Store(n+3+tm.Addr(w), v+uint64(w))
+			}
+			tx.Store(n+1, tx.Load(n+1)+1)
+			return
+		}
+		n = tm.Addr(tx.Load(n + 2))
+		depth++
+	}
+	// Evict the bucket head when the chain grows too long (simplified
+	// slab reclamation); the entry is recycled through the pool.
+	if depth >= 8 {
+		head := tm.Addr(tx.Load(b))
+		tx.Store(b, tx.Load(head+2))
+		mc.pool.Put(tx, self, head)
+		tx.Store(mc.stats+16, tx.Load(mc.stats+16)+1) // eviction
+	}
+	fresh := mc.pool.Get(tx, self)
+	tx.Store(fresh, k)
+	tx.Store(fresh+1, 1)
+	tx.Store(fresh+2, tx.Load(b))
+	for w := 0; w < mc.ValueWords; w++ {
+		tx.Store(fresh+3+tm.Addr(w), v+uint64(w))
+	}
+	tx.Store(b, uint64(fresh))
+	tx.Store(mc.stats+24, tx.Load(mc.stats+24)+1) // set
+}

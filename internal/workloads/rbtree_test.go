@@ -1,0 +1,141 @@
+package workloads_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stm"
+	"repro/internal/tm"
+	"repro/internal/workloads"
+)
+
+// rbCheck walks the tree directly (single-threaded, via raw heap reads) and
+// validates the red-black invariants: root black, no red-red edges, equal
+// black heights, and BST ordering. It returns the black height and key
+// count.
+func rbCheck(t *testing.T, h *tm.Heap, root tm.Addr) (blackHeight, size int) {
+	t.Helper()
+	const (
+		rbKey    = 0
+		rbLeft   = 2
+		rbRight  = 3
+		rbColor  = 5
+		rbRed    = 0
+		rbBlack  = 1
+		maxKey   = ^uint64(0)
+		unsetKey = uint64(0)
+	)
+	rootAddr := tm.Addr(h.LoadWord(root))
+	if rootAddr == tm.NilAddr {
+		return 0, 0
+	}
+	if h.LoadWord(rootAddr+rbColor) != rbBlack {
+		t.Fatal("root is not black")
+	}
+	var walk func(n tm.Addr, lo, hi uint64) (int, int)
+	walk = func(n tm.Addr, lo, hi uint64) (int, int) {
+		if n == tm.NilAddr {
+			return 1, 0
+		}
+		k := h.LoadWord(n + rbKey)
+		if k < lo || k > hi {
+			t.Fatalf("BST violation: key %d outside (%d, %d)", k, lo, hi)
+		}
+		c := h.LoadWord(n + rbColor)
+		l := tm.Addr(h.LoadWord(n + rbLeft))
+		r := tm.Addr(h.LoadWord(n + rbRight))
+		if c == rbRed {
+			for _, ch := range []tm.Addr{l, r} {
+				if ch != tm.NilAddr && h.LoadWord(ch+rbColor) == rbRed {
+					t.Fatal("red node with red child")
+				}
+			}
+		}
+		lbh, lsz := walk(l, lo, k)
+		rbh, rsz := walk(r, k, hi)
+		if lbh != rbh {
+			t.Fatalf("black-height mismatch: %d vs %d", lbh, rbh)
+		}
+		bh := lbh
+		if c == rbBlack {
+			bh++
+		}
+		return bh, lsz + rsz + 1
+	}
+	bh, sz := walk(rootAddr, unsetKey, maxKey)
+	return bh, sz
+}
+
+// TestRBSetInvariants property-tests the tree: a random operation sequence
+// must preserve the red-black invariants and agree with a reference map.
+func TestRBSetInvariants(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		h := tm.NewHeap(1<<18, 2)
+		set, err := workloads.NewRBSet(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner := workloads.NewBareRunner(&stm.GlobalLock{}, h, 1)
+		ref := map[uint64]uint64{}
+		for _, op := range ops {
+			k := uint64(op % 512)
+			switch op % 3 {
+			case 0:
+				runner.Atomic(0, func(tx tm.Txn) { set.Insert(tx, 0, k, k*3) })
+				ref[k] = k * 3
+			case 1:
+				runner.Atomic(0, func(tx tm.Txn) { set.Delete(tx, 0, k) })
+				delete(ref, k)
+			default:
+				var got bool
+				runner.Atomic(0, func(tx tm.Txn) { got = set.Contains(tx, k) })
+				_, want := ref[k]
+				if got != want {
+					t.Fatalf("Contains(%d) = %v, want %v", k, got, want)
+				}
+			}
+		}
+		rootWord := tm.Addr(1) // NewRBSet allocates the root pointer first
+		_, size := rbCheck(t, h, rootWord)
+		if size != len(ref) {
+			t.Fatalf("size %d, want %d", size, len(ref))
+		}
+		// Every reference key must be present with the right value.
+		for k, v := range ref {
+			var got uint64
+			var ok bool
+			runner.Atomic(0, func(tx tm.Txn) { got, ok = set.Get(tx, k) })
+			if !ok || got != v {
+				t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, got, ok, v)
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRBTreeConcurrent hammers the tree from 8 threads under TL2 and
+// validates the invariants afterwards.
+func TestRBTreeConcurrent(t *testing.T) {
+	h := tm.NewHeap(1<<20, 8)
+	tree := &workloads.RBTree{KeyRange: 256, UpdateRatio: 0.8, InitialSize: 128}
+	if err := tree.Setup(h, workloads.NewRand(42)); err != nil {
+		t.Fatal(err)
+	}
+	runner := workloads.NewBareRunner(stm.TL2{}, h, 8)
+	d := &workloads.Driver{Workload: tree, Runner: runner, MaxThreads: 8, Seed: 7}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for d.Ops() < 30000 {
+	}
+	d.Stop()
+	rootWord := tm.Addr(1)
+	_, size := rbCheck(t, h, rootWord)
+	if size == 0 || size > 256 {
+		t.Errorf("implausible tree size %d after concurrent run", size)
+	}
+}

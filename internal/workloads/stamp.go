@@ -1,0 +1,432 @@
+package workloads
+
+import "repro/internal/tm"
+
+// This file ports the eight STAMP applications (Cao Minh et al., IISWC
+// 2008) as kernels that preserve each benchmark's transactional profile —
+// transaction length, read/write-set size and contention — on the
+// transactional heap. The application logic is simplified (no I/O, fixed
+//-point instead of floating point where needed) but every shared-memory
+// interaction runs through real transactions on real shared structures.
+
+// --- genome: gene sequencing ----------------------------------------------------
+
+// Genome models the segment-deduplication and overlap-matching phases:
+// segments are inserted into a shared hash set (dedup), then linked into
+// chains through a shared table — short-to-medium transactions, low
+// contention, moderately read-heavy.
+type Genome struct {
+	Segments int
+
+	table *HashMap
+	chain tm.Addr // chain head table
+	n     int
+}
+
+// Name implements Workload.
+func (g *Genome) Name() string { return "genome" }
+
+// Setup implements Workload.
+func (g *Genome) Setup(h *tm.Heap, rng *Rand) error {
+	g.n = g.Segments
+	if g.n <= 0 {
+		g.n = 1 << 14
+	}
+	g.table = &HashMap{Buckets: 1 << 12, KeyRange: g.n * 4, InitialSize: 1}
+	if err := g.table.Setup(h, rng); err != nil {
+		return err
+	}
+	base, err := h.Alloc(g.n)
+	if err != nil {
+		return err
+	}
+	g.chain = base
+	return nil
+}
+
+// Op implements Workload: dedup-insert a batch of segments, then link one
+// overlap chain entry.
+func (g *Genome) Op(r Runner, self int, rng *Rand) {
+	seg := uint64(rng.Intn(g.n*4)) + 1
+	r.Atomic(self, func(tx tm.Txn) {
+		g.table.put(tx, self, seg, seg)
+		g.table.get(tx, seg^0x5bd1e995)
+	})
+	slot := tm.Addr(rng.Intn(g.n))
+	r.Atomic(self, func(tx tm.Txn) {
+		cur := tx.Load(g.chain + slot)
+		tx.Store(g.chain+slot, cur+seg)
+	})
+	Spin(2)
+}
+
+// --- intruder: network intrusion detection ---------------------------------------
+
+// Intruder models packet reassembly: fragments arrive for random flows;
+// a transaction appends the fragment to its flow and, when the flow
+// completes, retires it — short transactions with a contended flow table.
+type Intruder struct {
+	Flows     int
+	FragsPer  int
+	flowBase  tm.Addr // per-flow fragment counters
+	doneBase  tm.Addr // per-flow retirement markers
+	completed tm.Addr // global completed counter
+}
+
+// Name implements Workload.
+func (in *Intruder) Name() string { return "intruder" }
+
+// Setup implements Workload.
+func (in *Intruder) Setup(h *tm.Heap, rng *Rand) error {
+	if in.Flows <= 0 {
+		in.Flows = 1 << 10
+	}
+	if in.FragsPer <= 0 {
+		in.FragsPer = 8
+	}
+	var err error
+	if in.flowBase, err = h.Alloc(in.Flows); err != nil {
+		return err
+	}
+	if in.doneBase, err = h.Alloc(in.Flows); err != nil {
+		return err
+	}
+	if in.completed, err = h.Alloc(8); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Op implements Workload.
+func (in *Intruder) Op(r Runner, self int, rng *Rand) {
+	flow := tm.Addr(rng.Intn(in.Flows))
+	r.Atomic(self, func(tx tm.Txn) {
+		frags := tx.Load(in.flowBase+flow) + 1
+		if frags >= uint64(in.FragsPer) {
+			tx.Store(in.flowBase+flow, 0)
+			tx.Store(in.doneBase+flow, tx.Load(in.doneBase+flow)+1)
+			tx.Store(in.completed, tx.Load(in.completed)+1)
+		} else {
+			tx.Store(in.flowBase+flow, frags)
+		}
+	})
+	// Detection pass: read-only scan of a window of flows.
+	start := tm.Addr(rng.Intn(in.Flows - 16))
+	r.Atomic(self, func(tx tm.Txn) {
+		var sum uint64
+		for i := tm.Addr(0); i < 16; i++ {
+			sum += tx.Load(in.doneBase + start + i)
+		}
+		_ = sum
+	})
+	Spin(1)
+}
+
+// --- kmeans: clustering ----------------------------------------------------------
+
+// KMeans models the cluster-update phase: each operation assigns a point to
+// its nearest center and transactionally updates the center's accumulator —
+// tiny write transactions all contending on K centers.
+type KMeans struct {
+	Clusters int
+	Dims     int
+	centers  tm.Addr // K × (Dims+1) accumulator words
+}
+
+// Name implements Workload.
+func (k *KMeans) Name() string { return "kmeans" }
+
+// Setup implements Workload.
+func (k *KMeans) Setup(h *tm.Heap, rng *Rand) error {
+	if k.Clusters <= 0 {
+		k.Clusters = 16
+	}
+	if k.Dims <= 0 {
+		k.Dims = 8
+	}
+	var err error
+	k.centers, err = h.Alloc(k.Clusters * (k.Dims + 1))
+	return err
+}
+
+// Op implements Workload.
+func (k *KMeans) Op(r Runner, self int, rng *Rand) {
+	// Distance computation happens outside the transaction.
+	point := make([]uint64, 0, 8)
+	for d := 0; d < k.Dims; d++ {
+		point = append(point, rng.Next()%1024)
+	}
+	Spin(4)
+	c := tm.Addr(rng.Intn(k.Clusters)) * tm.Addr(k.Dims+1)
+	r.Atomic(self, func(tx tm.Txn) {
+		for d := 0; d < k.Dims; d++ {
+			a := k.centers + c + tm.Addr(d)
+			tx.Store(a, tx.Load(a)+point[d])
+		}
+		cnt := k.centers + c + tm.Addr(k.Dims)
+		tx.Store(cnt, tx.Load(cnt)+1)
+	})
+}
+
+// --- labyrinth: path routing ------------------------------------------------------
+
+// Labyrinth models maze routing: a transaction reads a corridor of grid
+// cells and claims a path through free ones — very long transactions with
+// large write sets that overflow any HTM capacity, the canonical
+// STM-only workload.
+type Labyrinth struct {
+	GridSize int
+	PathLen  int
+	grid     tm.Addr
+}
+
+// Name implements Workload.
+func (l *Labyrinth) Name() string { return "labyrinth" }
+
+// Setup implements Workload.
+func (l *Labyrinth) Setup(h *tm.Heap, rng *Rand) error {
+	if l.GridSize <= 0 {
+		l.GridSize = 1 << 16
+	}
+	if l.PathLen <= 0 {
+		l.PathLen = 192
+	}
+	var err error
+	l.grid, err = h.Alloc(l.GridSize)
+	return err
+}
+
+// Op implements Workload: route one path.
+func (l *Labyrinth) Op(r Runner, self int, rng *Rand) {
+	start := rng.Intn(l.GridSize - l.PathLen*2)
+	r.Atomic(self, func(tx tm.Txn) {
+		pos := tm.Addr(start)
+		for i := 0; i < l.PathLen; i++ {
+			cell := tx.Load(l.grid + pos)
+			if cell == 0 {
+				tx.Store(l.grid+pos, uint64(self)+1)
+			}
+			pos += 1 + tm.Addr(i%2) // wander
+		}
+	})
+	// Periodically clear a region (path teardown) to keep the grid usable.
+	if rng.Intn(4) == 0 {
+		clearStart := tm.Addr(rng.Intn(l.GridSize - l.PathLen*2))
+		r.Atomic(self, func(tx tm.Txn) {
+			for i := tm.Addr(0); i < tm.Addr(l.PathLen); i++ {
+				tx.Store(l.grid+clearStart+i, 0)
+			}
+		})
+	}
+	Spin(8)
+}
+
+// --- ssca2: graph kernel -----------------------------------------------------------
+
+// SSCA2 models graph construction (kernel 1): insert directed edges into
+// per-vertex adjacency counters — very short transactions, negligible
+// contention, embarrassingly scalable.
+type SSCA2 struct {
+	Vertices int
+	adj      tm.Addr
+}
+
+// Name implements Workload.
+func (s *SSCA2) Name() string { return "ssca2" }
+
+// Setup implements Workload.
+func (s *SSCA2) Setup(h *tm.Heap, rng *Rand) error {
+	if s.Vertices <= 0 {
+		s.Vertices = 1 << 16
+	}
+	var err error
+	s.adj, err = h.Alloc(s.Vertices * 2)
+	return err
+}
+
+// Op implements Workload.
+func (s *SSCA2) Op(r Runner, self int, rng *Rand) {
+	u := tm.Addr(rng.Intn(s.Vertices))
+	v := tm.Addr(rng.Intn(s.Vertices))
+	r.Atomic(self, func(tx tm.Txn) {
+		tx.Store(s.adj+u*2, tx.Load(s.adj+u*2)+1)
+		tx.Store(s.adj+v*2+1, tx.Load(s.adj+v*2+1)+uint64(u))
+	})
+}
+
+// --- vacation: travel reservations ---------------------------------------------------
+
+// Vacation models the travel reservation system: each operation is one
+// client session that queries several items across the flight/room/car
+// tables and makes or cancels a reservation — medium transactions,
+// read-dominated, low contention.
+type Vacation struct {
+	Relations int // rows per table
+	Queries   int // items touched per session
+	tables    [3]tm.Addr
+	customers tm.Addr
+}
+
+// Name implements Workload.
+func (v *Vacation) Name() string { return "vacation" }
+
+// Setup implements Workload.
+func (v *Vacation) Setup(h *tm.Heap, rng *Rand) error {
+	if v.Relations <= 0 {
+		v.Relations = 1 << 13
+	}
+	if v.Queries <= 0 {
+		v.Queries = 24
+	}
+	for i := range v.tables {
+		base, err := h.Alloc(v.Relations * 2) // (free, price) per row
+		if err != nil {
+			return err
+		}
+		v.tables[i] = base
+		for rrow := 0; rrow < v.Relations; rrow++ {
+			h.StoreWord(base+tm.Addr(rrow*2), 100)
+			h.StoreWord(base+tm.Addr(rrow*2+1), uint64(rng.Intn(500)+100))
+		}
+	}
+	var err error
+	v.customers, err = h.Alloc(v.Relations)
+	return err
+}
+
+// Op implements Workload.
+func (v *Vacation) Op(r Runner, self int, rng *Rand) {
+	customer := tm.Addr(rng.Intn(v.Relations))
+	action := rng.Intn(100)
+	r.Atomic(self, func(tx tm.Txn) {
+		// Query phase: find the cheapest available item per table.
+		var bestRow [3]tm.Addr
+		for t := 0; t < 3; t++ {
+			bestPrice := uint64(1 << 62)
+			for q := 0; q < v.Queries/3; q++ {
+				row := tm.Addr(rng.Intn(v.Relations))
+				free := tx.Load(v.tables[t] + row*2)
+				price := tx.Load(v.tables[t] + row*2 + 1)
+				if free > 0 && price < bestPrice {
+					bestPrice = price
+					bestRow[t] = row
+				}
+			}
+		}
+		if action < 80 { // make reservation
+			t := rng.Intn(3)
+			row := bestRow[t]
+			free := tx.Load(v.tables[t] + row*2)
+			if free > 0 {
+				tx.Store(v.tables[t]+row*2, free-1)
+				tx.Store(v.customers+customer, tx.Load(v.customers+customer)+1)
+			}
+		} else { // cancel
+			held := tx.Load(v.customers + customer)
+			if held > 0 {
+				t := rng.Intn(3)
+				row := bestRow[t]
+				tx.Store(v.tables[t]+row*2, tx.Load(v.tables[t]+row*2)+1)
+				tx.Store(v.customers+customer, held-1)
+			}
+		}
+	})
+	Spin(2)
+}
+
+// --- yada: Delaunay mesh refinement ---------------------------------------------------
+
+// Yada models mesh refinement: a transaction claims a "bad triangle",
+// reads its cavity (a neighbourhood of elements) and rewrites it — long
+// transactions with medium-large write sets and moderate conflicts.
+type Yada struct {
+	Elements int
+	Cavity   int
+	mesh     tm.Addr
+	workq    tm.Addr
+}
+
+// Name implements Workload.
+func (y *Yada) Name() string { return "yada" }
+
+// Setup implements Workload.
+func (y *Yada) Setup(h *tm.Heap, rng *Rand) error {
+	if y.Elements <= 0 {
+		y.Elements = 1 << 15
+	}
+	if y.Cavity <= 0 {
+		y.Cavity = 24
+	}
+	var err error
+	if y.mesh, err = h.Alloc(y.Elements); err != nil {
+		return err
+	}
+	y.workq, err = h.Alloc(8)
+	return err
+}
+
+// Op implements Workload.
+func (y *Yada) Op(r Runner, self int, rng *Rand) {
+	center := rng.Intn(y.Elements - y.Cavity*2)
+	r.Atomic(self, func(tx tm.Txn) {
+		// Read the cavity.
+		quality := uint64(0)
+		for i := 0; i < y.Cavity*2; i++ {
+			quality += tx.Load(y.mesh + tm.Addr(center+i))
+		}
+		// Retriangulate: rewrite half the cavity.
+		for i := 0; i < y.Cavity; i++ {
+			a := y.mesh + tm.Addr(center+i*2)
+			tx.Store(a, quality%(uint64(i)+7)+1)
+		}
+		tx.Store(y.workq, tx.Load(y.workq)+1)
+	})
+	Spin(6)
+}
+
+// --- bayes: structure learning ----------------------------------------------------------
+
+// Bayes models Bayesian-network structure learning: long read-dominated
+// transactions scoring candidate edges against a shared adtree, with rare
+// graph mutations — the longest transactions in STAMP.
+type Bayes struct {
+	Nodes  int
+	adtree tm.Addr
+	graph  tm.Addr
+}
+
+// Name implements Workload.
+func (b *Bayes) Name() string { return "bayes" }
+
+// Setup implements Workload.
+func (b *Bayes) Setup(h *tm.Heap, rng *Rand) error {
+	if b.Nodes <= 0 {
+		b.Nodes = 1 << 12
+	}
+	var err error
+	if b.adtree, err = h.Alloc(b.Nodes * 4); err != nil {
+		return err
+	}
+	for i := 0; i < b.Nodes*4; i++ {
+		h.StoreWord(b.adtree+tm.Addr(i), uint64(rng.Intn(1000)))
+	}
+	b.graph, err = h.Alloc(b.Nodes)
+	return err
+}
+
+// Op implements Workload.
+func (b *Bayes) Op(r Runner, self int, rng *Rand) {
+	node := rng.Intn(b.Nodes - 256)
+	r.Atomic(self, func(tx tm.Txn) {
+		// Score: long read-only scan of the adtree region.
+		score := uint64(0)
+		for i := 0; i < 256; i++ {
+			score += tx.Load(b.adtree + tm.Addr(node*2+i))
+		}
+		// Occasionally commit a structure change.
+		if score%16 == 0 {
+			tx.Store(b.graph+tm.Addr(node), score)
+		}
+	})
+	Spin(4)
+}

@@ -1,0 +1,161 @@
+package workloads
+
+import "repro/internal/tm"
+
+// STMBench7 ports the OO7-derived benchmark (Guerraoui, Kapałka, Vitek —
+// EuroSys 2007): a deep object graph of assemblies and composite parts with
+// a mix of short operations, long read-only traversals, and structural
+// modifications — the most heterogeneous transaction mix in the suite.
+//
+// Graph layout: a complete assembly tree of fan-out Fanout and depth Depth;
+// each leaf (base assembly) references CompPerBase composite parts; each
+// composite part owns a chain of atomic parts with attribute words.
+type STMBench7 struct {
+	Fanout      int
+	Depth       int
+	CompPerBase int
+	AtomicChain int
+	// ReadDominated selects the read-dominated operation mix (90 % reads)
+	// rather than the default mixed one (60 % reads).
+	ReadDominated bool
+
+	h          *tm.Heap
+	assemblies tm.Addr // tree nodes: Fanout children pointers + value word
+	leaves     []tm.Addr
+	comps      []tm.Addr // composite part headers
+	root       tm.Addr
+}
+
+// Name implements Workload.
+func (s *STMBench7) Name() string { return "stmbench7" }
+
+func (s *STMBench7) defaults() {
+	if s.Fanout <= 0 {
+		s.Fanout = 3
+	}
+	if s.Depth <= 0 {
+		s.Depth = 5
+	}
+	if s.CompPerBase <= 0 {
+		s.CompPerBase = 4
+	}
+	if s.AtomicChain <= 0 {
+		s.AtomicChain = 16
+	}
+}
+
+// assembly node layout: value, children[Fanout].
+func (s *STMBench7) nodeWords() int { return 1 + s.Fanout }
+
+// composite part layout: attribute, buildDate, chain head, chain of
+// AtomicChain nodes each (attr, next).
+func (s *STMBench7) buildAssembly(depth int) tm.Addr {
+	n := s.h.MustAlloc(s.nodeWords())
+	if depth == 0 {
+		s.leaves = append(s.leaves, n)
+		return n
+	}
+	for c := 0; c < s.Fanout; c++ {
+		child := s.buildAssembly(depth - 1)
+		s.h.StoreWord(n+1+tm.Addr(c), uint64(child))
+	}
+	return n
+}
+
+// Setup implements Workload.
+func (s *STMBench7) Setup(h *tm.Heap, rng *Rand) error {
+	s.defaults()
+	s.h = h
+	s.leaves = nil
+	s.root = s.buildAssembly(s.Depth)
+	for _, leaf := range s.leaves {
+		_ = leaf
+		for c := 0; c < s.CompPerBase; c++ {
+			comp := h.MustAlloc(3)
+			// Build the atomic-part chain.
+			var head tm.Addr = tm.NilAddr
+			for a := 0; a < s.AtomicChain; a++ {
+				node := h.MustAlloc(2)
+				h.StoreWord(node, uint64(rng.Intn(1000)))
+				h.StoreWord(node+1, uint64(head))
+				head = node
+			}
+			h.StoreWord(comp, uint64(rng.Intn(1000))) // attribute
+			h.StoreWord(comp+1, uint64(rng.Intn(10))) // build date
+			h.StoreWord(comp+2, uint64(head))
+			s.comps = append(s.comps, comp)
+		}
+	}
+	return nil
+}
+
+// Op implements Workload: the STMBench7-style operation mix.
+func (s *STMBench7) Op(r Runner, self int, rng *Rand) {
+	p := rng.Intn(100)
+	readCut := 60
+	if s.ReadDominated {
+		readCut = 90
+	}
+	switch {
+	case p < readCut/2:
+		// Short traversal: read one composite part's chain.
+		comp := s.comps[rng.Intn(len(s.comps))]
+		r.Atomic(self, func(tx tm.Txn) {
+			sum := tx.Load(comp)
+			n := tm.Addr(tx.Load(comp + 2))
+			for n != tm.NilAddr {
+				sum += tx.Load(n)
+				n = tm.Addr(tx.Load(n + 1))
+			}
+			_ = sum
+		})
+	case p < readCut:
+		// Long traversal: walk the whole assembly tree.
+		r.Atomic(self, func(tx tm.Txn) {
+			s.traverse(tx, s.root, s.Depth)
+		})
+	case p < readCut+(100-readCut)/2:
+		// Short update: bump one composite part's attributes.
+		comp := s.comps[rng.Intn(len(s.comps))]
+		r.Atomic(self, func(tx tm.Txn) {
+			tx.Store(comp, tx.Load(comp)+1)
+			n := tm.Addr(tx.Load(comp + 2))
+			for i := 0; n != tm.NilAddr && i < 4; i++ {
+				tx.Store(n, tx.Load(n)+1)
+				n = tm.Addr(tx.Load(n + 1))
+			}
+		})
+	default:
+		// Structural modification: update a subtree's assembly values.
+		leafIdx := rng.Intn(len(s.leaves))
+		leaf := s.leaves[leafIdx]
+		r.Atomic(self, func(tx tm.Txn) {
+			tx.Store(leaf, tx.Load(leaf)+1)
+			// Touch the parent path implicitly via a partial
+			// traversal from the root.
+			n := s.root
+			for d := 0; d < s.Depth; d++ {
+				tx.Store(n, tx.Load(n)+1)
+				n = tm.Addr(tx.Load(n + 1 + tm.Addr(leafIdx%s.Fanout)))
+				if n == tm.NilAddr {
+					break
+				}
+			}
+		})
+	}
+	Spin(1)
+}
+
+func (s *STMBench7) traverse(tx tm.Txn, n tm.Addr, depth int) uint64 {
+	sum := tx.Load(n)
+	if depth == 0 {
+		return sum
+	}
+	for c := 0; c < s.Fanout; c++ {
+		child := tm.Addr(tx.Load(n + 1 + tm.Addr(c)))
+		if child != tm.NilAddr {
+			sum += s.traverse(tx, child, depth-1)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,192 @@
+package workloads
+
+import "repro/internal/tm"
+
+// TPCC is the in-memory TPC-C port of the paper (one atomic block per
+// transaction): the five transaction types over warehouse / district /
+// customer / stock / order tables laid out in the transactional heap.
+// New-order and payment dominate the mix (TPC-C's 45/43/4/4/4 split).
+type TPCC struct {
+	Warehouses int
+	Districts  int // per warehouse
+	Customers  int // per district
+	Items      int
+	// Mix is the cumulative percentage split over {new-order, payment,
+	// order-status, delivery, stock-level}; the zero value selects the
+	// standard TPC-C 45/43/4/4/4. A read-heavy profile like
+	// [10, 20, 60, 64, 100] turns the workload scan-dominated.
+	Mix [5]int
+
+	wTax    tm.Addr // warehouse: ytd
+	dNext   tm.Addr // district: next order id + ytd (2 words each)
+	cBal    tm.Addr // customer: balance + payment count (2 words each)
+	stock   tm.Addr // item stock: quantity + ytd (2 words each)
+	orders  tm.Addr // circular order log: (customer, item count) pairs
+	nOrders int
+}
+
+// Name implements Workload.
+func (t *TPCC) Name() string { return "tpcc" }
+
+func (t *TPCC) defaults() {
+	if t.Warehouses <= 0 {
+		t.Warehouses = 4
+	}
+	if t.Districts <= 0 {
+		t.Districts = 10
+	}
+	if t.Customers <= 0 {
+		t.Customers = 256
+	}
+	if t.Items <= 0 {
+		t.Items = 1 << 13
+	}
+	if t.Mix == [5]int{} {
+		t.Mix = [5]int{45, 88, 92, 96, 100}
+	}
+}
+
+// Setup implements Workload.
+func (t *TPCC) Setup(h *tm.Heap, rng *Rand) error {
+	t.defaults()
+	var err error
+	if t.wTax, err = h.Alloc(t.Warehouses); err != nil {
+		return err
+	}
+	nd := t.Warehouses * t.Districts
+	if t.dNext, err = h.Alloc(nd * 2); err != nil {
+		return err
+	}
+	nc := nd * t.Customers
+	if t.cBal, err = h.Alloc(nc * 2); err != nil {
+		return err
+	}
+	if t.stock, err = h.Alloc(t.Items * 2); err != nil {
+		return err
+	}
+	for i := 0; i < t.Items; i++ {
+		h.StoreWord(t.stock+tm.Addr(i*2), 10000)
+	}
+	t.nOrders = 1 << 12
+	if t.orders, err = h.Alloc(t.nOrders * 2); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (t *TPCC) district(w, d int) tm.Addr { return t.dNext + tm.Addr((w*t.Districts+d)*2) }
+func (t *TPCC) customer(w, d, c int) tm.Addr {
+	return t.cBal + tm.Addr(((w*t.Districts+d)*t.Customers+c)*2)
+}
+
+// Op implements Workload: draw a transaction type per the TPC-C mix.
+func (t *TPCC) Op(r Runner, self int, rng *Rand) {
+	w := rng.Intn(t.Warehouses)
+	d := rng.Intn(t.Districts)
+	c := rng.Intn(t.Customers)
+	p := rng.Intn(100)
+	switch {
+	case p < t.Mix[0]:
+		t.newOrder(r, self, rng, w, d, c)
+	case p < t.Mix[1]:
+		t.payment(r, self, rng, w, d, c)
+	case p < t.Mix[2]:
+		t.orderStatus(r, self, rng, w, d, c)
+	case p < t.Mix[3]:
+		t.delivery(r, self, rng, w, d)
+	default:
+		t.stockLevel(r, self, rng, w, d)
+	}
+	Spin(2)
+}
+
+// newOrder: reserve stock for 5-15 items and append to the order log.
+func (t *TPCC) newOrder(r Runner, self int, rng *Rand, w, d, c int) {
+	nItems := 5 + rng.Intn(11)
+	items := make([]tm.Addr, nItems)
+	for i := range items {
+		items[i] = tm.Addr(rng.Intn(t.Items) * 2)
+	}
+	r.Atomic(self, func(tx tm.Txn) {
+		dAddr := t.district(w, d)
+		oid := tx.Load(dAddr)
+		tx.Store(dAddr, oid+1)
+		total := uint64(0)
+		for _, it := range items {
+			q := tx.Load(t.stock + it)
+			if q < 10 {
+				q += 91 // restock
+			}
+			tx.Store(t.stock+it, q-1)
+			ytd := tx.Load(t.stock + it + 1)
+			tx.Store(t.stock+it+1, ytd+1)
+			total += q
+		}
+		slot := tm.Addr(int(oid)%t.nOrders) * 2
+		tx.Store(t.orders+slot, uint64(c))
+		tx.Store(t.orders+slot+1, uint64(nItems))
+		cAddr := t.customer(w, d, c)
+		tx.Store(cAddr, tx.Load(cAddr)+total)
+	})
+}
+
+// payment: update warehouse, district and customer balances.
+func (t *TPCC) payment(r Runner, self int, rng *Rand, w, d, c int) {
+	amount := uint64(rng.Intn(5000) + 1)
+	r.Atomic(self, func(tx tm.Txn) {
+		tx.Store(t.wTax+tm.Addr(w), tx.Load(t.wTax+tm.Addr(w))+amount)
+		dAddr := t.district(w, d) + 1
+		tx.Store(dAddr, tx.Load(dAddr)+amount)
+		cAddr := t.customer(w, d, c)
+		bal := tx.Load(cAddr)
+		if bal >= amount {
+			tx.Store(cAddr, bal-amount)
+		} else {
+			tx.Store(cAddr, 0)
+		}
+		tx.Store(cAddr+1, tx.Load(cAddr+1)+1)
+	})
+}
+
+// orderStatus: read a customer's balance and the latest orders (read-only).
+func (t *TPCC) orderStatus(r Runner, self int, rng *Rand, w, d, c int) {
+	r.Atomic(self, func(tx tm.Txn) {
+		cAddr := t.customer(w, d, c)
+		_ = tx.Load(cAddr)
+		_ = tx.Load(cAddr + 1)
+		oid := tx.Load(t.district(w, d))
+		for i := uint64(0); i < 8 && i < oid; i++ {
+			slot := tm.Addr(int(oid-1-i)%t.nOrders) * 2
+			_ = tx.Load(t.orders + slot)
+			_ = tx.Load(t.orders + slot + 1)
+		}
+	})
+}
+
+// delivery: retire the oldest orders of a district.
+func (t *TPCC) delivery(r Runner, self int, rng *Rand, w, d int) {
+	r.Atomic(self, func(tx tm.Txn) {
+		dAddr := t.district(w, d)
+		oid := tx.Load(dAddr)
+		for i := uint64(0); i < 10 && i < oid; i++ {
+			slot := tm.Addr(int(oid-1-i)%t.nOrders) * 2
+			cust := tx.Load(t.orders + slot)
+			cAddr := t.customer(w, d, int(cust)%t.Customers)
+			tx.Store(cAddr+1, tx.Load(cAddr+1)+1)
+		}
+	})
+}
+
+// stockLevel: count low-stock items in a window (long read-only scan).
+func (t *TPCC) stockLevel(r Runner, self int, rng *Rand, w, d int) {
+	start := rng.Intn(t.Items - 200)
+	r.Atomic(self, func(tx tm.Txn) {
+		low := 0
+		for i := 0; i < 200; i++ {
+			if tx.Load(t.stock+tm.Addr((start+i)*2)) < 1000 {
+				low++
+			}
+		}
+		_ = low
+	})
+}

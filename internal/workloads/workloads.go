@@ -1,0 +1,105 @@
+// Package workloads provides the TM applications of the paper's evaluation
+// (Table 1), ported to the transactional heap: the four concurrent data
+// structures, eight STAMP-like kernels, an STMBench7-style object graph,
+// TPC-C-lite, and Memcached-lite, plus a load driver and the resource
+// antagonists used by the Fig. 9 experiment.
+//
+// Applications program against tm.Txn only, so the same workload code runs
+// under any TM backend or under PolyTM's adaptive dispatch.
+package workloads
+
+import (
+	"sync/atomic"
+
+	"repro/internal/stm"
+	"repro/internal/tm"
+)
+
+// seqAlg returns the algorithm used for single-threaded setup transactions.
+func seqAlg() tm.Algorithm { return &stm.GlobalLock{} }
+
+// Runner executes atomic blocks on behalf of a worker thread. It is
+// implemented by polytm.Pool (adaptive dispatch) and by BareRunner (one
+// fixed algorithm, used to measure PolyTM's dispatch overhead).
+type Runner interface {
+	Atomic(self int, fn func(tm.Txn))
+}
+
+// BareRunner runs every atomic block under one fixed TM algorithm with no
+// PolyTM dispatch — the "bare TM" baseline of Table 4.
+type BareRunner struct {
+	Alg  tm.Algorithm
+	Ctxs []*tm.Ctx
+}
+
+// NewBareRunner builds a bare runner with one context per worker slot.
+func NewBareRunner(alg tm.Algorithm, h *tm.Heap, maxThreads int) *BareRunner {
+	ctxs := make([]*tm.Ctx, maxThreads)
+	for i := range ctxs {
+		ctxs[i] = tm.NewCtx(i, h)
+	}
+	return &BareRunner{Alg: alg, Ctxs: ctxs}
+}
+
+// Atomic implements Runner.
+func (b *BareRunner) Atomic(self int, fn func(tm.Txn)) {
+	tm.Run(b.Alg, b.Ctxs[self], fn)
+}
+
+// Workload is one TM application.
+type Workload interface {
+	// Name is the application identifier.
+	Name() string
+	// Setup initializes the application state in the heap. It runs with
+	// no concurrent transactions.
+	Setup(h *tm.Heap, rng *Rand) error
+	// Op performs one application operation (one or more atomic blocks)
+	// on behalf of worker slot self.
+	Op(r Runner, self int, rng *Rand)
+}
+
+// Rand is a tiny deterministic xorshift64* generator; each worker owns one.
+type Rand struct{ s uint64 }
+
+// NewRand seeds a generator (zero is remapped).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{s: seed}
+}
+
+// Next returns the next raw 64-bit value.
+func (r *Rand) Next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Spin burns roughly n abstract work units of CPU outside the TM (the
+// non-transactional part of an operation).
+func Spin(n int) {
+	acc := uint64(1)
+	for i := 0; i < n*8; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	spinSink.Store(acc)
+}
+
+var spinSink atomic.Uint64

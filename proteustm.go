@@ -1,0 +1,302 @@
+// Package proteustm is the public API of the ProteusTM reproduction: a
+// transactional-memory runtime that hides a library of TM implementations
+// (TL2, TinySTM, NOrec, SwissTM, simulated best-effort HTM, hybrids, global
+// lock) behind one atomic-block interface and self-tunes the TM algorithm,
+// the parallelism degree, and the HTM contention management to the running
+// workload, following Didona et al., "ProteusTM: Abstraction Meets
+// Performance in Transactional Memory" (ASPLOS 2016).
+//
+// # Programming model
+//
+// Applications allocate 64-bit words from a transactional heap and access
+// them inside atomic blocks:
+//
+//	sys, _ := proteustm.Open(proteustm.WithWorkers(8))
+//	defer sys.Close()
+//	counter := sys.MustAlloc(1)
+//	sys.Spawn(func(w *proteustm.Worker) {
+//		for i := 0; i < 1000; i++ {
+//			w.Atomic(func(tx proteustm.Txn) {
+//				tx.Store(counter, tx.Load(counter)+1)
+//			})
+//		}
+//	})
+//	sys.Wait()
+//
+// With auto-tuning enabled (WithAutoTuning), an adapter thread explores
+// configurations with Bayesian optimization over a collaborative-filtering
+// performance predictor and installs the best one, re-optimizing whenever
+// the monitor detects a workload change.
+package proteustm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cf"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/htm"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/tm"
+)
+
+// Txn is the transactional access handle passed to atomic blocks.
+type Txn = tm.Txn
+
+// Addr addresses one 64-bit word of the transactional heap.
+type Addr = tm.Addr
+
+// NilAddr is the heap's null pointer.
+const NilAddr = tm.NilAddr
+
+// Config is one tuning-space point: TM algorithm, thread count, HTM
+// contention management.
+type Config = config.Config
+
+// Algorithm identifiers re-exported for manual configuration.
+const (
+	TL2        = config.TL2
+	TinySTM    = config.TinySTM
+	NOrec      = config.NOrec
+	SwissTM    = config.SwissTM
+	HTM        = config.HTM
+	Hybrid     = config.Hybrid
+	GlobalLock = config.GlobalLock
+)
+
+// Stats are cumulative transaction statistics.
+type Stats = tm.Stats
+
+// Option configures Open.
+type Option func(*options)
+
+type options struct {
+	heapWords  int
+	workers    int
+	autoTune   bool
+	energyKPI  bool
+	seed       uint64
+	configs    []Config
+	trainKPI   *cf.Matrix
+	initial    *Config
+	maxExplore int
+}
+
+// WithHeapWords sizes the transactional heap (default 1<<22 words = 32 MiB).
+func WithHeapWords(n int) Option { return func(o *options) { o.heapWords = n } }
+
+// WithWorkers sets the number of worker slots (default 8).
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithAutoTuning enables the RecTM adapter thread.
+func WithAutoTuning() Option { return func(o *options) { o.autoTune = true } }
+
+// WithEnergyKPI optimizes throughput-per-Joule instead of raw throughput.
+func WithEnergyKPI() Option { return func(o *options) { o.energyKPI = true } }
+
+// WithSeed fixes the random seed of the tuning machinery.
+func WithSeed(s uint64) Option { return func(o *options) { o.seed = s } }
+
+// WithConfigs overrides the tuned configuration space.
+func WithConfigs(cfgs []Config) Option { return func(o *options) { o.configs = cfgs } }
+
+// WithInitialConfig pins the starting configuration (default: the
+// recommender's reference configuration).
+func WithInitialConfig(c Config) Option { return func(o *options) { o.initial = &c } }
+
+// WithMaxExplorations bounds each online exploration phase.
+func WithMaxExplorations(n int) Option { return func(o *options) { o.maxExplore = n } }
+
+// WithTrainingMatrix supplies an offline training Utility Matrix (rows:
+// workloads, columns aligned with the configuration space, entries: KPI).
+// Without it, a synthetic training matrix from the built-in performance
+// model is used.
+func WithTrainingMatrix(m [][]float64) Option {
+	return func(o *options) {
+		rows, err := cf.FromRows(m)
+		if err == nil {
+			o.trainKPI = rows
+		}
+	}
+}
+
+// System is a ProteusTM instance.
+type System struct {
+	rt      *core.Runtime
+	cfgs    []Config
+	workers int
+	tuning  bool
+
+	mu      sync.Mutex
+	nextID  int
+	pending sync.WaitGroup
+}
+
+// Worker is a registered application thread with a PolyTM slot.
+type Worker struct {
+	sys *System
+	// ID is the worker's PolyTM thread slot.
+	ID int
+}
+
+// Atomic executes fn as a serializable transaction, retrying until commit.
+func (w *Worker) Atomic(fn func(Txn)) { w.sys.rt.Atomic(w.ID, fn) }
+
+// Open creates a ProteusTM system.
+func Open(opts ...Option) (*System, error) {
+	o := options{heapWords: 1 << 22, workers: 8, seed: 42, maxExplore: 10}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.workers <= 0 {
+		return nil, fmt.Errorf("proteustm: workers must be positive")
+	}
+	cfgs := o.configs
+	if len(cfgs) == 0 {
+		cfgs = DefaultConfigs(o.workers)
+	}
+	train := o.trainKPI
+	if train == nil {
+		train = SyntheticTraining(cfgs, 60, o.seed)
+	}
+	kpi := core.Throughput
+	if o.energyKPI {
+		kpi = core.ThroughputPerJoule
+	}
+	rt, err := core.New(core.Options{
+		HeapWords:       o.heapWords,
+		MaxThreads:      o.workers,
+		Configs:         cfgs,
+		TrainKPI:        train,
+		KPI:             kpi,
+		Energy:          energy.NewModel(18, 6.5),
+		Seed:            o.seed,
+		MaxExplorations: o.maxExplore,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if o.initial != nil {
+		if err := rt.Pool.Reconfigure(*o.initial); err != nil {
+			return nil, err
+		}
+	}
+	s := &System{rt: rt, cfgs: cfgs, workers: o.workers}
+	if o.autoTune {
+		rt.Start()
+		s.tuning = true
+	}
+	return s, nil
+}
+
+// Alloc reserves n consecutive heap words.
+func (s *System) Alloc(n int) (Addr, error) { return s.rt.Heap().Alloc(n) }
+
+// MustAlloc reserves n words, panicking on heap exhaustion.
+func (s *System) MustAlloc(n int) Addr { return s.rt.Heap().MustAlloc(n) }
+
+// Load reads a heap word outside any transaction (setup/validation only).
+func (s *System) Load(a Addr) uint64 { return s.rt.Heap().LoadWord(a) }
+
+// Store writes a heap word outside any transaction (setup only).
+func (s *System) Store(a Addr, v uint64) { s.rt.Heap().StoreWord(a, v) }
+
+// Worker registers (or reuses) the worker slot with the given index.
+func (s *System) Worker(id int) (*Worker, error) {
+	if id < 0 || id >= s.workers {
+		return nil, fmt.Errorf("proteustm: worker id %d out of range [0,%d)", id, s.workers)
+	}
+	return &Worker{sys: s, ID: id}, nil
+}
+
+// Spawn runs body on the next free worker slot in a new goroutine. Use Wait
+// to join all spawned workers.
+func (s *System) Spawn(body func(w *Worker)) error {
+	s.mu.Lock()
+	id := s.nextID
+	if id >= s.workers {
+		s.mu.Unlock()
+		return fmt.Errorf("proteustm: all %d worker slots in use", s.workers)
+	}
+	s.nextID++
+	s.mu.Unlock()
+	s.pending.Add(1)
+	go func() {
+		defer s.pending.Done()
+		body(&Worker{sys: s, ID: id})
+	}()
+	return nil
+}
+
+// Wait joins every goroutine started with Spawn.
+func (s *System) Wait() { s.pending.Wait() }
+
+// SetConfig manually installs a configuration (disable auto-tuning first or
+// the adapter may override it).
+func (s *System) SetConfig(c Config) error { return s.rt.Pool.Reconfigure(c) }
+
+// CurrentConfig returns the installed configuration.
+func (s *System) CurrentConfig() Config { return s.rt.Pool.Config() }
+
+// Stats returns cumulative transaction statistics.
+func (s *System) Stats() Stats { return s.rt.Pool.SnapshotStats() }
+
+// Reoptimize triggers an immediate exploration phase (auto-tuning only).
+func (s *System) Reoptimize() { s.rt.ForceReoptimize() }
+
+// Close stops the adapter thread.
+func (s *System) Close() error {
+	if s.tuning {
+		s.rt.Stop()
+		s.tuning = false
+	}
+	return nil
+}
+
+// DefaultConfigs returns a compact tuning space for maxThreads workers:
+// every STM × {1, 2, …, maxThreads} plus HTM contention-management variants.
+func DefaultConfigs(maxThreads int) []Config {
+	var threads []int
+	for t := 1; t <= maxThreads; t *= 2 {
+		threads = append(threads, t)
+	}
+	if last := threads[len(threads)-1]; last != maxThreads {
+		threads = append(threads, maxThreads)
+	}
+	var out []Config
+	for _, alg := range []config.AlgID{config.TL2, config.TinySTM, config.NOrec, config.SwissTM} {
+		for _, t := range threads {
+			out = append(out, Config{Alg: alg, Threads: t})
+		}
+	}
+	for _, t := range threads {
+		for _, b := range []int{2, 8} {
+			for _, p := range []htm.CapacityPolicy{htm.PolicyGiveUp, htm.PolicyHalve} {
+				out = append(out, Config{Alg: config.HTM, Threads: t, Budget: b, Policy: p})
+			}
+		}
+	}
+	return out
+}
+
+// SyntheticTraining builds a training Utility Matrix for the given
+// configuration space from the analytic performance model (the substitute
+// for profiling a base set of applications offline).
+func SyntheticTraining(cfgs []Config, workloads int, seed uint64) *cf.Matrix {
+	prof := machine.Profile{
+		Name:           "local",
+		Cores:          8,
+		HWThreads:      8,
+		Sockets:        1,
+		HasHTM:         true,
+		ThreadCounts:   []int{1, 2, 4, 8},
+		StaticPower:    18,
+		PowerPerThread: 6.5,
+	}
+	gen := &perfmodel.Generator{Machine: prof, Seed: seed}
+	ws := gen.Workloads(workloads)
+	return gen.Matrix(ws, cfgs, perfmodel.Throughput)
+}

@@ -1,0 +1,173 @@
+package proteustm_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	proteustm "repro"
+)
+
+// TestOpenDefaults checks Open with defaults produces a usable system.
+func TestOpenDefaults(t *testing.T) {
+	sys, err := proteustm.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	a := sys.MustAlloc(1)
+	w, err := sys.Worker(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Atomic(func(tx proteustm.Txn) { tx.Store(a, 7) })
+	if got := sys.Load(a); got != 7 {
+		t.Errorf("Load = %d, want 7", got)
+	}
+}
+
+// TestWorkerRange validates worker-slot bounds.
+func TestWorkerRange(t *testing.T) {
+	sys, err := proteustm.Open(proteustm.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.Worker(2); err == nil {
+		t.Error("expected error for out-of-range worker id")
+	}
+	if _, err := sys.Worker(-1); err == nil {
+		t.Error("expected error for negative worker id")
+	}
+}
+
+// TestSpawnSlots verifies Spawn hands out each slot once.
+func TestSpawnSlots(t *testing.T) {
+	sys, err := proteustm.Open(proteustm.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	a := sys.MustAlloc(1)
+	for i := 0; i < 3; i++ {
+		if err := sys.Spawn(func(w *proteustm.Worker) {
+			w.Atomic(func(tx proteustm.Txn) { tx.Store(a, tx.Load(a)+1) })
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Spawn(func(*proteustm.Worker) {}); err == nil {
+		t.Error("expected error when slots are exhausted")
+	}
+	sys.Wait()
+	if got := sys.Load(a); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+}
+
+// TestManualConfigSwitch checks SetConfig under live traffic.
+func TestManualConfigSwitch(t *testing.T) {
+	sys, err := proteustm.Open(proteustm.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	a := sys.MustAlloc(64)
+	var stop bool
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		w, _ := sys.Worker(i)
+		wg.Add(1)
+		go func(w *proteustm.Worker, id int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				s := stop
+				mu.Unlock()
+				if s {
+					return
+				}
+				w.Atomic(func(tx proteustm.Txn) {
+					slot := proteustm.Addr(id * 8)
+					tx.Store(a+slot, tx.Load(a+slot)+1)
+				})
+			}
+		}(w, i)
+	}
+	for _, cfg := range []proteustm.Config{
+		{Alg: proteustm.NOrec, Threads: 2},
+		{Alg: proteustm.HTM, Threads: 4, Budget: 4},
+		{Alg: proteustm.SwissTM, Threads: 4},
+	} {
+		time.Sleep(10 * time.Millisecond)
+		if err := sys.SetConfig(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if got := sys.CurrentConfig(); got != cfg {
+			t.Errorf("CurrentConfig = %v, want %v", got, cfg)
+		}
+	}
+	mu.Lock()
+	stop = true
+	mu.Unlock()
+	wg.Wait()
+	if s := sys.Stats(); s.Commits == 0 {
+		t.Error("no commits recorded")
+	}
+}
+
+// TestAutoTuningSmoke opens an auto-tuned system under load and checks the
+// adapter installs a configuration and the system survives Close.
+func TestAutoTuningSmoke(t *testing.T) {
+	sys, err := proteustm.Open(
+		proteustm.WithWorkers(4),
+		proteustm.WithAutoTuning(),
+		proteustm.WithMaxExplorations(4),
+		proteustm.WithSeed(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sys.MustAlloc(128)
+	var stop sync.Once
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		w, _ := sys.Worker(i)
+		wg.Add(1)
+		go func(w *proteustm.Worker, id int) {
+			defer wg.Done()
+			rng := uint64(id + 1)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				slot := proteustm.Addr(rng % 128)
+				w.Atomic(func(tx proteustm.Txn) {
+					tx.Store(a+slot, tx.Load(a+slot)+1)
+				})
+			}
+		}(w, i)
+	}
+	time.Sleep(800 * time.Millisecond)
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen the gate fully so workers can exit.
+	cfg := sys.CurrentConfig()
+	cfg.Threads = 4
+	if err := sys.SetConfig(cfg); err != nil {
+		t.Fatal(err)
+	}
+	stop.Do(func() { close(done) })
+	wg.Wait()
+	if s := sys.Stats(); s.Commits == 0 {
+		t.Error("auto-tuned system committed nothing")
+	}
+}
