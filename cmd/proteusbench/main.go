@@ -1,123 +1,311 @@
-// Command proteusbench regenerates the tables and figures of the ProteusTM
-// paper's evaluation section (§6).
+// Command proteusbench is the experiment entry point of the reproduction:
+// it enumerates the scenario registry, runs one scenario under fixed or
+// auto-tuned configurations with reproducible result records, sweeps the
+// scenario grid × configuration grid into a Utility-Matrix CSV, and
+// regenerates the paper's figures and tables.
 //
 // Usage:
 //
-//	proteusbench -experiment all            # everything, paper scale
-//	proteusbench -experiment fig4 -quick    # one experiment, reduced scale
+//	proteusbench list [--threads 8]
+//	proteusbench run --scenario rbtree --seed 42 [--param update=0.6]
+//	    [--config TL2:4t,NOrec:4t | --autotune] [--ops 20000] [--duration 2s]
+//	proteusbench sweep --out um.csv [--scenarios rbtree,tpcc] [--window 200ms]
+//	proteusbench experiment --name fig4 [--quick]
 //
-// Experiments: fig1, table4, table5, fig4, fig5, fig6, fig7, fig8 (includes
-// Table 6), fig9, all. Trace-driven experiments (fig1, fig4–fig7) replay the
-// analytic performance model; table4/table5/fig8/fig9 run the real runtime
-// on this machine.
+// `run` is deterministic by default: operations execute serially against a
+// virtual clock, so the same seed produces byte-identical JSON records on
+// every invocation (see docs/experimentation.md). Pass --duration to
+// measure real wall-clock throughput instead. `sweep` writes the CSV that
+// cf.ReadCSV / proteustm.WithTrainingMatrix consume, resuming from its
+// journal when interrupted.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
+	"time"
 
+	"repro/internal/cf"
+	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run: fig1|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|all")
-	quick := flag.Bool("quick", false, "reduced scale for a fast run")
-	flag.Parse()
-
-	scale := experiments.Full
-	if *quick {
-		scale = experiments.Quick
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
 	}
-	if err := run(*exp, scale); err != nil {
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "-h", "--help", "help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "proteusbench: unknown command %q\n\n", os.Args[1])
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "proteusbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, scale experiments.Scale) error {
-	w := os.Stdout
-	runners := map[string]func() error{
-		"fig1": func() error {
-			experiments.Fig1(scale).Print(w)
-			return nil
-		},
-		"table4": func() error {
-			r, err := experiments.Table4(scale)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		},
-		"table5": func() error {
-			r, err := experiments.Table5(scale)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		},
-		"fig4": func() error {
-			r, err := experiments.Fig4(scale)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		},
-		"fig5": func() error {
-			r, err := experiments.Fig5(scale)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		},
-		"fig6": func() error {
-			r, err := experiments.Fig6(scale)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		},
-		"fig7": func() error {
-			r, err := experiments.Fig7(scale)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		},
-		"fig8": func() error {
-			r, err := experiments.Fig8(scale)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		},
-		"fig9": func() error {
-			r, err := experiments.Fig9(scale)
-			if err != nil {
-				return err
-			}
-			r.Print(w)
-			return nil
-		},
+func usage(w *os.File) {
+	fmt.Fprint(w, `proteusbench — scenario harness for the ProteusTM reproduction
+
+Commands:
+  list        enumerate scenarios, parameter schemas and the config space
+  run         run one scenario under fixed or auto-tuned configurations
+  sweep       measure scenario grid x config grid into a Utility-Matrix CSV
+  experiment  regenerate the paper's figures/tables (fig1..fig9, all)
+
+Run 'proteusbench <command> -h' for command flags.
+`)
+}
+
+// repeatedFlag collects a repeatable --param flag.
+type repeatedFlag []string
+
+func (r *repeatedFlag) String() string     { return strings.Join(*r, ",") }
+func (r *repeatedFlag) Set(s string) error { *r = append(*r, s); return nil }
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	threads := fs.Int("threads", 8, "worker slots the config space is built for")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+	scenario.RenderList(os.Stdout, *threads)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	name := fs.String("scenario", "", "scenario to run (see `proteusbench list`)")
+	var params repeatedFlag
+	fs.Var(&params, "param", "scenario parameter key=value (repeatable, comma-separable)")
+	seed := fs.Uint64("seed", 42, "deterministic seed")
+	configs := fs.String("config", "", "comma-separated configuration labels (e.g. TL2:4t,\"HTM:4t GiveUp-8\"); default NOrec at min(4,threads)")
+	autotune := fs.Bool("autotune", false, "run RecTM's monitor/explore/install loop instead of fixed configs")
+	threads := fs.Int("threads", 8, "worker slots")
+	heapWords := fs.Int("heap-words", 1<<22, "transactional heap size in 64-bit words")
+	ops := fs.Uint64("ops", 20000, "deterministic-mode operation budget")
+	sampleEvery := fs.Uint64("sample-every", 0, "ops per KPI sample (default ops/10)")
+	opCost := fs.Duration("op-cost", time.Microsecond, "virtual time per transaction attempt (deterministic mode)")
+	duration := fs.Duration("duration", 0, "wall-clock measurement window; >0 switches to timed mode")
+	umPath := fs.String("um", "", "training Utility-Matrix CSV for --autotune (from `proteusbench sweep`; default synthetic)")
+	out := fs.String("out", "", "write JSON records here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("run: --scenario is required (try `proteusbench list`)")
+	}
+	values, err := scenario.ParseAssignments(params)
+	if err != nil {
+		return err
+	}
+	spec := scenario.RunSpec{
+		Scenario:    *name,
+		Params:      values,
+		Seed:        *seed,
+		AutoTune:    *autotune,
+		MaxThreads:  *threads,
+		HeapWords:   *heapWords,
+		Ops:         *ops,
+		SampleEvery: *sampleEvery,
+		OpCost:      *opCost,
+		Duration:    *duration,
+	}
+	if *configs != "" {
+		if *autotune {
+			return fmt.Errorf("run: --config and --autotune are mutually exclusive")
+		}
+		if spec.Configs, err = config.ParseList(*configs); err != nil {
+			return err
+		}
+	}
+	if *umPath != "" {
+		if !*autotune {
+			return fmt.Errorf("run: --um only makes sense with --autotune")
+		}
+		f, err := os.Open(*umPath)
+		if err != nil {
+			return err
+		}
+		um, labels, err := cf.ReadCSV(f, true)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("run: reading %s: %w", *umPath, err)
+		}
+		if spec.Space, err = parseLabels(labels); err != nil {
+			return err
+		}
+		spec.TrainKPI = um
+	}
+
+	results, err := scenario.Run(spec)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	for _, r := range results {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%-14s %-20s mode=%-13s ops=%-8d commits=%-8d abort-rate=%.4f kpi=%.0f/s final=%s\n",
+			r.Scenario, r.Config, r.Mode, r.Ops, r.Commits, r.AbortRate, r.CommitRate, r.FinalConfig)
+	}
+	return nil
+}
+
+// parseLabels turns UM header labels back into the configuration space.
+func parseLabels(labels []string) ([]config.Config, error) {
+	cfgs := make([]config.Config, len(labels))
+	for i, l := range labels {
+		c, err := config.Parse(l)
+		if err != nil {
+			return nil, fmt.Errorf("UM column %d: %w", i, err)
+		}
+		cfgs[i] = c
+	}
+	return cfgs, nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	out := fs.String("out", "um.csv", "output Utility-Matrix CSV path")
+	names := fs.String("scenarios", "", "comma-separated scenario subset (default: all)")
+	threads := fs.Int("threads", 8, "worker slots")
+	heapWords := fs.Int("heap-words", 1<<22, "transactional heap size in 64-bit words")
+	seed := fs.Uint64("seed", 42, "deterministic seed")
+	ops := fs.Uint64("ops", 20000, "deterministic-mode ops per cell")
+	window := fs.Duration("window", 200*time.Millisecond, "wall-clock window per cell (0 = deterministic mode)")
+	journal := fs.String("journal", "", "resume journal path (default <out>.journal; \"none\" disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := scenario.SweepSpec{
+		MaxThreads: *threads,
+		HeapWords:  *heapWords,
+		Seed:       *seed,
+		Ops:        *ops,
+		Window:     *window,
+		Progress:   os.Stderr,
+	}
+	if *names != "" {
+		spec.Scenarios = strings.Split(*names, ",")
+	}
+	switch *journal {
+	case "none":
+	case "":
+		spec.Journal = *out + ".journal"
+	default:
+		spec.Journal = *journal
+	}
+	res, err := scenario.Sweep(spec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %dx%d utility matrix to %s (%d cells measured, %d reused from journal)\n",
+		res.UM.Rows, res.UM.Cols, *out, res.Measured, res.Reused)
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	name := fs.String("name", "all", "experiment: fig1|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|all")
+	quick := fs.Bool("quick", false, "reduced scale for a fast run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Accept a bare positional name too: `proteusbench experiment fig4`.
+	// Flag parsing stops at the first non-flag argument, so re-parse the
+	// remainder to honor trailing flags (`experiment fig4 --quick`).
+	if fs.NArg() > 0 {
+		if *name == "all" {
+			*name = fs.Arg(0)
+		}
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() > 0 {
+			return fmt.Errorf("experiment: unexpected arguments %v", fs.Args())
+		}
+	}
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	return runExperiment(*name, scale)
+}
+
+func runExperiment(name string, scale experiments.Scale) error {
+	w := os.Stdout
+	type printer interface{ Print(io.Writer) }
+	runners := map[string]func() (printer, error){
+		"fig1":   func() (printer, error) { return experiments.Fig1(scale), nil },
+		"table4": func() (printer, error) { return experiments.Table4(scale) },
+		"table5": func() (printer, error) { return experiments.Table5(scale) },
+		"fig4":   func() (printer, error) { return experiments.Fig4(scale) },
+		"fig5":   func() (printer, error) { return experiments.Fig5(scale) },
+		"fig6":   func() (printer, error) { return experiments.Fig6(scale) },
+		"fig7":   func() (printer, error) { return experiments.Fig7(scale) },
+		"fig8":   func() (printer, error) { return experiments.Fig8(scale) },
+		"fig9":   func() (printer, error) { return experiments.Fig9(scale) },
+	}
+	order := []string{"fig1", "table4", "table5", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
 	if name == "all" {
-		for _, key := range []string{"fig1", "table4", "table5", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"} {
-			if err := runners[key](); err != nil {
+		for _, key := range order {
+			r, err := runners[key]()
+			if err != nil {
 				return fmt.Errorf("%s: %w", key, err)
 			}
+			r.Print(w)
 		}
 		return nil
 	}
 	fn, ok := runners[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q", name)
+		return fmt.Errorf("unknown experiment %q (want %s or all)", name, strings.Join(order, "|"))
 	}
-	return fn()
+	r, err := fn()
+	if err != nil {
+		return err
+	}
+	r.Print(w)
+	return nil
 }

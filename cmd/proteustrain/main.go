@@ -1,11 +1,13 @@
 // Command proteustrain performs RecTM's off-line profiling step (Algorithm
-// 2, line 1): it runs a base set of applications across the tuned
+// 2, line 1): it measures the scenario registry across the tuned
 // configuration space on THIS machine and writes the resulting Utility
-// Matrix as CSV (rows = workloads, columns = configurations, entries =
-// throughput in ops/s, header = configuration labels).
+// Matrix as CSV (rows = scenarios, columns = configurations, entries =
+// committed transactions per second, header = configuration labels).
 //
-// The resulting file can be loaded with proteustm.WithTrainingMatrix (after
-// cf.ReadCSV) to auto-tune against measured rather than modeled data.
+// It is a thin wrapper over `proteusbench sweep` in timed mode; the
+// resulting file can be loaded with proteustm.WithTrainingMatrix (after
+// cf.ReadCSV) to auto-tune against measured rather than modeled data, and
+// an interrupted run resumes from its journal.
 //
 // Usage:
 //
@@ -18,124 +20,37 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/cf"
-	"repro/internal/config"
-	"repro/internal/htm"
-	"repro/internal/polytm"
-	"repro/internal/workloads"
+	"repro/internal/scenario"
 )
 
 func main() {
 	out := flag.String("out", "um.csv", "output CSV path")
-	window := flag.Duration("window", 200*time.Millisecond, "measurement window per (workload, config)")
+	window := flag.Duration("window", 200*time.Millisecond, "measurement window per (scenario, config)")
 	threads := flag.Int("threads", 8, "maximum worker threads")
 	flag.Parse()
 
-	if err := run(*out, *window, *threads); err != nil {
+	res, err := scenario.Sweep(scenario.SweepSpec{
+		MaxThreads: *threads,
+		Window:     *window,
+		Journal:    *out + ".journal",
+		Progress:   os.Stderr,
+	})
+	if err == nil {
+		err = writeCSV(res, *out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "proteustrain:", err)
 		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "wrote %dx%d utility matrix to %s (%d measured, %d reused)\n",
+		res.UM.Rows, res.UM.Cols, *out, res.Measured, res.Reused)
 }
 
-// trainingSet returns the base applications profiled off-line: one
-// representative per workload family, at a few parameterizations.
-func trainingSet() []struct {
-	name string
-	make func() workloads.Workload
-} {
-	return []struct {
-		name string
-		make func() workloads.Workload
-	}{
-		{"rbtree-read", func() workloads.Workload { return &workloads.RBTree{KeyRange: 1 << 12, UpdateRatio: 0.05} }},
-		{"rbtree-update", func() workloads.Workload { return &workloads.RBTree{KeyRange: 1 << 8, UpdateRatio: 0.6} }},
-		{"skiplist", func() workloads.Workload { return &workloads.SkipList{KeyRange: 1 << 12} }},
-		{"linkedlist", func() workloads.Workload { return &workloads.LinkedList{KeyRange: 1 << 8} }},
-		{"hashmap", func() workloads.Workload { return &workloads.HashMap{KeyRange: 1 << 14} }},
-		{"genome", func() workloads.Workload { return &workloads.Genome{Segments: 1 << 12} }},
-		{"intruder", func() workloads.Workload { return &workloads.Intruder{Flows: 1 << 9} }},
-		{"kmeans", func() workloads.Workload { return &workloads.KMeans{Clusters: 12} }},
-		{"labyrinth", func() workloads.Workload { return &workloads.Labyrinth{GridSize: 1 << 14, PathLen: 128} }},
-		{"ssca2", func() workloads.Workload { return &workloads.SSCA2{Vertices: 1 << 14} }},
-		{"vacation", func() workloads.Workload { return &workloads.Vacation{Relations: 1 << 12} }},
-		{"yada", func() workloads.Workload { return &workloads.Yada{Elements: 1 << 13} }},
-		{"bayes", func() workloads.Workload { return &workloads.Bayes{Nodes: 1 << 11} }},
-		{"stmbench7", func() workloads.Workload { return &workloads.STMBench7{Depth: 4} }},
-		{"tpcc", func() workloads.Workload { return &workloads.TPCC{Warehouses: 4} }},
-		{"memcached", func() workloads.Workload { return &workloads.Memcached{KeyRange: 1 << 13} }},
-	}
-}
-
-// space enumerates the tuned configuration space for this machine.
-func space(maxThreads int) []config.Config {
-	var threadCounts []int
-	for t := 1; t <= maxThreads; t *= 2 {
-		threadCounts = append(threadCounts, t)
-	}
-	var cfgs []config.Config
-	for _, alg := range []config.AlgID{config.TL2, config.TinySTM, config.NOrec, config.SwissTM} {
-		for _, t := range threadCounts {
-			cfgs = append(cfgs, config.Config{Alg: alg, Threads: t})
-		}
-	}
-	for _, t := range threadCounts {
-		for _, b := range []int{2, 8} {
-			for _, p := range []htm.CapacityPolicy{htm.PolicyGiveUp, htm.PolicyHalve} {
-				cfgs = append(cfgs, config.Config{Alg: config.HTM, Threads: t, Budget: b, Policy: p})
-			}
-		}
-	}
-	return cfgs
-}
-
-func run(out string, window time.Duration, maxThreads int) error {
-	apps := trainingSet()
-	cfgs := space(maxThreads)
-	labels := make([]string, len(cfgs))
-	for i, c := range cfgs {
-		labels[i] = c.String()
-	}
-	um := cf.NewMatrix(len(apps), len(cfgs))
-
-	for ai, app := range apps {
-		fmt.Fprintf(os.Stderr, "[%2d/%d] %-14s", ai+1, len(apps), app.name)
-		pool := polytm.New(1<<23, maxThreads, cfgs[0])
-		wl := app.make()
-		if err := wl.Setup(pool.Heap(), workloads.NewRand(uint64(ai)+1)); err != nil {
-			return fmt.Errorf("%s: setup: %w", app.name, err)
-		}
-		d := &workloads.Driver{Workload: wl, Runner: pool, MaxThreads: maxThreads, Seed: uint64(ai) + 100}
-		if err := d.Start(); err != nil {
-			return fmt.Errorf("%s: %w", app.name, err)
-		}
-		for ci, cfg := range cfgs {
-			if err := pool.Reconfigure(cfg); err != nil {
-				return err
-			}
-			time.Sleep(window / 4) // settle
-			before := d.Ops()
-			start := time.Now()
-			time.Sleep(window)
-			um.Data[ai][ci] = float64(d.Ops()-before) / time.Since(start).Seconds()
-		}
-		// Re-open the gate so every worker can observe the stop flag.
-		full := pool.Config()
-		full.Threads = maxThreads
-		if err := pool.Reconfigure(full); err != nil {
-			return err
-		}
-		d.Stop()
-		fmt.Fprintf(os.Stderr, " done\n")
-	}
-
+func writeCSV(res *scenario.SweepResult, out string) error {
 	f, err := os.Create(out)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := um.WriteCSV(f, labels); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "wrote %d×%d utility matrix to %s\n", um.Rows, um.Cols, out)
-	return nil
+	return res.WriteCSV(f)
 }

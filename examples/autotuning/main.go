@@ -1,10 +1,14 @@
-// Autotuning: ProteusTM adapting to a workload change at run time.
+// Autotuning: RecTM's monitor → explore → install loop as a thin scenario
+// invocation, in deterministic mode — the run below prints the same
+// exploration trace, the same installed configuration and the same heap
+// digest every time it executes, because the harness serializes operations
+// against a virtual clock (docs/experimentation.md explains why that
+// matters for controlled experiments).
 //
-// A key-value set workload starts read-dominated and scalable, then turns
-// into a write-heavy contended workload. With auto-tuning enabled, the
-// adapter thread explores a few configurations (Bayesian optimization over
-// the CF predictor), installs the best one, detects the workload change via
-// CUSUM, and re-optimizes — all behind the unchanged atomic-block API.
+// The equivalent CLI run is:
+//
+//	proteusbench run --scenario rbtree --param update=0.4,keyrange=256 \
+//	    --autotune --seed 7 --ops 60000
 //
 //	go run ./examples/autotuning
 package main
@@ -12,100 +16,39 @@ package main
 import (
 	"fmt"
 	"log"
-	"sync"
-	"sync/atomic"
-	"time"
 
-	proteustm "repro"
-)
-
-const (
-	workers = 8
-	buckets = 1 << 10
+	"repro/internal/scenario"
 )
 
 func main() {
-	sys, err := proteustm.Open(
-		proteustm.WithWorkers(workers),
-		proteustm.WithHeapWords(1<<20),
-		proteustm.WithAutoTuning(),
-		proteustm.WithSeed(7),
-	)
+	spec := scenario.RunSpec{
+		Scenario:   "rbtree",
+		Params:     scenario.Values{"update": "0.4", "keyrange": "256"},
+		Seed:       7,
+		AutoTune:   true,
+		MaxThreads: 8,
+		Ops:        60000,
+	}
+	results, err := scenario.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer sys.Close()
-
-	// A chained hash set in transactional memory.
-	table := sys.MustAlloc(buckets)
-	var writeHeavy atomic.Bool
-	var stop atomic.Bool
-	var ops atomic.Uint64
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wk, err := sys.Worker(w)
-		if err != nil {
-			log.Fatal(err)
-		}
-		wg.Add(1)
-		go func(wk *proteustm.Worker, seed uint64) {
-			defer wg.Done()
-			rng := seed
-			for !stop.Load() {
-				rng ^= rng << 13
-				rng ^= rng >> 7
-				rng ^= rng << 17
-				slot := proteustm.Addr(rng % buckets)
-				writeCut := uint64(1 << 62) // ~25% writes
-				if writeHeavy.Load() {
-					slot = proteustm.Addr(rng % 32) // hot spot
-					writeCut = 1 << 63              // ~50% writes… on 32 words
-				}
-				if rng < writeCut {
-					wk.Atomic(func(tx proteustm.Txn) {
-						tx.Store(table+slot, tx.Load(table+slot)+1)
-					})
-				} else {
-					wk.Atomic(func(tx proteustm.Txn) {
-						_ = tx.Load(table + slot)
-						_ = tx.Load(table + proteustm.Addr((uint64(slot)+7)%buckets))
-					})
-				}
-				ops.Add(1)
-			}
-		}(wk, uint64(w+1))
+	r := results[0]
+	fmt.Printf("auto-tuned %s over %d ops (%d optimization phase(s))\n\n", r.Scenario, r.Ops, r.Phases)
+	fmt.Println("installed-configuration trace:")
+	for _, e := range r.Trace {
+		fmt.Printf("  op %6d  %-8s %s\n", e.Ops, e.Event, e.Config)
 	}
+	fmt.Printf("\nfinal config %s, commit rate %.0f tx/s (virtual), abort rate %.4f\n",
+		r.FinalConfig, r.CommitRate, r.AbortRate)
+	fmt.Printf("heap digest %s\n", r.HeapDigest)
 
-	report := func(tag string, dur time.Duration) {
-		before := ops.Load()
-		time.Sleep(dur)
-		rate := float64(ops.Load()-before) / dur.Seconds()
-		fmt.Printf("%-22s config=%-20s throughput=%.0f ops/s\n",
-			tag, sys.CurrentConfig().String(), rate)
-	}
-
-	fmt.Println("phase 1: scalable read-mostly workload")
-	for i := 0; i < 4; i++ {
-		report("phase 1", 700*time.Millisecond)
-	}
-
-	fmt.Println("phase 2: contended write-heavy workload (hot spot)")
-	writeHeavy.Store(true)
-	for i := 0; i < 6; i++ {
-		report("phase 2", 700*time.Millisecond)
-	}
-
-	stop.Store(false) // keep the compiler honest about usage ordering
-	stop.Store(true)
-	// Unpark any workers a low-thread configuration left waiting.
-	cfg := sys.CurrentConfig()
-	cfg.Threads = workers
-	if err := sys.SetConfig(cfg); err != nil {
+	// Re-run the identical spec: deterministic mode guarantees the same
+	// trace and the same end state.
+	again, err := scenario.Run(spec)
+	if err != nil {
 		log.Fatal(err)
 	}
-	wg.Wait()
-	s := sys.Stats()
-	fmt.Printf("done: %d commits, %d aborts, final config %s\n",
-		s.Commits, s.Aborts, sys.CurrentConfig().String())
+	fmt.Printf("reproducible: %v (second run digest %s)\n",
+		again[0].HeapDigest == r.HeapDigest, again[0].HeapDigest)
 }

@@ -1,7 +1,14 @@
-// Datastructures: a transactional sorted set (skip-list style) built on the
-// public API, exercised under contrasting operation mixes to show how the
-// best configuration flips — the motivation behind ProteusTM (Fig. 1 of the
-// paper).
+// Datastructures: the best TM configuration flips with the operation mix —
+// the motivation behind ProteusTM (Fig. 1 of the paper) — demonstrated as
+// a thin invocation of the scenario registry: the same `rbtree` scenario
+// runs under two contrasting parameterizations × four fixed
+// configurations, in timed mode so the ranking reflects real parallelism.
+//
+// The equivalent CLI runs are:
+//
+//	proteusbench run --scenario rbtree --param update=0.02,keyrange=4096 \
+//	    --config NOrec:1t,NOrec:8t,Tiny:8t,"HTM:8t GiveUp-8" --duration 400ms
+//	proteusbench run --scenario rbtree --param update=0.6,keyrange=64 ...
 //
 //	go run ./examples/datastructures
 package main
@@ -9,150 +16,40 @@ package main
 import (
 	"fmt"
 	"log"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	proteustm "repro"
+	"repro/internal/config"
+	"repro/internal/scenario"
 )
-
-const (
-	workers  = 8
-	keyRange = 1 << 12
-)
-
-// node layout: key, next (a tiny sorted linked set — deliberately simple;
-// the in-repo benchmarks implement the full structures).
-type set struct {
-	sys  *proteustm.System
-	head proteustm.Addr
-	pool proteustm.Addr // free-list head
-}
-
-func newSet(sys *proteustm.System) *set {
-	return &set{sys: sys, head: sys.MustAlloc(2), pool: sys.MustAlloc(1)}
-}
-
-func (s *set) insert(tx proteustm.Txn, k uint64) {
-	prev := s.head
-	cur := proteustm.Addr(tx.Load(prev + 1))
-	for cur != proteustm.NilAddr && tx.Load(cur) < k {
-		prev = cur
-		cur = proteustm.Addr(tx.Load(cur + 1))
-	}
-	if cur != proteustm.NilAddr && tx.Load(cur) == k {
-		return
-	}
-	n := proteustm.Addr(tx.Load(s.pool))
-	if n != proteustm.NilAddr {
-		tx.Store(s.pool, tx.Load(n+1)) // pop recycled node
-	} else {
-		n = s.sys.MustAlloc(2)
-	}
-	tx.Store(n, k)
-	tx.Store(n+1, uint64(cur))
-	tx.Store(prev+1, uint64(n))
-}
-
-func (s *set) remove(tx proteustm.Txn, k uint64) {
-	prev := s.head
-	cur := proteustm.Addr(tx.Load(prev + 1))
-	for cur != proteustm.NilAddr && tx.Load(cur) < k {
-		prev = cur
-		cur = proteustm.Addr(tx.Load(cur + 1))
-	}
-	if cur == proteustm.NilAddr || tx.Load(cur) != k {
-		return
-	}
-	tx.Store(prev+1, tx.Load(cur+1))
-	tx.Store(cur+1, tx.Load(s.pool)) // recycle
-	tx.Store(s.pool, uint64(cur))
-}
-
-func (s *set) contains(tx proteustm.Txn, k uint64) bool {
-	cur := proteustm.Addr(tx.Load(s.head + 1))
-	for cur != proteustm.NilAddr && tx.Load(cur) < k {
-		cur = proteustm.Addr(tx.Load(cur + 1))
-	}
-	return cur != proteustm.NilAddr && tx.Load(cur) == k
-}
 
 func main() {
-	sys, err := proteustm.Open(
-		proteustm.WithWorkers(workers),
-		proteustm.WithHeapWords(1<<20),
-	)
+	configs, err := config.ParseList(`NOrec:1t,NOrec:8t,Tiny:8t,HTM:8t GiveUp-8`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer sys.Close()
-	s := newSet(sys)
-
-	// Pre-populate via worker 0.
-	w0, _ := sys.Worker(0)
-	for k := uint64(1); k < 256; k += 2 {
-		kk := k
-		w0.Atomic(func(tx proteustm.Txn) { s.insert(tx, kk) })
-	}
-
 	mixes := []struct {
-		name      string
-		updatePct int
-		span      uint64 // key span actually exercised
+		name   string
+		params scenario.Values
 	}{
-		{"read-dominated, wide", 2, 256},
-		{"update-heavy, narrow", 60, 48},
+		{"read-dominated, wide key range", scenario.Values{"update": "0.02", "keyrange": "4096"}},
+		{"update-heavy, narrow key range", scenario.Values{"update": "0.6", "keyrange": "64"}},
 	}
-	configs := []proteustm.Config{
-		{Alg: proteustm.NOrec, Threads: 1},
-		{Alg: proteustm.NOrec, Threads: workers},
-		{Alg: proteustm.TinySTM, Threads: workers},
-		{Alg: proteustm.HTM, Threads: workers, Budget: 8},
-	}
-
 	for _, mix := range mixes {
-		fmt.Printf("\n%s:\n", mix.name)
-		for _, cfg := range configs {
-			if err := sys.SetConfig(cfg); err != nil {
-				log.Fatal(err)
-			}
-			var ops atomic.Uint64
-			var stop atomic.Bool
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wk, _ := sys.Worker(w)
-				wg.Add(1)
-				go func(wk *proteustm.Worker, seed uint64) {
-					defer wg.Done()
-					rng := seed
-					for !stop.Load() {
-						rng ^= rng << 13
-						rng ^= rng >> 7
-						rng ^= rng << 17
-						k := rng%mix.span + 1
-						switch {
-						case int(rng%100) < mix.updatePct/2:
-							wk.Atomic(func(tx proteustm.Txn) { s.insert(tx, k) })
-						case int(rng%100) < mix.updatePct:
-							wk.Atomic(func(tx proteustm.Txn) { s.remove(tx, k) })
-						default:
-							wk.Atomic(func(tx proteustm.Txn) { s.contains(tx, k) })
-						}
-						ops.Add(1)
-					}
-				}(wk, uint64(w+3))
-			}
-			time.Sleep(400 * time.Millisecond)
-			rate := float64(ops.Load()) / 0.4
-			// Re-open all slots so parked workers can exit.
-			full := cfg
-			full.Threads = workers
-			if err := sys.SetConfig(full); err != nil {
-				log.Fatal(err)
-			}
-			stop.Store(true)
-			wg.Wait()
-			fmt.Printf("  %-22s %12.0f ops/s\n", cfg.String(), rate)
+		fmt.Printf("\n%s (rbtree, %s):\n", mix.name, mix.params)
+		results, err := scenario.Run(scenario.RunSpec{
+			Scenario:   "rbtree",
+			Params:     mix.params,
+			Seed:       3,
+			Configs:    configs,
+			MaxThreads: 8,
+			HeapWords:  1 << 20,
+			Duration:   400 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			fmt.Printf("  %-18s %12.0f ops/s   abort-rate %.3f\n", r.Config, r.Throughput, r.AbortRate)
 		}
 	}
 	fmt.Println("\nNote how the ranking flips between the two mixes.")

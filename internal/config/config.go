@@ -6,6 +6,8 @@ package config
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/htm"
 )
@@ -96,4 +98,130 @@ func policyLabel(p htm.CapacityPolicy) string {
 // across runs.
 func (c Config) Key() uint32 {
 	return uint32(c.Alg)<<24 | uint32(c.Threads)<<16 | uint32(c.Budget)<<8 | uint32(c.Policy)
+}
+
+// ParseAlg resolves an algorithm name: the short label of AlgID.String
+// ("Tiny", "GL") or the long form ("TinySTM", "GlobalLock"), case
+// insensitively.
+func ParseAlg(s string) (AlgID, error) {
+	switch strings.ToLower(s) {
+	case "tl2":
+		return TL2, nil
+	case "tiny", "tinystm":
+		return TinySTM, nil
+	case "norec":
+		return NOrec, nil
+	case "swiss", "swisstm":
+		return SwissTM, nil
+	case "htm":
+		return HTM, nil
+	case "hybrid":
+		return Hybrid, nil
+	case "gl", "globallock":
+		return GlobalLock, nil
+	}
+	return 0, fmt.Errorf("config: unknown algorithm %q", s)
+}
+
+// Parse is the inverse of Config.String: it accepts the paper-style label
+// "<alg>:<N>t" for STMs and "<alg>:<N>t <policy>-<budget>" for HTM/Hybrid
+// (e.g. "TL2:8t", "HTM:4t GiveUp-2"). Algorithm and policy names are case
+// insensitive.
+func Parse(s string) (Config, error) {
+	fields := strings.Fields(strings.TrimSpace(s))
+	if len(fields) == 0 {
+		return Config{}, fmt.Errorf("config: empty label")
+	}
+	algPart, threadPart, ok := strings.Cut(fields[0], ":")
+	if !ok {
+		return Config{}, fmt.Errorf("config: %q: want <alg>:<N>t", fields[0])
+	}
+	alg, err := ParseAlg(algPart)
+	if err != nil {
+		return Config{}, err
+	}
+	threads, err := strconv.Atoi(strings.TrimSuffix(threadPart, "t"))
+	if err != nil || threads <= 0 {
+		return Config{}, fmt.Errorf("config: %q: bad thread count", fields[0])
+	}
+	c := Config{Alg: alg, Threads: threads}
+	if len(fields) == 1 {
+		if c.Alg.IsHTM() {
+			return Config{}, fmt.Errorf("config: %q: HTM label needs <policy>-<budget>", s)
+		}
+		return c, nil
+	}
+	if len(fields) > 2 || !c.Alg.IsHTM() {
+		return Config{}, fmt.Errorf("config: %q: unexpected trailing fields", s)
+	}
+	polPart, budPart, ok := strings.Cut(fields[1], "-")
+	if !ok {
+		return Config{}, fmt.Errorf("config: %q: want <policy>-<budget>", fields[1])
+	}
+	switch strings.ToLower(polPart) {
+	case "giveup":
+		c.Policy = htm.PolicyGiveUp
+	case "linear":
+		c.Policy = htm.PolicyDecrease
+	case "half":
+		c.Policy = htm.PolicyHalve
+	default:
+		return Config{}, fmt.Errorf("config: unknown capacity policy %q", polPart)
+	}
+	c.Budget, err = strconv.Atoi(budPart)
+	if err != nil || c.Budget <= 0 {
+		return Config{}, fmt.Errorf("config: %q: bad retry budget", fields[1])
+	}
+	return c, nil
+}
+
+// ParseList parses a comma-separated list of configuration labels.
+func ParseList(s string) ([]Config, error) {
+	var out []Config
+	for _, part := range strings.Split(s, ",") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		c, err := Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("config: no configurations in %q", s)
+	}
+	return out, nil
+}
+
+// DefaultSpace returns the standard tuned configuration space for a machine
+// with maxThreads worker slots (the columns of RecTM's Utility Matrix):
+// every STM at power-of-two thread counts up to maxThreads (plus maxThreads
+// itself when it is not a power of two), and HTM at the same thread counts
+// crossed with retry budgets {2, 8} and capacity policies {GiveUp, Half}.
+func DefaultSpace(maxThreads int) []Config {
+	if maxThreads <= 0 {
+		maxThreads = 1
+	}
+	var threads []int
+	for t := 1; t <= maxThreads; t *= 2 {
+		threads = append(threads, t)
+	}
+	if last := threads[len(threads)-1]; last != maxThreads {
+		threads = append(threads, maxThreads)
+	}
+	var out []Config
+	for _, alg := range []AlgID{TL2, TinySTM, NOrec, SwissTM} {
+		for _, t := range threads {
+			out = append(out, Config{Alg: alg, Threads: t})
+		}
+	}
+	for _, t := range threads {
+		for _, b := range []int{2, 8} {
+			for _, p := range []htm.CapacityPolicy{htm.PolicyGiveUp, htm.PolicyHalve} {
+				out = append(out, Config{Alg: HTM, Threads: t, Budget: b, Policy: p})
+			}
+		}
+	}
+	return out
 }

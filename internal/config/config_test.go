@@ -64,3 +64,65 @@ func TestIsHTM(t *testing.T) {
 		t.Error("STM/GL must not report IsHTM")
 	}
 }
+
+// TestParseRoundTrip pins that Parse inverts String over the whole default
+// space (the property `proteusbench run --config` and UM headers rely on).
+func TestParseRoundTrip(t *testing.T) {
+	space := config.DefaultSpace(8)
+	if len(space) == 0 {
+		t.Fatal("empty default space")
+	}
+	for _, c := range space {
+		got, err := config.Parse(c.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.String(), got, c)
+		}
+	}
+	// Hybrid and the Linear policy are not in the default space.
+	c := config.Config{Alg: config.Hybrid, Threads: 2, Budget: 5, Policy: htm.PolicyDecrease}
+	got, err := config.Parse(c.String())
+	if err != nil || got != c {
+		t.Errorf("Parse(%q) = %+v, %v; want %+v", c.String(), got, err, c)
+	}
+}
+
+// TestParseAcceptsAliases covers long algorithm names and case folding.
+func TestParseAcceptsAliases(t *testing.T) {
+	for label, want := range map[string]config.Config{
+		"TinySTM:4t":      {Alg: config.TinySTM, Threads: 4},
+		"globallock:1t":   {Alg: config.GlobalLock, Threads: 1},
+		"swisstm:2t":      {Alg: config.SwissTM, Threads: 2},
+		"htm:2t giveup-3": {Alg: config.HTM, Threads: 2, Budget: 3, Policy: htm.PolicyGiveUp},
+	} {
+		got, err := config.Parse(label)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %+v, %v; want %+v", label, got, err, want)
+		}
+	}
+}
+
+// TestParseRejectsGarbage covers malformed labels.
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, label := range []string{
+		"", "TL2", "TL2:xt", "TL2:0t", "Nope:4t", "TL2:4t GiveUp-2",
+		"HTM:4t", "HTM:4t Sideways-2", "HTM:4t GiveUp-0", "HTM:4t GiveUp-2 extra",
+	} {
+		if _, err := config.Parse(label); err == nil {
+			t.Errorf("Parse(%q) accepted", label)
+		}
+	}
+}
+
+// TestParseList covers the comma-separated form used by --config.
+func TestParseList(t *testing.T) {
+	cfgs, err := config.ParseList("TL2:4t, NOrec:8t")
+	if err != nil || len(cfgs) != 2 || cfgs[1].Alg != config.NOrec {
+		t.Fatalf("ParseList = %+v, %v", cfgs, err)
+	}
+	if _, err := config.ParseList(" , "); err == nil {
+		t.Error("empty list accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the runtime's time source so experiments can be replayed
+// deterministically. The adapter thread measures KPI windows against
+// Clock.Now; under a VirtualClock those windows are driven by the harness
+// advancing time, not by the wall clock, so a fixed seed yields the same
+// KPI stream — and hence the same CUSUM alarms and exploration traces — on
+// every run (the "virtual time" option of the scenario harness).
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks for d of this clock's time. A VirtualClock returns
+	// immediately after advancing itself.
+	Sleep(d time.Duration)
+}
+
+// realClock is the wall clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// RealTime returns the wall clock (the default Clock).
+func RealTime() Clock { return realClock{} }
+
+// VirtualClock is a manually advanced clock: Now returns a logical time
+// that moves only through Advance or Sleep. Concurrency-safe, though the
+// deterministic harness drives it from a single goroutine.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock starts a virtual clock at start (the zero time is fine:
+// only durations between readings matter).
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock by advancing the virtual time and returning
+// immediately.
+func (c *VirtualClock) Sleep(d time.Duration) { c.Advance(d) }
+
+// Advance moves the virtual time forward by d (negative d is ignored).
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

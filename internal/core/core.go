@@ -67,6 +67,12 @@ type Options struct {
 	MaxExplorations int
 	// Seed drives randomized components.
 	Seed uint64
+	// Clock is the time source for KPI windows and settle waits (default
+	// the wall clock). Supply a *VirtualClock to replay the adaptation
+	// loop deterministically; in that mode drive the runtime through the
+	// synchronous API (Observe, ExploreSync, ResetMonitor) instead of
+	// Start, whose sampling ticker is inherently wall-clock.
+	Clock Clock
 }
 
 // TimelinePoint is one KPI observation, recorded for experiment plots.
@@ -85,6 +91,7 @@ type Runtime struct {
 	opts    Options
 	cfgs    []config.Config
 	cus     *monitor.CUSUM
+	clock   Clock
 	started time.Time
 
 	mu         sync.Mutex
@@ -130,6 +137,9 @@ func New(opts Options) (*Runtime, error) {
 	if opts.MaxExplorations == 0 {
 		opts.MaxExplorations = 10
 	}
+	if opts.Clock == nil {
+		opts.Clock = RealTime()
+	}
 	rec, err := rectm.Train(opts.TrainKPI, opts.KPI.HigherIsBetter(), rectm.Options{Seed: opts.Seed, Learners: 10})
 	if err != nil {
 		return nil, fmt.Errorf("core: training recommender: %w", err)
@@ -141,6 +151,7 @@ func New(opts Options) (*Runtime, error) {
 		Rec:        rec,
 		opts:       opts,
 		cfgs:       opts.Configs,
+		clock:      opts.Clock,
 		cus:        monitor.NewCUSUM(),
 		reoptimize: make(chan struct{}, 1),
 		stop:       make(chan struct{}),
@@ -156,7 +167,7 @@ func (rt *Runtime) Atomic(self int, fn func(tm.Txn)) { rt.Pool.Atomic(self, fn) 
 // Start launches the adapter thread: an immediate optimization phase
 // followed by steady-state monitoring.
 func (rt *Runtime) Start() {
-	rt.started = time.Now()
+	rt.started = rt.clock.Now()
 	rt.lastStats = rt.Pool.SnapshotStats()
 	rt.lastTime = rt.started
 	rt.done.Add(1)
@@ -267,6 +278,10 @@ func (rt *Runtime) measureWindowAfter(settle time.Duration) float64 {
 }
 
 func (rt *Runtime) sleep(d time.Duration) {
+	if _, virtual := rt.clock.(*VirtualClock); virtual {
+		rt.clock.Sleep(d)
+		return
+	}
 	select {
 	case <-time.After(d):
 	case <-rt.stop:
@@ -276,12 +291,12 @@ func (rt *Runtime) sleep(d time.Duration) {
 // resetWindow re-anchors the stats window.
 func (rt *Runtime) resetWindow() {
 	rt.lastStats = rt.Pool.SnapshotStats()
-	rt.lastTime = time.Now()
+	rt.lastTime = rt.clock.Now()
 }
 
 // measureWindow computes the KPI over the stats window since the last call.
 func (rt *Runtime) measureWindow() float64 {
-	now := time.Now()
+	now := rt.clock.Now()
 	cur := rt.Pool.SnapshotStats()
 	win := cur.Sub(rt.lastStats)
 	elapsed := now.Sub(rt.lastTime)
@@ -310,9 +325,60 @@ func (rt *Runtime) record(kpi float64, exploring bool) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.timeline = append(rt.timeline, TimelinePoint{
-		At:        time.Since(rt.started),
+		At:        rt.clock.Now().Sub(rt.started),
 		KPI:       kpi,
 		Config:    rt.Pool.Config(),
 		Exploring: exploring,
 	})
+}
+
+// --- Synchronous (virtual-time) driving ------------------------------------------
+//
+// The adapter thread above is wall-clock driven: KPI windows are real time
+// and exploration happens on a background goroutine, so two runs of the
+// same program never produce the same trace. The methods below expose the
+// same monitor → explore → install loop synchronously, letting a harness
+// (internal/scenario) interleave operation execution, virtual-time KPI
+// measurement, and exploration on one goroutine — which makes the whole
+// adaptation trace a deterministic function of the seed.
+
+// Observe feeds one steady-state KPI sample to the CUSUM monitor and
+// reports whether it raised a change alarm (at which point the caller
+// should run ExploreSync).
+func (rt *Runtime) Observe(kpi float64) bool { return rt.cus.Observe(kpi) }
+
+// ResetMonitor re-anchors the change detector at the given KPI level, as
+// the adapter thread does after installing a new configuration.
+func (rt *Runtime) ResetMonitor(level float64) { rt.cus.Reset(level) }
+
+// Configs returns the tuned configuration space (the UM columns).
+func (rt *Runtime) Configs() []config.Config { return rt.cfgs }
+
+// ExploreSync runs one exploration phase synchronously: the recommender
+// picks candidate configurations by Expected Improvement, measure profiles
+// each one (installing it, running the workload, and returning the KPI —
+// all on the calling goroutine), and the best explored configuration is
+// installed. Seeding matches the adapter thread's optimizePhase, so a
+// fixed Options.Seed yields an identical exploration sequence.
+func (rt *Runtime) ExploreSync(measure func(config.Config) float64) rectm.OptResult {
+	rt.exploring.Store(true)
+	rt.mu.Lock()
+	rt.phases++
+	seed := rt.opts.Seed + uint64(rt.phases)*0x9E3779B97F4A7C15
+	rt.mu.Unlock()
+
+	res := rt.Rec.Optimize(func(i int) float64 {
+		return measure(rt.cfgs[i])
+	}, nil, smbo.Options{
+		Policy:          smbo.EI,
+		Stop:            smbo.StopCautious,
+		Epsilon:         rt.opts.Epsilon,
+		MaxExplorations: rt.opts.MaxExplorations,
+		Seed:            seed,
+	})
+	if res.Best >= 0 {
+		rt.Pool.Reconfigure(rt.cfgs[res.Best]) //nolint:errcheck // validated configs
+	}
+	rt.exploring.Store(false)
+	return res
 }

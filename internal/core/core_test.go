@@ -121,3 +121,87 @@ func TestRuntimeOptimizesAndReacts(t *testing.T) {
 		t.Error("no timeline recorded")
 	}
 }
+
+// TestVirtualClock covers the manual clock used by the deterministic
+// harness.
+func TestVirtualClock(t *testing.T) {
+	base := time.Unix(100, 0)
+	c := core.NewVirtualClock(base)
+	if !c.Now().Equal(base) {
+		t.Fatalf("Now = %v, want %v", c.Now(), base)
+	}
+	c.Advance(2 * time.Second)
+	c.Sleep(time.Second)  // Sleep advances without blocking
+	c.Advance(-time.Hour) // negative advances are ignored
+	if got := c.Now().Sub(base); got != 3*time.Second {
+		t.Fatalf("advanced %v, want 3s", got)
+	}
+}
+
+// TestExploreSyncIsDeterministic drives the synchronous exploration API
+// with a pure measure function twice and requires identical explored
+// sequences and installed winners.
+func TestExploreSyncIsDeterministic(t *testing.T) {
+	cfgs := testConfigs()
+	train := trainFor(cfgs)
+	kpiOf := func(c config.Config) float64 {
+		// A synthetic preference: NOrec scales best, HTM worst.
+		base := map[config.AlgID]float64{config.TL2: 2, config.TinySTM: 3, config.NOrec: 5, config.HTM: 1}[c.Alg]
+		return base * float64(c.Threads)
+	}
+	run := func() ([]config.Config, config.Config) {
+		rt, err := core.New(core.Options{
+			HeapWords: 1 << 12, Configs: cfgs, TrainKPI: train, Seed: 11,
+			Clock: core.NewVirtualClock(time.Time{}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var explored []config.Config
+		rt.ExploreSync(func(c config.Config) float64 {
+			explored = append(explored, c)
+			return kpiOf(c)
+		})
+		return explored, rt.Pool.Config()
+	}
+	e1, w1 := run()
+	e2, w2 := run()
+	if len(e1) == 0 {
+		t.Fatal("nothing explored")
+	}
+	if w1 != w2 {
+		t.Fatalf("winners differ: %v vs %v", w1, w2)
+	}
+	if len(e1) != len(e2) {
+		t.Fatalf("exploration lengths differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("exploration step %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	// The winner must be the best explored configuration under kpiOf.
+	best := e1[0]
+	for _, c := range e1 {
+		if kpiOf(c) > kpiOf(best) {
+			best = c
+		}
+	}
+	if w1 != best {
+		t.Fatalf("installed %v, but best explored was %v", w1, best)
+	}
+	// Observe/ResetMonitor round-trip: a stable stream raises no alarm.
+	rt, err := core.New(core.Options{HeapWords: 1 << 12, Configs: cfgs, TrainKPI: train, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.ResetMonitor(100)
+	for i := 0; i < 50; i++ {
+		if rt.Observe(100) {
+			t.Fatal("alarm on a flat KPI stream")
+		}
+	}
+	if len(rt.Configs()) != len(cfgs) {
+		t.Fatalf("Configs() returned %d entries", len(rt.Configs()))
+	}
+}

@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+)
+
+// marshalResults renders records exactly as `proteusbench run` does.
+func marshalResults(t *testing.T, results []Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range results {
+		line, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestDeterministicRunIsByteIdentical pins the harness's core guarantee
+// (and the PR's acceptance criterion): the same spec produces byte-
+// identical result records on every invocation.
+func TestDeterministicRunIsByteIdentical(t *testing.T) {
+	spec := RunSpec{
+		Scenario:   "rbtree",
+		Params:     Values{"keyrange": "512"},
+		Seed:       42,
+		MaxThreads: 4,
+		HeapWords:  1 << 20,
+		Ops:        4000,
+		Configs: []config.Config{
+			{Alg: config.TL2, Threads: 4},
+			{Alg: config.HTM, Threads: 2, Budget: 4},
+		},
+	}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, jb := marshalResults(t, a), marshalResults(t, b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("two runs of the same spec differ:\n--- run 1\n%s\n--- run 2\n%s", ja, jb)
+	}
+	r := a[0]
+	if r.Ops != spec.Ops {
+		t.Errorf("ops = %d, want %d", r.Ops, spec.Ops)
+	}
+	if r.Commits == 0 || r.Throughput == 0 || r.ElapsedSec == 0 {
+		t.Errorf("empty measurement: %+v", r)
+	}
+	if len(r.Samples) != 10 {
+		t.Errorf("got %d samples, want 10", len(r.Samples))
+	}
+	if len(r.Trace) != 1 || r.Trace[0].Event != "initial" {
+		t.Errorf("fixed-config trace = %+v", r.Trace)
+	}
+}
+
+// TestDeterministicSeedsDiffer guards against the harness ignoring the
+// seed: different seeds must produce different operation streams.
+func TestDeterministicSeedsDiffer(t *testing.T) {
+	spec := RunSpec{
+		Scenario:   "rbtree",
+		Params:     Values{"keyrange": "512", "update": "0.5"},
+		MaxThreads: 2,
+		HeapWords:  1 << 20,
+		Ops:        2000,
+	}
+	spec.Seed = 1
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed = 2
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].HeapDigest == b[0].HeapDigest {
+		t.Errorf("seeds 1 and 2 produced the same heap digest %s", a[0].HeapDigest)
+	}
+}
+
+// TestAutoTunedRunIsDeterministic runs the full monitor/explore/install
+// loop under virtual time twice and requires identical exploration traces.
+func TestAutoTunedRunIsDeterministic(t *testing.T) {
+	spec := RunSpec{
+		Scenario:   "hashmap",
+		Params:     Values{"buckets": "128", "keyrange": "1024"},
+		Seed:       7,
+		MaxThreads: 4,
+		HeapWords:  1 << 20,
+		Ops:        8000,
+		AutoTune:   true,
+	}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, jb := marshalResults(t, a), marshalResults(t, b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("auto-tuned runs differ:\n--- run 1\n%s\n--- run 2\n%s", ja, jb)
+	}
+	r := a[0]
+	if r.Phases < 1 {
+		t.Errorf("phases = %d, want >= 1 (startup optimization)", r.Phases)
+	}
+	var explored, installed int
+	for _, e := range r.Trace {
+		switch e.Event {
+		case "explore":
+			explored++
+		case "install":
+			installed++
+		}
+	}
+	if explored == 0 || installed == 0 {
+		t.Errorf("trace has %d explore / %d install events: %+v", explored, installed, r.Trace)
+	}
+	if r.FinalConfig == "" {
+		t.Error("no final config recorded")
+	}
+}
+
+// TestTimedRunProducesRealThroughput smoke-tests timed mode (short
+// window; values are wall-clock so only sanity is checked).
+func TestTimedRunProducesRealThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed mode sleeps")
+	}
+	res, err := Run(RunSpec{
+		Scenario:   "hashmap",
+		Params:     Values{"buckets": "128", "keyrange": "1024"},
+		Seed:       3,
+		MaxThreads: 2,
+		HeapWords:  1 << 20,
+		Duration:   50 * time.Millisecond,
+		Configs:    []config.Config{{Alg: config.NOrec, Threads: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Mode != Timed {
+		t.Fatalf("mode = %s", res[0].Mode)
+	}
+	if res[0].Ops == 0 || res[0].Throughput == 0 {
+		t.Errorf("timed run measured nothing: %+v", res[0])
+	}
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	if _, err := Run(RunSpec{Scenario: "nope"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := Run(RunSpec{Scenario: "rbtree", Params: Values{"bogus": "1"}}); err == nil {
+		t.Error("bogus parameter accepted")
+	}
+	if _, err := Run(RunSpec{
+		Scenario: "rbtree", MaxThreads: 2,
+		Configs: []config.Config{{Alg: config.TL2, Threads: 8}},
+	}); err == nil {
+		t.Error("config exceeding MaxThreads accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/workloads"
+)
+
+// Interference family (internal/workloads/interference.go): a TM workload
+// running next to resource antagonists — the Fig. 9 experiment, where an
+// environment change is indistinguishable from a workload change for the
+// CUSUM monitor. Antagonists steal real machine resources, so their effect
+// shows only in timed mode; deterministic runs record the antagonist
+// parameters but measure in virtual time, which is immune by construction.
+
+var (
+	infKind      = Param{Name: "kind", Desc: "antagonist resource: cpu, memory or alloc", Kind: String, Default: "cpu"}
+	infStressors = Param{Name: "stressors", Desc: "antagonist goroutines", Kind: Int, Default: "2"}
+	infKeyRange  = Param{Name: "keyrange", Desc: "key range of the victim rbtree", Kind: Int, Default: "16384"}
+	infUpdate    = Param{Name: "update", Desc: "update ratio of the victim rbtree", Kind: Float, Default: "0.2"}
+)
+
+func init() {
+	Register(Scenario{
+		Name:        "interference",
+		Family:      "interference",
+		Description: "rbtree sharing the machine with resource antagonists (Fig. 9)",
+		Params:      []Param{infKind, infStressors, infKeyRange, infUpdate},
+		Make: func(v Values) (workloads.Workload, error) {
+			if _, err := parseInterferenceKind(v.Str(infKind)); err != nil {
+				return nil, err
+			}
+			return &workloads.RBTree{
+				KeyRange:    v.Int(infKeyRange),
+				UpdateRatio: v.Float(infUpdate),
+			}, nil
+		},
+		Antagonist: func(v Values) *workloads.Interference {
+			kind, err := parseInterferenceKind(v.Str(infKind))
+			if err != nil {
+				kind = workloads.StressCPU
+			}
+			return &workloads.Interference{Kind: kind, Workers: v.Int(infStressors)}
+		},
+	})
+}
+
+func parseInterferenceKind(s string) (workloads.InterferenceKind, error) {
+	switch s {
+	case "", "cpu":
+		return workloads.StressCPU, nil
+	case "memory":
+		return workloads.StressMemory, nil
+	case "alloc":
+		return workloads.StressAlloc, nil
+	}
+	return 0, fmt.Errorf("interference: unknown kind %q (want cpu, memory or alloc)", s)
+}

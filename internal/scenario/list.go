@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/config"
+)
+
+// RenderList writes the human-readable registry listing: every scenario
+// with its family, description and parameter schema, followed by the tuned
+// configuration space for maxThreads worker slots. The output is
+// deterministic (scenarios sorted by name) and covered by a golden-file
+// test, so the listing, the registry and the docs cannot silently drift.
+func RenderList(w io.Writer, maxThreads int) {
+	scenarios := All()
+	fmt.Fprintf(w, "SCENARIOS (%d across %d families)\n", len(scenarios), len(Families()))
+	for _, s := range scenarios {
+		fmt.Fprintf(w, "\n  %-14s [%s]  %s\n", s.Name, s.Family, s.Description)
+		for _, p := range s.Params {
+			def := p.Default
+			if def == "" {
+				def = `""`
+			}
+			fmt.Fprintf(w, "      --param %s=%s  (%s)  %s\n", p.Name, def, p.Kind, p.Desc)
+		}
+	}
+	space := config.DefaultSpace(maxThreads)
+	fmt.Fprintf(w, "\nCONFIG SPACE for --threads=%d (%d points: algorithm × parallelism × HTM tuning)\n", maxThreads, len(space))
+	var line []string
+	for i, c := range space {
+		line = append(line, fmt.Sprintf("%-16s", c.String()))
+		if len(line) == 4 || i == len(space)-1 {
+			fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(line, ""), " "))
+			line = line[:0]
+		}
+	}
+	fmt.Fprintf(w, "\nRun one:   proteusbench run --scenario <name> [--param k=v] [--config <label>] [--seed N]\n")
+	fmt.Fprintf(w, "Sweep all: proteusbench sweep --out um.csv\n")
+}
+
+// MarkdownTable renders the scenario registry as a GitHub-flavored
+// markdown table (used to generate the README's scenario section).
+func MarkdownTable(w io.Writer) {
+	fmt.Fprintln(w, "| Scenario | Family | Description | Parameters |")
+	fmt.Fprintln(w, "|---|---|---|---|")
+	for _, s := range All() {
+		params := make([]string, len(s.Params))
+		for i, p := range s.Params {
+			params[i] = fmt.Sprintf("`%s=%s`", p.Name, p.Default)
+		}
+		fmt.Fprintf(w, "| `%s` | %s | %s | %s |\n", s.Name, s.Family, s.Description, strings.Join(params, " "))
+	}
+}

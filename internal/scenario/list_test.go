@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestListGolden pins `proteusbench list` output to a golden file so the
+// registry, its parameter schemas and the docs cannot drift silently.
+// Regenerate with: go test ./internal/scenario -run TestListGolden -update
+func TestListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	RenderList(&buf, 8)
+	golden := filepath.Join("testdata", "list.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("list output drifted from %s — if intentional, rerun with -update.\n--- got\n%s\n--- want\n%s",
+			golden, buf.String(), want)
+	}
+}
+
+// TestListMentionsEveryScenario double-checks the acceptance criterion
+// independently of the golden file.
+func TestListMentionsEveryScenario(t *testing.T) {
+	var buf bytes.Buffer
+	RenderList(&buf, 8)
+	out := buf.String()
+	for _, name := range Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("list output does not mention scenario %q", name)
+		}
+	}
+	for _, family := range Families() {
+		if !strings.Contains(out, "["+family+"]") {
+			t.Errorf("list output does not mention family %q", family)
+		}
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	var buf bytes.Buffer
+	MarkdownTable(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(All())+2 {
+		t.Fatalf("markdown table has %d lines for %d scenarios", len(lines), len(All()))
+	}
+}

@@ -1,0 +1,65 @@
+package scenario
+
+import "repro/internal/workloads"
+
+// List-structure family (internal/workloads/lists.go): skip list, sorted
+// linked list and chained hash map — the remaining three concurrent data
+// structures of the paper's Table 1.
+
+var (
+	slKeyRange = Param{Name: "keyrange", Desc: "key range of the skip list", Kind: Int, Default: "16384"}
+	slUpdate   = Param{Name: "update", Desc: "fraction of mutating operations", Kind: Float, Default: "0.2"}
+	slInitial  = Param{Name: "initial", Desc: "pre-populated size (0 = keyrange/2)", Kind: Int, Default: "0"}
+
+	llKeyRange = Param{Name: "keyrange", Desc: "key range of the list", Kind: Int, Default: "512"}
+	llUpdate   = Param{Name: "update", Desc: "fraction of mutating operations", Kind: Float, Default: "0.2"}
+	llInitial  = Param{Name: "initial", Desc: "pre-populated size (0 = keyrange/2)", Kind: Int, Default: "0"}
+
+	hmBuckets  = Param{Name: "buckets", Desc: "bucket-array width", Kind: Int, Default: "4096"}
+	hmKeyRange = Param{Name: "keyrange", Desc: "key range of the map", Kind: Int, Default: "32768"}
+	hmUpdate   = Param{Name: "update", Desc: "fraction of mutating operations", Kind: Float, Default: "0.2"}
+	hmInitial  = Param{Name: "initial", Desc: "pre-populated size (0 = keyrange/2)", Kind: Int, Default: "0"}
+)
+
+func init() {
+	Register(Scenario{
+		Name:        "skiplist",
+		Family:      "lists",
+		Description: "skip list: long read paths, no rebalancing writes",
+		Params:      []Param{slKeyRange, slUpdate, slInitial},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.SkipList{
+				KeyRange:    v.Int(slKeyRange),
+				UpdateRatio: v.Float(slUpdate),
+				InitialSize: v.Int(slInitial),
+			}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "linkedlist",
+		Family:      "lists",
+		Description: "sorted linked list: the invisible-read stress test",
+		Params:      []Param{llKeyRange, llUpdate, llInitial},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.LinkedList{
+				KeyRange:    v.Int(llKeyRange),
+				UpdateRatio: v.Float(llUpdate),
+				InitialSize: v.Int(llInitial),
+			}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "hashmap",
+		Family:      "lists",
+		Description: "chained hash map: short HTM-friendly transactions",
+		Params:      []Param{hmBuckets, hmKeyRange, hmUpdate, hmInitial},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.HashMap{
+				Buckets:     v.Int(hmBuckets),
+				KeyRange:    v.Int(hmKeyRange),
+				UpdateRatio: v.Float(hmUpdate),
+				InitialSize: v.Int(hmInitial),
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/workloads"
+)
+
+// OLTP/service families (internal/workloads/tpcc.go, memcached.go):
+// TPC-C-lite's five-transaction mix and the memcached-style cache whose
+// optimum sits at high thread counts.
+
+var (
+	tpccWarehouses = Param{Name: "warehouses", Desc: "warehouses", Kind: Int, Default: "4"}
+	tpccDistricts  = Param{Name: "districts", Desc: "districts per warehouse", Kind: Int, Default: "10"}
+	tpccCustomers  = Param{Name: "customers", Desc: "customers per district", Kind: Int, Default: "256"}
+	tpccItems      = Param{Name: "items", Desc: "item/stock rows", Kind: Int, Default: "8192"}
+	tpccMix        = Param{Name: "mix", Desc: "transaction mix: standard or readheavy", Kind: String, Default: "standard"}
+
+	mcBuckets  = Param{Name: "buckets", Desc: "hash-table width", Kind: Int, Default: "8192"}
+	mcKeyRange = Param{Name: "keyrange", Desc: "key range of the cache", Kind: Int, Default: "32768"}
+	mcGet      = Param{Name: "get", Desc: "fraction of get operations", Kind: Float, Default: "0.9"}
+	mcValue    = Param{Name: "valuewords", Desc: "stored value size in words", Kind: Int, Default: "4"}
+)
+
+func init() {
+	Register(Scenario{
+		Name:        "tpcc",
+		Family:      "tpcc",
+		Description: "TPC-C-lite: five OLTP transaction types over warehouse tables",
+		Params:      []Param{tpccWarehouses, tpccDistricts, tpccCustomers, tpccItems, tpccMix},
+		Make: func(v Values) (workloads.Workload, error) {
+			w := &workloads.TPCC{
+				Warehouses: v.Int(tpccWarehouses),
+				Districts:  v.Int(tpccDistricts),
+				Customers:  v.Int(tpccCustomers),
+				Items:      v.Int(tpccItems),
+			}
+			switch v.Str(tpccMix) {
+			case "", "standard":
+				// Zero value selects TPC-C's 45/43/4/4/4 split.
+			case "readheavy":
+				w.Mix = [5]int{10, 20, 60, 64, 100}
+			default:
+				return nil, fmt.Errorf("tpcc: unknown mix %q (want standard or readheavy)", v.Str(tpccMix))
+			}
+			return w, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "memcached",
+		Family:      "memcached",
+		Description: "memcached-lite: get-dominated cache with LRU bookkeeping",
+		Params:      []Param{mcBuckets, mcKeyRange, mcGet, mcValue},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.Memcached{
+				Buckets:    v.Int(mcBuckets),
+				KeyRange:   v.Int(mcKeyRange),
+				GetRatio:   v.Float(mcGet),
+				ValueWords: v.Int(mcValue),
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,202 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is a parameter's value type.
+type Kind int
+
+const (
+	// Int is a decimal integer parameter.
+	Int Kind = iota
+	// Float is a decimal floating-point parameter.
+	Float
+	// Bool is a true/false parameter.
+	Bool
+	// String is a free-form (usually enumerated) parameter.
+	String
+)
+
+// String names the kind for listings.
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case String:
+		return "string"
+	}
+	return "?"
+}
+
+// Param describes one scenario parameter.
+type Param struct {
+	// Name is the key accepted by --param name=value.
+	Name string
+	// Desc is a one-line description for listings.
+	Desc string
+	// Kind is the value type.
+	Kind Kind
+	// Default is the textual default value ("" for String means empty).
+	Default string
+}
+
+// Values holds textual parameter assignments, keyed by Param.Name. Missing
+// keys take the schema defaults; Scenario.Validate rejects unknown keys and
+// unparseable values before Make ever sees them.
+type Values map[string]string
+
+// Clone returns a copy of v (nil-safe).
+func (v Values) Clone() Values {
+	out := make(Values, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+// String renders the assignments deterministically (sorted, k=v
+// comma-joined), for labels and logs.
+func (v Values) String() string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + v[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseAssignments parses "key=value" specs (each spec may itself be a
+// comma-separated list) into Values.
+func ParseAssignments(specs []string) (Values, error) {
+	v := Values{}
+	for _, spec := range specs {
+		for _, part := range strings.Split(spec, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(part, "=")
+			if !ok || key == "" {
+				return nil, fmt.Errorf("scenario: bad parameter %q: want key=value", part)
+			}
+			v[key] = val
+		}
+	}
+	return v, nil
+}
+
+// Defaults returns the scenario's full default parameter assignment.
+func (s Scenario) Defaults() Values {
+	v := make(Values, len(s.Params))
+	for _, p := range s.Params {
+		v[p.Name] = p.Default
+	}
+	return v
+}
+
+// Param looks up a schema entry by name.
+func (s Scenario) Param(name string) (Param, bool) {
+	for _, p := range s.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// Validate checks v against the schema: every key must name a schema
+// parameter and every value must parse as its kind.
+func (s Scenario) Validate(v Values) error {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p, ok := s.Param(k)
+		if !ok {
+			return fmt.Errorf("scenario %s: unknown parameter %q (have: %s)", s.Name, k, strings.Join(s.paramNames(), ", "))
+		}
+		if err := p.check(v[k]); err != nil {
+			return fmt.Errorf("scenario %s: parameter %s: %w", s.Name, k, err)
+		}
+	}
+	return nil
+}
+
+func (s Scenario) paramNames() []string {
+	out := make([]string, len(s.Params))
+	for i, p := range s.Params {
+		out[i] = p.Name
+	}
+	return out
+}
+
+func (p Param) check(val string) error {
+	switch p.Kind {
+	case Int:
+		if _, err := strconv.Atoi(val); err != nil {
+			return fmt.Errorf("%q is not an int", val)
+		}
+	case Float:
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return fmt.Errorf("%q is not a float", val)
+		}
+	case Bool:
+		if _, err := strconv.ParseBool(val); err != nil {
+			return fmt.Errorf("%q is not a bool", val)
+		}
+	}
+	return nil
+}
+
+// lookup returns the raw value for p, falling back to the default.
+func (v Values) lookup(p Param) string {
+	if raw, ok := v[p.Name]; ok {
+		return raw
+	}
+	return p.Default
+}
+
+// Int reads an int-kind parameter (schema default when absent). Values
+// must have been validated; an unparseable value falls back to the default.
+func (v Values) Int(p Param) int {
+	n, err := strconv.Atoi(v.lookup(p))
+	if err != nil {
+		n, _ = strconv.Atoi(p.Default)
+	}
+	return n
+}
+
+// Float reads a float-kind parameter.
+func (v Values) Float(p Param) float64 {
+	f, err := strconv.ParseFloat(v.lookup(p), 64)
+	if err != nil {
+		f, _ = strconv.ParseFloat(p.Default, 64)
+	}
+	return f
+}
+
+// Bool reads a bool-kind parameter.
+func (v Values) Bool(p Param) bool {
+	b, err := strconv.ParseBool(v.lookup(p))
+	if err != nil {
+		b, _ = strconv.ParseBool(p.Default)
+	}
+	return b
+}
+
+// Str reads a string-kind parameter.
+func (v Values) Str(p Param) string { return v.lookup(p) }

@@ -1,0 +1,29 @@
+package scenario
+
+import "repro/internal/workloads"
+
+// Red-black tree family (internal/workloads/rbtree.go): the paper's
+// flagship data-structure workload, whose optimal configuration flips
+// between HTM tunings and STMs as the update ratio and key range change.
+
+var (
+	rbKeyRange = Param{Name: "keyrange", Desc: "key range of the tree", Kind: Int, Default: "16384"}
+	rbUpdate   = Param{Name: "update", Desc: "fraction of mutating operations", Kind: Float, Default: "0.2"}
+	rbInitial  = Param{Name: "initial", Desc: "pre-populated size (0 = keyrange/2)", Kind: Int, Default: "0"}
+)
+
+func init() {
+	Register(Scenario{
+		Name:        "rbtree",
+		Family:      "rbtree",
+		Description: "red-black tree under a lookup/insert/delete mix",
+		Params:      []Param{rbKeyRange, rbUpdate, rbInitial},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.RBTree{
+				KeyRange:    v.Int(rbKeyRange),
+				UpdateRatio: v.Float(rbUpdate),
+				InitialSize: v.Int(rbInitial),
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,103 @@
+// Package scenario is the experiment substrate of the reproduction: a
+// registry of named, parameterized workload scenarios — one or more per
+// workload family in internal/workloads — plus a deterministic harness
+// that runs a scenario under one or more TM configurations (fixed or
+// auto-tuned) and emits reproducible result records.
+//
+// The registry makes the evaluation pipeline of the paper enumerable and
+// scriptable: `proteusbench list` prints every scenario with its parameter
+// schema, `proteusbench run` executes one scenario from flag-style
+// parameters, and `proteusbench sweep` measures a scenario grid × config
+// grid into a Utility-Matrix CSV that RecTM can train on.
+//
+// In deterministic mode (the default), operations execute serially against
+// a virtual clock that charges one fixed cost per transaction attempt, so
+// a fixed seed yields byte-identical result records across runs — the
+// property docs/experimentation.md builds its controlled-experiment
+// workflow on. Timed mode trades that reproducibility for real wall-clock
+// throughput.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workloads"
+)
+
+// Scenario is one registered, parameterizable workload.
+type Scenario struct {
+	// Name is the registry key (kebab-case, unique).
+	Name string
+	// Family groups scenarios by their internal/workloads source family:
+	// rbtree, lists, stamp, stmbench7, tpcc, memcached or interference.
+	Family string
+	// Description is a one-line summary for listings.
+	Description string
+	// Params is the parameter schema; Make receives validated Values.
+	Params []Param
+	// Make constructs the workload from parameter values (missing keys
+	// take the schema defaults).
+	Make func(v Values) (workloads.Workload, error)
+	// Antagonist, when non-nil, builds the resource antagonist started
+	// alongside the workload. Antagonists compete for real machine
+	// resources, so they only affect timed-mode runs; deterministic runs
+	// note them in the record but are immune by construction.
+	Antagonist func(v Values) *workloads.Interference
+}
+
+var registry = map[string]Scenario{}
+
+// Register adds a scenario to the registry; scenario files self-register
+// from init. It panics on duplicate or empty names — both are programming
+// errors caught by any test that imports the package.
+func Register(s Scenario) {
+	if s.Name == "" || s.Make == nil {
+		panic("scenario: Register needs a name and a Make function")
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Lookup finds a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// All returns every registered scenario sorted by name.
+func All() []Scenario {
+	out := make([]Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted scenario names.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Families returns the sorted set of workload families present in the
+// registry.
+func Families() []string {
+	seen := map[string]bool{}
+	for _, s := range registry {
+		seen[s.Family] = true
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,105 @@
+package scenario
+
+import "repro/internal/workloads"
+
+// STAMP family (internal/workloads/stamp.go): the eight STAMP-like kernels
+// of Table 1, spanning the suite's spread of transaction lengths, working
+// sets and contention levels.
+
+var (
+	genSegments = Param{Name: "segments", Desc: "genome segments to assemble", Kind: Int, Default: "16384"}
+
+	intFlows = Param{Name: "flows", Desc: "concurrent packet flows", Kind: Int, Default: "1024"}
+	intFrags = Param{Name: "frags", Desc: "fragments per flow", Kind: Int, Default: "8"}
+
+	kmClusters = Param{Name: "clusters", Desc: "cluster centers", Kind: Int, Default: "16"}
+	kmDims     = Param{Name: "dims", Desc: "point dimensionality", Kind: Int, Default: "8"}
+
+	labGrid = Param{Name: "grid", Desc: "routing grid cells", Kind: Int, Default: "65536"}
+	labPath = Param{Name: "path", Desc: "cells per routed path", Kind: Int, Default: "192"}
+
+	sscaVertices = Param{Name: "vertices", Desc: "graph vertices", Kind: Int, Default: "65536"}
+
+	vacRelations = Param{Name: "relations", Desc: "rows per reservation table", Kind: Int, Default: "8192"}
+	vacQueries   = Param{Name: "queries", Desc: "items touched per client session", Kind: Int, Default: "24"}
+
+	yadaElements = Param{Name: "elements", Desc: "mesh elements", Kind: Int, Default: "32768"}
+	yadaCavity   = Param{Name: "cavity", Desc: "elements per refined cavity", Kind: Int, Default: "24"}
+
+	bayesNodes = Param{Name: "nodes", Desc: "adtree nodes", Kind: Int, Default: "4096"}
+)
+
+func init() {
+	Register(Scenario{
+		Name:        "genome",
+		Family:      "stamp",
+		Description: "gene assembly: segment dedup and chaining, low contention",
+		Params:      []Param{genSegments},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.Genome{Segments: v.Int(genSegments)}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "intruder",
+		Family:      "stamp",
+		Description: "packet reassembly over a contended flow table",
+		Params:      []Param{intFlows, intFrags},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.Intruder{Flows: v.Int(intFlows), FragsPer: v.Int(intFrags)}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "kmeans",
+		Family:      "stamp",
+		Description: "cluster-center accumulation with non-transactional math",
+		Params:      []Param{kmClusters, kmDims},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.KMeans{Clusters: v.Int(kmClusters), Dims: v.Int(kmDims)}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "labyrinth",
+		Family:      "stamp",
+		Description: "path routing: long transactions with large write sets",
+		Params:      []Param{labGrid, labPath},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.Labyrinth{GridSize: v.Int(labGrid), PathLen: v.Int(labPath)}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "ssca2",
+		Family:      "stamp",
+		Description: "graph kernel: tiny transactions over a wide adjacency array",
+		Params:      []Param{sscaVertices},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.SSCA2{Vertices: v.Int(sscaVertices)}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "vacation",
+		Family:      "stamp",
+		Description: "travel reservations: medium read-dominated sessions",
+		Params:      []Param{vacRelations, vacQueries},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.Vacation{Relations: v.Int(vacRelations), Queries: v.Int(vacQueries)}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "yada",
+		Family:      "stamp",
+		Description: "mesh refinement: long transactions, moderate conflicts",
+		Params:      []Param{yadaElements, yadaCavity},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.Yada{Elements: v.Int(yadaElements), Cavity: v.Int(yadaCavity)}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "bayes",
+		Family:      "stamp",
+		Description: "Bayesian structure learning: the longest STAMP transactions",
+		Params:      []Param{bayesNodes},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.Bayes{Nodes: v.Int(bayesNodes)}, nil
+		},
+	})
+}

@@ -1,0 +1,32 @@
+package scenario
+
+import "repro/internal/workloads"
+
+// STMBench7 family (internal/workloads/stmbench7.go): the OO7-derived
+// object graph with the most heterogeneous transaction mix in the suite.
+
+var (
+	sb7Fanout  = Param{Name: "fanout", Desc: "assembly-tree fan-out", Kind: Int, Default: "3"}
+	sb7Depth   = Param{Name: "depth", Desc: "assembly-tree depth", Kind: Int, Default: "5"}
+	sb7Comp    = Param{Name: "comp", Desc: "composite parts per base assembly", Kind: Int, Default: "4"}
+	sb7Chain   = Param{Name: "chain", Desc: "atomic parts per composite chain", Kind: Int, Default: "16"}
+	sb7ReadDom = Param{Name: "readdominated", Desc: "use the 90%-read operation mix", Kind: Bool, Default: "false"}
+)
+
+func init() {
+	Register(Scenario{
+		Name:        "stmbench7",
+		Family:      "stmbench7",
+		Description: "OO7-style object graph: traversals, updates, structure changes",
+		Params:      []Param{sb7Fanout, sb7Depth, sb7Comp, sb7Chain, sb7ReadDom},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.STMBench7{
+				Fanout:        v.Int(sb7Fanout),
+				Depth:         v.Int(sb7Depth),
+				CompPerBase:   v.Int(sb7Comp),
+				AtomicChain:   v.Int(sb7Chain),
+				ReadDominated: v.Bool(sb7ReadDom),
+			}, nil
+		},
+	})
+}

@@ -144,6 +144,36 @@ func (h *Heap) LoadWord(a Addr) uint64 { return atomic.LoadUint64(&h.words[a]) }
 // bookkeeping. See LoadWord.
 func (h *Heap) StoreWord(a Addr, v uint64) { atomic.StoreUint64(&h.words[a], v) }
 
+// Allocated returns the number of words handed out so far.
+func (h *Heap) Allocated() int {
+	n := atomic.LoadUint64(&h.next)
+	if n > uint64(len(h.words)) {
+		n = uint64(len(h.words))
+	}
+	return int(n)
+}
+
+// Digest returns an FNV-1a hash over every allocated word: a cheap
+// fingerprint of the heap contents. The deterministic scenario harness
+// records it so that two runs claiming to be identical must agree not just
+// on counters but on the actual end state of the data structures. Only
+// meaningful while no transactions are running.
+func (h *Heap) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	hash := uint64(offset64)
+	for i, n := 0, h.Allocated(); i < n; i++ {
+		w := atomic.LoadUint64(&h.words[i])
+		for b := 0; b < 8; b++ {
+			hash ^= (w >> (8 * b)) & 0xff
+			hash *= prime64
+		}
+	}
+	return hash
+}
+
 // --- Global version clock -------------------------------------------------
 
 // Clock returns the current value of the global version clock.

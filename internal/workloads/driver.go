@@ -91,6 +91,70 @@ func (d *Driver) MeasureThroughput(dur time.Duration) float64 {
 	return float64(after-before) / elapsed.Seconds()
 }
 
+// SerialDriver executes a workload one operation at a time, round-robin
+// over the active worker slots, with one deterministic RNG stream per slot
+// (the same streams Driver's goroutines would use). Because operations
+// never overlap, a fixed seed yields an identical operation sequence —
+// and identical commit/abort counts — on every run, which is what the
+// deterministic scenario harness builds on. Wall-clock throughput under a
+// SerialDriver is meaningless; pair it with a virtual clock (one fixed
+// cost per transaction attempt) or use Driver for timed measurements.
+type SerialDriver struct {
+	workload Workload
+	runner   Runner
+	rngs     []*Rand
+	slots    int
+	next     int
+	ops      uint64
+}
+
+// NewSerialDriver builds a serial driver with maxSlots per-slot RNG
+// streams, initially using all of them.
+func NewSerialDriver(w Workload, r Runner, maxSlots int, seed uint64) *SerialDriver {
+	if maxSlots <= 0 {
+		maxSlots = 1
+	}
+	rngs := make([]*Rand, maxSlots)
+	for i := range rngs {
+		rngs[i] = NewRand(seed + uint64(i)*0x9E3779B97F4A7C15 + 1)
+	}
+	return &SerialDriver{workload: w, runner: r, rngs: rngs, slots: maxSlots}
+}
+
+// SetSlots restricts round-robin execution to the first n worker slots —
+// the serial analogue of PolyTM's thread gate after a reconfiguration to n
+// threads. Each slot keeps its RNG stream across SetSlots calls.
+func (d *SerialDriver) SetSlots(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(d.rngs) {
+		n = len(d.rngs)
+	}
+	d.slots = n
+	if d.next >= n {
+		d.next = 0
+	}
+}
+
+// Step executes one operation on the next slot in round-robin order.
+func (d *SerialDriver) Step() {
+	slot := d.next
+	d.next = (d.next + 1) % d.slots
+	d.workload.Op(d.runner, slot, d.rngs[slot])
+	d.ops++
+}
+
+// Run executes n operations.
+func (d *SerialDriver) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		d.Step()
+	}
+}
+
+// Ops returns the total operations executed so far.
+func (d *SerialDriver) Ops() uint64 { return d.ops }
+
 // RunFixed sets up the workload on h, runs it on runner for dur with
 // maxThreads workers, and returns throughput (ops/sec). Convenience for
 // experiments that measure one (workload, configuration) point.

@@ -89,3 +89,51 @@ func TestInterferenceStartStop(t *testing.T) {
 		}
 	}
 }
+
+// TestSerialDriverDeterminism pins the serial driver's guarantee: same
+// seed → identical operation streams, commit counts and heap contents.
+func TestSerialDriverDeterminism(t *testing.T) {
+	run := func(seed uint64) (uint64, uint64) {
+		h := tm.NewHeap(1<<18, 1<<10)
+		wl := &workloads.RBTree{KeyRange: 256, UpdateRatio: 0.5}
+		if err := wl.Setup(h, workloads.NewRand(seed)); err != nil {
+			t.Fatal(err)
+		}
+		r := workloads.NewBareRunner(&stm.TL2{}, h, 4)
+		d := workloads.NewSerialDriver(wl, r, 4, seed)
+		d.SetSlots(2)
+		d.Run(500)
+		d.SetSlots(4) // mid-run reconfiguration keeps per-slot streams
+		d.Run(500)
+		if d.Ops() != 1000 {
+			t.Fatalf("ops = %d", d.Ops())
+		}
+		return h.Digest(), d.Ops()
+	}
+	d1, _ := run(9)
+	d2, _ := run(9)
+	if d1 != d2 {
+		t.Fatalf("same seed, different heap digests: %016x vs %016x", d1, d2)
+	}
+	d3, _ := run(10)
+	if d1 == d3 {
+		t.Fatalf("different seeds, same heap digest %016x", d1)
+	}
+}
+
+// TestSerialDriverSlotClamping covers SetSlots bounds.
+func TestSerialDriverSlotClamping(t *testing.T) {
+	h := tm.NewHeap(1<<16, 1<<8)
+	wl := &workloads.RBTree{KeyRange: 64}
+	if err := wl.Setup(h, workloads.NewRand(1)); err != nil {
+		t.Fatal(err)
+	}
+	d := workloads.NewSerialDriver(wl, workloads.NewBareRunner(&stm.GlobalLock{}, h, 2), 2, 1)
+	d.SetSlots(0) // clamps to 1
+	d.Step()
+	d.SetSlots(99) // clamps to max slots
+	d.Step()
+	if d.Ops() != 2 {
+		t.Fatalf("ops = %d", d.Ops())
+	}
+}

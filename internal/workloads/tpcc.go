@@ -1,6 +1,10 @@
 package workloads
 
-import "repro/internal/tm"
+import (
+	"fmt"
+
+	"repro/internal/tm"
+)
 
 // TPCC is the in-memory TPC-C port of the paper (one atomic block per
 // transaction): the five transaction types over warehouse / district /
@@ -77,6 +81,24 @@ func (t *TPCC) Setup(h *tm.Heap, rng *Rand) error {
 func (t *TPCC) district(w, d int) tm.Addr { return t.dNext + tm.Addr((w*t.Districts+d)*2) }
 func (t *TPCC) customer(w, d, c int) tm.Addr {
 	return t.cBal + tm.Addr(((w*t.Districts+d)*t.Customers+c)*2)
+}
+
+// Verify implements Verifier: every payment credits its warehouse YTD and
+// district YTD in one atomic block, so the two totals must agree after any
+// run — a lost or torn update in a TM backend breaks the equality. The
+// scenario harness checks it after every tpcc run, in both modes.
+func (t *TPCC) Verify(h *tm.Heap) error {
+	var wSum, dSum uint64
+	for w := 0; w < t.Warehouses; w++ {
+		wSum += h.LoadWord(t.wTax + tm.Addr(w))
+		for d := 0; d < t.Districts; d++ {
+			dSum += h.LoadWord(t.district(w, d) + 1)
+		}
+	}
+	if wSum != dSum {
+		return fmt.Errorf("tpcc: money invariant broken: warehouse YTD %d != district YTD %d", wSum, dSum)
+	}
+	return nil
 }
 
 // Op implements Workload: draw a transaction type per the TPC-C mix.

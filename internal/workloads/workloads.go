@@ -58,6 +58,15 @@ type Workload interface {
 	Op(r Runner, self int, rng *Rand)
 }
 
+// Verifier is optionally implemented by workloads that can check a
+// semantic invariant over the heap after a run (with no transactions in
+// flight). The scenario harness calls it after every run and fails the
+// run on violation — a live correctness check on whichever TM backend
+// executed the operations.
+type Verifier interface {
+	Verify(h *tm.Heap) error
+}
+
 // Rand is a tiny deterministic xorshift64* generator; each worker owns one.
 type Rand struct{ s uint64 }
 

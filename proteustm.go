@@ -37,9 +37,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/energy"
-	"repro/internal/htm"
-	"repro/internal/machine"
-	"repro/internal/perfmodel"
+	"repro/internal/scenario"
 	"repro/internal/tm"
 )
 
@@ -257,46 +255,16 @@ func (s *System) Close() error {
 }
 
 // DefaultConfigs returns a compact tuning space for maxThreads workers:
-// every STM × {1, 2, …, maxThreads} plus HTM contention-management variants.
-func DefaultConfigs(maxThreads int) []Config {
-	var threads []int
-	for t := 1; t <= maxThreads; t *= 2 {
-		threads = append(threads, t)
-	}
-	if last := threads[len(threads)-1]; last != maxThreads {
-		threads = append(threads, maxThreads)
-	}
-	var out []Config
-	for _, alg := range []config.AlgID{config.TL2, config.TinySTM, config.NOrec, config.SwissTM} {
-		for _, t := range threads {
-			out = append(out, Config{Alg: alg, Threads: t})
-		}
-	}
-	for _, t := range threads {
-		for _, b := range []int{2, 8} {
-			for _, p := range []htm.CapacityPolicy{htm.PolicyGiveUp, htm.PolicyHalve} {
-				out = append(out, Config{Alg: config.HTM, Threads: t, Budget: b, Policy: p})
-			}
-		}
-	}
-	return out
-}
+// every STM × {1, 2, …, maxThreads} plus HTM contention-management
+// variants. It is config.DefaultSpace — the same grid `proteusbench list`
+// prints and `proteusbench sweep` profiles.
+func DefaultConfigs(maxThreads int) []Config { return config.DefaultSpace(maxThreads) }
 
 // SyntheticTraining builds a training Utility Matrix for the given
 // configuration space from the analytic performance model (the substitute
-// for profiling a base set of applications offline).
+// for profiling a base set of applications offline). The modeled machine
+// is derived from the configuration space itself — see
+// scenario.SyntheticTraining, which this delegates to.
 func SyntheticTraining(cfgs []Config, workloads int, seed uint64) *cf.Matrix {
-	prof := machine.Profile{
-		Name:           "local",
-		Cores:          8,
-		HWThreads:      8,
-		Sockets:        1,
-		HasHTM:         true,
-		ThreadCounts:   []int{1, 2, 4, 8},
-		StaticPower:    18,
-		PowerPerThread: 6.5,
-	}
-	gen := &perfmodel.Generator{Machine: prof, Seed: seed}
-	ws := gen.Workloads(workloads)
-	return gen.Matrix(ws, cfgs, perfmodel.Throughput)
+	return scenario.SyntheticTraining(cfgs, workloads, seed)
 }
