@@ -11,16 +11,14 @@
 package proteustm_test
 
 import (
-	"sync"
+	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 
-	proteustm "repro"
+	"repro/internal/bench"
 	"repro/internal/cf"
-	"repro/internal/config"
 	"repro/internal/experiments"
-	"repro/internal/htm"
-	"repro/internal/polytm"
 	"repro/internal/stm"
 	"repro/internal/tm"
 )
@@ -187,95 +185,47 @@ func BenchmarkFig9(b *testing.B) {
 }
 
 // --- Micro-benchmarks and ablations ---------------------------------------------
+//
+// The benchmark bodies AND the case grid live in internal/bench so that
+// `proteusbench bench` runs the identical code via testing.Benchmark and
+// persists the results as BENCH_<n>.json regression records (see
+// docs/performance.md). The Benchmark* functions below only re-root
+// bench.Suite() under the `go test -bench` hierarchy — extending the grid
+// in Suite() automatically extends them.
 
-// benchCounterTx runs a small read-modify-write transaction mix on one
-// algorithm at the given thread count and reports transactions/op.
-func benchCounterTx(b *testing.B, alg tm.Algorithm, threads int) {
-	h := tm.NewHeap(1<<16, threads)
-	base := h.MustAlloc(1024)
-	var wg sync.WaitGroup
-	per := b.N/threads + 1
-	b.ResetTimer()
-	for w := 0; w < threads; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			c := tm.NewCtx(id, h)
-			for i := 0; i < per; i++ {
-				slot := tm.Addr(c.Rand() % 1024)
-				tm.Run(alg, c, func(tx tm.Txn) {
-					v := tx.Load(base + slot)
-					tx.Store(base+slot, v+1)
-				})
-			}
-		}(w)
+// runSuitePrefix runs every suite case under the given top-level name as a
+// sub-benchmark (a case "Algorithms/tl2/4t" runs as tl2/4t under
+// BenchmarkAlgorithms, matching the record name exactly).
+func runSuitePrefix(b *testing.B, prefix string) {
+	ran := false
+	for _, cs := range bench.Suite() {
+		if sub, ok := strings.CutPrefix(cs.Name, prefix+"/"); ok {
+			b.Run(sub, cs.Fn)
+			ran = true
+		}
 	}
-	wg.Wait()
+	if !ran {
+		b.Fatalf("no suite cases under %q; bench.Suite() and bench_test.go drifted", prefix)
+	}
 }
 
 // BenchmarkAlgorithms compares the bare TM backends on an uncontended
-// counter workload.
-func BenchmarkAlgorithms(b *testing.B) {
-	algs := map[string]func() tm.Algorithm{
-		"tl2":   func() tm.Algorithm { return stm.TL2{} },
-		"tiny":  func() tm.Algorithm { return stm.TinySTM{} },
-		"norec": func() tm.Algorithm { return stm.NOrec{} },
-		"swiss": func() tm.Algorithm { return stm.SwissTM{} },
-		"htm":   func() tm.Algorithm { return &htm.HTM{CM: htm.NewCM(5, htm.PolicyDecrease)} },
-		"gl":    func() tm.Algorithm { return &stm.GlobalLock{} },
-	}
-	for _, name := range []string{"tl2", "tiny", "norec", "swiss", "htm", "gl"} {
-		for _, threads := range []int{1, 4} {
-			b.Run(name+"/"+string(rune('0'+threads))+"t", func(b *testing.B) {
-				benchCounterTx(b, algs[name](), threads)
-			})
-		}
-	}
-}
+// counter workload at 1, 4 and 8 threads.
+func BenchmarkAlgorithms(b *testing.B) { runSuitePrefix(b, "Algorithms") }
+
+// BenchmarkAlgorithmsWriteHeavy stresses the write-set index: every
+// transaction writes well past the linear-scan threshold and reads each
+// written word back from the redo log.
+func BenchmarkAlgorithmsWriteHeavy(b *testing.B) { runSuitePrefix(b, "AlgorithmsWriteHeavy") }
 
 // BenchmarkPolyTMDispatch quantifies the dispatch layer's cost directly
 // (the per-transaction delta behind Table 4).
-func BenchmarkPolyTMDispatch(b *testing.B) {
-	b.Run("bare", func(b *testing.B) {
-		benchCounterTx(b, stm.TL2{}, 4)
-	})
-	b.Run("polytm", func(b *testing.B) {
-		pool := polytm.New(1<<16, 4, config.Config{Alg: config.TL2, Threads: 4})
-		base := pool.Heap().MustAlloc(1024)
-		var wg sync.WaitGroup
-		per := b.N/4 + 1
-		b.ResetTimer()
-		for w := 0; w < 4; w++ {
-			wg.Add(1)
-			go func(id int) {
-				defer wg.Done()
-				c := pool.Ctx(id)
-				for i := 0; i < per; i++ {
-					slot := tm.Addr(c.Rand() % 1024)
-					pool.Atomic(id, func(tx tm.Txn) {
-						v := tx.Load(base + slot)
-						tx.Store(base+slot, v+1)
-					})
-				}
-			}(w)
-		}
-		wg.Wait()
-	})
-}
+func BenchmarkPolyTMDispatch(b *testing.B) { runSuitePrefix(b, "PolyTMDispatch") }
 
 // BenchmarkThreadGate is the Algorithm-1 ablation: fetch-and-add gating vs a
 // compare-and-swap loop for the enter/exit pair.
 func BenchmarkThreadGate(b *testing.B) {
-	b.Run("fetch-and-add", func(b *testing.B) {
-		pool := polytm.New(1<<12, 1, config.Config{Alg: config.TL2, Threads: 1})
-		base := pool.Heap().MustAlloc(8)
-		c := pool.Ctx(0)
-		_ = c
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			pool.Atomic(0, func(tx tm.Txn) { tx.Store(base, 1) })
-		}
-	})
+	b.Run("fetch-and-add", bench.ThreadGateFA)
 	b.Run("cas-loop", func(b *testing.B) {
 		// Simulate the CAS-based gate: same transaction with an extra
 		// CAS acquire/release pair per attempt.
@@ -313,7 +263,7 @@ func BenchmarkBaggingSize(b *testing.B) {
 	}
 	active[0], active[5], active[9] = 1, 2, 3
 	for _, k := range []int{1, 5, 10, 20} {
-		b.Run(string(rune('0'+k/10))+string(rune('0'+k%10))+"learners", func(b *testing.B) {
+		b.Run(fmt.Sprintf("%dlearners", k), func(b *testing.B) {
 			ens := &cf.Bagging{
 				Learners: k,
 				New:      func(int) cf.Predictor { return &cf.KNN{K: 5, Sim: cf.Cosine} },
@@ -328,24 +278,10 @@ func BenchmarkBaggingSize(b *testing.B) {
 	}
 }
 
-// BenchmarkPublicAPI exercises the root package's Atomic path.
+// BenchmarkPublicAPI exercises the root package's Atomic path; steady state
+// must report 0 allocs/op.
 func BenchmarkPublicAPI(b *testing.B) {
-	sys, err := proteustm.Open(proteustm.WithWorkers(1), proteustm.WithHeapWords(1<<12))
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer sys.Close()
-	w, err := sys.Worker(0)
-	if err != nil {
-		b.Fatal(err)
-	}
-	a := sys.MustAlloc(1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		w.Atomic(func(tx proteustm.Txn) {
-			tx.Store(a, tx.Load(a)+1)
-		})
-	}
+	bench.PublicAPI(b)
 }
 
 func casAcquire(g *uint64) bool { return casUint64(g, 0, 1) }

@@ -11,6 +11,7 @@
 //	    [--config TL2:4t,NOrec:4t | --autotune] [--ops 20000] [--duration 2s]
 //	proteusbench sweep --out um.csv [--scenarios rbtree,tpcc] [--window 200ms]
 //	proteusbench experiment --name fig4 [--quick]
+//	proteusbench bench [--benchtime 0.5s] [--filter Algorithms] [--compare BENCH_0.json]
 //
 // `run` is deterministic by default: operations execute serially against a
 // virtual clock, so the same seed produces byte-identical JSON records on
@@ -27,8 +28,10 @@ import (
 	"io"
 	"os"
 	"strings"
+	"testing"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/cf"
 	"repro/internal/config"
 	"repro/internal/experiments"
@@ -50,6 +53,8 @@ func main() {
 		err = cmdSweep(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "-h", "--help", "help":
 		usage(os.Stdout)
 	default:
@@ -71,6 +76,7 @@ Commands:
   run         run one scenario under fixed or auto-tuned configurations
   sweep       measure scenario grid x config grid into a Utility-Matrix CSV
   experiment  regenerate the paper's figures/tables (fig1..fig9, all)
+  bench       run the micro-benchmark regression suite, record BENCH_<n>.json
 
 Run 'proteusbench <command> -h' for command flags.
 `)
@@ -242,6 +248,51 @@ func cmdSweep(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %dx%d utility matrix to %s (%d cells measured, %d reused from journal)\n",
 		res.UM.Rows, res.UM.Cols, *out, res.Measured, res.Reused)
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "", "record path (default BENCH_<n>.json at the next free index)")
+	benchtime := fs.String("benchtime", "0.5s", "per-benchmark measurement budget (Go -benchtime syntax, e.g. 1s or 100x)")
+	filter := fs.String("filter", "", "substring filter on benchmark names")
+	note := fs.String("note", "", "free-form label stored in the record (e.g. the commit being measured)")
+	compare := fs.String("compare", "", "print an old-vs-new delta table against this prior record")
+	dry := fs.Bool("dry-run", false, "measure and print, but do not write a record")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// testing.Benchmark honors the -test.benchtime flag, which only exists
+	// after testing.Init; registering it on flag.CommandLine is harmless
+	// because proteusbench parses per-command FlagSets instead.
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		return fmt.Errorf("bench: invalid --benchtime: %w", err)
+	}
+	rec := bench.RunSuite(*filter, os.Stderr)
+	rec.BenchTime = *benchtime
+	rec.Note = *note
+	if *compare != "" {
+		old, err := bench.ReadRecord(*compare)
+		if err != nil {
+			return err
+		}
+		bench.Compare(old, rec, os.Stdout)
+	}
+	if *dry {
+		return nil
+	}
+	path := *out
+	if path == "" {
+		var err error
+		if path, err = bench.NextRecordPath("."); err != nil {
+			return err
+		}
+	}
+	if err := rec.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d benchmark results to %s\n", len(rec.Results), path)
 	return nil
 }
 

@@ -168,10 +168,8 @@ func (h *HTM) Load(c *tm.Ctx, a tm.Addr) uint64 {
 		}
 		return heap.LoadWord(a)
 	}
-	if c.WS.Len() > 0 {
-		if v, ok := c.WS.Get(a); ok {
-			return v
-		}
+	if v, ok := c.WS.Get(a); ok {
+		return v
 	}
 	s := heap.Stripe(a)
 	bit := uint64(1) << uint(c.ID&63)

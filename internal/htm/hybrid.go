@@ -87,10 +87,8 @@ func (hy *Hybrid) Load(c *tm.Ctx, a tm.Addr) uint64 {
 	if st.Fallback {
 		return hy.sw.Load(c, a)
 	}
-	if c.WS.Len() > 0 {
-		if v, ok := c.WS.Get(a); ok {
-			return v
-		}
+	if v, ok := c.WS.Get(a); ok {
+		return v
 	}
 	v := c.H.LoadWord(a)
 	if c.H.Clock() != st.SnapshotRV {

@@ -19,6 +19,21 @@ type NaiveHTM struct {
 // Name implements tm.Algorithm.
 func (n *NaiveHTM) Name() string { return "htm-naive" }
 
+// naiveTxn is NaiveHTM's concrete Txn binding. It must exist: without it,
+// method promotion would hand callers the embedded (*HTM).BindTxn, whose
+// binding dispatches straight into HTM.Load/Store and silently skips the
+// naive instrumentation this type exists to measure.
+type naiveTxn struct {
+	n *NaiveHTM
+	c *tm.Ctx
+}
+
+func (t *naiveTxn) Load(a tm.Addr) uint64     { return t.n.Load(t.c, a) }
+func (t *naiveTxn) Store(a tm.Addr, v uint64) { t.n.Store(t.c, a, v) }
+
+// BindTxn implements tm.TxnBinder, overriding the promoted HTM binding.
+func (n *NaiveHTM) BindTxn(c *tm.Ctx) tm.Txn { return &naiveTxn{n, c} }
+
 // Load implements tm.Algorithm: the useless instrumentation logs the read
 // into the value read set and maintains a running checksum, the work a
 // software barrier would do.

@@ -1,0 +1,32 @@
+package htm
+
+import "repro/internal/tm"
+
+// Concrete Txn bindings (tm.TxnBinder). Unlike the stm backends, HTM and
+// Hybrid carry per-instance state (capacities, contention manager), so the
+// binding pairs the algorithm pointer with the context. The pair is heap-
+// allocated once per (context, algorithm) and cached by tm.BindCached;
+// steady-state attempts reuse it with no allocation and dispatch Load/Store
+// statically into the simulator.
+
+type htmTxn struct {
+	h *HTM
+	c *tm.Ctx
+}
+
+func (t *htmTxn) Load(a tm.Addr) uint64     { return t.h.Load(t.c, a) }
+func (t *htmTxn) Store(a tm.Addr, v uint64) { t.h.Store(t.c, a, v) }
+
+// BindTxn implements tm.TxnBinder.
+func (h *HTM) BindTxn(c *tm.Ctx) tm.Txn { return &htmTxn{h, c} }
+
+type hybridTxn struct {
+	hy *Hybrid
+	c  *tm.Ctx
+}
+
+func (t *hybridTxn) Load(a tm.Addr) uint64     { return t.hy.Load(t.c, a) }
+func (t *hybridTxn) Store(a tm.Addr, v uint64) { t.hy.Store(t.c, a, v) }
+
+// BindTxn implements tm.TxnBinder.
+func (hy *Hybrid) BindTxn(c *tm.Ctx) tm.Txn { return &hybridTxn{hy, c} }

@@ -263,11 +263,33 @@ func (p *Pool) Reconfigure(cfg config.Config) error {
 	return nil
 }
 
-// SnapshotStats returns the summed per-thread statistics.
+// SnapshotStats returns the summed per-thread statistics. The per-thread
+// counters are owner-local plain fields (the fast path carries no atomic
+// RMWs), so the pool briefly parks each thread at its next transaction
+// boundary — the same Algorithm-1 gate reconfigurations use — to establish
+// happens-before with the owner before reading. The pause per thread is at
+// most one in-flight transaction attempt; cfgMu keeps the gate manipulation
+// exclusive with concurrent reconfigurations.
+//
+// SnapshotStats is a control-plane API: it MUST NOT be called from inside
+// an atomic block. The calling goroutine would hold its own slot's RUN bit
+// and then wait for that bit to clear — a self-deadlock (it would also be
+// semantically meaningless: a transaction reading the aggregate of
+// concurrent counters is unserializable). Call it between transactions, as
+// the monitor, the harness and the examples do.
 func (p *Pool) SnapshotStats() tm.Stats {
+	p.cfgMu.Lock()
+	defer p.cfgMu.Unlock()
 	var total tm.Stats
-	for _, c := range p.ctxs {
-		total.Add(c.Stats.Snapshot())
+	for t, c := range p.ctxs {
+		wasBlocked := p.blocked(t)
+		if !wasBlocked {
+			p.setBlock(t)
+		}
+		total.Add(c.Stats)
+		if !wasBlocked {
+			p.clearBlock(t)
+		}
 	}
 	return total
 }

@@ -26,10 +26,8 @@ func (NOrec) Begin(c *tm.Ctx) {
 // snapshot, the whole value-based read set is revalidated against a new
 // snapshot before the read is retried (NOrec's post-validation loop).
 func (n NOrec) Load(c *tm.Ctx, a tm.Addr) uint64 {
-	if c.WS.Len() > 0 {
-		if v, ok := c.WS.Get(a); ok {
-			return v
-		}
+	if v, ok := c.WS.Get(a); ok {
+		return v
 	}
 	h := c.H
 	v := h.LoadWord(a)

@@ -1,0 +1,54 @@
+package stm
+
+import "repro/internal/tm"
+
+// Concrete Txn bindings, one per backend (tm.TxnBinder).
+//
+// Each wrapper is a single-pointer struct, so converting it to the tm.Txn
+// interface stores the pointer directly in the interface word — no per-
+// attempt allocation — and its Load/Store methods dispatch statically into
+// the algorithm's implementation. Compared with tm's generic boundTxn this
+// removes one interface indirection from every instrumented memory access
+// and the interface-boxing allocation from every transaction attempt.
+
+type tl2Txn struct{ c *tm.Ctx }
+
+func (t tl2Txn) Load(a tm.Addr) uint64     { return TL2{}.Load(t.c, a) }
+func (t tl2Txn) Store(a tm.Addr, v uint64) { TL2{}.Store(t.c, a, v) }
+
+// BindTxn implements tm.TxnBinder.
+func (TL2) BindTxn(c *tm.Ctx) tm.Txn { return tl2Txn{c} }
+
+type tinyTxn struct{ c *tm.Ctx }
+
+func (t tinyTxn) Load(a tm.Addr) uint64     { return TinySTM{}.Load(t.c, a) }
+func (t tinyTxn) Store(a tm.Addr, v uint64) { TinySTM{}.Store(t.c, a, v) }
+
+// BindTxn implements tm.TxnBinder.
+func (TinySTM) BindTxn(c *tm.Ctx) tm.Txn { return tinyTxn{c} }
+
+type norecTxn struct{ c *tm.Ctx }
+
+func (t norecTxn) Load(a tm.Addr) uint64     { return NOrec{}.Load(t.c, a) }
+func (t norecTxn) Store(a tm.Addr, v uint64) { NOrec{}.Store(t.c, a, v) }
+
+// BindTxn implements tm.TxnBinder.
+func (NOrec) BindTxn(c *tm.Ctx) tm.Txn { return norecTxn{c} }
+
+type swissTxn struct{ c *tm.Ctx }
+
+func (t swissTxn) Load(a tm.Addr) uint64     { return SwissTM{}.Load(t.c, a) }
+func (t swissTxn) Store(a tm.Addr, v uint64) { SwissTM{}.Store(t.c, a, v) }
+
+// BindTxn implements tm.TxnBinder.
+func (SwissTM) BindTxn(c *tm.Ctx) tm.Txn { return swissTxn{c} }
+
+// glTxn accesses the heap directly: under the global lock there is no
+// transactional bookkeeping, so the binding needs no *GlobalLock receiver.
+type glTxn struct{ c *tm.Ctx }
+
+func (t glTxn) Load(a tm.Addr) uint64     { return t.c.H.LoadWord(a) }
+func (t glTxn) Store(a tm.Addr, v uint64) { t.c.H.StoreWord(a, v) }
+
+// BindTxn implements tm.TxnBinder.
+func (*GlobalLock) BindTxn(c *tm.Ctx) tm.Txn { return glTxn{c} }

@@ -51,8 +51,10 @@ type Heap struct {
 	_    [7]uint64
 
 	// htmDoom holds one doom flag pointer per thread slot so a conflicting
-	// HTM transaction can remotely abort its victims.
-	htmDoom []*atomic.Bool
+	// HTM transaction can remotely abort its victims. Slots are atomic
+	// pointers because threads register lazily (at their first HTM
+	// transaction) while other threads may already be dooming.
+	htmDoom []atomic.Pointer[atomic.Bool]
 }
 
 // NewHeap creates a heap with the given number of 64-bit words (rounded up
@@ -78,7 +80,7 @@ func NewHeap(words int, maxThreads int) *Heap {
 		writers: make([]uint64, nStripes),
 		mask:    uint32(nStripes - 1),
 		next:    1, // word 0 is NilAddr
-		htmDoom: make([]*atomic.Bool, maxThreads),
+		htmDoom: make([]atomic.Pointer[atomic.Bool], maxThreads),
 	}
 	return h
 }
@@ -257,21 +259,34 @@ func (h *Heap) WriterCAS(s uint32, old, new uint64) bool {
 func (h *Heap) WriterStore(s uint32, v uint64) { atomic.StoreUint64(&h.writers[s], v) }
 
 // RegisterDoomFlag publishes thread slot id's doom flag so conflicting HTM
-// transactions can remotely abort it.
+// transactions can remotely abort it. For ids within the table sized by
+// NewHeap's maxThreads — every id a correctly configured pool produces —
+// registration is an atomic pointer publish and is safe to perform lazily
+// (a thread's first HTM transaction) while other threads are concurrently
+// calling DoomThread. Registering an out-of-range id grows the table with
+// an unsynchronized copy-and-swap of the slice header, which concurrent
+// DoomThread readers do NOT observe safely: such calls require quiescence
+// (no HTM transactions in flight anywhere), which only holds during setup.
 func (h *Heap) RegisterDoomFlag(id int, f *atomic.Bool) {
-	if id >= len(h.htmDoom) {
-		grown := make([]*atomic.Bool, id+1)
-		copy(grown, h.htmDoom)
-		h.htmDoom = grown
+	if id < len(h.htmDoom) {
+		h.htmDoom[id].Store(f)
+		return
 	}
-	h.htmDoom[id] = f
+	grown := make([]atomic.Pointer[atomic.Bool], id+1)
+	for i := range h.htmDoom {
+		grown[i].Store(h.htmDoom[i].Load())
+	}
+	grown[id].Store(f)
+	h.htmDoom = grown
 }
 
 // DoomThread requests the remote abort of thread slot id's current hardware
 // transaction. Dooming an unregistered slot is a no-op.
 func (h *Heap) DoomThread(id int) {
-	if id >= 0 && id < len(h.htmDoom) && h.htmDoom[id] != nil {
-		h.htmDoom[id].Store(true)
+	if id >= 0 && id < len(h.htmDoom) {
+		if f := h.htmDoom[id].Load(); f != nil {
+			f.Store(true)
+		}
 	}
 }
 

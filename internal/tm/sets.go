@@ -1,10 +1,25 @@
 package tm
 
 // smallSetLinear is the write-set size up to which membership lookups use a
-// linear scan; beyond it a map index is maintained. Most transactions in the
-// benchmark suite write fewer than a dozen words, so the common case stays
-// allocation- and hash-free.
+// linear scan; beyond it an open-addressed index is maintained. Most
+// transactions in the benchmark suite write fewer than a dozen words, so the
+// common case stays allocation- and hash-free.
 const smallSetLinear = 16
+
+// fpMult is the 64-bit Fibonacci-hashing multiplier shared by the
+// fingerprint filters and the open-addressed probe sequence.
+const fpMult = 0x9E3779B97F4A7C15
+
+// fpBit maps x to one bit of a 64-bit Bloom-style fingerprint filter (the
+// top six bits of a Fibonacci hash pick the bit). A filter miss proves the
+// key was never added; a hit means "possibly present, fall back to a real
+// lookup". With the handful of distinct keys a typical transaction touches,
+// false positives are rare, so the dominant case — a transactional read that
+// misses the write set — costs one multiply, one shift and one AND.
+func fpBit(x uint64) uint64 { return 1 << ((x * fpMult) >> 58) }
+
+// idxHash spreads an address over the open-addressed table's slots.
+func idxHash(a Addr) uint32 { return uint32((uint64(a) * fpMult) >> 32) }
 
 // WEntry is one redo-log entry of a WriteSet.
 type WEntry struct {
@@ -12,17 +27,23 @@ type WEntry struct {
 	Val  uint64
 }
 
-// WriteSet is a redo log with O(1) amortized lookup. It is reused across
-// transactions: Reset keeps the backing storage.
+// WriteSet is a redo log with O(1) amortized lookup. Membership is gated by
+// an address-fingerprint filter; storage is an insertion-ordered entry slice
+// (the publication order at commit) indexed, once the set outgrows
+// smallSetLinear, by an inline open-addressed table instead of a Go map, so
+// even large-transaction lookups stay free of map-runtime calls. It is
+// reused across transactions: Reset keeps the backing storage.
 type WriteSet struct {
 	entries []WEntry
-	idx     map[Addr]int32
+	filter  uint64
+	// idx is the open-addressed table: idx[slot] holds an index into
+	// entries, or -1 for an empty slot. len(idx) is a power of two.
+	idx     []int32
 	indexed bool
 }
 
 func (w *WriteSet) init() {
 	w.entries = make([]WEntry, 0, 64)
-	w.idx = make(map[Addr]int32, 64)
 }
 
 // Len returns the number of distinct addresses in the set.
@@ -34,36 +55,71 @@ func (w *WriteSet) Entries() []WEntry { return w.entries }
 
 // Put records the write of v to a, overwriting any earlier write to a.
 func (w *WriteSet) Put(a Addr, v uint64) {
+	bit := fpBit(uint64(a))
 	if w.indexed {
-		if i, ok := w.idx[a]; ok {
-			w.entries[i].Val = v
-			return
+		mask := uint32(len(w.idx) - 1)
+		slot := idxHash(a) & mask
+		for {
+			i := w.idx[slot]
+			if i < 0 {
+				break
+			}
+			if w.entries[i].Addr == a {
+				w.entries[i].Val = v
+				return
+			}
+			slot = (slot + 1) & mask
 		}
-		w.idx[a] = int32(len(w.entries))
+		w.idx[slot] = int32(len(w.entries))
 		w.entries = append(w.entries, WEntry{a, v})
+		w.filter |= bit
+		if 4*len(w.entries) > 3*len(w.idx) {
+			w.growIndex(2 * len(w.idx))
+		}
 		return
 	}
-	for i := range w.entries {
-		if w.entries[i].Addr == a {
-			w.entries[i].Val = v
-			return
+	if w.filter&bit != 0 {
+		for i := range w.entries {
+			if w.entries[i].Addr == a {
+				w.entries[i].Val = v
+				return
+			}
 		}
 	}
+	w.filter |= bit
 	w.entries = append(w.entries, WEntry{a, v})
 	if len(w.entries) > smallSetLinear {
-		w.buildIndex()
+		w.growIndex(4 * smallSetLinear)
 	}
 }
 
-// Get returns the buffered value for a, if any.
+// Get returns the buffered value for a, if any. The filter test up front is
+// the whole cost of the dominant case (a read that was never written).
 func (w *WriteSet) Get(a Addr) (uint64, bool) {
-	if w.indexed {
-		if i, ok := w.idx[a]; ok {
-			return w.entries[i].Val, true
-		}
+	if w.filter&fpBit(uint64(a)) == 0 {
 		return 0, false
 	}
-	for i := len(w.entries) - 1; i >= 0; i-- {
+	return w.lookup(a)
+}
+
+// lookup resolves a possibly-present address after a filter hit.
+func (w *WriteSet) lookup(a Addr) (uint64, bool) {
+	if w.indexed {
+		mask := uint32(len(w.idx) - 1)
+		for slot := idxHash(a) & mask; ; slot = (slot + 1) & mask {
+			i := w.idx[slot]
+			if i < 0 {
+				return 0, false
+			}
+			if w.entries[i].Addr == a {
+				return w.entries[i].Val, true
+			}
+		}
+	}
+	// Put overwrites in place, so each address appears at most once and a
+	// forward scan finds the (unique) entry — scan direction is irrelevant
+	// for correctness and forward is friendlier to the prefetcher.
+	for i := range w.entries {
 		if w.entries[i].Addr == a {
 			return w.entries[i].Val, true
 		}
@@ -71,23 +127,34 @@ func (w *WriteSet) Get(a Addr) (uint64, bool) {
 	return 0, false
 }
 
-func (w *WriteSet) buildIndex() {
-	if w.idx == nil {
-		w.idx = make(map[Addr]int32, 2*len(w.entries))
+// growIndex (re)builds the open-addressed table with the given slot count,
+// reusing the previous allocation when it is already big enough.
+func (w *WriteSet) growIndex(slots int) {
+	if cap(w.idx) >= slots {
+		w.idx = w.idx[:slots]
+	} else {
+		w.idx = make([]int32, slots)
 	}
+	for i := range w.idx {
+		w.idx[i] = -1
+	}
+	mask := uint32(slots - 1)
 	for i := range w.entries {
-		w.idx[w.entries[i].Addr] = int32(i)
+		slot := idxHash(w.entries[i].Addr) & mask
+		for w.idx[slot] >= 0 {
+			slot = (slot + 1) & mask
+		}
+		w.idx[slot] = int32(i)
 	}
 	w.indexed = true
 }
 
-// Reset empties the set, retaining capacity.
+// Reset empties the set, retaining capacity (entry storage and, once grown,
+// the index table).
 func (w *WriteSet) Reset() {
 	w.entries = w.entries[:0]
-	if w.indexed {
-		clear(w.idx)
-		w.indexed = false
-	}
+	w.filter = 0
+	w.indexed = false
 }
 
 // RSEntry is one ownership-record read-set entry: the stripe index and the
@@ -97,9 +164,23 @@ type RSEntry struct {
 	Version uint64
 }
 
+// readDedupWindow bounds the duplicate scan ReadSet.Add performs after a
+// fingerprint-filter hit. Re-reads cluster on recently-read stripes (list
+// heads, tree roots, neighbouring fields of one node), so a short backward
+// window collapses almost all duplicates while keeping Add O(1) even for
+// read sets large enough to saturate the 64-bit filter. Duplicates that
+// slip past the window are merely re-validated, never incorrect.
+const readDedupWindow = 8
+
 // ReadSet is the ownership-record read set used by TL2, TinySTM and SwissTM.
+// Entries are deduplicated per (stripe, version) with the fingerprint-filter
+// trick, so validation work no longer grows with re-reads of the same
+// stripe. Within one attempt a stripe can only ever be recorded at a single
+// version (any version move past the snapshot aborts or is re-validated by
+// extension), so matching on the pair is exact, not lossy.
 type ReadSet struct {
 	entries []RSEntry
+	filter  uint64
 }
 
 // Len returns the number of recorded reads.
@@ -110,11 +191,27 @@ func (r *ReadSet) Entries() []RSEntry { return r.entries }
 
 // Add records that the stripe was read at the given version.
 func (r *ReadSet) Add(stripe uint32, version uint64) {
+	bit := fpBit(uint64(stripe))
+	if r.filter&bit != 0 {
+		lo := len(r.entries) - readDedupWindow
+		if lo < 0 {
+			lo = 0
+		}
+		for i := len(r.entries) - 1; i >= lo; i-- {
+			if r.entries[i].Stripe == stripe && r.entries[i].Version == version {
+				return
+			}
+		}
+	}
+	r.filter |= bit
 	r.entries = append(r.entries, RSEntry{stripe, version})
 }
 
 // Reset empties the set, retaining capacity.
-func (r *ReadSet) Reset() { r.entries = r.entries[:0] }
+func (r *ReadSet) Reset() {
+	r.entries = r.entries[:0]
+	r.filter = 0
+}
 
 // VEntry is one value-based read-set entry (NOrec).
 type VEntry struct {
@@ -151,9 +248,11 @@ type LockEntry struct {
 	PrevRVer uint64
 }
 
-// LockSet tracks the ownership records a transaction holds.
+// LockSet tracks the ownership records a transaction holds. A stripe
+// fingerprint filter makes the common Holds miss a single AND/test.
 type LockSet struct {
 	entries []LockEntry
+	filter  uint64
 }
 
 func (l *LockSet) init() { l.entries = make([]LockEntry, 0, 32) }
@@ -166,17 +265,22 @@ func (l *LockSet) Entries() []LockEntry { return l.entries }
 
 // Add records that the stripe was locked and held prev before.
 func (l *LockSet) Add(stripe uint32, prev uint64) {
+	l.filter |= fpBit(uint64(stripe))
 	l.entries = append(l.entries, LockEntry{Stripe: stripe, PrevVal: prev})
 }
 
 // AddWithRVer records a locked stripe together with its read-version at lock
 // time (SwissTM).
 func (l *LockSet) AddWithRVer(stripe uint32, prev, prevRVer uint64) {
+	l.filter |= fpBit(uint64(stripe))
 	l.entries = append(l.entries, LockEntry{Stripe: stripe, PrevVal: prev, PrevRVer: prevRVer})
 }
 
 // Holds reports whether the stripe is already in the lock set.
 func (l *LockSet) Holds(stripe uint32) bool {
+	if l.filter&fpBit(uint64(stripe)) == 0 {
+		return false
+	}
 	for i := range l.entries {
 		if l.entries[i].Stripe == stripe {
 			return true
@@ -186,4 +290,7 @@ func (l *LockSet) Holds(stripe uint32) bool {
 }
 
 // Reset empties the set, retaining capacity.
-func (l *LockSet) Reset() { l.entries = l.entries[:0] }
+func (l *LockSet) Reset() {
+	l.entries = l.entries[:0]
+	l.filter = 0
+}

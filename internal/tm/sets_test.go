@@ -1,0 +1,224 @@
+package tm
+
+// White-box tests for the read/write/lock set machinery: the
+// linear-to-indexed transition, the fingerprint-filter fast path and its
+// false-positive fallback, capacity retention across Reset, and read-set
+// deduplication under stripe collisions. Black-box property tests live in
+// tm_test.go.
+
+import "testing"
+
+// collidingPair returns two distinct values that map to the same
+// fingerprint-filter bit (a guaranteed filter false positive when only one
+// of them is in a set).
+func collidingPair(t *testing.T) (uint64, uint64) {
+	t.Helper()
+	a := uint64(1)
+	for b := a + 1; b < a+100000; b++ {
+		if fpBit(a) == fpBit(b) {
+			return a, b
+		}
+	}
+	t.Fatal("no fingerprint collision found in 100000 candidates")
+	return 0, 0
+}
+
+// TestWriteSetLinearToIndexedTransition walks Put counts across
+// smallSetLinear and verifies the index engages exactly past the threshold
+// with identical lookup semantics on both sides.
+func TestWriteSetLinearToIndexedTransition(t *testing.T) {
+	var w WriteSet
+	for i := 0; i < smallSetLinear; i++ {
+		w.Put(Addr(i*64), uint64(i))
+	}
+	if w.indexed {
+		t.Fatalf("index engaged at %d entries; linear regime should hold through smallSetLinear=%d", w.Len(), smallSetLinear)
+	}
+	// Overwrites at the threshold must not trigger indexing (no new entry).
+	w.Put(Addr(0), 999)
+	if w.indexed || w.Len() != smallSetLinear {
+		t.Fatalf("overwrite changed regime: indexed=%v len=%d", w.indexed, w.Len())
+	}
+	w.Put(Addr(smallSetLinear*64), 1000)
+	if !w.indexed {
+		t.Fatalf("index not engaged at %d entries (> smallSetLinear)", w.Len())
+	}
+	for i := 0; i < smallSetLinear; i++ {
+		want := uint64(i)
+		if i == 0 {
+			want = 999
+		}
+		if v, ok := w.Get(Addr(i * 64)); !ok || v != want {
+			t.Fatalf("Get(%d) after transition = (%d,%v), want (%d,true)", i*64, v, ok, want)
+		}
+	}
+	if v, ok := w.Get(Addr(smallSetLinear * 64)); !ok || v != 1000 {
+		t.Fatalf("Get(threshold+1 entry) = (%d,%v)", v, ok)
+	}
+	// Keep inserting through an index growth and re-verify everything.
+	for i := smallSetLinear; i < 200; i++ {
+		w.Put(Addr(i*64), uint64(i))
+	}
+	for i := 1; i < 200; i++ {
+		if v, ok := w.Get(Addr(i * 64)); !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) after growth = (%d,%v), want (%d,true)", i*64, v, ok, i)
+		}
+	}
+}
+
+// TestWriteSetFilterFalsePositive pins the filter contract: a colliding
+// address must fall through to the real lookup and correctly miss, in both
+// the linear and the indexed regime.
+func TestWriteSetFilterFalsePositive(t *testing.T) {
+	x, y := collidingPair(t)
+	var w WriteSet
+	w.Put(Addr(x), 7)
+	if w.filter&fpBit(y) == 0 {
+		t.Fatal("test broken: addresses do not collide in the filter")
+	}
+	if _, ok := w.Get(Addr(y)); ok {
+		t.Fatal("false positive returned a hit in linear regime")
+	}
+	for i := 0; i < 2*smallSetLinear; i++ {
+		w.Put(Addr(1000+i), uint64(i))
+	}
+	if !w.indexed {
+		t.Fatal("expected indexed regime")
+	}
+	if _, ok := w.Get(Addr(y)); ok {
+		t.Fatal("false positive returned a hit in indexed regime")
+	}
+	if v, ok := w.Get(Addr(x)); !ok || v != 7 {
+		t.Fatalf("true member lost: (%d,%v)", v, ok)
+	}
+}
+
+// TestWriteSetResetRetainsCapacity verifies Reset keeps both the entry
+// storage and the open-addressed table while emptying the set.
+func TestWriteSetResetRetainsCapacity(t *testing.T) {
+	var w WriteSet
+	for i := 0; i < 300; i++ {
+		w.Put(Addr(i), uint64(i))
+	}
+	entryCap, idxCap := cap(w.entries), cap(w.idx)
+	if idxCap == 0 {
+		t.Fatal("expected an allocated index after 300 puts")
+	}
+	w.Reset()
+	if w.Len() != 0 || w.filter != 0 || w.indexed {
+		t.Fatalf("Reset left state: len=%d filter=%#x indexed=%v", w.Len(), w.filter, w.indexed)
+	}
+	if _, ok := w.Get(Addr(5)); ok {
+		t.Fatal("stale entry visible after Reset")
+	}
+	for i := 0; i < 300; i++ {
+		w.Put(Addr(i), uint64(i+1))
+	}
+	if cap(w.entries) != entryCap {
+		t.Errorf("entry storage reallocated after Reset: cap %d -> %d", entryCap, cap(w.entries))
+	}
+	if cap(w.idx) != idxCap {
+		t.Errorf("index table reallocated after Reset: cap %d -> %d", idxCap, cap(w.idx))
+	}
+	for i := 0; i < 300; i++ {
+		if v, ok := w.Get(Addr(i)); !ok || v != uint64(i+1) {
+			t.Fatalf("Get(%d) after reuse = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+// TestReadSetDedup verifies re-reads collapse to one entry, distinct
+// versions are never conflated, and filter-colliding stripes all stay
+// recorded (dedup must never drop a validation obligation).
+func TestReadSetDedup(t *testing.T) {
+	var r ReadSet
+	for i := 0; i < 10; i++ {
+		r.Add(42, 7)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("consecutive re-reads recorded %d entries, want 1", r.Len())
+	}
+	// Same stripe at a different version is a distinct validation
+	// obligation and must be kept.
+	r.Add(42, 8)
+	if r.Len() != 2 {
+		t.Fatalf("distinct version deduped away: len=%d", r.Len())
+	}
+	// Stripes that collide in the filter must both be recorded.
+	x, y := collidingPair(t)
+	r.Reset()
+	r.Add(uint32(x), 1)
+	r.Add(uint32(y), 1)
+	if r.Len() != 2 {
+		t.Fatalf("filter collision dropped a stripe: len=%d", r.Len())
+	}
+	for _, want := range []uint32{uint32(x), uint32(y)} {
+		found := false
+		for _, e := range r.Entries() {
+			if e.Stripe == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("stripe %d missing from read set", want)
+		}
+	}
+}
+
+// TestReadSetDedupBeyondWindow documents the bounded-window policy:
+// duplicates older than readDedupWindow may be re-appended (harmless —
+// they are merely validated twice), but recent duplicates always collapse.
+func TestReadSetDedupBeyondWindow(t *testing.T) {
+	var r ReadSet
+	r.Add(1, 5)
+	for i := 0; i < readDedupWindow; i++ {
+		r.Add(uint32(100+i), 5)
+	}
+	n := r.Len()
+	r.Add(1, 5) // outside the window: may or may not dedup
+	if r.Len() < n || r.Len() > n+1 {
+		t.Fatalf("unexpected growth: %d -> %d", n, r.Len())
+	}
+	r.Add(1, 5) // now within the window: must dedup
+	last := r.Len()
+	r.Add(1, 5)
+	if r.Len() != last {
+		t.Fatalf("recent duplicate not collapsed: %d -> %d", last, r.Len())
+	}
+}
+
+// TestReadSetReset verifies the filter clears with the entries.
+func TestReadSetReset(t *testing.T) {
+	var r ReadSet
+	r.Add(9, 1)
+	r.Reset()
+	if r.Len() != 0 || r.filter != 0 {
+		t.Fatalf("Reset left state: len=%d filter=%#x", r.Len(), r.filter)
+	}
+	r.Add(9, 2)
+	if r.Len() != 1 || r.Entries()[0].Version != 2 {
+		t.Fatalf("read set broken after Reset: %+v", r.Entries())
+	}
+}
+
+// TestLockSetHoldsFilter covers the lock set's filter fast path, including
+// a false-positive fallback.
+func TestLockSetHoldsFilter(t *testing.T) {
+	x, y := collidingPair(t)
+	var l LockSet
+	l.init()
+	l.Add(uint32(x), 3)
+	if !l.Holds(uint32(x)) {
+		t.Fatal("held stripe not found")
+	}
+	if l.Holds(uint32(y)) {
+		t.Fatal("false positive reported as held")
+	}
+	if l.Holds(12345) {
+		t.Fatal("filter miss reported as held")
+	}
+	l.Reset()
+	if l.Holds(uint32(x)) {
+		t.Fatal("stale hold after Reset")
+	}
+}

@@ -101,8 +101,29 @@ type Algorithm interface {
 // algorithm detects a conflict mid-transaction. It never escapes Run.
 type retrySig struct{ code AbortCode }
 
-// boundTxn binds an Algorithm to a Ctx, implementing Txn for the body
-// closure. It is a value type so that binding allocates nothing.
+// TxnBinder is optionally implemented by algorithms that provide their own
+// concrete Txn view of a context. A concrete binding replaces the generic
+// boundTxn's double dispatch (interface call into the wrapper, then a second
+// interface call into the algorithm) with a single interface call that lands
+// directly in the backend's Load/Store, and — because every binding is
+// pointer-shaped — converting it to Txn never allocates per attempt. All
+// built-in backends implement it; the generic fallback below exists for
+// out-of-tree Algorithm implementations (tests, ablations).
+//
+// Caution for wrapper algorithms: a type that embeds another Algorithm
+// inherits its BindTxn by method promotion, and the promoted binding
+// dispatches into the embedded type's Load/Store — bypassing the wrapper.
+// Wrappers that override Load/Store MUST declare their own BindTxn (see
+// htm.NaiveHTM).
+type TxnBinder interface {
+	// BindTxn returns the Txn view atomic blocks use to access c. The
+	// result must remain valid for the lifetime of c (it is cached).
+	BindTxn(c *Ctx) Txn
+}
+
+// boundTxn is the generic fallback binding for algorithms that do not
+// implement TxnBinder. Converting it to Txn heap-allocates (it is two words
+// wide), which is why bindings are cached per context.
 type boundTxn struct {
 	alg Algorithm
 	c   *Ctx
@@ -113,7 +134,25 @@ func (t boundTxn) Store(a Addr, v uint64) { t.alg.Store(t.c, a, v) }
 
 // Bind returns a Txn view of (alg, c) without running a transaction. It is
 // used by tests that drive algorithm internals directly.
-func Bind(alg Algorithm, c *Ctx) Txn { return boundTxn{alg, c} }
+func Bind(alg Algorithm, c *Ctx) Txn {
+	if b, ok := alg.(TxnBinder); ok {
+		return b.BindTxn(c)
+	}
+	return boundTxn{alg, c}
+}
+
+// BindCached returns the Txn view of (alg, c), reusing the binding cached in
+// c while the algorithm is unchanged. The steady-state cost is one interface
+// compare; rebinding happens only when PolyTM retargets the thread to a
+// different backend.
+func BindCached(alg Algorithm, c *Ctx) Txn {
+	if alg == c.boundAlg {
+		return c.bound
+	}
+	tx := Bind(alg, c)
+	c.bound, c.boundAlg = tx, alg
+	return tx
+}
 
 // Run executes fn as an atomic block under alg, retrying until it commits.
 // It is the engine beneath every public Atomic entry point. Before each
@@ -121,6 +160,7 @@ func Bind(alg Algorithm, c *Ctx) Txn { return boundTxn{alg, c} }
 // the thread-gating protocol of Algorithm 1 in the paper, so a thread stuck
 // in a retry storm still observes reconfiguration requests.
 func Run(alg Algorithm, c *Ctx, fn func(Txn)) {
+	tx := BindCached(alg, c)
 	c.Attempts = 0
 	c.TxnID++
 	for {
@@ -128,7 +168,7 @@ func Run(alg Algorithm, c *Ctx, fn func(Txn)) {
 			c.BeginHook()
 		}
 		alg.Begin(c)
-		code, ok := Attempt(alg, c, fn)
+		code, ok := attempt(alg, tx, c, fn)
 		if ok {
 			c.Stats.IncCommit()
 			return
@@ -147,6 +187,11 @@ func Run(alg Algorithm, c *Ctx, fn func(Txn)) {
 // alg.Abort. PolyTM's dispatch loop uses Attempt directly so the algorithm
 // can be re-resolved between attempts.
 func Attempt(alg Algorithm, c *Ctx, fn func(Txn)) (code AbortCode, ok bool) {
+	return attempt(alg, BindCached(alg, c), c, fn)
+}
+
+// attempt is the shared single-try body behind Run and Attempt.
+func attempt(alg Algorithm, tx Txn, c *Ctx, fn func(Txn)) (code AbortCode, ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			sig, isRetry := r.(retrySig)
@@ -156,7 +201,7 @@ func Attempt(alg Algorithm, c *Ctx, fn func(Txn)) (code AbortCode, ok bool) {
 			code, ok = sig.code, false
 		}
 	}()
-	fn(boundTxn{alg, c})
+	fn(tx)
 	if alg.Commit(c) {
 		return AbortNone, true
 	}
@@ -222,6 +267,11 @@ type Ctx struct {
 	// MaxBackoff bounds the randomized backoff spin (iterations). Zero
 	// selects the default.
 	MaxBackoff int
+
+	// bound caches the Txn view handed to atomic blocks for boundAlg, so
+	// steady-state dispatch performs no interface boxing (see BindCached).
+	bound    Txn
+	boundAlg Algorithm
 
 	_ [5]uint64 // pad to keep hot contexts off each other's cache lines
 }
@@ -296,8 +346,12 @@ var spinSink uint64
 
 // Stats holds per-thread commit and abort counters, padded so concurrent
 // threads never share a cache line (the paper's "padded state variable").
-// The owning thread updates the counters with atomic adds so the monitor
-// thread can snapshot them concurrently.
+// The counters are owner-local: only the owning thread mutates them, with
+// plain stores, so transaction accounting adds no atomic RMWs to the fast
+// path. Foreign readers must establish happens-before with the owner first:
+// polytm.Pool.SnapshotStats parks each thread at a transaction boundary via
+// the Algorithm-1 gate, and everything else reads only after joining the
+// worker goroutines (quiescence).
 type Stats struct {
 	Commits        uint64
 	Aborts         uint64
@@ -309,40 +363,31 @@ type Stats struct {
 	_              [1]uint64
 }
 
-// IncCommit atomically counts one committed transaction.
-func (s *Stats) IncCommit() { atomic.AddUint64(&s.Commits, 1) }
+// IncCommit counts one committed transaction (owner thread only).
+func (s *Stats) IncCommit() { s.Commits++ }
 
-// IncFallbackRun atomically counts one fallback-path execution.
-func (s *Stats) IncFallbackRun() { atomic.AddUint64(&s.FallbackRuns, 1) }
+// IncFallbackRun counts one fallback-path execution (owner thread only).
+func (s *Stats) IncFallbackRun() { s.FallbackRuns++ }
 
-// Record atomically counts one aborted attempt classified by code.
+// Record counts one aborted attempt classified by code (owner thread only).
 func (s *Stats) Record(code AbortCode) {
-	atomic.AddUint64(&s.Aborts, 1)
+	s.Aborts++
 	switch code {
 	case AbortConflict:
-		atomic.AddUint64(&s.ConflictAborts, 1)
+		s.ConflictAborts++
 	case AbortCapacity:
-		atomic.AddUint64(&s.CapacityAborts, 1)
+		s.CapacityAborts++
 	case AbortExplicit:
-		atomic.AddUint64(&s.ExplicitAborts, 1)
+		s.ExplicitAborts++
 	case AbortFallback:
-		atomic.AddUint64(&s.FallbackAborts, 1)
+		s.FallbackAborts++
 	}
 }
 
-// Snapshot returns an atomic-read copy of the counters, safe to call from a
-// foreign thread while the owner keeps updating them.
-func (s *Stats) Snapshot() Stats {
-	return Stats{
-		Commits:        atomic.LoadUint64(&s.Commits),
-		Aborts:         atomic.LoadUint64(&s.Aborts),
-		ConflictAborts: atomic.LoadUint64(&s.ConflictAborts),
-		CapacityAborts: atomic.LoadUint64(&s.CapacityAborts),
-		ExplicitAborts: atomic.LoadUint64(&s.ExplicitAborts),
-		FallbackAborts: atomic.LoadUint64(&s.FallbackAborts),
-		FallbackRuns:   atomic.LoadUint64(&s.FallbackRuns),
-	}
-}
+// Snapshot returns a copy of the counters. Callers must be the owning
+// thread or have quiesced it (see the Stats doc comment); PolyTM's
+// SnapshotStats provides the gate-synchronized path for live pools.
+func (s *Stats) Snapshot() Stats { return *s }
 
 // Add accumulates o into s (plain adds; use on snapshots only).
 func (s *Stats) Add(o Stats) {

@@ -239,7 +239,10 @@ func (s *System) SetConfig(c Config) error { return s.rt.Pool.Reconfigure(c) }
 // CurrentConfig returns the installed configuration.
 func (s *System) CurrentConfig() Config { return s.rt.Pool.Config() }
 
-// Stats returns cumulative transaction statistics.
+// Stats returns cumulative transaction statistics. It synchronizes with the
+// worker threads by briefly parking each at a transaction boundary, so it
+// must not be called from inside an atomic block (the caller would wait on
+// its own in-flight transaction); call it between transactions.
 func (s *System) Stats() Stats { return s.rt.Pool.SnapshotStats() }
 
 // Reoptimize triggers an immediate exploration phase (auto-tuning only).
