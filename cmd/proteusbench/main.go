@@ -12,6 +12,8 @@
 //	proteusbench sweep --out um.csv [--scenarios rbtree,tpcc] [--window 200ms]
 //	proteusbench experiment --name fig4 [--quick]
 //	proteusbench bench [--benchtime 0.5s] [--filter Algorithms] [--compare BENCH_0.json]
+//	proteusbench loadgen [--addr http://127.0.0.1:7411] [--conns 8] [--rate 0]
+//	    [--phases read-heavy:5s,write-heavy:5s,scan:3s] [--out LOADGEN.json]
 //
 // `run` is deterministic by default: operations execute serially against a
 // virtual clock, so the same seed produces byte-identical JSON records on
@@ -36,6 +38,8 @@ import (
 	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
+	"repro/internal/serve"
+	"repro/internal/workloads"
 )
 
 func main() {
@@ -55,6 +59,8 @@ func main() {
 		err = cmdExperiment(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
 	case "-h", "--help", "help":
 		usage(os.Stdout)
 	default:
@@ -77,6 +83,7 @@ Commands:
   sweep       measure scenario grid x config grid into a Utility-Matrix CSV
   experiment  regenerate the paper's figures/tables (fig1..fig9, all)
   bench       run the micro-benchmark regression suite, record BENCH_<n>.json
+  loadgen     drive phased open-loop traffic at a running proteusd, report JSON
 
 Run 'proteusbench <command> -h' for command flags.
 `)
@@ -293,6 +300,59 @@ func cmdBench(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d benchmark results to %s\n", len(rec.Results), path)
+	return nil
+}
+
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7411", "proteusd base URL")
+	conns := fs.Int("conns", 8, "concurrent client connections")
+	rate := fs.Float64("rate", 0, "offered load in ops/sec across all connections (0 = closed-loop max)")
+	phases := fs.String("phases", "read-heavy:5s,write-heavy:5s,scan:3s",
+		"traffic schedule: comma-separated mix:duration (mixes: "+strings.Join(workloads.ServiceMixNames(), ", ")+")")
+	keyrange := fs.Uint64("keyrange", 16384, "key range of generated operations")
+	span := fs.Uint64("span", 256, "range-scan width")
+	seed := fs.Uint64("seed", 42, "per-connection operation stream seed")
+	out := fs.String("out", "", "write the JSON report here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	phaseList, err := serve.ParsePhases(*phases)
+	if err != nil {
+		return err
+	}
+	report, err := serve.RunLoadgen(serve.LoadgenOptions{
+		BaseURL:  *addr,
+		Conns:    *conns,
+		Rate:     *rate,
+		Phases:   phaseList,
+		KeyRange: *keyrange,
+		Span:     *span,
+		Seed:     *seed,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: total %d ops at %.0f/s, p50=%.2fms p99=%.2fms, %d daemon reconfigurations (%s -> %s)\n",
+		report.Total.Ops, report.Total.Throughput, report.Total.LatencyMs.P50, report.Total.LatencyMs.P99,
+		len(report.Reconfigurations), report.StartConfig, report.FinalConfig)
 	return nil
 }
 

@@ -1,0 +1,104 @@
+// Command proteusd is the ProteusTM data service: a long-running daemon
+// exposing the transactional heap as a concurrent key-value / deque store
+// over HTTP+JSON, with the RecTM adapter retuning the TM backend, the
+// parallelism degree and the HTM contention management underneath the
+// traffic. Operators watch the adaptation live on /statusz.
+//
+// Usage:
+//
+//	proteusd [--addr 127.0.0.1:7411] [--workers 8] [--queue 1024]
+//	    [--autotune=true] [--sample-period 100ms] [--seed 42]
+//	    [--heap-words 4194304] [--preload 8192]
+//
+// Endpoints (all parameters are uint64 query parameters):
+//
+//	GET  /healthz                      liveness probe
+//	GET  /statusz                      tuner timeline, config, abort rates, serving metrics
+//	GET  /kv/get?key=K                 point read
+//	POST /kv/put?key=K&val=V           insert or update
+//	POST /kv/del?key=K                 delete
+//	POST /kv/cas?key=K&old=O&new=N     compare-and-swap
+//	GET  /kv/range?lo=L&hi=H           range count/sum (span clamped)
+//	POST /list/lpush?val=V  /list/rpush?val=V
+//	POST /list/lpop  /list/rpop
+//	GET  /list/len
+//
+// Drive it with `proteusbench loadgen` and see docs/serving.md for the
+// operator guide.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7411", "listen address")
+	workers := flag.Int("workers", 8, "worker slots (ceiling of the tuned parallelism degree)")
+	queue := flag.Int("queue", 1024, "admission queue depth (overflow returns HTTP 429)")
+	autotune := flag.Bool("autotune", true, "run the RecTM adapter thread over live traffic")
+	samplePeriod := flag.Duration("sample-period", 100*time.Millisecond, "monitor KPI sampling period")
+	seed := flag.Uint64("seed", 42, "tuning machinery seed")
+	heapWords := flag.Int("heap-words", 1<<22, "transactional heap size in 64-bit words")
+	preload := flag.Int("preload", 8192, "pre-populate keys 0..n-1 before serving")
+	maxScan := flag.Uint64("max-scan-span", 4096, "clamp on /kv/range spans")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "proteusd: ", log.LstdFlags|log.Lmicroseconds)
+	srv, err := serve.New(serve.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		AutoTune:     *autotune,
+		SamplePeriod: *samplePeriod,
+		Seed:         *seed,
+		HeapWords:    *heapWords,
+		Preload:      *preload,
+		MaxScanSpan:  *maxScan,
+		Logf:         logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("startup: %v", err)
+	}
+	logger.Printf("serving on http://%s (workers=%d queue=%d autotune=%v preload=%d, initial config %s)",
+		*addr, *workers, *queue, *autotune, *preload, srv.System().CurrentConfig())
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("received %s, draining", sig)
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("listen: %v", err)
+			srv.Close() //nolint:errcheck // already failing
+			os.Exit(1)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		logger.Printf("close: %v", err)
+		os.Exit(1)
+	}
+	status := srv.StatusSnapshot()
+	fmt.Fprintf(os.Stderr, "proteusd: clean shutdown: %d ops served, %d commits, %d optimization phases, final config %s\n",
+		status.Ops.Total, status.TM.Commits, status.Config.Phases, status.Config.Current)
+}

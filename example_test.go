@@ -2,6 +2,7 @@ package proteustm_test
 
 import (
 	"fmt"
+	"time"
 
 	proteustm "repro"
 )
@@ -50,6 +51,43 @@ func ExampleSystem_SetConfig() {
 	}
 	fmt.Println(sys.Load(a), sys.CurrentConfig().Alg == proteustm.SwissTM)
 	// Output: 2 true
+}
+
+// ExampleWithAutoTuning enables the RecTM adapter thread: workers run
+// plain atomic blocks while the runtime explores configurations, installs
+// the best one, and logs every decision to the reconfiguration event log.
+func ExampleWithAutoTuning() {
+	sys, err := proteustm.Open(
+		proteustm.WithWorkers(4),
+		proteustm.WithHeapWords(1<<14),
+		proteustm.WithAutoTuning(),
+		proteustm.WithSamplePeriod(10*time.Millisecond),
+		proteustm.WithSeed(1),
+	)
+	if err != nil {
+		panic(err)
+	}
+	counter := sys.MustAlloc(1)
+	for i := 0; i < 4; i++ {
+		if err := sys.Spawn(func(w *proteustm.Worker) {
+			for j := 0; j < 2000; j++ {
+				w.Atomic(func(tx proteustm.Txn) {
+					tx.Store(counter, tx.Load(counter)+1)
+				})
+			}
+		}); err != nil {
+			panic(err)
+		}
+	}
+	sys.Wait()
+	// The startup optimization phase begins as soon as the adapter
+	// starts; wait for it so Phases/Reconfigurations are populated.
+	for sys.Phases() == 0 || sys.Exploring() {
+		time.Sleep(time.Millisecond)
+	}
+	sys.Close()
+	fmt.Println(sys.Load(counter) == 8000, sys.Phases() >= 1, len(sys.Reconfigurations()) >= 1)
+	// Output: true true true
 }
 
 // ExampleSystem_Spawn runs a worker body on each free slot and waits.

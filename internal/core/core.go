@@ -83,6 +83,24 @@ type TimelinePoint struct {
 	Exploring bool
 }
 
+// ReconfigEvent records one completed optimization phase: which
+// configuration was installed, what it replaced, and why the phase ran.
+// Serving layers surface this log so operators can see the adapter react
+// to workload shifts.
+type ReconfigEvent struct {
+	// At is the event time relative to Start (zero-based for runtimes
+	// driven synchronously before Start).
+	At time.Duration
+	// From and To are the configurations before and after the phase; a
+	// phase may re-install the incumbent (From == To).
+	From, To config.Config
+	// Reason is "startup", "monitor-alarm", "forced" or "sync"
+	// (synchronous harness-driven exploration).
+	Reason string
+	// Phase is the 1-based optimization-phase number.
+	Phase int
+}
+
 // Runtime is a live ProteusTM instance.
 type Runtime struct {
 	Pool *polytm.Pool
@@ -96,6 +114,7 @@ type Runtime struct {
 
 	mu         sync.Mutex
 	timeline   []TimelinePoint
+	reconfigs  []ReconfigEvent
 	phases     int
 	exploring  atomic.Bool
 	reoptimize chan struct{}
@@ -198,6 +217,26 @@ func (rt *Runtime) Timeline() []TimelinePoint {
 	return out
 }
 
+// Reconfigurations returns a copy of the optimization-phase event log.
+func (rt *Runtime) Reconfigurations() []ReconfigEvent {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]ReconfigEvent, len(rt.reconfigs))
+	copy(out, rt.reconfigs)
+	return out
+}
+
+// recordReconfig appends one optimization-phase event.
+func (rt *Runtime) recordReconfig(from, to config.Config, reason string, phase int) {
+	at := time.Duration(0)
+	if !rt.started.IsZero() {
+		at = rt.clock.Now().Sub(rt.started)
+	}
+	rt.mu.Lock()
+	rt.reconfigs = append(rt.reconfigs, ReconfigEvent{At: at, From: from, To: to, Reason: reason, Phase: phase})
+	rt.mu.Unlock()
+}
+
 // Phases returns the number of optimization phases run so far.
 func (rt *Runtime) Phases() int {
 	rt.mu.Lock()
@@ -211,7 +250,7 @@ func (rt *Runtime) Exploring() bool { return rt.exploring.Load() }
 // adapterLoop is the adapter thread (§4): optimize, then monitor.
 func (rt *Runtime) adapterLoop() {
 	defer rt.done.Done()
-	rt.optimizePhase()
+	rt.optimizePhase("startup")
 	ticker := time.NewTicker(rt.opts.SamplePeriod)
 	defer ticker.Stop()
 	for {
@@ -219,24 +258,26 @@ func (rt *Runtime) adapterLoop() {
 		case <-rt.stop:
 			return
 		case <-rt.reoptimize:
-			rt.optimizePhase()
+			rt.optimizePhase("forced")
 		case <-ticker.C:
 			kpi := rt.measureWindow()
 			rt.record(kpi, false)
 			if rt.cus.Observe(kpi) {
-				rt.optimizePhase()
+				rt.optimizePhase("monitor-alarm")
 			}
 		}
 	}
 }
 
 // optimizePhase runs one SMBO exploration and installs the winner.
-func (rt *Runtime) optimizePhase() {
+func (rt *Runtime) optimizePhase(reason string) {
 	rt.exploring.Store(true)
 	rt.mu.Lock()
 	rt.phases++
+	phase := rt.phases
 	seed := rt.opts.Seed + uint64(rt.phases)*0x9E3779B97F4A7C15
 	rt.mu.Unlock()
+	before := rt.Pool.Config()
 
 	res := rt.Rec.Optimize(func(i int) float64 {
 		return rt.profileConfig(rt.cfgs[i])
@@ -250,6 +291,7 @@ func (rt *Runtime) optimizePhase() {
 	if res.Best >= 0 {
 		rt.Pool.Reconfigure(rt.cfgs[res.Best]) //nolint:errcheck // validated configs
 	}
+	rt.recordReconfig(before, rt.Pool.Config(), reason, phase)
 	rt.exploring.Store(false)
 	// Re-anchor the detector on the installed configuration's level.
 	settle := rt.measureWindowAfter(rt.opts.SettleTime)
@@ -364,8 +406,10 @@ func (rt *Runtime) ExploreSync(measure func(config.Config) float64) rectm.OptRes
 	rt.exploring.Store(true)
 	rt.mu.Lock()
 	rt.phases++
+	phase := rt.phases
 	seed := rt.opts.Seed + uint64(rt.phases)*0x9E3779B97F4A7C15
 	rt.mu.Unlock()
+	before := rt.Pool.Config()
 
 	res := rt.Rec.Optimize(func(i int) float64 {
 		return measure(rt.cfgs[i])
@@ -379,6 +423,7 @@ func (rt *Runtime) ExploreSync(measure func(config.Config) float64) rectm.OptRes
 	if res.Best >= 0 {
 		rt.Pool.Reconfigure(rt.cfgs[res.Best]) //nolint:errcheck // validated configs
 	}
+	rt.recordReconfig(before, rt.Pool.Config(), "sync", phase)
 	rt.exploring.Store(false)
 	return res
 }

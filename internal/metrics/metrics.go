@@ -2,12 +2,14 @@
 // evaluation (§6.1) plus distribution helpers: MAPE (how well the CF learner
 // predicts raw performance) and MDFO (how far the recommended configuration
 // is from the true optimum), with CDF/percentile utilities for the
-// Fig. 5b/Fig. 7 style plots.
+// Fig. 5b/Fig. 7 style plots, and the serving-side observation primitives
+// (Reservoir, Summary) proteusd's /statusz endpoint is built on.
 package metrics
 
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // MAPE is the Mean Absolute Percentage Error Σ |r − r̂| / r over a set of
@@ -113,6 +115,93 @@ func Median(xs []float64) float64 { return Percentile(xs, 50) }
 type CDFPoint struct {
 	X float64 // value
 	P float64 // cumulative probability
+}
+
+// Reservoir is a concurrency-safe sliding window over the most recent
+// observations (request latencies, batch sizes, ...). Once full it
+// overwrites oldest-first, so Snapshot always reflects recent behaviour
+// rather than the whole process lifetime. The zero value is unusable; use
+// NewReservoir.
+type Reservoir struct {
+	mu  sync.Mutex
+	buf []float64
+	pos int
+	n   uint64
+}
+
+// NewReservoir creates a reservoir holding up to capacity observations
+// (capacity is clamped to at least 1).
+func NewReservoir(capacity int) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir{buf: make([]float64, 0, capacity)}
+}
+
+// Observe records one observation.
+func (r *Reservoir) Observe(x float64) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, x)
+	} else {
+		r.buf[r.pos] = x
+		r.pos = (r.pos + 1) % cap(r.buf)
+	}
+	r.n++
+	r.mu.Unlock()
+}
+
+// Count returns the total number of observations ever recorded (not just
+// those still in the window).
+func (r *Reservoir) Count() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Snapshot returns a copy of the current window, in no particular order.
+func (r *Reservoir) Snapshot() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]float64, len(r.buf))
+	copy(out, r.buf)
+	return out
+}
+
+// Summary is a compact distribution summary of a set of observations.
+type Summary struct {
+	// Count is the number of summarized observations.
+	Count int `json:"count"`
+	// Mean is the arithmetic mean.
+	Mean float64 `json:"mean"`
+	// P50, P95 and P99 are percentiles; Max is the largest observation.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// Summarize computes a Summary over the non-NaN values. An empty input
+// yields the zero Summary (all fields 0), which keeps JSON encodings of
+// idle services well-formed.
+func Summarize(xs []float64) Summary {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: len(clean),
+		Mean:  Mean(clean),
+		P50:   Percentile(clean, 50),
+		P95:   Percentile(clean, 95),
+		P99:   Percentile(clean, 99),
+		Max:   Percentile(clean, 100),
+	}
 }
 
 // CDF returns the empirical CDF of the non-NaN values.

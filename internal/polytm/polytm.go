@@ -60,6 +60,12 @@ type Pool struct {
 	cfgMu   sync.Mutex
 	current config.Config
 
+	// reconfHook, when set, runs at the start of every Reconfigure —
+	// under cfgMu, before any thread gating — so a serving layer can
+	// drain in-flight work from slots about to be disabled (§4.2's
+	// graceful-drain concern for long-running services).
+	reconfHook func(old, new config.Config)
+
 	// nonStoppable marks threads the programmer exempted from permanent
 	// disabling (§4.2: e.g. a server's accept thread).
 	nonStoppable []atomic.Bool
@@ -125,6 +131,19 @@ func (p *Pool) Ctx(t int) *tm.Ctx { return p.ctxs[t] }
 
 // Algorithm returns the backend instance registered for id.
 func (p *Pool) Algorithm(id config.AlgID) tm.Algorithm { return p.algs[id] }
+
+// SetReconfigureHook installs fn to run at the start of every Reconfigure,
+// before any thread is gated, with the outgoing and incoming configuration.
+// The pool holds its configuration lock while fn runs, so fn must not call
+// back into Reconfigure, Config or SnapshotStats; it may block briefly — a
+// serving layer uses exactly that to drain in-flight requests from worker
+// slots the new configuration disables, so no request is ever stranded on a
+// parked thread. Pass nil to remove the hook.
+func (p *Pool) SetReconfigureHook(fn func(old, new config.Config)) {
+	p.cfgMu.Lock()
+	p.reconfHook = fn
+	p.cfgMu.Unlock()
+}
 
 // SetNonStoppable exempts thread t from permanent disabling when the
 // parallelism degree shrinks (it may still be parked briefly during a TM
@@ -224,6 +243,9 @@ func (p *Pool) Reconfigure(cfg config.Config) error {
 	p.cfgMu.Lock()
 	defer p.cfgMu.Unlock()
 
+	if p.reconfHook != nil {
+		p.reconfHook(p.current, cfg)
+	}
 	p.cm.Set(cfg.Budget, cfg.Policy)
 
 	if cfg.Alg != p.current.Alg {
@@ -278,18 +300,30 @@ func (p *Pool) Reconfigure(cfg config.Config) error {
 // concurrent counters is unserializable). Call it between transactions, as
 // the monitor, the harness and the examples do.
 func (p *Pool) SnapshotStats() tm.Stats {
+	var total tm.Stats
+	for _, s := range p.SnapshotStatsPerThread() {
+		total.Add(s)
+	}
+	return total
+}
+
+// SnapshotStatsPerThread returns one statistics snapshot per worker slot,
+// synchronized the same way as SnapshotStats (and under the same
+// control-plane restriction: never call it from inside an atomic block).
+// Serving layers use it to expose per-worker commit/abort counters.
+func (p *Pool) SnapshotStatsPerThread() []tm.Stats {
 	p.cfgMu.Lock()
 	defer p.cfgMu.Unlock()
-	var total tm.Stats
+	out := make([]tm.Stats, len(p.ctxs))
 	for t, c := range p.ctxs {
 		wasBlocked := p.blocked(t)
 		if !wasBlocked {
 			p.setBlock(t)
 		}
-		total.Add(c.Stats)
+		out[t] = c.Stats.Snapshot()
 		if !wasBlocked {
 			p.clearBlock(t)
 		}
 	}
-	return total
+	return out
 }

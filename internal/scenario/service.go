@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/workloads"
+)
+
+// Service family (internal/workloads/service.go): proteusd's key-value
+// traffic shapes, replayed in-process. `service-kv` is the deterministic
+// twin of the `proteusbench loadgen` phase-shift session documented in
+// docs/serving.md; `service-steady` pins one mix for sweep rows.
+
+var (
+	svcKeyRange = Param{Name: "keyrange", Desc: "key range of the store", Kind: Int, Default: "16384"}
+	svcInitial  = Param{Name: "initial", Desc: "pre-populated size (0 = keyrange/2)", Kind: Int, Default: "0"}
+	svcSpan     = Param{Name: "span", Desc: "range-scan width", Kind: Int, Default: "256"}
+	svcPhaseOps = Param{Name: "phaseops", Desc: "operations per traffic phase", Kind: Int, Default: "7000"}
+	svcMix      = Param{Name: "mix", Desc: "traffic mix: read-heavy, write-heavy, scan or mixed", Kind: String, Default: "read-heavy"}
+)
+
+func init() {
+	Register(Scenario{
+		Name:        "service-kv",
+		Family:      "service",
+		Description: "proteusd KV traffic: read-heavy → write-heavy → scan phase shift",
+		Params:      []Param{svcKeyRange, svcInitial, svcSpan, svcPhaseOps},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.ServiceKV{
+				KeyRange:    v.Int(svcKeyRange),
+				InitialSize: v.Int(svcInitial),
+				Span:        v.Int(svcSpan),
+				PhaseOps:    uint64(v.Int(svcPhaseOps)),
+			}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "service-steady",
+		Family:      "service",
+		Description: "proteusd KV traffic pinned to one mix (no phase shift)",
+		Params:      []Param{svcKeyRange, svcInitial, svcSpan, svcMix},
+		Make: func(v Values) (workloads.Workload, error) {
+			mix, err := workloads.ServiceMixByName(v.Str(svcMix))
+			if err != nil {
+				return nil, fmt.Errorf("service-steady: %w", err)
+			}
+			return &workloads.ServiceKV{
+				Label:       "service-steady",
+				KeyRange:    v.Int(svcKeyRange),
+				InitialSize: v.Int(svcInitial),
+				Span:        v.Int(svcSpan),
+				Phases:      []workloads.ServicePhase{{Mix: mix, Ops: 1 << 62}},
+			}, nil
+		},
+	})
+}

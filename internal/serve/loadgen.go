@@ -1,0 +1,350 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+// LoadPhase is one segment of a loadgen session: a named operation mix
+// held for a duration.
+type LoadPhase struct {
+	// Mix is the operation mix (one of workloads.ServiceMixByName).
+	Mix workloads.ServiceOpMix
+	// Duration is how long the phase lasts.
+	Duration time.Duration
+}
+
+// ParsePhases parses a phase spec like "read-heavy:5s,write-heavy:5s,scan:3s"
+// into phases; each element is mix-name:duration.
+func ParsePhases(spec string) ([]LoadPhase, error) {
+	var out []LoadPhase
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, durStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: phase %q: want mix:duration", part)
+		}
+		mix, err := workloads.ServiceMixByName(name)
+		if err != nil {
+			return nil, err
+		}
+		d, err := time.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: phase %q: %w", part, err)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("loadgen: phase %q: duration must be positive", part)
+		}
+		out = append(out, LoadPhase{Mix: mix, Duration: d})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: empty phase spec")
+	}
+	return out, nil
+}
+
+// LoadgenOptions configures a loadgen session against a running proteusd.
+type LoadgenOptions struct {
+	// BaseURL is the daemon address, e.g. "http://127.0.0.1:7411".
+	BaseURL string
+	// Conns is the number of concurrent client connections (default 8).
+	Conns int
+	// Rate is the total offered load in operations per second across all
+	// connections, delivered open-loop: operations are scheduled on a
+	// clock, and scheduling slots that find every connection busy are
+	// counted as shed rather than silently deferred. Rate 0 runs closed
+	// loop: every connection issues back-to-back requests, measuring the
+	// service's capacity under the mix (the mode that makes phase shifts
+	// visible to the daemon's KPI monitor).
+	Rate float64
+	// Phases is the traffic schedule (required; see ParsePhases).
+	Phases []LoadPhase
+	// KeyRange bounds the generated keys (default 16384).
+	KeyRange uint64
+	// Span is the width of range scans (default 256).
+	Span uint64
+	// Seed drives the per-connection operation streams.
+	Seed uint64
+	// Logf, when set, receives per-phase progress lines.
+	Logf func(format string, args ...any)
+}
+
+// PhaseReport summarizes one phase of a loadgen session.
+type PhaseReport struct {
+	Name        string  `json:"name"`
+	DurationSec float64 `json:"duration_sec"`
+	// Ops counts completed operations (HTTP 200); Rejected counts
+	// admission-queue rejections (HTTP 429); Errors counts transport
+	// failures and 5xx responses; Shed counts open-loop scheduling slots
+	// dropped because every connection was busy.
+	Ops        uint64  `json:"ops"`
+	Rejected   uint64  `json:"rejected"`
+	Errors     uint64  `json:"errors"`
+	Shed       uint64  `json:"shed,omitempty"`
+	Throughput float64 `json:"throughput"`
+	// LatencyMs summarizes per-operation client-observed latency.
+	LatencyMs metrics.Summary `json:"latency_ms"`
+	// Reconfigurations counts daemon optimization phases that completed
+	// during this phase; Config is the configuration installed when the
+	// phase ended.
+	Reconfigurations int    `json:"reconfigurations"`
+	Config           string `json:"config"`
+}
+
+// LoadReport is the session-level JSON report `proteusbench loadgen`
+// writes: per-phase and total throughput/latency plus the daemon-side
+// reconfiguration events the session triggered.
+type LoadReport struct {
+	Target      string  `json:"target"`
+	Conns       int     `json:"conns"`
+	Rate        float64 `json:"rate"`
+	Seed        uint64  `json:"seed"`
+	KeyRange    uint64  `json:"keyrange"`
+	Span        uint64  `json:"span"`
+	StartConfig string  `json:"start_config"`
+	FinalConfig string  `json:"final_config"`
+	// DaemonCommits is the daemon's committed-transaction delta over the
+	// session (from /statusz), which bounds the served throughput from
+	// below even if some client requests failed.
+	DaemonCommits uint64        `json:"daemon_commits"`
+	Phases        []PhaseReport `json:"phases"`
+	Total         PhaseReport   `json:"total"`
+	// Reconfigurations lists the daemon optimization phases that ran
+	// during the session, as reported by /statusz.
+	Reconfigurations []ReconfigStatus `json:"reconfigurations"`
+}
+
+// connStats accumulates one connection's phase counters.
+type connStats struct {
+	ops, rejected, errors uint64
+	lat                   []float64
+}
+
+// RunLoadgen drives the phase schedule against a running daemon and
+// returns the session report.
+func RunLoadgen(opts LoadgenOptions) (*LoadReport, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if len(opts.Phases) == 0 {
+		return nil, fmt.Errorf("loadgen: at least one phase is required")
+	}
+	if opts.Conns <= 0 {
+		opts.Conns = 8
+	}
+	if opts.KeyRange == 0 {
+		opts.KeyRange = 16384
+	}
+	if opts.Span == 0 {
+		opts.Span = 256
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	base := strings.TrimRight(opts.BaseURL, "/")
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.Conns * 2,
+			MaxIdleConnsPerHost: opts.Conns * 2,
+		},
+	}
+
+	before, err := fetchStatus(client, base)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: daemon not reachable: %w", err)
+	}
+	report := &LoadReport{
+		Target:      base,
+		Conns:       opts.Conns,
+		Rate:        opts.Rate,
+		Seed:        opts.Seed,
+		KeyRange:    opts.KeyRange,
+		Span:        opts.Span,
+		StartConfig: before.Config.Current,
+	}
+	seenReconfigs := len(before.Reconfigurations)
+
+	var totalLat []float64
+	var totalDur time.Duration
+	for i, phase := range opts.Phases {
+		opts.Logf("loadgen: phase %d/%d %s for %s", i+1, len(opts.Phases), phase.Mix.Name, phase.Duration)
+		pr, lats := runPhase(client, base, opts, i, phase)
+		after, err := fetchStatus(client, base)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: statusz after phase %s: %w", phase.Mix.Name, err)
+		}
+		pr.Reconfigurations = len(after.Reconfigurations) - seenReconfigs
+		seenReconfigs = len(after.Reconfigurations)
+		pr.Config = after.Config.Current
+		report.Phases = append(report.Phases, pr)
+		totalLat = append(totalLat, lats...)
+		totalDur += phase.Duration
+		opts.Logf("loadgen: phase %s done: %d ops (%.0f/s), p50=%.2fms p99=%.2fms, %d rejected, %d reconfigurations, config %s",
+			phase.Mix.Name, pr.Ops, pr.Throughput, pr.LatencyMs.P50, pr.LatencyMs.P99, pr.Rejected, pr.Reconfigurations, pr.Config)
+	}
+
+	final, err := fetchStatus(client, base)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: final statusz: %w", err)
+	}
+	report.FinalConfig = final.Config.Current
+	report.DaemonCommits = final.TM.Commits - before.TM.Commits
+	if n := len(before.Reconfigurations); len(final.Reconfigurations) > n {
+		report.Reconfigurations = final.Reconfigurations[n:]
+	} else {
+		report.Reconfigurations = []ReconfigStatus{}
+	}
+
+	total := PhaseReport{Name: "total", DurationSec: totalDur.Seconds(), Config: final.Config.Current,
+		Reconfigurations: len(report.Reconfigurations)}
+	for _, pr := range report.Phases {
+		total.Ops += pr.Ops
+		total.Rejected += pr.Rejected
+		total.Errors += pr.Errors
+		total.Shed += pr.Shed
+	}
+	if totalDur > 0 {
+		total.Throughput = float64(total.Ops) / totalDur.Seconds()
+	}
+	total.LatencyMs = metrics.Summarize(totalLat)
+	report.Total = total
+	return report, nil
+}
+
+// runPhase drives one phase and returns its report plus the raw latencies.
+func runPhase(client *http.Client, base string, opts LoadgenOptions, phaseIdx int, phase LoadPhase) (PhaseReport, []float64) {
+	deadline := time.Now().Add(phase.Duration)
+	mix := phase.Mix.Normalize()
+
+	// Open-loop pacing: a dispatcher owed-token loop refills the tokens
+	// channel every few milliseconds; slots that find it full are shed.
+	var tokens chan struct{}
+	var shed uint64
+	var dispatchWg sync.WaitGroup
+	if opts.Rate > 0 {
+		tokens = make(chan struct{}, opts.Conns*4)
+		dispatchWg.Add(1)
+		go func() {
+			defer dispatchWg.Done()
+			defer close(tokens)
+			start := time.Now()
+			issued := 0.0
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for now := range tick.C {
+				if now.After(deadline) {
+					return
+				}
+				owed := opts.Rate*now.Sub(start).Seconds() - issued
+				for ; owed >= 1; owed-- {
+					select {
+					case tokens <- struct{}{}:
+					default:
+						shed++
+					}
+					issued++
+				}
+			}
+		}()
+	}
+
+	stats := make([]connStats, opts.Conns)
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := workloads.NewRand(opts.Seed + uint64(phaseIdx)*1_000_000_007 + uint64(c)*0x9E3779B97F4A7C15 + 1)
+			st := &stats[c]
+			for {
+				if tokens != nil {
+					if _, ok := <-tokens; !ok {
+						return
+					}
+				} else if !time.Now().Before(deadline) {
+					return
+				}
+				issueOp(client, base, opts, mix, rng, st)
+			}
+		}(c)
+	}
+	wg.Wait()
+	dispatchWg.Wait()
+
+	pr := PhaseReport{Name: mix.Name, DurationSec: phase.Duration.Seconds(), Shed: shed}
+	var lats []float64
+	for i := range stats {
+		pr.Ops += stats[i].ops
+		pr.Rejected += stats[i].rejected
+		pr.Errors += stats[i].errors
+		lats = append(lats, stats[i].lat...)
+	}
+	pr.Throughput = float64(pr.Ops) / phase.Duration.Seconds()
+	pr.LatencyMs = metrics.Summarize(lats)
+	return pr, lats
+}
+
+// issueOp issues one operation drawn from the mix and records its outcome.
+func issueOp(client *http.Client, base string, opts LoadgenOptions, mix workloads.ServiceOpMix, rng *workloads.Rand, st *connStats) {
+	k := uint64(rng.Intn(int(opts.KeyRange)))
+	p := rng.Float64()
+	var url string
+	switch {
+	case p < mix.Get:
+		url = fmt.Sprintf("%s/kv/get?key=%d", base, k)
+	case p < mix.Get+mix.Put:
+		url = fmt.Sprintf("%s/kv/put?key=%d&val=%d", base, k, k+1)
+	case p < mix.Get+mix.Put+mix.Del:
+		url = fmt.Sprintf("%s/kv/del?key=%d", base, k)
+	case p < mix.Get+mix.Put+mix.Del+mix.CAS:
+		url = fmt.Sprintf("%s/kv/cas?key=%d&old=%d&new=%d", base, k, k, k+1)
+	default:
+		url = fmt.Sprintf("%s/kv/range?lo=%d&hi=%d", base, k, k+opts.Span)
+	}
+	t0 := time.Now()
+	resp, err := client.Get(url)
+	if err != nil {
+		st.errors++
+		return
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
+	resp.Body.Close()
+	st.lat = append(st.lat, float64(time.Since(t0).Nanoseconds())/1e6)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		st.ops++
+	case resp.StatusCode == http.StatusTooManyRequests:
+		st.rejected++
+	default:
+		st.errors++
+	}
+}
+
+// fetchStatus retrieves and decodes the daemon's /statusz document.
+func fetchStatus(client *http.Client, base string) (*Status, error) {
+	resp, err := client.Get(base + "/statusz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("statusz: HTTP %d", resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("statusz: %w", err)
+	}
+	return &st, nil
+}

@@ -1,0 +1,446 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	proteustm "repro"
+)
+
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 4
+	}
+	if opts.HeapWords == 0 {
+		opts.HeapWords = 1 << 18
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s
+}
+
+func get(t *testing.T, url string) (int, response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var r response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+	return resp.StatusCode, r
+}
+
+// TestStoreRoundTrip exercises every operation kind through the HTTP
+// surface on a single-connection client.
+func TestStoreRoundTrip(t *testing.T) {
+	s := newTestServer(t, Options{Preload: 64})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	if code, r := get(t, ts.URL+"/kv/get?key=7"); code != 200 || !r.Found || r.Val != 7 {
+		t.Fatalf("preloaded get = %d %+v", code, r)
+	}
+	if code, r := get(t, ts.URL+"/kv/put?key=100&val=41"); code != 200 || !r.Applied || r.Existed {
+		t.Fatalf("put = %d %+v", code, r)
+	}
+	if code, r := get(t, ts.URL+"/kv/cas?key=100&old=41&new=42"); code != 200 || !r.Applied || r.Val != 42 {
+		t.Fatalf("cas = %d %+v", code, r)
+	}
+	if code, r := get(t, ts.URL+"/kv/cas?key=100&old=41&new=43"); code != 200 || r.Applied {
+		t.Fatalf("stale cas applied = %d %+v", code, r)
+	}
+	// Preload is keys 0..63 (val=key); key 100 holds 42.
+	if code, r := get(t, ts.URL+"/kv/range?lo=0&hi=200"); code != 200 || r.Count != 65 {
+		t.Fatalf("range = %d %+v", code, r)
+	}
+	if code, r := get(t, ts.URL+"/kv/del?key=100"); code != 200 || !r.Applied {
+		t.Fatalf("del = %d %+v", code, r)
+	}
+	if code, r := get(t, ts.URL+"/kv/get?key=100"); code != 200 || r.Found {
+		t.Fatalf("get after del = %d %+v", code, r)
+	}
+	for i, v := range []uint64{10, 20, 30} {
+		url := fmt.Sprintf("%s/list/rpush?val=%d", ts.URL, v)
+		if i == 1 {
+			url = fmt.Sprintf("%s/list/lpush?val=%d", ts.URL, v)
+		}
+		if code, r := get(t, url); code != 200 || !r.Applied {
+			t.Fatalf("push = %d %+v", code, r)
+		}
+	}
+	// Deque now: [20, 10, 30].
+	if code, r := get(t, ts.URL+"/list/len"); code != 200 || r.Len != 3 {
+		t.Fatalf("len = %d %+v", code, r)
+	}
+	if code, r := get(t, ts.URL+"/list/lpop"); code != 200 || !r.Found || r.Val != 20 {
+		t.Fatalf("lpop = %d %+v", code, r)
+	}
+	if code, r := get(t, ts.URL+"/list/rpop"); code != 200 || !r.Found || r.Val != 30 {
+		t.Fatalf("rpop = %d %+v", code, r)
+	}
+	if code, r := get(t, ts.URL+"/kv/get?key=nope"); code != 400 || r.Err == "" {
+		t.Fatalf("bad param = %d %+v", code, r)
+	}
+	if code, r := get(t, ts.URL+"/kv/range?lo=9&hi=3"); code != 400 || r.Err == "" {
+		t.Fatalf("inverted range = %d %+v", code, r)
+	}
+}
+
+// TestConcurrentSmoke hammers the service from many client goroutines
+// while the configuration is being switched underneath it — the race
+// detector's view of the admission queue, the drain protocol and the
+// statusz snapshot path.
+func TestConcurrentSmoke(t *testing.T) {
+	s := newTestServer(t, Options{Preload: 256, QueueDepth: 256})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const clients = 8
+	const opsPerClient = 150
+	var ok, rejected atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < opsPerClient; i++ {
+				k := (c*opsPerClient + i) % 512
+				var url string
+				switch i % 4 {
+				case 0:
+					url = fmt.Sprintf("%s/kv/get?key=%d", ts.URL, k)
+				case 1:
+					url = fmt.Sprintf("%s/kv/put?key=%d&val=%d", ts.URL, k, i)
+				case 2:
+					url = fmt.Sprintf("%s/kv/range?lo=%d&hi=%d", ts.URL, k, k+64)
+				default:
+					url = fmt.Sprintf("%s/list/rpush?val=%d", ts.URL, i)
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Errorf("GET %s: %v", url, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					t.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+				}
+			}
+		}(c)
+	}
+	// Concurrently shrink and grow the parallelism degree and switch
+	// algorithms, exercising the graceful-drain hook under load.
+	configs := []proteustm.Config{
+		{Alg: proteustm.NOrec, Threads: 1},
+		{Alg: proteustm.TL2, Threads: 4},
+		{Alg: proteustm.GlobalLock, Threads: 2},
+		{Alg: proteustm.SwissTM, Threads: 4},
+	}
+	stop := make(chan struct{})
+	var cfgWg sync.WaitGroup
+	cfgWg.Add(1)
+	go func() {
+		defer cfgWg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			if err := s.sys.SetConfig(configs[i%len(configs)]); err != nil {
+				t.Errorf("SetConfig: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	cfgWg.Wait()
+
+	if got := ok.Load() + rejected.Load(); got != clients*opsPerClient {
+		t.Fatalf("accounted %d of %d requests", got, clients*opsPerClient)
+	}
+	st := s.StatusSnapshot()
+	if st.Ops.Total != ok.Load() {
+		t.Fatalf("served total %d, client-observed %d", st.Ops.Total, ok.Load())
+	}
+	if st.TM.Commits == 0 {
+		t.Fatal("no commits recorded")
+	}
+}
+
+// TestAdmissionOverflow checks the 429 path: with no workers draining the
+// queue, QueueDepth admissions are accepted and the next is rejected
+// immediately rather than stalling.
+func TestAdmissionOverflow(t *testing.T) {
+	s, err := newServer(Options{Workers: 2, QueueDepth: 4, HeapWords: 1 << 18})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	// Fill the queue from goroutines: submit blocks until a worker
+	// replies, so park each submission's reply in its own goroutine.
+	var wg sync.WaitGroup
+	codes := make(chan int, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, code := s.submit(&request{op: opGet, key: uint64(i)})
+			codes <- code
+		}(i)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.queue) < 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan int, 1)
+	go func() {
+		_, code := s.submit(&request{op: opGet, key: 99})
+		done <- code
+	}()
+	select {
+	case code := <-done:
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("overflow submit = HTTP %d, want 429", code)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("overflow submit stalled instead of returning 429")
+	}
+	if got := s.rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+	// Start the workers; the four parked submissions must all complete.
+	s.startWorkers()
+	wg.Wait()
+	for i := 0; i < 4; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("parked submission = HTTP %d, want 200", code)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestGracefulDrainNoStall pins the drain protocol: shrinking the
+// parallelism degree to 1 mid-burst must not strand any request — every
+// submission completes even though most worker slots park.
+func TestGracefulDrainNoStall(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 8, Preload: 128, QueueDepth: 512})
+	var wg sync.WaitGroup
+	var completed atomic.Uint64
+	const n = 400
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, code := s.submit(&request{op: opGet, key: uint64(i % 128)})
+			if code == http.StatusOK {
+				completed.Add(1)
+			}
+		}(i)
+		if i == n/2 {
+			if err := s.sys.SetConfig(proteustm.Config{Alg: proteustm.NOrec, Threads: 1}); err != nil {
+				t.Fatalf("shrink: %v", err)
+			}
+		}
+	}
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(10 * time.Second):
+		t.Fatal("requests stranded after shrink to 1 thread")
+	}
+	if rej := s.rejected.Load(); completed.Load()+rej != n {
+		t.Fatalf("completed %d + rejected %d != %d", completed.Load(), rej, n)
+	}
+}
+
+// jsonKeyPaths flattens a decoded JSON document into sorted dotted key
+// paths; array elements contribute their first element's schema under [].
+func jsonKeyPaths(prefix string, v any, out map[string]bool) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			out[p] = true
+			jsonKeyPaths(p, sub, out)
+		}
+	case []any:
+		if len(x) > 0 {
+			jsonKeyPaths(prefix+"[]", x[0], out)
+		}
+	}
+}
+
+// TestStatuszSchema pins the /statusz document schema (the operator
+// interface documented in docs/serving.md) against a golden file. Run
+// with UPDATE_GOLDEN=1 to regenerate after intentional changes.
+func TestStatuszSchema(t *testing.T) {
+	s := newTestServer(t, Options{
+		Workers:      4,
+		Preload:      256,
+		AutoTune:     true,
+		SamplePeriod: 10 * time.Millisecond,
+		Seed:         7,
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Generate some traffic and wait until the adapter has completed at
+	// least one phase and logged timeline points, so the array schemas
+	// are populated.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for k := 0; k < 32; k++ {
+			resp, err := http.Get(fmt.Sprintf("%s/kv/put?key=%d&val=%d", ts.URL, k, k))
+			if err != nil {
+				t.Fatalf("traffic: %v", err)
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining
+			resp.Body.Close()
+		}
+		st := s.StatusSnapshot()
+		if len(st.Reconfigurations) > 0 && len(st.Timeline) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("adapter never produced a reconfiguration + timeline point")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatalf("statusz: %v", err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("statusz decode: %v", err)
+	}
+	paths := map[string]bool{}
+	jsonKeyPaths("", doc, paths)
+	// Per-op counters are data, not schema.
+	for p := range paths {
+		if strings.HasPrefix(p, "ops.served.") {
+			delete(paths, p)
+		}
+	}
+	keys := make([]string, 0, len(paths))
+	for p := range paths {
+		keys = append(keys, p)
+	}
+	sort.Strings(keys)
+	got := strings.Join(keys, "\n") + "\n"
+
+	const golden = "testdata/statusz_schema.golden"
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate with UPDATE_GOLDEN=1): %v", golden, err)
+	}
+	if got != string(want) {
+		t.Errorf("/statusz schema drifted from %s — if intentional, regenerate with UPDATE_GOLDEN=1.\n--- got\n%s\n--- want\n%s", golden, got, want)
+	}
+}
+
+// TestParsePhases covers the loadgen phase-spec syntax.
+func TestParsePhases(t *testing.T) {
+	phases, err := ParsePhases("read-heavy:5s, write-heavy:500ms,scan:3s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 3 || phases[0].Mix.Name != "read-heavy" || phases[1].Duration != 500*time.Millisecond {
+		t.Fatalf("got %+v", phases)
+	}
+	for _, bad := range []string{"", "nope:5s", "read-heavy", "read-heavy:xyz", "read-heavy:-1s"} {
+		if _, err := ParsePhases(bad); err == nil {
+			t.Errorf("ParsePhases(%q) accepted", bad)
+		}
+	}
+}
+
+// TestLoadgenAgainstServer runs a miniature in-process loadgen session —
+// the same code path the CLI uses — against an auto-tuning server.
+func TestLoadgenAgainstServer(t *testing.T) {
+	s := newTestServer(t, Options{
+		Workers:      4,
+		Preload:      512,
+		AutoTune:     true,
+		SamplePeriod: 20 * time.Millisecond,
+		Seed:         3,
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	phases, err := ParsePhases("read-heavy:300ms,write-heavy:300ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunLoadgen(LoadgenOptions{
+		BaseURL:  ts.URL,
+		Conns:    4,
+		Phases:   phases,
+		KeyRange: 512,
+		Span:     64,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total.Ops == 0 {
+		t.Fatal("loadgen completed no operations")
+	}
+	if report.DaemonCommits == 0 {
+		t.Fatal("daemon recorded no commits")
+	}
+	if len(report.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(report.Phases))
+	}
+	if report.Total.LatencyMs.Count == 0 || report.Total.LatencyMs.P50 <= 0 {
+		t.Fatalf("latency summary empty: %+v", report.Total.LatencyMs)
+	}
+}

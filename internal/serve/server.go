@@ -1,0 +1,464 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	proteustm "repro"
+	"repro/internal/metrics"
+)
+
+// opKind identifies one service operation.
+type opKind int
+
+const (
+	opGet opKind = iota
+	opPut
+	opDel
+	opCAS
+	opRange
+	opLPush
+	opRPush
+	opLPop
+	opRPop
+	opLLen
+	numOps
+)
+
+// opNames are the wire/report labels, indexed by opKind.
+var opNames = [numOps]string{"get", "put", "del", "cas", "range", "lpush", "rpush", "lpop", "rpop", "llen"}
+
+// request is one admitted operation waiting for a worker slot.
+type request struct {
+	op        opKind
+	key, val  uint64
+	old, newv uint64
+	lo, hi    uint64
+	enqueued  time.Time
+	done      chan response
+}
+
+// response is the outcome of one executed operation.
+type response struct {
+	Found   bool   `json:"found,omitempty"`
+	Applied bool   `json:"applied,omitempty"`
+	Existed bool   `json:"existed,omitempty"`
+	Val     uint64 `json:"val,omitempty"`
+	Count   uint64 `json:"count,omitempty"`
+	Sum     uint64 `json:"sum,omitempty"`
+	Len     uint64 `json:"len,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the number of ProteusTM worker slots — the ceiling of
+	// the tuned parallelism degree (default 8).
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue rejects with
+	// HTTP 429 instead of stalling (default 1024).
+	QueueDepth int
+	// AutoTune starts the RecTM adapter thread (monitor → explore →
+	// install) over the live traffic.
+	AutoTune bool
+	// SamplePeriod is the monitor's KPI sampling period (default 100 ms).
+	SamplePeriod time.Duration
+	// Seed drives the tuning machinery.
+	Seed uint64
+	// HeapWords sizes the transactional heap (default 1<<22).
+	HeapWords int
+	// Preload inserts keys 0..Preload-1 (value = key) before serving, so
+	// read-heavy traffic has something to hit (default 0).
+	Preload int
+	// MaxScanSpan clamps /kv/range spans (default 4096).
+	MaxScanSpan uint64
+	// LatencyWindow is the size of the sliding latency reservoir behind
+	// /statusz percentiles (default 8192).
+	LatencyWindow int
+	// TimelineTail bounds the number of timeline points /statusz returns
+	// (default 64, newest last; 0 keeps the default).
+	TimelineTail int
+	// Logf, when set, receives operational log lines (reconfigurations,
+	// drains, shutdown).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) setDefaults() {
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.HeapWords <= 0 {
+		o.HeapWords = 1 << 22
+	}
+	if o.MaxScanSpan == 0 {
+		o.MaxScanSpan = 4096
+	}
+	if o.LatencyWindow <= 0 {
+		o.LatencyWindow = 8192
+	}
+	if o.TimelineTail <= 0 {
+		o.TimelineTail = 64
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Server is the proteusd serving layer: an http.Handler whose data
+// operations execute as ProteusTM atomic blocks. Create with New, stop
+// with Close.
+type Server struct {
+	sys   *proteustm.System
+	store *Store
+	opts  Options
+	mux   *http.ServeMux
+	start time.Time
+
+	queue chan *request
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	// inflight counts submissions between admission and reply; Close
+	// waits on it after setting closed, so no submitter can be stranded
+	// between the closed-check and its enqueue when the workers stop.
+	inflight sync.WaitGroup
+
+	// drainMu implements the graceful-drain protocol: every operation
+	// executes under RLock; the reconfigure hook takes the write lock
+	// before the pool gates any thread, so a shrink waits for in-flight
+	// operations and no queued request is ever handed to a slot that is
+	// about to park. active mirrors the installed parallelism degree.
+	drainMu sync.RWMutex
+	active  atomic.Int64
+
+	closed    atomic.Bool
+	served    [numOps]atomic.Uint64
+	rejected  atomic.Uint64
+	requeued  atomic.Uint64
+	hookFires atomic.Uint64
+	drains    atomic.Uint64
+	lat       *metrics.Reservoir
+}
+
+// New opens a ProteusTM system, builds the store (optionally preloading
+// it) and starts one queue worker per slot. The returned Server is ready
+// to serve; wire it into an http.Server as its Handler.
+func New(opts Options) (*Server, error) {
+	s, err := newServer(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.startWorkers()
+	return s, nil
+}
+
+// newServer builds a Server without starting its queue workers (tests use
+// the split to exercise admission-queue overflow deterministically).
+func newServer(opts Options) (*Server, error) {
+	opts.setDefaults()
+	sysOpts := []proteustm.Option{
+		proteustm.WithWorkers(opts.Workers),
+		proteustm.WithHeapWords(opts.HeapWords),
+		proteustm.WithSeed(opts.Seed),
+	}
+	if opts.SamplePeriod > 0 {
+		sysOpts = append(sysOpts, proteustm.WithSamplePeriod(opts.SamplePeriod))
+	}
+	if opts.AutoTune {
+		sysOpts = append(sysOpts, proteustm.WithAutoTuning())
+	}
+	sys, err := proteustm.Open(sysOpts...)
+	if err != nil {
+		return nil, err
+	}
+	store, err := NewStore(sys.Heap())
+	if err != nil {
+		sys.Close()
+		return nil, err
+	}
+	s := &Server{
+		sys:   sys,
+		store: store,
+		opts:  opts,
+		start: time.Now(),
+		queue: make(chan *request, opts.QueueDepth),
+		stop:  make(chan struct{}),
+		lat:   metrics.NewReservoir(opts.LatencyWindow),
+	}
+	s.active.Store(int64(sys.CurrentConfig().Threads))
+	sys.OnReconfigure(s.reconfigureHook)
+	if err := s.preload(opts.Preload); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	s.mux = s.routes()
+	return s, nil
+}
+
+// startWorkers launches one queue worker per slot.
+func (s *Server) startWorkers() {
+	for id := 0; id < s.opts.Workers; id++ {
+		s.wg.Add(1)
+		go s.worker(id)
+	}
+}
+
+// System exposes the underlying ProteusTM instance (for status and tests).
+func (s *Server) System() *proteustm.System { return s.sys }
+
+// preload inserts n keys in batched setup transactions on slot 0 (always
+// an active slot: the parallelism degree is at least 1).
+func (s *Server) preload(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	w, err := s.sys.Worker(0)
+	if err != nil {
+		return err
+	}
+	const batch = 64
+	for base := 0; base < n; base += batch {
+		end := base + batch
+		if end > n {
+			end = n
+		}
+		lo, hi := uint64(base), uint64(end)
+		w.Atomic(func(tx proteustm.Txn) {
+			for k := lo; k < hi; k++ {
+				s.store.Put(tx, 0, k, k)
+			}
+		})
+	}
+	return nil
+}
+
+// reconfigureHook runs at the start of every pool reconfiguration, before
+// any thread gating (see proteustm.System.OnReconfigure). On a shrink it
+// waits for in-flight operations to finish and publishes the smaller
+// active set, so workers on soon-to-be-parked slots requeue rather than
+// execute; growth publishes immediately.
+func (s *Server) reconfigureHook(old, newCfg proteustm.Config) {
+	s.hookFires.Add(1)
+	if int64(newCfg.Threads) < s.active.Load() {
+		s.drainMu.Lock()
+		s.active.Store(int64(newCfg.Threads))
+		s.drainMu.Unlock()
+		s.drains.Add(1)
+		s.opts.Logf("serve: reconfigure %s -> %s (drained in-flight ops)", old, newCfg)
+		return
+	}
+	s.active.Store(int64(newCfg.Threads))
+	if old != newCfg {
+		s.opts.Logf("serve: reconfigure %s -> %s", old, newCfg)
+	}
+}
+
+// worker is the per-slot request executor. A worker only consumes from
+// the admission queue while its slot is inside the installed parallelism
+// degree; slot 0 is always active (Threads >= 1), so the service drains
+// even at minimum parallelism.
+func (s *Server) worker(id int) {
+	defer s.wg.Done()
+	w, err := s.sys.Worker(id)
+	if err != nil {
+		panic(fmt.Sprintf("serve: worker %d: %v", id, err))
+	}
+	idle := time.NewTicker(2 * time.Millisecond)
+	defer idle.Stop()
+	for {
+		if int64(id) >= s.active.Load() {
+			select {
+			case <-s.stop:
+				return
+			case <-idle.C:
+			}
+			continue
+		}
+		select {
+		case <-s.stop:
+			return
+		case req := <-s.queue:
+			s.drainMu.RLock()
+			if int64(id) >= s.active.Load() {
+				s.drainMu.RUnlock()
+				s.requeue(req)
+				continue
+			}
+			resp := s.execute(w, id, req)
+			s.drainMu.RUnlock()
+			s.served[req.op].Add(1)
+			req.done <- resp
+		}
+	}
+}
+
+// requeue hands a request back after a shrink beat this worker to it.
+func (s *Server) requeue(req *request) {
+	s.requeued.Add(1)
+	select {
+	case s.queue <- req:
+	case <-s.stop:
+		req.done <- response{Err: "server shutting down"}
+	}
+}
+
+// execute runs one operation as a single atomic block on worker w.
+func (s *Server) execute(w *proteustm.Worker, slot int, req *request) response {
+	var resp response
+	switch req.op {
+	case opGet:
+		w.Atomic(func(tx proteustm.Txn) { resp.Val, resp.Found = s.store.Get(tx, req.key) })
+	case opPut:
+		w.Atomic(func(tx proteustm.Txn) { resp.Existed = s.store.Put(tx, slot, req.key, req.val) })
+		resp.Applied = true
+	case opDel:
+		w.Atomic(func(tx proteustm.Txn) { resp.Applied = s.store.Delete(tx, slot, req.key) })
+	case opCAS:
+		w.Atomic(func(tx proteustm.Txn) { resp.Val, resp.Applied = s.store.CAS(tx, slot, req.key, req.old, req.newv) })
+	case opRange:
+		w.Atomic(func(tx proteustm.Txn) { resp.Count, resp.Sum = s.store.Range(tx, req.lo, req.hi) })
+	case opLPush:
+		w.Atomic(func(tx proteustm.Txn) { s.store.PushLeft(tx, slot, req.val) })
+		resp.Applied = true
+	case opRPush:
+		w.Atomic(func(tx proteustm.Txn) { s.store.PushRight(tx, slot, req.val) })
+		resp.Applied = true
+	case opLPop:
+		w.Atomic(func(tx proteustm.Txn) { resp.Val, resp.Found = s.store.PopLeft(tx, slot) })
+	case opRPop:
+		w.Atomic(func(tx proteustm.Txn) { resp.Val, resp.Found = s.store.PopRight(tx, slot) })
+	case opLLen:
+		w.Atomic(func(tx proteustm.Txn) { resp.Len = s.store.Len(tx) })
+	}
+	return resp
+}
+
+// submit admits one request: a full queue rejects immediately (the 429
+// path) rather than stalling the client. The inflight registration
+// precedes the closed-check, so Close cannot observe an empty system
+// while a submitter is between its check and its enqueue.
+func (s *Server) submit(req *request) (response, int) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.closed.Load() {
+		return response{Err: "server shutting down"}, http.StatusServiceUnavailable
+	}
+	req.enqueued = time.Now()
+	req.done = make(chan response, 1)
+	select {
+	case s.queue <- req:
+	default:
+		s.rejected.Add(1)
+		return response{Err: "admission queue full"}, http.StatusTooManyRequests
+	}
+	resp := <-req.done
+	s.lat.Observe(float64(time.Since(req.enqueued).Nanoseconds()) / 1e6)
+	if resp.Err != "" {
+		return resp, http.StatusServiceUnavailable
+	}
+	return resp, http.StatusOK
+}
+
+// Close drains the admission queue, stops the workers and shuts the
+// ProteusTM system down. In-flight and queued requests all complete;
+// new submissions are rejected with 503.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Every submission that passed the closed-check has registered in
+	// inflight, and the workers are still running, so waiting here both
+	// drains the queue and guarantees every admitted request got its
+	// reply before the workers stop.
+	s.inflight.Wait()
+	close(s.stop)
+	s.wg.Wait()
+	s.sys.OnReconfigure(nil)
+	s.opts.Logf("serve: drained and stopped (served=%d rejected=%d)", s.totalServed(), s.rejected.Load())
+	return s.sys.Close()
+}
+
+func (s *Server) totalServed() uint64 {
+	var total uint64
+	for i := range s.served {
+		total += s.served[i].Load()
+	}
+	return total
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// routes builds the endpoint mux.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/kv/get", s.opHandler(opGet, "key"))
+	mux.HandleFunc("/kv/put", s.opHandler(opPut, "key", "val"))
+	mux.HandleFunc("/kv/del", s.opHandler(opDel, "key"))
+	mux.HandleFunc("/kv/cas", s.opHandler(opCAS, "key", "old", "new"))
+	mux.HandleFunc("/kv/range", s.opHandler(opRange, "lo", "hi"))
+	mux.HandleFunc("/list/lpush", s.opHandler(opLPush, "val"))
+	mux.HandleFunc("/list/rpush", s.opHandler(opRPush, "val"))
+	mux.HandleFunc("/list/lpop", s.opHandler(opLPop))
+	mux.HandleFunc("/list/rpop", s.opHandler(opRPop))
+	mux.HandleFunc("/list/len", s.opHandler(opLLen))
+	return mux
+}
+
+// opHandler builds the handler for one operation, parsing the named
+// uint64 query parameters.
+func (s *Server) opHandler(op opKind, params ...string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req := &request{op: op}
+		for _, name := range params {
+			raw := r.URL.Query().Get(name)
+			v, err := strconv.ParseUint(raw, 10, 64)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, response{Err: fmt.Sprintf("parameter %q: want uint64, got %q", name, raw)})
+				return
+			}
+			switch name {
+			case "key":
+				req.key = v
+			case "val":
+				req.val = v
+			case "old":
+				req.old = v
+			case "new":
+				req.newv = v
+			case "lo":
+				req.lo = v
+			case "hi":
+				req.hi = v
+			}
+		}
+		if op == opRange {
+			if req.hi < req.lo {
+				writeJSON(w, http.StatusBadRequest, response{Err: "range: hi < lo"})
+				return
+			}
+			if req.hi-req.lo > s.opts.MaxScanSpan {
+				req.hi = req.lo + s.opts.MaxScanSpan
+			}
+		}
+		resp, code := s.submit(req)
+		writeJSON(w, code, resp)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort write to client
+}

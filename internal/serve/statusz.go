@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Status is the /statusz document. Field names are part of the operator
+// interface (docs/serving.md documents them; a golden test pins the
+// schema), so additions are fine but renames are breaking.
+type Status struct {
+	Server  ServerStatus  `json:"server"`
+	Config  ConfigStatus  `json:"config"`
+	TM      TMStatus      `json:"tm"`
+	Ops     OpsStatus     `json:"ops"`
+	Latency LatencyStatus `json:"latency_ms"`
+	// Reconfigurations is the optimization-phase event log: one entry
+	// per exploration phase, oldest first.
+	Reconfigurations []ReconfigStatus `json:"reconfigurations"`
+	// Timeline is the tail of the auto-tuner's KPI timeline, oldest
+	// first (KPI = committed transactions per second).
+	Timeline []TimelineStatus `json:"timeline"`
+}
+
+// ServerStatus describes the serving layer itself.
+type ServerStatus struct {
+	UptimeSec     float64 `json:"uptime_sec"`
+	Workers       int     `json:"workers"`
+	ActiveWorkers int     `json:"active_workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueLen      int     `json:"queue_len"`
+}
+
+// ConfigStatus describes the installed TM configuration and tuner state.
+type ConfigStatus struct {
+	Current   string `json:"current"`
+	AutoTune  bool   `json:"autotune"`
+	Phases    int    `json:"phases"`
+	Exploring bool   `json:"exploring"`
+}
+
+// TMStatus aggregates transaction statistics since startup.
+type TMStatus struct {
+	Commits          uint64   `json:"commits"`
+	Aborts           uint64   `json:"aborts"`
+	AbortRate        float64  `json:"abort_rate"`
+	ConflictAborts   uint64   `json:"conflict_aborts"`
+	CapacityAborts   uint64   `json:"capacity_aborts"`
+	FallbackAborts   uint64   `json:"fallback_aborts"`
+	FallbackRuns     uint64   `json:"fallback_runs"`
+	PerWorkerCommits []uint64 `json:"per_worker_commits"`
+}
+
+// OpsStatus counts served operations by kind, plus admission outcomes.
+type OpsStatus struct {
+	Served    map[string]uint64 `json:"served"`
+	Total     uint64            `json:"total"`
+	Rejected  uint64            `json:"rejected"`
+	Requeued  uint64            `json:"requeued"`
+	HookFires uint64            `json:"reconfigure_hook_fires"`
+	Drains    uint64            `json:"drains"`
+}
+
+// LatencyStatus summarizes recent request latencies in milliseconds
+// (admission to completion, over the sliding reservoir window).
+type LatencyStatus struct {
+	metrics.Summary
+	// WindowObserved is the total number of requests ever observed (the
+	// summary covers only the most recent window of them).
+	WindowObserved uint64 `json:"window_observed"`
+}
+
+// ReconfigStatus is one optimization-phase event.
+type ReconfigStatus struct {
+	AtSec  float64 `json:"at_sec"`
+	From   string  `json:"from"`
+	To     string  `json:"to"`
+	Reason string  `json:"reason"`
+	Phase  int     `json:"phase"`
+}
+
+// TimelineStatus is one KPI observation of the adapter thread.
+type TimelineStatus struct {
+	AtSec     float64 `json:"at_sec"`
+	KPI       float64 `json:"kpi"`
+	Config    string  `json:"config"`
+	Exploring bool    `json:"exploring"`
+}
+
+// StatusSnapshot assembles the full status document. It synchronizes with
+// the worker threads the same way Stats does, so it must not be called
+// from inside an atomic block.
+func (s *Server) StatusSnapshot() Status {
+	perWorker := s.sys.StatsPerWorker()
+	var total TMStatus
+	commits := make([]uint64, len(perWorker))
+	for i, st := range perWorker {
+		commits[i] = st.Commits
+		total.Commits += st.Commits
+		total.Aborts += st.Aborts
+		total.ConflictAborts += st.ConflictAborts
+		total.CapacityAborts += st.CapacityAborts
+		total.FallbackAborts += st.FallbackAborts
+		total.FallbackRuns += st.FallbackRuns
+	}
+	if att := total.Commits + total.Aborts; att > 0 {
+		total.AbortRate = float64(total.Aborts) / float64(att)
+	}
+	total.PerWorkerCommits = commits
+
+	served := make(map[string]uint64, numOps)
+	var servedTotal uint64
+	for op := opKind(0); op < numOps; op++ {
+		n := s.served[op].Load()
+		served[opNames[op]] = n
+		servedTotal += n
+	}
+
+	reconfigs := s.sys.Reconfigurations()
+	rs := make([]ReconfigStatus, len(reconfigs))
+	for i, e := range reconfigs {
+		rs[i] = ReconfigStatus{
+			AtSec:  e.At.Seconds(),
+			From:   e.From.String(),
+			To:     e.To.String(),
+			Reason: e.Reason,
+			Phase:  e.Phase,
+		}
+	}
+
+	timeline := s.sys.Timeline()
+	if tail := s.opts.TimelineTail; len(timeline) > tail {
+		timeline = timeline[len(timeline)-tail:]
+	}
+	ts := make([]TimelineStatus, len(timeline))
+	for i, p := range timeline {
+		ts[i] = TimelineStatus{
+			AtSec:     p.At.Seconds(),
+			KPI:       p.KPI,
+			Config:    p.Config.String(),
+			Exploring: p.Exploring,
+		}
+	}
+
+	return Status{
+		Server: ServerStatus{
+			UptimeSec:     time.Since(s.start).Seconds(),
+			Workers:       s.sys.Workers(),
+			ActiveWorkers: int(s.active.Load()),
+			QueueDepth:    s.opts.QueueDepth,
+			QueueLen:      len(s.queue),
+		},
+		Config: ConfigStatus{
+			Current:   s.sys.CurrentConfig().String(),
+			AutoTune:  s.sys.AutoTuning(),
+			Phases:    s.sys.Phases(),
+			Exploring: s.sys.Exploring(),
+		},
+		TM: total,
+		Ops: OpsStatus{
+			Served:    served,
+			Total:     servedTotal,
+			Rejected:  s.rejected.Load(),
+			Requeued:  s.requeued.Load(),
+			HookFires: s.hookFires.Load(),
+			Drains:    s.drains.Load(),
+		},
+		Latency: LatencyStatus{
+			Summary:        metrics.Summarize(s.lat.Snapshot()),
+			WindowObserved: s.lat.Count(),
+		},
+		Reconfigurations: rs,
+		Timeline:         ts,
+	}
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatusSnapshot())
+}

@@ -1,0 +1,175 @@
+// Package serve implements proteusd's serving layer: the transactional
+// heap exposed as a concurrent key-value / data-structure service over
+// HTTP+JSON, executed as ProteusTM atomic blocks on a pool of bound worker
+// slots behind a bounded admission queue, with a /statusz endpoint
+// surfacing the auto-tuner's timeline, the installed configuration, abort
+// rates and serving metrics.
+//
+// The package is the repo's first long-running consumer of the online
+// adaptation loop (§6.4 of the paper): client traffic is the workload, the
+// CUSUM monitor watches the commit-rate KPI, and a traffic phase shift
+// (read-heavy → write-heavy → scan, see `proteusbench loadgen`) triggers a
+// live reoptimization while requests keep flowing. Reconfiguration safety
+// relies on the graceful-drain hook (proteustm.System.OnReconfigure): when
+// the incoming configuration disables worker slots, in-flight requests on
+// those slots are drained before the slots park, so no request is ever
+// stranded on a gated thread.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/tm"
+	"repro/internal/workloads"
+)
+
+// Deque node layout: value, prev, next. The next word doubles as the node
+// pool's free-list link.
+const (
+	dqVal = iota
+	dqPrev
+	dqNext
+	dqNodeWords
+)
+
+// Store is the data plane of the service: a sorted key-value map (the
+// red-black tree the rbtree scenarios benchmark) plus a doubly-linked
+// deque, both living in the transactional heap. Every method runs inside
+// the caller's transaction; the Server invokes each request as one atomic
+// block on its worker slot.
+type Store struct {
+	kv *workloads.RBSet
+
+	pool  *workloads.NodePool
+	lhead tm.Addr // heap word holding the deque head node address
+	ltail tm.Addr // heap word holding the deque tail node address
+	llen  tm.Addr // heap word holding the deque length
+}
+
+// NewStore allocates an empty store on h.
+func NewStore(h *tm.Heap) (*Store, error) {
+	kv, err := workloads.NewRBSet(h)
+	if err != nil {
+		return nil, fmt.Errorf("serve: kv store: %w", err)
+	}
+	pool, err := workloads.NewNodePool(h, dqNodeWords, dqNext)
+	if err != nil {
+		return nil, fmt.Errorf("serve: deque pool: %w", err)
+	}
+	words, err := h.Alloc(3)
+	if err != nil {
+		return nil, fmt.Errorf("serve: deque heads: %w", err)
+	}
+	return &Store{kv: kv, pool: pool, lhead: words, ltail: words + 1, llen: words + 2}, nil
+}
+
+// Get reads the value at key.
+func (s *Store) Get(tx tm.Txn, key uint64) (uint64, bool) { return s.kv.Get(tx, key) }
+
+// Put inserts or updates key, reporting whether the key already existed.
+func (s *Store) Put(tx tm.Txn, self int, key, val uint64) (existed bool) {
+	return !s.kv.Insert(tx, self, key, val)
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(tx tm.Txn, self int, key uint64) bool {
+	return s.kv.Delete(tx, self, key)
+}
+
+// CAS replaces the value at key with newv iff the key is present and its
+// current value is old. It returns the value observed and whether the swap
+// applied.
+func (s *Store) CAS(tx tm.Txn, self int, key, old, newv uint64) (cur uint64, applied bool) {
+	cur, ok := s.kv.Get(tx, key)
+	if !ok || cur != old {
+		return cur, false
+	}
+	s.kv.Insert(tx, self, key, newv)
+	return newv, true
+}
+
+// Range counts and sums the values of every key in [lo, hi]. The whole
+// scan is one transaction, so wide spans build the large read sets that
+// push best-effort HTM into capacity aborts — the serving-side analogue of
+// the scan phase in the service scenarios.
+func (s *Store) Range(tx tm.Txn, lo, hi uint64) (count, sum uint64) {
+	s.kv.AscendRange(tx, lo, hi, func(_, v uint64) bool {
+		count++
+		sum += v
+		return true
+	})
+	return count, sum
+}
+
+// PushLeft prepends val to the deque.
+func (s *Store) PushLeft(tx tm.Txn, self int, val uint64) {
+	n := s.pool.Get(tx, self)
+	tx.Store(n+dqVal, val)
+	tx.Store(n+dqPrev, uint64(tm.NilAddr))
+	head := tm.Addr(tx.Load(s.lhead))
+	tx.Store(n+dqNext, uint64(head))
+	if head != tm.NilAddr {
+		tx.Store(head+dqPrev, uint64(n))
+	} else {
+		tx.Store(s.ltail, uint64(n))
+	}
+	tx.Store(s.lhead, uint64(n))
+	tx.Store(s.llen, tx.Load(s.llen)+1)
+}
+
+// PushRight appends val to the deque.
+func (s *Store) PushRight(tx tm.Txn, self int, val uint64) {
+	n := s.pool.Get(tx, self)
+	tx.Store(n+dqVal, val)
+	tx.Store(n+dqNext, uint64(tm.NilAddr))
+	tail := tm.Addr(tx.Load(s.ltail))
+	tx.Store(n+dqPrev, uint64(tail))
+	if tail != tm.NilAddr {
+		tx.Store(tail+dqNext, uint64(n))
+	} else {
+		tx.Store(s.lhead, uint64(n))
+	}
+	tx.Store(s.ltail, uint64(n))
+	tx.Store(s.llen, tx.Load(s.llen)+1)
+}
+
+// PopLeft removes and returns the head value.
+func (s *Store) PopLeft(tx tm.Txn, self int) (uint64, bool) {
+	n := tm.Addr(tx.Load(s.lhead))
+	if n == tm.NilAddr {
+		return 0, false
+	}
+	v := tx.Load(n + dqVal)
+	next := tm.Addr(tx.Load(n + dqNext))
+	tx.Store(s.lhead, uint64(next))
+	if next != tm.NilAddr {
+		tx.Store(next+dqPrev, uint64(tm.NilAddr))
+	} else {
+		tx.Store(s.ltail, uint64(tm.NilAddr))
+	}
+	tx.Store(s.llen, tx.Load(s.llen)-1)
+	s.pool.Put(tx, self, n)
+	return v, true
+}
+
+// PopRight removes and returns the tail value.
+func (s *Store) PopRight(tx tm.Txn, self int) (uint64, bool) {
+	n := tm.Addr(tx.Load(s.ltail))
+	if n == tm.NilAddr {
+		return 0, false
+	}
+	v := tx.Load(n + dqVal)
+	prev := tm.Addr(tx.Load(n + dqPrev))
+	tx.Store(s.ltail, uint64(prev))
+	if prev != tm.NilAddr {
+		tx.Store(prev+dqNext, uint64(tm.NilAddr))
+	} else {
+		tx.Store(s.lhead, uint64(tm.NilAddr))
+	}
+	tx.Store(s.llen, tx.Load(s.llen)-1)
+	s.pool.Put(tx, self, n)
+	return v, true
+}
+
+// Len returns the deque length.
+func (s *Store) Len(tx tm.Txn) uint64 { return tx.Load(s.llen) }

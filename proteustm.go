@@ -32,6 +32,7 @@ package proteustm
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cf"
 	"repro/internal/config"
@@ -68,19 +69,37 @@ const (
 // Stats are cumulative transaction statistics.
 type Stats = tm.Stats
 
+// Heap is the word-addressed transactional heap backing a System. Most
+// applications only need Alloc/Load/Store on System; data-structure
+// libraries (node pools, the internal/workloads containers) take a *Heap
+// directly.
+type Heap = tm.Heap
+
+// TimelinePoint is one KPI observation recorded by the auto-tuning
+// adapter thread: when it was taken, the KPI value, the configuration
+// installed at the time, and whether the sample was part of an
+// exploration phase.
+type TimelinePoint = core.TimelinePoint
+
+// ReconfigEvent records one completed optimization phase: the
+// configuration installed, the one it replaced, the trigger ("startup",
+// "monitor-alarm", "forced" or "sync") and the 1-based phase number.
+type ReconfigEvent = core.ReconfigEvent
+
 // Option configures Open.
 type Option func(*options)
 
 type options struct {
-	heapWords  int
-	workers    int
-	autoTune   bool
-	energyKPI  bool
-	seed       uint64
-	configs    []Config
-	trainKPI   *cf.Matrix
-	initial    *Config
-	maxExplore int
+	heapWords    int
+	workers      int
+	autoTune     bool
+	energyKPI    bool
+	seed         uint64
+	configs      []Config
+	trainKPI     *cf.Matrix
+	initial      *Config
+	maxExplore   int
+	samplePeriod time.Duration
 }
 
 // WithHeapWords sizes the transactional heap (default 1<<22 words = 32 MiB).
@@ -107,6 +126,12 @@ func WithInitialConfig(c Config) Option { return func(o *options) { o.initial = 
 
 // WithMaxExplorations bounds each online exploration phase.
 func WithMaxExplorations(n int) Option { return func(o *options) { o.maxExplore = n } }
+
+// WithSamplePeriod sets the auto-tuner's KPI sampling period (default
+// 100 ms; the paper uses 1 s). Shorter periods react to workload shifts
+// faster at the cost of noisier KPI windows and more frequent statistics
+// snapshots.
+func WithSamplePeriod(d time.Duration) Option { return func(o *options) { o.samplePeriod = d } }
 
 // WithTrainingMatrix supplies an offline training Utility Matrix (rows:
 // workloads, columns aligned with the configuration space, entries: KPI).
@@ -173,6 +198,7 @@ func Open(opts ...Option) (*System, error) {
 		Energy:          energy.NewModel(18, 6.5),
 		Seed:            o.seed,
 		MaxExplorations: o.maxExplore,
+		SamplePeriod:    o.samplePeriod,
 	})
 	if err != nil {
 		return nil, err
@@ -192,6 +218,17 @@ func Open(opts ...Option) (*System, error) {
 
 // Alloc reserves n consecutive heap words.
 func (s *System) Alloc(n int) (Addr, error) { return s.rt.Heap().Alloc(n) }
+
+// Heap exposes the transactional heap, for data-structure libraries that
+// allocate node pools directly. Application code normally sticks to
+// Alloc/MustAlloc plus transactional Load/Store.
+func (s *System) Heap() *Heap { return s.rt.Heap() }
+
+// Workers returns the number of worker slots the system was opened with.
+func (s *System) Workers() int { return s.workers }
+
+// AutoTuning reports whether the adapter thread is running.
+func (s *System) AutoTuning() bool { return s.tuning }
 
 // MustAlloc reserves n words, panicking on heap exhaustion.
 func (s *System) MustAlloc(n int) Addr { return s.rt.Heap().MustAlloc(n) }
@@ -244,6 +281,34 @@ func (s *System) CurrentConfig() Config { return s.rt.Pool.Config() }
 // must not be called from inside an atomic block (the caller would wait on
 // its own in-flight transaction); call it between transactions.
 func (s *System) Stats() Stats { return s.rt.Pool.SnapshotStats() }
+
+// StatsPerWorker returns one statistics snapshot per worker slot, under
+// the same synchronization and control-plane restriction as Stats.
+func (s *System) StatsPerWorker() []Stats { return s.rt.Pool.SnapshotStatsPerThread() }
+
+// Timeline returns a copy of the auto-tuner's KPI observation timeline
+// (empty without WithAutoTuning).
+func (s *System) Timeline() []TimelinePoint { return s.rt.Timeline() }
+
+// Reconfigurations returns a copy of the optimization-phase event log:
+// one entry per exploration phase, recording the installed configuration,
+// its predecessor and the trigger.
+func (s *System) Reconfigurations() []ReconfigEvent { return s.rt.Reconfigurations() }
+
+// Phases returns the number of optimization phases run so far.
+func (s *System) Phases() int { return s.rt.Phases() }
+
+// Exploring reports whether an exploration phase is in progress.
+func (s *System) Exploring() bool { return s.rt.Exploring() }
+
+// OnReconfigure installs fn to run at the start of every reconfiguration,
+// before any worker thread is gated, with the outgoing and incoming
+// configuration. The runtime holds its configuration lock while fn runs,
+// so fn must not call SetConfig, CurrentConfig, Stats or StatsPerWorker;
+// it may block briefly. Serving layers use the hook to drain in-flight
+// requests from worker slots the new configuration disables. Pass nil to
+// remove the hook.
+func (s *System) OnReconfigure(fn func(old, new Config)) { s.rt.Pool.SetReconfigureHook(fn) }
 
 // Reoptimize triggers an immediate exploration phase (auto-tuning only).
 func (s *System) Reoptimize() { s.rt.ForceReoptimize() }
