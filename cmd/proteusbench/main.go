@@ -13,7 +13,8 @@
 //	proteusbench experiment --name fig4 [--quick]
 //	proteusbench bench [--benchtime 0.5s] [--filter Algorithms] [--compare BENCH_0.json]
 //	proteusbench loadgen [--addr http://127.0.0.1:7411] [--conns 8] [--rate 0]
-//	    [--phases read-heavy:5s,write-heavy:5s,scan:3s] [--out LOADGEN.json]
+//	    [--phases read-heavy:5s,write-heavy:5s,scan:3s] [--skew 0.9]
+//	    [--out LOADGEN.json]
 //
 // `run` is deterministic by default: operations execute serially against a
 // virtual clock, so the same seed produces byte-identical JSON records on
@@ -312,6 +313,7 @@ func cmdLoadgen(args []string) error {
 		"traffic schedule: comma-separated mix:duration (mixes: "+strings.Join(workloads.ServiceMixNames(), ", ")+")")
 	keyrange := fs.Uint64("keyrange", 16384, "key range of generated operations")
 	span := fs.Uint64("span", 256, "range-scan width")
+	skew := fs.Float64("skew", 0, "fraction of shard-correlated traffic (sharded daemons: writes -> low shards, reads -> high shards)")
 	seed := fs.Uint64("seed", 42, "per-connection operation stream seed")
 	out := fs.String("out", "", "write the JSON report here instead of stdout")
 	if err := fs.Parse(args); err != nil {
@@ -328,6 +330,7 @@ func cmdLoadgen(args []string) error {
 		Phases:   phaseList,
 		KeyRange: *keyrange,
 		Span:     *span,
+		Skew:     *skew,
 		Seed:     *seed,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -1,30 +1,41 @@
 // Command proteusd is the ProteusTM data service: a long-running daemon
-// exposing the transactional heap as a concurrent key-value / deque store
-// over HTTP+JSON, with the RecTM adapter retuning the TM backend, the
-// parallelism degree and the HTM contention management underneath the
-// traffic. Operators watch the adaptation live on /statusz.
+// exposing one or more transactional heaps as a concurrent key-value /
+// deque store over HTTP+JSON, with one RecTM adapter per shard retuning
+// that shard's TM backend, parallelism degree and HTM contention
+// management underneath the traffic. Operators watch the adaptation live
+// on /statusz.
 //
 // Usage:
 //
-//	proteusd [--addr 127.0.0.1:7411] [--workers 8] [--queue 1024]
+//	proteusd [--addr 127.0.0.1:7411] [--shards 1] [--workers 8] [--queue 1024]
 //	    [--autotune=true] [--sample-period 100ms] [--seed 42]
 //	    [--heap-words 4194304] [--preload 8192]
 //
-// Endpoints (all parameters are uint64 query parameters):
+// With --shards=N the key space is partitioned across N independent
+// ProteusTM systems by a consistent-hash ring; single-key operations
+// route to the owning shard and multi-key operations (range, mput, mget)
+// commit with the cross-shard two-phase protocol (see docs/sharding.md).
+// On SIGINT/SIGTERM the daemon drains each shard in turn before exiting.
+//
+// Endpoints (all parameters are uint64 query parameters; keys/vals are
+// comma-separated lists):
 //
 //	GET  /healthz                      liveness probe
-//	GET  /statusz                      tuner timeline, config, abort rates, serving metrics
+//	GET  /statusz                      per-shard tuner state, fleet rollup, latency split
 //	GET  /kv/get?key=K                 point read
 //	POST /kv/put?key=K&val=V           insert or update
 //	POST /kv/del?key=K                 delete
 //	POST /kv/cas?key=K&old=O&new=N     compare-and-swap
-//	GET  /kv/range?lo=L&hi=H           range count/sum (span clamped)
+//	GET  /kv/range?lo=L&hi=H           cross-shard range count/sum (span clamped)
+//	POST /kv/mput?keys=...&vals=...    atomic cross-shard batch put
+//	GET  /kv/mget?keys=...             atomic cross-shard batch read
 //	POST /list/lpush?val=V  /list/rpush?val=V
 //	POST /list/lpop  /list/rpop
 //	GET  /list/len
 //
-// Drive it with `proteusbench loadgen` and see docs/serving.md for the
-// operator guide.
+// Drive it with `proteusbench loadgen` (add --skew to diverge per-shard
+// traffic) and see docs/serving.md and docs/sharding.md for the operator
+// guides.
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,18 +56,20 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7411", "listen address")
-	workers := flag.Int("workers", 8, "worker slots (ceiling of the tuned parallelism degree)")
-	queue := flag.Int("queue", 1024, "admission queue depth (overflow returns HTTP 429)")
-	autotune := flag.Bool("autotune", true, "run the RecTM adapter thread over live traffic")
+	shards := flag.Int("shards", 1, "key-space shards, each an independent ProteusTM system with its own tuner")
+	workers := flag.Int("workers", 8, "worker slots per shard (ceiling of the tuned parallelism degree)")
+	queue := flag.Int("queue", 1024, "admission queue depth per shard (overflow returns HTTP 429)")
+	autotune := flag.Bool("autotune", true, "run one RecTM adapter thread per shard over live traffic")
 	samplePeriod := flag.Duration("sample-period", 100*time.Millisecond, "monitor KPI sampling period")
 	seed := flag.Uint64("seed", 42, "tuning machinery seed")
-	heapWords := flag.Int("heap-words", 1<<22, "transactional heap size in 64-bit words")
+	heapWords := flag.Int("heap-words", 1<<22, "transactional heap size per shard in 64-bit words")
 	preload := flag.Int("preload", 8192, "pre-populate keys 0..n-1 before serving")
 	maxScan := flag.Uint64("max-scan-span", 4096, "clamp on /kv/range spans")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "proteusd: ", log.LstdFlags|log.Lmicroseconds)
 	srv, err := serve.New(serve.Options{
+		Shards:       *shards,
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		AutoTune:     *autotune,
@@ -69,8 +83,8 @@ func main() {
 	if err != nil {
 		logger.Fatalf("startup: %v", err)
 	}
-	logger.Printf("serving on http://%s (workers=%d queue=%d autotune=%v preload=%d, initial config %s)",
-		*addr, *workers, *queue, *autotune, *preload, srv.System().CurrentConfig())
+	logger.Printf("serving on http://%s (shards=%d workers=%d queue=%d autotune=%v preload=%d, initial config %s)",
+		*addr, srv.Shards(), *workers, *queue, *autotune, *preload, srv.System().CurrentConfig())
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errCh := make(chan error, 1)
@@ -80,7 +94,7 @@ func main() {
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		logger.Printf("received %s, draining", sig)
+		logger.Printf("received %s, draining %d shard(s)", sig, srv.Shards())
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Printf("listen: %v", err)
@@ -99,6 +113,10 @@ func main() {
 		os.Exit(1)
 	}
 	status := srv.StatusSnapshot()
-	fmt.Fprintf(os.Stderr, "proteusd: clean shutdown: %d ops served, %d commits, %d optimization phases, final config %s\n",
-		status.Ops.Total, status.TM.Commits, status.Config.Phases, status.Config.Current)
+	perShard := make([]string, len(status.Shards))
+	for i, sh := range status.Shards {
+		perShard[i] = fmt.Sprintf("shard %d: %s (%d phases)", sh.Index, sh.Config, sh.Phases)
+	}
+	fmt.Fprintf(os.Stderr, "proteusd: clean shutdown: %d ops served (%d cross-shard), %d commits, %d optimization phases; %s\n",
+		status.Ops.Total, status.Ops.CrossOps, status.TM.Commits, status.Config.Phases, strings.Join(perShard, "; "))
 }

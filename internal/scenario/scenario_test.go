@@ -45,24 +45,25 @@ func TestRegistryNamesMatchWorkloads(t *testing.T) {
 // loudly here rather than at the CLI.
 func TestEveryScenarioSetsUp(t *testing.T) {
 	small := map[string]Values{
-		"rbtree":         {"keyrange": "256"},
-		"skiplist":       {"keyrange": "256"},
-		"linkedlist":     {"keyrange": "64"},
-		"hashmap":        {"buckets": "64", "keyrange": "256"},
-		"genome":         {"segments": "256"},
-		"intruder":       {"flows": "64"},
-		"kmeans":         {"clusters": "4"},
-		"labyrinth":      {"grid": "1024", "path": "16"},
-		"ssca2":          {"vertices": "512"},
-		"vacation":       {"relations": "256"},
-		"yada":           {"elements": "512"},
-		"bayes":          {"nodes": "128"},
-		"stmbench7":      {"depth": "3"},
-		"tpcc":           {"warehouses": "2", "customers": "16", "items": "256"},
-		"memcached":      {"buckets": "64", "keyrange": "256"},
-		"interference":   {"keyrange": "256"},
-		"service-kv":     {"keyrange": "256", "span": "32", "phaseops": "64"},
-		"service-steady": {"keyrange": "256", "span": "32", "mix": "mixed"},
+		"rbtree":          {"keyrange": "256"},
+		"skiplist":        {"keyrange": "256"},
+		"linkedlist":      {"keyrange": "64"},
+		"hashmap":         {"buckets": "64", "keyrange": "256"},
+		"genome":          {"segments": "256"},
+		"intruder":        {"flows": "64"},
+		"kmeans":          {"clusters": "4"},
+		"labyrinth":       {"grid": "1024", "path": "16"},
+		"ssca2":           {"vertices": "512"},
+		"vacation":        {"relations": "256"},
+		"yada":            {"elements": "512"},
+		"bayes":           {"nodes": "128"},
+		"stmbench7":       {"depth": "3"},
+		"tpcc":            {"warehouses": "2", "customers": "16", "items": "256"},
+		"memcached":       {"buckets": "64", "keyrange": "256"},
+		"interference":    {"keyrange": "256"},
+		"service-kv":      {"keyrange": "256", "span": "32", "phaseops": "64"},
+		"service-steady":  {"keyrange": "256", "span": "32", "mix": "mixed"},
+		"service-sharded": {"shards": "2", "keyrange": "256", "span": "16", "batchevery": "8"},
 	}
 	for _, s := range All() {
 		v, ok := small[s.Name]

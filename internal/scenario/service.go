@@ -17,6 +17,14 @@ var (
 	svcSpan     = Param{Name: "span", Desc: "range-scan width", Kind: Int, Default: "256"}
 	svcPhaseOps = Param{Name: "phaseops", Desc: "operations per traffic phase", Kind: Int, Default: "7000"}
 	svcMix      = Param{Name: "mix", Desc: "traffic mix: read-heavy, write-heavy, scan or mixed", Kind: String, Default: "read-heavy"}
+
+	shKeyRange   = Param{Name: "keyrange", Desc: "key range of the sharded store", Kind: Int, Default: "16384"}
+	shShards     = Param{Name: "shards", Desc: "number of key-space shards", Kind: Int, Default: "4"}
+	shInitial    = Param{Name: "initial", Desc: "pre-populated size (0 = keyrange/2)", Kind: Int, Default: "0"}
+	shSpan       = Param{Name: "span", Desc: "per-shard range-scan width", Kind: Int, Default: "128"}
+	shSkew       = Param{Name: "skew", Desc: "probability of the shard-correlated mix (0 = uniform routing)", Kind: Float, Default: "0.8"}
+	shBatchEvery = Param{Name: "batchevery", Desc: "every Nth op is a cross-shard 2PC batch (0 disables)", Kind: Int, Default: "64"}
+	shBatchKeys  = Param{Name: "batchkeys", Desc: "keys per cross-shard batch", Kind: Int, Default: "4"}
 )
 
 func init() {
@@ -31,6 +39,27 @@ func init() {
 				InitialSize: v.Int(svcInitial),
 				Span:        v.Int(svcSpan),
 				PhaseOps:    uint64(v.Int(svcPhaseOps)),
+			}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "service-sharded",
+		Family:      "service",
+		Description: "sharded KV: consistent-hash routing, skewed vs. uniform per-shard mixes, cross-shard 2PC batches",
+		Params:      []Param{shShards, shKeyRange, shInitial, shSpan, shSkew, shBatchEvery, shBatchKeys},
+		Make: func(v Values) (workloads.Workload, error) {
+			batchEvery := v.Int(shBatchEvery)
+			if batchEvery == 0 {
+				batchEvery = -1 // ServiceSharded treats negative as disabled, 0 as default
+			}
+			return &workloads.ServiceSharded{
+				Shards:      v.Int(shShards),
+				KeyRange:    v.Int(shKeyRange),
+				InitialSize: v.Int(shInitial),
+				Span:        v.Int(shSpan),
+				Skew:        v.Float(shSkew),
+				BatchEvery:  batchEvery,
+				BatchKeys:   v.Int(shBatchKeys),
 			}, nil
 		},
 	})

@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// shardedSpec is the pinned parameterization of the golden record below:
+// small enough for CI, large enough that every arm (skewed routing,
+// per-shard scans, cross-shard 2PC batches) runs many times.
+func shardedSpec() RunSpec {
+	return RunSpec{
+		Scenario: "service-sharded",
+		Params: Values{
+			"shards":     "4",
+			"keyrange":   "1024",
+			"span":       "32",
+			"batchevery": "32",
+		},
+		Seed:       42,
+		MaxThreads: 4,
+		HeapWords:  1 << 20,
+		Ops:        4000,
+		Configs:    []config.Config{{Alg: config.TL2, Threads: 4}},
+	}
+}
+
+// TestServiceShardedDeterminism pins the satellite acceptance criterion:
+// the sharded scenario family produces byte-identical JSON records for a
+// fixed seed, against a committed golden record. Regenerate with
+// UPDATE_GOLDEN=1 after intentional changes.
+func TestServiceShardedDeterminism(t *testing.T) {
+	a, err := Run(shardedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(shardedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, jb := marshalResults(t, a), marshalResults(t, b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("two sharded runs of the same spec differ:\n--- run 1\n%s\n--- run 2\n%s", ja, jb)
+	}
+	if a[0].Commits == 0 || a[0].HeapDigest == "" {
+		t.Fatalf("empty measurement: %+v", a[0])
+	}
+
+	const golden = "testdata/service_sharded.golden"
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, ja, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate with UPDATE_GOLDEN=1): %v", golden, err)
+	}
+	if !bytes.Equal(ja, want) {
+		t.Errorf("service-sharded record drifted from %s — if intentional, regenerate with UPDATE_GOLDEN=1.\n--- got\n%s\n--- want\n%s", golden, ja, want)
+	}
+}
+
+// TestServiceShardedSkewChangesStream guards the skew knob: skewed and
+// uniform routing must produce different operation streams (and therefore
+// different heaps), otherwise the scenario's two arms are the same run.
+func TestServiceShardedSkewChangesStream(t *testing.T) {
+	spec := shardedSpec()
+	spec.Params = spec.Params.Clone()
+	spec.Params["skew"] = "0"
+	uniform, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Params["skew"] = "1"
+	skewed, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniform[0].HeapDigest == skewed[0].HeapDigest {
+		t.Fatalf("skew=0 and skew=1 produced the same heap digest %s", uniform[0].HeapDigest)
+	}
+}
+
+// TestServiceShardedAutoTuneDeterministic runs the sharded family under
+// the full monitor/explore/install loop in virtual time, twice.
+func TestServiceShardedAutoTuneDeterministic(t *testing.T) {
+	spec := shardedSpec()
+	spec.Configs = nil
+	spec.AutoTune = true
+	spec.Ops = 6000
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, jb := marshalResults(t, a), marshalResults(t, b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("auto-tuned sharded runs differ:\n--- run 1\n%s\n--- run 2\n%s", ja, jb)
+	}
+	if a[0].Phases < 1 {
+		t.Errorf("phases = %d, want >= 1", a[0].Phases)
+	}
+}

@@ -1,0 +1,244 @@
+// Cross-shard commit: the two-phase protocol that keeps multi-key
+// operations (mput, mget, range) atomic when their keys live on different
+// ProteusTM systems.
+//
+// Phase 1 (acquire): the coordinator claims each participating shard's
+// fence word with a CAS-with-fence transaction, in ascending shard-index
+// order — the global lock order that keeps concurrent coordinators
+// deadlock-free. Any acquisition failure aborts the whole attempt: every
+// fence taken so far is released ("abort-all on any shard abort") and the
+// coordinator backs off and retries.
+//
+// Phase 2 (apply+release): with every fence held, the coordinator applies
+// each shard's sub-operation and releases that shard's fence in a single
+// transaction, so local operations observe the writes and the release
+// atomically. Local operations always read the fence inside their own
+// transaction and requeue while it is held, which is what makes the span
+// between the first and last apply unobservable — the protocol's
+// linearization point sits between the last acquire and the first apply.
+//
+// Control steps travel on each shard's priority lane and execute on the
+// shard's own worker slots, so they obey the same graceful-drain protocol
+// as data operations. See docs/sharding.md for the state diagram.
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	proteustm "repro"
+)
+
+// subBatch is one shard's slice of a cross-shard batch: the positions
+// into the request's keys/vals arrays this shard owns.
+type subBatch struct {
+	shard int
+	idx   []int
+}
+
+// splitBatch groups the request's keys by owning shard, in ascending
+// shard order (the fence-acquisition order).
+func (s *Server) splitBatch(keys []uint64) []subBatch {
+	parts := s.ring.Participants(keys)
+	pos := make(map[int]int, len(parts))
+	out := make([]subBatch, len(parts))
+	for i, p := range parts {
+		out[i] = subBatch{shard: p}
+		pos[p] = i
+	}
+	for i, k := range keys {
+		j := pos[s.ring.Owner(k)]
+		out[j].idx = append(out[j].idx, i)
+	}
+	return out
+}
+
+// submitCross admits one multi-key operation. Single-participant
+// operations take the fast path: one ordinary admission-queue request on
+// the owning shard, atomic by construction. Everything else runs the
+// two-phase commit protocol above.
+func (s *Server) submitCross(req *request) (response, int) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.closed.Load() {
+		return response{Err: "server shutting down"}, http.StatusServiceUnavailable
+	}
+	var batches []subBatch
+	if req.op == opRange {
+		batches = make([]subBatch, len(s.shards))
+		for i := range s.shards {
+			batches[i] = subBatch{shard: i}
+		}
+	} else {
+		batches = s.splitBatch(req.keys)
+	}
+	if len(batches) == 1 {
+		// Fast path: the whole operation lives on one shard; the shard's
+		// own transaction makes it atomic, and the fence check inside
+		// execute keeps it ordered against concurrent cross-shard commits.
+		return s.submit(s.shards[batches[0].shard], req)
+	}
+
+	accepted := time.Now()
+	// Coordinator slots are bounded admission, same contract as the data
+	// queues: overflow rejects immediately (429), never stalls a handler.
+	select {
+	case s.crossSem <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		return response{Err: "cross-shard coordinator slots full"}, http.StatusTooManyRequests
+	}
+	defer func() { <-s.crossSem }()
+	token := s.nextToken.Add(1)
+
+	for attempt := 0; attempt < s.opts.CrossRetries; attempt++ {
+		acquired := make([]subBatch, 0, len(batches))
+		ok := true
+		for _, b := range batches {
+			r := s.ctlAcquire(s.shards[b.shard], token)
+			if r.Err != "" {
+				s.releaseAll(acquired)
+				return r, http.StatusServiceUnavailable
+			}
+			if !r.Applied {
+				ok = false
+				break
+			}
+			acquired = append(acquired, b)
+		}
+		if !ok {
+			// Abort-all: another coordinator (or an unlucky interleaving)
+			// holds a fence we need. Release everything, back off, retry.
+			s.releaseAll(acquired)
+			s.crossAborts.Add(1)
+			time.Sleep(time.Duration(attempt%8+1) * 50 * time.Microsecond)
+			continue
+		}
+		resp := s.applyAll(batches, req)
+		if resp.Err != "" {
+			return resp, http.StatusServiceUnavailable
+		}
+		s.crossOps.Add(1)
+		s.served[req.op].Add(1)
+		s.lat.Observe(msBetween(accepted, time.Now()))
+		return resp, http.StatusOK
+	}
+	return response{Err: "cross-shard commit: fence contention exhausted retries"}, http.StatusServiceUnavailable
+}
+
+// ctl submits one control step to shard ss's priority lane and waits for
+// its result. Control steps skip the closed-check on purpose: Close waits
+// for in-flight coordinators (registered in inflight) before stopping the
+// workers, so a coordinator must be able to finish its protocol — fence
+// releases included — after shutdown begins.
+func (s *Server) ctl(ss *shardState, fn func(w *proteustm.Worker, slot int) response) response {
+	req := &request{ctl: fn, done: make(chan response, 1)}
+	select {
+	case ss.prio <- req:
+	case <-ss.stop:
+		return response{Err: "server shutting down"}
+	}
+	return <-req.done
+}
+
+// ctlAcquire runs the CAS-with-fence acquisition on one shard.
+func (s *Server) ctlAcquire(ss *shardState, token uint64) response {
+	return s.ctl(ss, func(w *proteustm.Worker, _ int) response {
+		var got bool
+		w.Atomic(func(tx proteustm.Txn) {
+			got = ss.store.FenceAcquire(tx, token)
+		})
+		return response{Applied: got}
+	})
+}
+
+// releaseAll frees the fences of every acquired shard (abort path; the
+// commit path releases inside applyAll's per-shard transactions).
+func (s *Server) releaseAll(acquired []subBatch) {
+	for _, b := range acquired {
+		ss := s.shards[b.shard]
+		s.ctl(ss, func(w *proteustm.Worker, _ int) response {
+			w.Atomic(func(tx proteustm.Txn) { ss.store.FenceRelease(tx) })
+			return response{}
+		})
+	}
+}
+
+// applyAll runs phase 2: each shard applies its slice of the operation
+// and releases its fence in one transaction. With every fence held no
+// local operation can observe the store between two shards' applies, so
+// the batch is atomic even though the applies run one shard at a time.
+//
+// A control-step failure here is only reachable during process shutdown
+// (the lane rejects steps once the shard's stop channel closes, and
+// Close waits for in-flight coordinators before closing it). Even then
+// the coordinator must not strand fences: the remaining participants'
+// fences are released best-effort before the error propagates, so a
+// shard can never be wedged for writes by a dead batch.
+func (s *Server) applyAll(batches []subBatch, req *request) response {
+	var out response
+	fail := func(done int, r response) response {
+		s.releaseAll(batches[done+1:])
+		return r
+	}
+	switch req.op {
+	case opMPut:
+		for n, b := range batches {
+			ss, idx := s.shards[b.shard], b.idx
+			r := s.ctl(ss, func(w *proteustm.Worker, slot int) response {
+				w.Atomic(func(tx proteustm.Txn) {
+					for _, i := range idx {
+						ss.store.Put(tx, slot, req.keys[i], req.vals[i])
+					}
+					ss.store.FenceRelease(tx)
+				})
+				return response{Applied: true}
+			})
+			if r.Err != "" {
+				return fail(n, r)
+			}
+		}
+		out.Applied = true
+	case opMGet:
+		out.Vals = make([]uint64, len(req.keys))
+		out.Present = make([]bool, len(req.keys))
+		for n, b := range batches {
+			ss, idx := s.shards[b.shard], b.idx
+			r := s.ctl(ss, func(w *proteustm.Worker, _ int) response {
+				vals := make([]uint64, len(idx))
+				present := make([]bool, len(idx))
+				w.Atomic(func(tx proteustm.Txn) {
+					for j, i := range idx {
+						vals[j], present[j] = ss.store.Get(tx, req.keys[i])
+					}
+					ss.store.FenceRelease(tx)
+				})
+				return response{Vals: vals, Present: present}
+			})
+			if r.Err != "" {
+				return fail(n, r)
+			}
+			for j, i := range idx {
+				out.Vals[i], out.Present[i] = r.Vals[j], r.Present[j]
+			}
+		}
+	case opRange:
+		for n, b := range batches {
+			ss := s.shards[b.shard]
+			r := s.ctl(ss, func(w *proteustm.Worker, _ int) response {
+				var count, sum uint64
+				w.Atomic(func(tx proteustm.Txn) {
+					count, sum = ss.store.Range(tx, req.lo, req.hi)
+					ss.store.FenceRelease(tx)
+				})
+				return response{Count: count, Sum: sum}
+			})
+			if r.Err != "" {
+				return fail(n, r)
+			}
+			out.Count += r.Count
+			out.Sum += r.Sum
+		}
+	}
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	shardpkg "repro/internal/shard"
 	"repro/internal/workloads"
 )
 
@@ -74,10 +75,72 @@ type LoadgenOptions struct {
 	KeyRange uint64
 	// Span is the width of range scans (default 256).
 	Span uint64
+	// Skew in [0,1] is the probability an operation is drawn from the
+	// shard-correlated plan instead of the phase mix: writes (put/del/cas
+	// on a small hot set, plus occasional cross-shard mput batches) are
+	// steered at keys owned by the lower half of the daemon's shards and
+	// reads at keys owned by the upper half, so per-shard traffic
+	// profiles diverge and the per-shard tuners install different
+	// configurations. Ignored unless the daemon reports more than one
+	// shard; the client computes ownership with the same consistent-hash
+	// ring the server routes with.
+	Skew float64
 	// Seed drives the per-connection operation streams.
 	Seed uint64
 	// Logf, when set, receives per-phase progress lines.
 	Logf func(format string, args ...any)
+}
+
+// skewPlan precomputes the shard-correlated key pools of a skewed
+// session: every generated key's owner is known client-side because ring
+// construction is deterministic in the shard count.
+type skewPlan struct {
+	shards int
+	// pools[s] holds the keys in [0, KeyRange) owned by shard s; hot[s]
+	// is a small prefix of them that write traffic hammers to create
+	// per-shard contention.
+	pools [][]uint64
+	hot   [][]uint64
+}
+
+// buildSkewPlan collects per-shard key pools from the low end of
+// [0, keyRange). The pools are capped — the plan only needs a hot set
+// plus enough keys to spread reads over, not a materialized partition of
+// the whole (possibly enormous) key range — and the scan stops as soon
+// as every pool is full, so plan construction is O(shards · poolCap)
+// with a balanced ring regardless of keyRange.
+func buildSkewPlan(shards int, keyRange uint64) *skewPlan {
+	const poolCap = 4096
+	ring := shardpkg.New(shards)
+	plan := &skewPlan{shards: shards, pools: make([][]uint64, shards), hot: make([][]uint64, shards)}
+	full := 0
+	// The scan bound guards against a pathologically unbalanced ring:
+	// past it, a still-unfilled pool just stays smaller.
+	scanMax := keyRange
+	if limit := uint64(shards) * poolCap * 64; scanMax > limit {
+		scanMax = limit
+	}
+	for k := uint64(0); k < scanMax && full < shards; k++ {
+		o := ring.Owner(k)
+		if len(plan.pools[o]) < poolCap {
+			plan.pools[o] = append(plan.pools[o], k)
+			if len(plan.pools[o]) == poolCap {
+				full++
+			}
+		}
+	}
+	for s := range plan.pools {
+		n := len(plan.pools[s])
+		if n == 0 {
+			continue
+		}
+		hot := 64
+		if hot > n {
+			hot = n
+		}
+		plan.hot[s] = plan.pools[s][:hot]
+	}
+	return plan
 }
 
 // PhaseReport summarizes one phase of a loadgen session.
@@ -106,14 +169,27 @@ type PhaseReport struct {
 // writes: per-phase and total throughput/latency plus the daemon-side
 // reconfiguration events the session triggered.
 type LoadReport struct {
-	Target      string  `json:"target"`
-	Conns       int     `json:"conns"`
-	Rate        float64 `json:"rate"`
-	Seed        uint64  `json:"seed"`
-	KeyRange    uint64  `json:"keyrange"`
-	Span        uint64  `json:"span"`
-	StartConfig string  `json:"start_config"`
-	FinalConfig string  `json:"final_config"`
+	Target   string  `json:"target"`
+	Conns    int     `json:"conns"`
+	Rate     float64 `json:"rate"`
+	Seed     uint64  `json:"seed"`
+	KeyRange uint64  `json:"keyrange"`
+	Span     uint64  `json:"span"`
+	// Skew echoes the shard-correlated traffic fraction; Shards is the
+	// daemon's shard count. ShardConfigs is the per-shard installed
+	// configuration when the session ended. Because idle tuners re-
+	// converge once traffic stops, the session-level divergence signal is
+	// MaxDistinctShardConfigs: the largest number of distinct
+	// configurations simultaneously installed on non-exploring shards at
+	// any status sample during the session (DistinctShardSample is the
+	// per-shard snapshot at that moment).
+	Skew                    float64  `json:"skew,omitempty"`
+	Shards                  int      `json:"shards"`
+	ShardConfigs            []string `json:"shard_configs"`
+	MaxDistinctShardConfigs int      `json:"max_distinct_shard_configs"`
+	DistinctShardSample     []string `json:"distinct_shard_sample,omitempty"`
+	StartConfig             string   `json:"start_config"`
+	FinalConfig             string   `json:"final_config"`
 	// DaemonCommits is the daemon's committed-transaction delta over the
 	// session (from /statusz), which bounds the served throughput from
 	// below even if some client requests failed.
@@ -172,15 +248,53 @@ func RunLoadgen(opts LoadgenOptions) (*LoadReport, error) {
 		Seed:        opts.Seed,
 		KeyRange:    opts.KeyRange,
 		Span:        opts.Span,
+		Skew:        opts.Skew,
+		Shards:      before.Server.Shards,
 		StartConfig: before.Config.Current,
 	}
 	seenReconfigs := len(before.Reconfigurations)
+	var plan *skewPlan
+	if opts.Skew > 0 && before.Server.Shards > 1 {
+		plan = buildSkewPlan(before.Server.Shards, opts.KeyRange)
+		opts.Logf("loadgen: skew %.2f across %d shards (writes -> shards 0-%d, reads -> shards %d-%d)",
+			opts.Skew, plan.shards, plan.shards/2-1, plan.shards/2, plan.shards-1)
+	}
+
+	// On a sharded daemon, sample /statusz through the session and track
+	// the peak simultaneous config divergence across shards — the
+	// observable that survives the idle re-convergence at session end.
+	var samplerStop chan struct{}
+	var samplerWg sync.WaitGroup
+	if before.Server.Shards > 1 {
+		samplerStop = make(chan struct{})
+		samplerWg.Add(1)
+		go func() {
+			defer samplerWg.Done()
+			tick := time.NewTicker(400 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-samplerStop:
+					return
+				case <-tick.C:
+					st, err := fetchStatus(client, base)
+					if err != nil {
+						continue
+					}
+					if n, sample := distinctInstalled(st); n > report.MaxDistinctShardConfigs {
+						report.MaxDistinctShardConfigs = n
+						report.DistinctShardSample = sample
+					}
+				}
+			}
+		}()
+	}
 
 	var totalLat []float64
 	var totalDur time.Duration
 	for i, phase := range opts.Phases {
 		opts.Logf("loadgen: phase %d/%d %s for %s", i+1, len(opts.Phases), phase.Mix.Name, phase.Duration)
-		pr, lats := runPhase(client, base, opts, i, phase)
+		pr, lats := runPhase(client, base, opts, plan, i, phase)
 		after, err := fetchStatus(client, base)
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: statusz after phase %s: %w", phase.Mix.Name, err)
@@ -195,17 +309,25 @@ func RunLoadgen(opts LoadgenOptions) (*LoadReport, error) {
 			phase.Mix.Name, pr.Ops, pr.Throughput, pr.LatencyMs.P50, pr.LatencyMs.P99, pr.Rejected, pr.Reconfigurations, pr.Config)
 	}
 
+	if samplerStop != nil {
+		close(samplerStop)
+		samplerWg.Wait()
+	}
 	final, err := fetchStatus(client, base)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: final statusz: %w", err)
 	}
-	report.FinalConfig = final.Config.Current
-	report.DaemonCommits = final.TM.Commits - before.TM.Commits
-	if n := len(before.Reconfigurations); len(final.Reconfigurations) > n {
-		report.Reconfigurations = final.Reconfigurations[n:]
-	} else {
-		report.Reconfigurations = []ReconfigStatus{}
+	if n, sample := distinctInstalled(final); n > report.MaxDistinctShardConfigs {
+		report.MaxDistinctShardConfigs = n
+		report.DistinctShardSample = sample
 	}
+	report.FinalConfig = final.Config.Current
+	report.ShardConfigs = make([]string, 0, len(final.Shards))
+	for _, sh := range final.Shards {
+		report.ShardConfigs = append(report.ShardConfigs, sh.Config)
+	}
+	report.DaemonCommits = final.TM.Commits - before.TM.Commits
+	report.Reconfigurations = sessionReconfigs(before.Reconfigurations, final.Reconfigurations)
 
 	total := PhaseReport{Name: "total", DurationSec: totalDur.Seconds(), Config: final.Config.Current,
 		Reconfigurations: len(report.Reconfigurations)}
@@ -224,7 +346,7 @@ func RunLoadgen(opts LoadgenOptions) (*LoadReport, error) {
 }
 
 // runPhase drives one phase and returns its report plus the raw latencies.
-func runPhase(client *http.Client, base string, opts LoadgenOptions, phaseIdx int, phase LoadPhase) (PhaseReport, []float64) {
+func runPhase(client *http.Client, base string, opts LoadgenOptions, plan *skewPlan, phaseIdx int, phase LoadPhase) (PhaseReport, []float64) {
 	deadline := time.Now().Add(phase.Duration)
 	mix := phase.Mix.Normalize()
 
@@ -276,7 +398,7 @@ func runPhase(client *http.Client, base string, opts LoadgenOptions, phaseIdx in
 				} else if !time.Now().Before(deadline) {
 					return
 				}
-				issueOp(client, base, opts, mix, rng, st)
+				issueOp(client, base, opts, plan, mix, rng, st)
 			}
 		}(c)
 	}
@@ -296,8 +418,14 @@ func runPhase(client *http.Client, base string, opts LoadgenOptions, phaseIdx in
 	return pr, lats
 }
 
-// issueOp issues one operation drawn from the mix and records its outcome.
-func issueOp(client *http.Client, base string, opts LoadgenOptions, mix workloads.ServiceOpMix, rng *workloads.Rand, st *connStats) {
+// issueOp issues one operation — drawn from the shard-correlated skew
+// plan when one is active and the skew coin lands, from the phase mix
+// otherwise — and records its outcome.
+func issueOp(client *http.Client, base string, opts LoadgenOptions, plan *skewPlan, mix workloads.ServiceOpMix, rng *workloads.Rand, st *connStats) {
+	if plan != nil && rng.Float64() < opts.Skew {
+		issueSkewedOp(client, base, plan, rng, st)
+		return
+	}
 	k := uint64(rng.Intn(int(opts.KeyRange)))
 	p := rng.Float64()
 	var url string
@@ -313,6 +441,67 @@ func issueOp(client *http.Client, base string, opts LoadgenOptions, mix workload
 	default:
 		url = fmt.Sprintf("%s/kv/range?lo=%d&hi=%d", base, k, k+opts.Span)
 	}
+	issueURL(client, url, st)
+}
+
+// issueSkewedOp issues one shard-correlated operation: writes hammer a
+// hot key set owned by a lower-half shard (contention-heavy mutation
+// profile), reads spread over an upper-half shard's pool (lookup
+// profile), and a small fraction of traffic is cross-shard mput batches
+// exercising the two-phase commit path.
+func issueSkewedOp(client *http.Client, base string, plan *skewPlan, rng *workloads.Rand, st *connStats) {
+	var url string
+	if rng.Float64() < 0.03 {
+		// Cross-shard batch put: four keys drawn from four different
+		// pools so the batch almost always spans shards.
+		keys := make([]string, 0, 4)
+		for i := 0; i < 4; i++ {
+			pool := plan.pools[(i*plan.shards/4)%plan.shards]
+			if len(pool) == 0 {
+				continue
+			}
+			keys = append(keys, fmt.Sprintf("%d", pool[rng.Intn(len(pool))]))
+		}
+		if len(keys) > 0 {
+			vals := make([]string, len(keys))
+			for i := range vals {
+				vals[i] = fmt.Sprintf("%d", rng.Intn(1000))
+			}
+			url = fmt.Sprintf("%s/kv/mput?keys=%s&vals=%s", base, strings.Join(keys, ","), strings.Join(vals, ","))
+		}
+	}
+	if url == "" {
+		t := rng.Intn(plan.shards)
+		if t < plan.shards/2 {
+			// Write side: put/del/cas on the shard's hot set.
+			hot := plan.hot[t]
+			if len(hot) == 0 {
+				return
+			}
+			k := hot[rng.Intn(len(hot))]
+			switch rng.Intn(3) {
+			case 0:
+				url = fmt.Sprintf("%s/kv/put?key=%d&val=%d", base, k, k+1)
+			case 1:
+				url = fmt.Sprintf("%s/kv/del?key=%d", base, k)
+			default:
+				url = fmt.Sprintf("%s/kv/cas?key=%d&old=%d&new=%d", base, k, k, k+1)
+			}
+		} else {
+			// Read side: gets across the shard's whole pool.
+			pool := plan.pools[t]
+			if len(pool) == 0 {
+				return
+			}
+			url = fmt.Sprintf("%s/kv/get?key=%d", base, pool[rng.Intn(len(pool))])
+		}
+	}
+	issueURL(client, url, st)
+}
+
+// issueURL issues one HTTP operation, drains the response for keep-alive
+// reuse, and classifies the outcome into the connection's counters.
+func issueURL(client *http.Client, url string, st *connStats) {
 	t0 := time.Now()
 	resp, err := client.Get(url)
 	if err != nil {
@@ -330,6 +519,50 @@ func issueOp(client *http.Client, base string, opts LoadgenOptions, mix workload
 	default:
 		st.errors++
 	}
+}
+
+// sessionReconfigs extracts the reconfiguration events that happened
+// during the session. The merged fleet list is ordered by per-shard
+// clocks, which start at different wall times, so prefix slicing is
+// wrong on a sharded daemon; each shard's own sub-list is append-only,
+// so the delta is taken per shard.
+func sessionReconfigs(before, final []ReconfigStatus) []ReconfigStatus {
+	prior := map[int]int{}
+	for _, e := range before {
+		prior[e.Shard]++
+	}
+	out := []ReconfigStatus{}
+	seen := map[int]int{}
+	for _, e := range final {
+		seen[e.Shard]++
+		if seen[e.Shard] > prior[e.Shard] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// distinctInstalled counts the distinct configurations installed on
+// shards that are not mid-exploration (an exploring shard's "current"
+// config is a profiling candidate, not a tuner decision) and returns the
+// per-shard snapshot. Fewer than two settled shards yields zero.
+func distinctInstalled(st *Status) (int, []string) {
+	distinct := map[string]bool{}
+	sample := make([]string, len(st.Shards))
+	settled := 0
+	for i, sh := range st.Shards {
+		sample[i] = sh.Config
+		if sh.Exploring {
+			sample[i] += " (exploring)"
+			continue
+		}
+		settled++
+		distinct[sh.Config] = true
+	}
+	if settled < 2 {
+		return 0, sample
+	}
+	return len(distinct), sample
 }
 
 // fetchStatus retrieves and decodes the daemon's /statusz document.

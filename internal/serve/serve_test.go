@@ -15,6 +15,7 @@ import (
 	"time"
 
 	proteustm "repro"
+	"repro/internal/shard"
 )
 
 var update = os.Getenv("UPDATE_GOLDEN") != ""
@@ -107,6 +108,19 @@ func TestStoreRoundTrip(t *testing.T) {
 	if code, r := get(t, ts.URL+"/kv/range?lo=9&hi=3"); code != 400 || r.Err == "" {
 		t.Fatalf("inverted range = %d %+v", code, r)
 	}
+	if code, r := get(t, ts.URL+"/kv/mput?keys=200,201&vals=1,2"); code != 200 || !r.Applied {
+		t.Fatalf("mput = %d %+v", code, r)
+	}
+	if code, r := get(t, ts.URL+"/kv/mget?keys=200,201,202"); code != 200 ||
+		len(r.Vals) != 3 || r.Vals[0] != 1 || r.Vals[1] != 2 || !r.Present[0] || !r.Present[1] || r.Present[2] {
+		t.Fatalf("mget = %d %+v", code, r)
+	}
+	if code, r := get(t, ts.URL+"/kv/mput?keys=1,2&vals=9"); code != 400 || r.Err == "" {
+		t.Fatalf("mismatched mput accepted = %d %+v", code, r)
+	}
+	if code, r := get(t, ts.URL+"/kv/mget?keys="); code != 400 || r.Err == "" {
+		t.Fatalf("empty mget accepted = %d %+v", code, r)
+	}
 }
 
 // TestConcurrentSmoke hammers the service from many client goroutines
@@ -176,7 +190,7 @@ func TestConcurrentSmoke(t *testing.T) {
 				return
 			case <-time.After(5 * time.Millisecond):
 			}
-			if err := s.sys.SetConfig(configs[i%len(configs)]); err != nil {
+			if err := s.System().SetConfig(configs[i%len(configs)]); err != nil {
 				t.Errorf("SetConfig: %v", err)
 			}
 		}
@@ -213,12 +227,12 @@ func TestAdmissionOverflow(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, code := s.submit(&request{op: opGet, key: uint64(i)})
+			_, code := s.submit(s.shards[0], &request{op: opGet, key: uint64(i)})
 			codes <- code
 		}(i)
 	}
 	deadline := time.Now().Add(2 * time.Second)
-	for len(s.queue) < 4 {
+	for len(s.shards[0].queue) < 4 {
 		if time.Now().After(deadline) {
 			t.Fatal("queue never filled")
 		}
@@ -226,7 +240,7 @@ func TestAdmissionOverflow(t *testing.T) {
 	}
 	done := make(chan int, 1)
 	go func() {
-		_, code := s.submit(&request{op: opGet, key: 99})
+		_, code := s.submit(s.shards[0], &request{op: opGet, key: 99})
 		done <- code
 	}()
 	select {
@@ -265,13 +279,13 @@ func TestGracefulDrainNoStall(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, code := s.submit(&request{op: opGet, key: uint64(i % 128)})
+			_, code := s.submit(s.shards[0], &request{op: opGet, key: uint64(i % 128)})
 			if code == http.StatusOK {
 				completed.Add(1)
 			}
 		}(i)
 		if i == n/2 {
-			if err := s.sys.SetConfig(proteustm.Config{Alg: proteustm.NOrec, Threads: 1}); err != nil {
+			if err := s.System().SetConfig(proteustm.Config{Alg: proteustm.NOrec, Threads: 1}); err != nil {
 				t.Fatalf("shrink: %v", err)
 			}
 		}
@@ -442,5 +456,366 @@ func TestLoadgenAgainstServer(t *testing.T) {
 	}
 	if report.Total.LatencyMs.Count == 0 || report.Total.LatencyMs.P50 <= 0 {
 		t.Fatalf("latency summary empty: %+v", report.Total.LatencyMs)
+	}
+}
+
+// --- sharded correctness battery -------------------------------------------
+
+// TestShardedRoundTrip repeats the basic surface checks on a 4-shard
+// server: routing must be transparent to clients.
+func TestShardedRoundTrip(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 4, Workers: 2, Preload: 256})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	if got := s.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+	for k := 0; k < 256; k += 17 {
+		if code, r := get(t, fmt.Sprintf("%s/kv/get?key=%d", ts.URL, k)); code != 200 || !r.Found || r.Val != uint64(k) {
+			t.Fatalf("preloaded get key %d = %d %+v", k, code, r)
+		}
+	}
+	// A range over the whole preload must see every key even though they
+	// are scattered across four heaps.
+	if code, r := get(t, ts.URL+"/kv/range?lo=0&hi=255"); code != 200 || r.Count != 256 {
+		t.Fatalf("cross-shard range = %d %+v", code, r)
+	}
+	// Batch put across shards, then read it back atomically.
+	if code, r := get(t, ts.URL+"/kv/mput?keys=1000,2000,3000,4000&vals=1,2,3,4"); code != 200 || !r.Applied {
+		t.Fatalf("cross-shard mput = %d %+v", code, r)
+	}
+	if code, r := get(t, ts.URL+"/kv/mget?keys=1000,2000,3000,4000"); code != 200 ||
+		len(r.Vals) != 4 || r.Vals[0] != 1 || r.Vals[3] != 4 || !r.Present[0] || !r.Present[3] {
+		t.Fatalf("cross-shard mget = %d %+v", code, r)
+	}
+	st := s.StatusSnapshot()
+	if st.Ops.CrossOps == 0 {
+		t.Fatalf("no cross-shard commits recorded: %+v", st.Ops)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("statusz shards = %d, want 4", len(st.Shards))
+	}
+	for _, sh := range st.Shards {
+		if sh.FenceHeld {
+			t.Fatalf("shard %d fence still held after quiescence", sh.Index)
+		}
+	}
+}
+
+// TestCrossShardAbortAll pins the abort-all arm of the two-phase commit:
+// a fence stuck on one participant makes the whole batch abort, releasing
+// every fence it acquired, and the batch succeeds once the fence clears.
+func TestCrossShardAbortAll(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 4, Workers: 2, CrossRetries: 3})
+
+	// Find keys on four distinct shards.
+	keys := make([]uint64, 0, 4)
+	seen := map[int]bool{}
+	for k := uint64(0); len(keys) < 4; k++ {
+		if o := s.ring.Owner(k); !seen[o] {
+			seen[o] = true
+			keys = append(keys, k)
+		}
+	}
+	batches := s.splitBatch(keys)
+	if len(batches) != 4 {
+		t.Fatalf("expected 4 participants, got %d", len(batches))
+	}
+	// Wedge the fence of the last participant (highest shard index, so
+	// the coordinator acquires the other three first).
+	victim := s.shards[batches[3].shard]
+	victim.sys.Store(victim.store.FenceWord(), 999)
+
+	vals := []uint64{1, 2, 3, 4}
+	req := &request{op: opMPut, keys: keys, vals: vals}
+	resp, code := s.submitCross(req)
+	if code != http.StatusServiceUnavailable || resp.Err == "" {
+		t.Fatalf("mput against a wedged fence = %d %+v, want 503", code, resp)
+	}
+	if got := s.crossAborts.Load(); got < 3 {
+		t.Fatalf("crossAborts = %d, want >= CrossRetries", got)
+	}
+	// Abort-all must have released every fence the coordinator acquired.
+	for _, b := range batches[:3] {
+		ss := s.shards[b.shard]
+		if v := ss.sys.Load(ss.store.FenceWord()); v != 0 {
+			t.Fatalf("shard %d fence leaked after abort-all: %d", b.shard, v)
+		}
+	}
+	// And no write may have landed anywhere.
+	for i, k := range keys {
+		ss := s.shards[s.ring.Owner(k)]
+		w, err := ss.sys.Worker(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var found bool
+		w.Atomic(func(tx proteustm.Txn) { _, found = ss.store.Get(tx, k) })
+		if found {
+			t.Fatalf("aborted batch leaked key %d (index %d)", k, i)
+		}
+	}
+
+	// Clear the wedge: the same batch must now commit everywhere.
+	victim.sys.Store(victim.store.FenceWord(), 0)
+	resp, code = s.submitCross(&request{op: opMPut, keys: keys, vals: vals})
+	if code != http.StatusOK || !resp.Applied {
+		t.Fatalf("mput after clearing fence = %d %+v", code, resp)
+	}
+	resp, code = s.submitCross(&request{op: opMGet, keys: keys})
+	if code != http.StatusOK {
+		t.Fatalf("mget = %d %+v", code, resp)
+	}
+	for i := range keys {
+		if !resp.Present[i] || resp.Vals[i] != vals[i] {
+			t.Fatalf("post-commit mget[%d] = %+v", i, resp)
+		}
+	}
+}
+
+// linRecorder turns concurrent client calls into a shard.Op history.
+type linRecorder struct {
+	mu  sync.Mutex
+	ops []shard.Op
+}
+
+func (lr *linRecorder) record(op shard.Op) {
+	lr.mu.Lock()
+	lr.ops = append(lr.ops, op)
+	lr.mu.Unlock()
+}
+
+// TestLinearizability is the battery's centerpiece: concurrent
+// cross-shard PUT/CAS/DEL/MPUT/MGET traffic over a tiny key set, with
+// every committed operation's invocation/response window recorded, must
+// admit a sequential witness. Run under -race in CI.
+func TestLinearizability(t *testing.T) {
+	const rounds = 4
+	const clients = 3
+	const opsPerClient = 4
+	for round := 0; round < rounds; round++ {
+		s := newTestServer(t, Options{Shards: 3, Workers: 2, HeapWords: 1 << 16})
+		base := time.Now()
+		rec := &linRecorder{}
+		// The keys deliberately straddle shards so mput/mget cross.
+		keys := []uint64{1, 2, 3, 4, 5}
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := uint64(round*100 + c*17 + 1)
+				next := func(n uint64) uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return (rng >> 33) % n }
+				for i := 0; i < opsPerClient; i++ {
+					k := keys[next(uint64(len(keys)))]
+					v := uint64(c*1000 + round*100 + i + 1)
+					op := shard.Op{Invoke: int64(time.Since(base))}
+					var resp response
+					var code int
+					switch next(5) {
+					case 0:
+						op.Kind = shard.OpPut
+						op.Keys, op.Args = []uint64{k}, []uint64{v}
+						resp, code = s.submit(s.shardFor(&request{op: opPut, key: k}), &request{op: opPut, key: k, val: v})
+						op.Oks = []bool{resp.Existed}
+					case 1:
+						op.Kind = shard.OpDel
+						op.Keys = []uint64{k}
+						resp, code = s.submit(s.shardFor(&request{op: opDel, key: k}), &request{op: opDel, key: k})
+						op.Oks = []bool{resp.Applied}
+					case 2:
+						old := uint64(c*1000 + round*100 + i) // sometimes matches a prior write
+						op.Kind = shard.OpCAS
+						op.Keys, op.Args = []uint64{k}, []uint64{old, v}
+						resp, code = s.submit(s.shardFor(&request{op: opCAS, key: k}), &request{op: opCAS, key: k, old: old, newv: v})
+						op.Vals, op.Oks = []uint64{resp.Val}, []bool{resp.Applied}
+					case 3:
+						op.Kind = shard.OpMPut
+						op.Keys = append([]uint64{}, keys[:3]...)
+						op.Args = []uint64{v, v, v}
+						resp, code = s.submitCross(&request{op: opMPut, keys: op.Keys, vals: op.Args})
+					default:
+						op.Kind = shard.OpMGet
+						op.Keys = append([]uint64{}, keys...)
+						resp, code = s.submitCross(&request{op: opMGet, keys: op.Keys})
+						op.Vals, op.Oks = resp.Vals, resp.Present
+					}
+					op.Return = int64(time.Since(base))
+					if code != http.StatusOK {
+						t.Errorf("round %d client %d op %d: HTTP %d %+v", round, c, i, code, resp)
+						return
+					}
+					rec.record(op)
+				}
+			}(c)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		if _, ok := shard.Linearize(rec.ops); !ok {
+			t.Fatalf("round %d: committed history of %d ops admits no sequential witness: %+v", round, len(rec.ops), rec.ops)
+		}
+	}
+}
+
+// TestFencedOpsWaitForCommit checks the local-operation arm of the
+// protocol: a single-key op on a fenced shard is requeued (not answered
+// from mid-commit state) and completes once the fence clears.
+func TestFencedOpsWaitForCommit(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 2, Workers: 2})
+	// Pick a key on shard 1 and wedge that shard's fence.
+	var k uint64
+	for s.ring.Owner(k) != 1 {
+		k++
+	}
+	victim := s.shards[1]
+	victim.sys.Store(victim.store.FenceWord(), 7)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, code := s.submit(victim, &request{op: opPut, key: k, val: 42})
+		if code != http.StatusOK || !resp.Applied {
+			t.Errorf("fenced put = %d %+v", code, resp)
+		}
+	}()
+	// The op must be parked (fenced), not completed.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.fenced.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("fenced op was never requeued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("op completed while the fence was held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	victim.sys.Store(victim.store.FenceWord(), 0)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("op never completed after the fence cleared")
+	}
+}
+
+// TestConcurrentCrossShardStress hammers cross-shard batches from many
+// goroutines (forcing acquire-phase contention and abort-all retries)
+// and checks every fence is free afterwards. Run under -race in CI.
+func TestConcurrentCrossShardStress(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 4, Workers: 2, Preload: 64})
+	var wg sync.WaitGroup
+	var fails atomic.Uint64
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				keys := []uint64{uint64(i % 16), uint64(16 + (i+c)%16), uint64(32 + i%16)}
+				vals := []uint64{uint64(c), uint64(c), uint64(c)}
+				var code int
+				if i%2 == 0 {
+					_, code = s.submitCross(&request{op: opMPut, keys: keys, vals: vals})
+				} else {
+					_, code = s.submitCross(&request{op: opMGet, keys: keys})
+				}
+				if code != http.StatusOK {
+					fails.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if f := fails.Load(); f > 0 {
+		t.Fatalf("%d cross-shard ops failed under contention", f)
+	}
+	for i, ss := range s.shards {
+		if v := ss.sys.Load(ss.store.FenceWord()); v != 0 {
+			t.Fatalf("shard %d fence left held (%d) after stress", i, v)
+		}
+	}
+	st := s.StatusSnapshot()
+	if st.Ops.CrossOps == 0 {
+		t.Fatal("stress recorded no cross-shard commits")
+	}
+}
+
+// TestLatencyAccounting pins the queue-wait/service split: after traffic,
+// all three reservoirs are populated and total latency is at least the
+// larger of the two components at the median.
+func TestLatencyAccounting(t *testing.T) {
+	s := newTestServer(t, Options{Preload: 32})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	for k := 0; k < 64; k++ {
+		if code, _ := get(t, fmt.Sprintf("%s/kv/get?key=%d", ts.URL, k%32)); code != 200 {
+			t.Fatalf("traffic op %d failed", k)
+		}
+	}
+	st := s.StatusSnapshot()
+	if st.Latency.WindowObserved == 0 || st.QueueWait.WindowObserved == 0 || st.Service.WindowObserved == 0 {
+		t.Fatalf("latency reservoirs not populated: total=%d wait=%d service=%d",
+			st.Latency.WindowObserved, st.QueueWait.WindowObserved, st.Service.WindowObserved)
+	}
+	if st.Latency.P50 <= 0 {
+		t.Fatalf("total latency p50 = %v", st.Latency.P50)
+	}
+}
+
+// TestLoadgenSkewedAgainstShardedServer runs a skewed loadgen session —
+// the CLI `--skew` path — against a 4-shard server and checks the report
+// surfaces per-shard configurations plus cross-shard traffic.
+func TestLoadgenSkewedAgainstShardedServer(t *testing.T) {
+	s := newTestServer(t, Options{
+		Shards:       4,
+		Workers:      2,
+		Preload:      512,
+		AutoTune:     true,
+		SamplePeriod: 20 * time.Millisecond,
+		Seed:         3,
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	phases, err := ParsePhases("mixed:400ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunLoadgen(LoadgenOptions{
+		BaseURL:  ts.URL,
+		Conns:    4,
+		Phases:   phases,
+		KeyRange: 512,
+		Span:     64,
+		Skew:     0.9,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Shards != 4 {
+		t.Fatalf("report.Shards = %d, want 4", report.Shards)
+	}
+	if len(report.ShardConfigs) != 4 {
+		t.Fatalf("report.ShardConfigs = %v, want 4 entries", report.ShardConfigs)
+	}
+	if report.Total.Ops == 0 {
+		t.Fatal("skewed loadgen completed no operations")
+	}
+	if report.Total.Errors != 0 {
+		t.Fatalf("skewed loadgen hit %d errors", report.Total.Errors)
+	}
+	st := s.StatusSnapshot()
+	if st.Ops.Served["mput"] == 0 {
+		t.Fatal("skewed session issued no cross-shard mput batches")
+	}
+	// The skew plan steers writes at shards 0-1 and reads at shards 2-3;
+	// per-shard commit profiles must reflect that divergence direction-
+	// ally (writes produce conflict aborts, reads almost none).
+	if st.TM.Commits == 0 {
+		t.Fatal("no commits recorded")
 	}
 }

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	proteustm "repro"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 )
 
 // opKind identifies one service operation.
@@ -22,6 +24,8 @@ const (
 	opDel
 	opCAS
 	opRange
+	opMPut
+	opMGet
 	opLPush
 	opRPush
 	opLPop
@@ -31,7 +35,12 @@ const (
 )
 
 // opNames are the wire/report labels, indexed by opKind.
-var opNames = [numOps]string{"get", "put", "del", "cas", "range", "lpush", "rpush", "lpop", "rpop", "llen"}
+var opNames = [numOps]string{"get", "put", "del", "cas", "range", "mput", "mget", "lpush", "rpush", "lpop", "rpop", "llen"}
+
+// maxFenceTries bounds how often a fenced request is requeued before the
+// server gives up on it — a safety valve against a fence that never
+// clears, which the protocol does not produce but a bug might.
+const maxFenceTries = 20000
 
 // request is one admitted operation waiting for a worker slot.
 type request struct {
@@ -39,8 +48,18 @@ type request struct {
 	key, val  uint64
 	old, newv uint64
 	lo, hi    uint64
-	enqueued  time.Time
-	done      chan response
+	// keys/vals carry batch operations (mput/mget) confined to one shard.
+	keys, vals []uint64
+	// ctl, when set, is a cross-shard commit control step (fence acquire,
+	// apply+release, release); it bypasses the op switch and the served
+	// counters and is delivered on the shard's priority lane.
+	ctl func(w *proteustm.Worker, slot int) response
+	// accepted is stamped when the request is admitted, before it is
+	// enqueued, so queue-wait is measured from acceptance.
+	accepted time.Time
+	// fenceTries counts requeues caused by an observed fence.
+	fenceTries int
+	done       chan response
 }
 
 // response is the outcome of one executed operation.
@@ -52,36 +71,53 @@ type response struct {
 	Count   uint64 `json:"count,omitempty"`
 	Sum     uint64 `json:"sum,omitempty"`
 	Len     uint64 `json:"len,omitempty"`
-	Err     string `json:"err,omitempty"`
+	// Vals and Present are the per-key results of batch reads (mget),
+	// aligned with the requested keys.
+	Vals    []uint64 `json:"vals,omitempty"`
+	Present []bool   `json:"present,omitempty"`
+	Err     string   `json:"err,omitempty"`
 }
 
 // Options configures a Server.
 type Options struct {
-	// Workers is the number of ProteusTM worker slots — the ceiling of
-	// the tuned parallelism degree (default 8).
+	// Shards is the number of independent ProteusTM systems the key space
+	// is partitioned across (default 1). Each shard runs its own PolyTM
+	// pool, monitor and tuner; single-key operations route to the owning
+	// shard, multi-key operations commit with the cross-shard two-phase
+	// protocol (see docs/sharding.md).
+	Shards int
+	// Workers is the number of ProteusTM worker slots per shard — the
+	// ceiling of each shard's tuned parallelism degree (default 8).
 	Workers int
-	// QueueDepth bounds the admission queue; a full queue rejects with
-	// HTTP 429 instead of stalling (default 1024).
+	// QueueDepth bounds each shard's admission queue; a full queue rejects
+	// with HTTP 429 instead of stalling (default 1024).
 	QueueDepth int
-	// AutoTune starts the RecTM adapter thread (monitor → explore →
-	// install) over the live traffic.
+	// AutoTune starts one RecTM adapter thread per shard (monitor →
+	// explore → install) over that shard's live traffic.
 	AutoTune bool
 	// SamplePeriod is the monitor's KPI sampling period (default 100 ms).
 	SamplePeriod time.Duration
-	// Seed drives the tuning machinery.
+	// Seed drives the tuning machinery; shard i tunes with Seed+i-derived
+	// streams so exploration paths are independent.
 	Seed uint64
-	// HeapWords sizes the transactional heap (default 1<<22).
+	// HeapWords sizes each shard's transactional heap (default 1<<22).
 	HeapWords int
-	// Preload inserts keys 0..Preload-1 (value = key) before serving, so
-	// read-heavy traffic has something to hit (default 0).
+	// Preload inserts keys 0..Preload-1 (value = key) before serving,
+	// each into its owning shard (default 0).
 	Preload int
 	// MaxScanSpan clamps /kv/range spans (default 4096).
 	MaxScanSpan uint64
-	// LatencyWindow is the size of the sliding latency reservoir behind
+	// MaxBatchKeys clamps the key count of /kv/mput and /kv/mget
+	// (default 128).
+	MaxBatchKeys int
+	// CrossRetries bounds fence-acquisition attempts of one cross-shard
+	// operation before it fails with 503 (default 64).
+	CrossRetries int
+	// LatencyWindow is the size of each sliding latency reservoir behind
 	// /statusz percentiles (default 8192).
 	LatencyWindow int
 	// TimelineTail bounds the number of timeline points /statusz returns
-	// (default 64, newest last; 0 keeps the default).
+	// per shard (default 64, newest last; 0 keeps the default).
 	TimelineTail int
 	// Logf, when set, receives operational log lines (reconfigurations,
 	// drains, shutdown).
@@ -89,6 +125,9 @@ type Options struct {
 }
 
 func (o *Options) setDefaults() {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
 	if o.Workers <= 0 {
 		o.Workers = 8
 	}
@@ -101,6 +140,12 @@ func (o *Options) setDefaults() {
 	if o.MaxScanSpan == 0 {
 		o.MaxScanSpan = 4096
 	}
+	if o.MaxBatchKeys <= 0 {
+		o.MaxBatchKeys = 128
+	}
+	if o.CrossRetries <= 0 {
+		o.CrossRetries = 64
+	}
 	if o.LatencyWindow <= 0 {
 		o.LatencyWindow = 8192
 	}
@@ -112,23 +157,22 @@ func (o *Options) setDefaults() {
 	}
 }
 
-// Server is the proteusd serving layer: an http.Handler whose data
-// operations execute as ProteusTM atomic blocks. Create with New, stop
-// with Close.
-type Server struct {
+// shardState is one shard of the serving layer: an independent ProteusTM
+// system with its own store, admission queue, priority lane for
+// cross-shard control steps, worker pool and graceful-drain state.
+type shardState struct {
+	idx   int
+	srv   *Server
 	sys   *proteustm.System
 	store *Store
-	opts  Options
-	mux   *http.ServeMux
-	start time.Time
 
 	queue chan *request
-	stop  chan struct{}
-	wg    sync.WaitGroup
-	// inflight counts submissions between admission and reply; Close
-	// waits on it after setting closed, so no submitter can be stranded
-	// between the closed-check and its enqueue when the workers stop.
-	inflight sync.WaitGroup
+	// prio carries cross-shard commit control requests; workers drain it
+	// before the admission queue so a held fence is always released even
+	// when the queue is saturated with fenced operations cycling through.
+	prio chan *request
+	stop chan struct{}
+	wg   sync.WaitGroup
 
 	// drainMu implements the graceful-drain protocol: every operation
 	// executes under RLock; the reconfigure hook takes the write lock
@@ -137,19 +181,56 @@ type Server struct {
 	// about to park. active mirrors the installed parallelism degree.
 	drainMu sync.RWMutex
 	active  atomic.Int64
-
-	closed    atomic.Bool
-	served    [numOps]atomic.Uint64
-	rejected  atomic.Uint64
-	requeued  atomic.Uint64
-	hookFires atomic.Uint64
-	drains    atomic.Uint64
-	lat       *metrics.Reservoir
 }
 
-// New opens a ProteusTM system, builds the store (optionally preloading
-// it) and starts one queue worker per slot. The returned Server is ready
-// to serve; wire it into an http.Server as its Handler.
+// Server is the proteusd serving layer: an http.Handler whose data
+// operations execute as ProteusTM atomic blocks on one or more key-space
+// shards. Create with New, stop with Close.
+type Server struct {
+	opts   Options
+	ring   *shard.Ring
+	shards []*shardState
+	mux    *http.ServeMux
+	start  time.Time
+
+	// inflight counts submissions between admission and reply; Close
+	// waits on it after setting closed, so no submitter can be stranded
+	// between the closed-check and its enqueue when the workers stop, and
+	// no cross-shard coordinator can be cut off mid-protocol.
+	inflight sync.WaitGroup
+	closed   atomic.Bool
+
+	// crossSem bounds concurrent cross-shard coordinators; its capacity
+	// also sizes each shard's priority lane, so control submissions never
+	// block a coordinator indefinitely.
+	crossSem  chan struct{}
+	nextToken atomic.Uint64
+
+	served      [numOps]atomic.Uint64
+	rejected    atomic.Uint64
+	requeued    atomic.Uint64
+	fenced      atomic.Uint64
+	crossOps    atomic.Uint64
+	crossAborts atomic.Uint64
+	hookFires   atomic.Uint64
+	drains      atomic.Uint64
+
+	// lat is accept→reply; queueWait is accept→execution start; svc is
+	// the execution alone. Separating the three is what makes a saturated
+	// queue distinguishable from a slow store on /statusz.
+	lat       *metrics.Reservoir
+	queueWait *metrics.Reservoir
+	svc       *metrics.Reservoir
+}
+
+// crossSlots is the coordinator concurrency bound (and priority-lane
+// capacity).
+const crossSlots = 32
+
+// New opens one ProteusTM system per shard, builds the stores (optionally
+// preloading them) and starts one queue worker per slot per shard. The
+// returned Server is ready to serve; wire it into an http.Server as its
+// Handler.
 func New(opts Options) (*Server, error) {
 	s, err := newServer(opts)
 	if err != nil {
@@ -163,10 +244,44 @@ func New(opts Options) (*Server, error) {
 // the split to exercise admission-queue overflow deterministically).
 func newServer(opts Options) (*Server, error) {
 	opts.setDefaults()
+	s := &Server{
+		opts:      opts,
+		ring:      shard.New(opts.Shards),
+		start:     time.Now(),
+		crossSem:  make(chan struct{}, crossSlots),
+		lat:       metrics.NewReservoir(opts.LatencyWindow),
+		queueWait: metrics.NewReservoir(opts.LatencyWindow),
+		svc:       metrics.NewReservoir(opts.LatencyWindow),
+	}
+	for i := 0; i < opts.Shards; i++ {
+		ss, err := s.newShard(i)
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.sys.Close() //nolint:errcheck // already failing
+			}
+			return nil, err
+		}
+		s.shards = append(s.shards, ss)
+	}
+	if err := s.preload(opts.Preload); err != nil {
+		for _, ss := range s.shards {
+			ss.sys.Close() //nolint:errcheck // already failing
+		}
+		return nil, err
+	}
+	s.mux = s.routes()
+	return s, nil
+}
+
+// newShard opens shard i's system and store.
+func (s *Server) newShard(i int) (*shardState, error) {
+	opts := &s.opts
 	sysOpts := []proteustm.Option{
 		proteustm.WithWorkers(opts.Workers),
 		proteustm.WithHeapWords(opts.HeapWords),
-		proteustm.WithSeed(opts.Seed),
+		// Per-shard seeds keep the shards' exploration paths independent;
+		// shard 0 keeps the configured seed exactly.
+		proteustm.WithSeed(opts.Seed + uint64(i)*0x9E3779B97F4A7C15),
 	}
 	if opts.SamplePeriod > 0 {
 		sysOpts = append(sysOpts, proteustm.WithSamplePeriod(opts.SamplePeriod))
@@ -176,213 +291,385 @@ func newServer(opts Options) (*Server, error) {
 	}
 	sys, err := proteustm.Open(sysOpts...)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("serve: shard %d: %w", i, err)
 	}
 	store, err := NewStore(sys.Heap())
 	if err != nil {
-		sys.Close()
-		return nil, err
+		sys.Close() //nolint:errcheck // already failing
+		return nil, fmt.Errorf("serve: shard %d: %w", i, err)
 	}
-	s := &Server{
+	ss := &shardState{
+		idx:   i,
+		srv:   s,
 		sys:   sys,
 		store: store,
-		opts:  opts,
-		start: time.Now(),
 		queue: make(chan *request, opts.QueueDepth),
+		prio:  make(chan *request, crossSlots),
 		stop:  make(chan struct{}),
-		lat:   metrics.NewReservoir(opts.LatencyWindow),
 	}
-	s.active.Store(int64(sys.CurrentConfig().Threads))
-	sys.OnReconfigure(s.reconfigureHook)
-	if err := s.preload(opts.Preload); err != nil {
-		sys.Close()
-		return nil, err
-	}
-	s.mux = s.routes()
-	return s, nil
+	ss.active.Store(int64(sys.CurrentConfig().Threads))
+	sys.OnReconfigure(ss.reconfigureHook)
+	return ss, nil
 }
 
-// startWorkers launches one queue worker per slot.
+// startWorkers launches one queue worker per slot per shard.
 func (s *Server) startWorkers() {
-	for id := 0; id < s.opts.Workers; id++ {
-		s.wg.Add(1)
-		go s.worker(id)
+	for _, ss := range s.shards {
+		for id := 0; id < s.opts.Workers; id++ {
+			ss.wg.Add(1)
+			go ss.worker(id)
+		}
 	}
 }
 
-// System exposes the underlying ProteusTM instance (for status and tests).
-func (s *Server) System() *proteustm.System { return s.sys }
+// System exposes shard 0's ProteusTM instance (for status and tests; use
+// ShardSystem for the others).
+func (s *Server) System() *proteustm.System { return s.shards[0].sys }
 
-// preload inserts n keys in batched setup transactions on slot 0 (always
-// an active slot: the parallelism degree is at least 1).
+// Shards returns the number of key-space shards.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// ShardSystem exposes shard i's ProteusTM instance.
+func (s *Server) ShardSystem(i int) *proteustm.System { return s.shards[i].sys }
+
+// preload inserts n keys, each into its owning shard, in batched setup
+// transactions on slot 0 (always an active slot: the parallelism degree
+// is at least 1).
 func (s *Server) preload(n int) error {
 	if n <= 0 {
 		return nil
 	}
-	w, err := s.sys.Worker(0)
-	if err != nil {
-		return err
+	byShard := make([][]uint64, len(s.shards))
+	for k := 0; k < n; k++ {
+		o := s.ring.Owner(uint64(k))
+		byShard[o] = append(byShard[o], uint64(k))
 	}
 	const batch = 64
-	for base := 0; base < n; base += batch {
-		end := base + batch
-		if end > n {
-			end = n
+	for i, keys := range byShard {
+		ss := s.shards[i]
+		w, err := ss.sys.Worker(0)
+		if err != nil {
+			return err
 		}
-		lo, hi := uint64(base), uint64(end)
-		w.Atomic(func(tx proteustm.Txn) {
-			for k := lo; k < hi; k++ {
-				s.store.Put(tx, 0, k, k)
+		for base := 0; base < len(keys); base += batch {
+			end := base + batch
+			if end > len(keys) {
+				end = len(keys)
 			}
-		})
+			chunk := keys[base:end]
+			w.Atomic(func(tx proteustm.Txn) {
+				for _, k := range chunk {
+					ss.store.Put(tx, 0, k, k)
+				}
+			})
+		}
 	}
 	return nil
 }
 
-// reconfigureHook runs at the start of every pool reconfiguration, before
-// any thread gating (see proteustm.System.OnReconfigure). On a shrink it
-// waits for in-flight operations to finish and publishes the smaller
-// active set, so workers on soon-to-be-parked slots requeue rather than
-// execute; growth publishes immediately.
-func (s *Server) reconfigureHook(old, newCfg proteustm.Config) {
-	s.hookFires.Add(1)
-	if int64(newCfg.Threads) < s.active.Load() {
-		s.drainMu.Lock()
-		s.active.Store(int64(newCfg.Threads))
-		s.drainMu.Unlock()
-		s.drains.Add(1)
-		s.opts.Logf("serve: reconfigure %s -> %s (drained in-flight ops)", old, newCfg)
+// reconfigureHook runs at the start of every pool reconfiguration on this
+// shard, before any thread gating (see proteustm.System.OnReconfigure).
+// On a shrink it waits for in-flight operations to finish and publishes
+// the smaller active set, so workers on soon-to-be-parked slots requeue
+// rather than execute; growth publishes immediately.
+func (ss *shardState) reconfigureHook(old, newCfg proteustm.Config) {
+	ss.srv.hookFires.Add(1)
+	if int64(newCfg.Threads) < ss.active.Load() {
+		ss.drainMu.Lock()
+		ss.active.Store(int64(newCfg.Threads))
+		ss.drainMu.Unlock()
+		ss.srv.drains.Add(1)
+		ss.srv.opts.Logf("serve: shard %d reconfigure %s -> %s (drained in-flight ops)", ss.idx, old, newCfg)
 		return
 	}
-	s.active.Store(int64(newCfg.Threads))
+	ss.active.Store(int64(newCfg.Threads))
 	if old != newCfg {
-		s.opts.Logf("serve: reconfigure %s -> %s", old, newCfg)
+		ss.srv.opts.Logf("serve: shard %d reconfigure %s -> %s", ss.idx, old, newCfg)
 	}
 }
 
-// worker is the per-slot request executor. A worker only consumes from
-// the admission queue while its slot is inside the installed parallelism
-// degree; slot 0 is always active (Threads >= 1), so the service drains
-// even at minimum parallelism.
-func (s *Server) worker(id int) {
-	defer s.wg.Done()
-	w, err := s.sys.Worker(id)
+// worker is the per-slot request executor of one shard. A worker only
+// consumes while its slot is inside the installed parallelism degree;
+// slot 0 is always active (Threads >= 1), so every shard drains even at
+// minimum parallelism. The priority lane is drained before the admission
+// queue so cross-shard commit control steps (fence release in particular)
+// are never starved by fenced operations cycling through the queue.
+func (ss *shardState) worker(id int) {
+	defer ss.wg.Done()
+	w, err := ss.sys.Worker(id)
 	if err != nil {
-		panic(fmt.Sprintf("serve: worker %d: %v", id, err))
+		panic(fmt.Sprintf("serve: shard %d worker %d: %v", ss.idx, id, err))
 	}
 	idle := time.NewTicker(2 * time.Millisecond)
 	defer idle.Stop()
 	for {
-		if int64(id) >= s.active.Load() {
+		if int64(id) >= ss.active.Load() {
 			select {
-			case <-s.stop:
+			case <-ss.stop:
 				return
 			case <-idle.C:
 			}
 			continue
 		}
+		var req *request
 		select {
-		case <-s.stop:
-			return
-		case req := <-s.queue:
-			s.drainMu.RLock()
-			if int64(id) >= s.active.Load() {
-				s.drainMu.RUnlock()
-				s.requeue(req)
+		case req = <-ss.prio:
+		default:
+			select {
+			case <-ss.stop:
+				return
+			case req = <-ss.prio:
+			case req = <-ss.queue:
+			}
+		}
+		ss.drainMu.RLock()
+		if int64(id) >= ss.active.Load() {
+			ss.drainMu.RUnlock()
+			ss.requeue(req)
+			continue
+		}
+		var resp response
+		var fenced bool
+		if req.ctl != nil {
+			resp = req.ctl(w, id)
+		} else {
+			t0 := time.Now()
+			resp, fenced = ss.execute(w, id, req)
+			if !fenced {
+				ss.srv.queueWait.Observe(msBetween(req.accepted, t0))
+				ss.srv.svc.Observe(msBetween(t0, time.Now()))
+			}
+		}
+		ss.drainMu.RUnlock()
+		if fenced {
+			ss.srv.fenced.Add(1)
+			req.fenceTries++
+			if req.fenceTries > maxFenceTries {
+				req.done <- response{Err: "shard fence held too long"}
 				continue
 			}
-			resp := s.execute(w, id, req)
-			s.drainMu.RUnlock()
-			s.served[req.op].Add(1)
-			req.done <- resp
+			// Yield briefly so the fence holder's control steps (on the
+			// priority lane) make progress, then cycle the request.
+			time.Sleep(50 * time.Microsecond)
+			ss.requeue(req)
+			continue
 		}
+		if req.ctl == nil {
+			ss.srv.served[req.op].Add(1)
+		}
+		req.done <- resp
 	}
 }
 
-// requeue hands a request back after a shrink beat this worker to it.
-func (s *Server) requeue(req *request) {
-	s.requeued.Add(1)
-	select {
-	case s.queue <- req:
-	case <-s.stop:
-		req.done <- response{Err: "server shutting down"}
-	}
+// msBetween converts a time span to milliseconds for the reservoirs.
+func msBetween(from, to time.Time) float64 {
+	return float64(to.Sub(from).Nanoseconds()) / 1e6
 }
 
-// execute runs one operation as a single atomic block on worker w.
-func (s *Server) execute(w *proteustm.Worker, slot int, req *request) response {
+// requeue hands a request back after a shrink beat this worker to it or
+// a fence forced a retry. Control steps go back onto the priority lane —
+// they must keep their delivery guarantee and their precedence over
+// fenced data operations, and the lane has reserved capacity (crossSlots
+// bounds outstanding control steps, and this worker just freed a slot).
+// Data requests go back onto the admission queue with a bounded push: a
+// worker must never block forever on its own full queue (it may be the
+// only consumer), so after a grace period the request fails instead.
+func (ss *shardState) requeue(req *request) {
+	ss.srv.requeued.Add(1)
+	if req.ctl != nil {
+		select {
+		case ss.prio <- req:
+		case <-ss.stop:
+			req.done <- response{Err: "server shutting down"}
+		}
+		return
+	}
+	for i := 0; i < 200; i++ {
+		select {
+		case ss.queue <- req:
+			return
+		case <-ss.stop:
+			req.done <- response{Err: "server shutting down"}
+			return
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	req.done <- response{Err: "admission queue full during requeue"}
+}
+
+// execute runs one data operation as a single atomic block on worker w.
+// It reports fenced=true (and performs no writes) when the shard's
+// cross-shard commit fence was held: the caller must requeue the request
+// rather than answer it. Closure-captured results are reset at the top of
+// every attempt because the TM retries the block on aborts.
+func (ss *shardState) execute(w *proteustm.Worker, slot int, req *request) (response, bool) {
+	// With a single shard no cross-shard commit ever takes the fence, so
+	// skip the per-operation fence read entirely.
+	checkFence := len(ss.srv.shards) > 1
 	var resp response
+	var fenced bool
+	store := ss.store
 	switch req.op {
 	case opGet:
-		w.Atomic(func(tx proteustm.Txn) { resp.Val, resp.Found = s.store.Get(tx, req.key) })
+		w.Atomic(func(tx proteustm.Txn) {
+			if fenced = checkFence && store.Fenced(tx); fenced {
+				return
+			}
+			resp.Val, resp.Found = store.Get(tx, req.key)
+		})
 	case opPut:
-		w.Atomic(func(tx proteustm.Txn) { resp.Existed = s.store.Put(tx, slot, req.key, req.val) })
-		resp.Applied = true
+		w.Atomic(func(tx proteustm.Txn) {
+			if fenced = checkFence && store.Fenced(tx); fenced {
+				return
+			}
+			resp.Existed = store.Put(tx, slot, req.key, req.val)
+		})
+		resp.Applied = !fenced
 	case opDel:
-		w.Atomic(func(tx proteustm.Txn) { resp.Applied = s.store.Delete(tx, slot, req.key) })
+		w.Atomic(func(tx proteustm.Txn) {
+			if fenced = checkFence && store.Fenced(tx); fenced {
+				return
+			}
+			resp.Applied = store.Delete(tx, slot, req.key)
+		})
 	case opCAS:
-		w.Atomic(func(tx proteustm.Txn) { resp.Val, resp.Applied = s.store.CAS(tx, slot, req.key, req.old, req.newv) })
+		w.Atomic(func(tx proteustm.Txn) {
+			if fenced = checkFence && store.Fenced(tx); fenced {
+				return
+			}
+			resp.Val, resp.Applied = store.CAS(tx, slot, req.key, req.old, req.newv)
+		})
 	case opRange:
-		w.Atomic(func(tx proteustm.Txn) { resp.Count, resp.Sum = s.store.Range(tx, req.lo, req.hi) })
+		w.Atomic(func(tx proteustm.Txn) {
+			resp.Count, resp.Sum = 0, 0
+			if fenced = checkFence && store.Fenced(tx); fenced {
+				return
+			}
+			resp.Count, resp.Sum = store.Range(tx, req.lo, req.hi)
+		})
+	case opMPut:
+		w.Atomic(func(tx proteustm.Txn) {
+			if fenced = checkFence && store.Fenced(tx); fenced {
+				return
+			}
+			for i, k := range req.keys {
+				store.Put(tx, slot, k, req.vals[i])
+			}
+		})
+		resp.Applied = !fenced
+	case opMGet:
+		w.Atomic(func(tx proteustm.Txn) {
+			resp.Vals, resp.Present = nil, nil
+			if fenced = checkFence && store.Fenced(tx); fenced {
+				return
+			}
+			vals := make([]uint64, len(req.keys))
+			present := make([]bool, len(req.keys))
+			for i, k := range req.keys {
+				vals[i], present[i] = store.Get(tx, k)
+			}
+			resp.Vals, resp.Present = vals, present
+		})
 	case opLPush:
-		w.Atomic(func(tx proteustm.Txn) { s.store.PushLeft(tx, slot, req.val) })
-		resp.Applied = true
+		w.Atomic(func(tx proteustm.Txn) {
+			if fenced = checkFence && store.Fenced(tx); fenced {
+				return
+			}
+			store.PushLeft(tx, slot, req.val)
+		})
+		resp.Applied = !fenced
 	case opRPush:
-		w.Atomic(func(tx proteustm.Txn) { s.store.PushRight(tx, slot, req.val) })
-		resp.Applied = true
+		w.Atomic(func(tx proteustm.Txn) {
+			if fenced = checkFence && store.Fenced(tx); fenced {
+				return
+			}
+			store.PushRight(tx, slot, req.val)
+		})
+		resp.Applied = !fenced
 	case opLPop:
-		w.Atomic(func(tx proteustm.Txn) { resp.Val, resp.Found = s.store.PopLeft(tx, slot) })
+		w.Atomic(func(tx proteustm.Txn) {
+			resp.Val, resp.Found = 0, false
+			if fenced = checkFence && store.Fenced(tx); fenced {
+				return
+			}
+			resp.Val, resp.Found = store.PopLeft(tx, slot)
+		})
 	case opRPop:
-		w.Atomic(func(tx proteustm.Txn) { resp.Val, resp.Found = s.store.PopRight(tx, slot) })
+		w.Atomic(func(tx proteustm.Txn) {
+			resp.Val, resp.Found = 0, false
+			if fenced = checkFence && store.Fenced(tx); fenced {
+				return
+			}
+			resp.Val, resp.Found = store.PopRight(tx, slot)
+		})
 	case opLLen:
-		w.Atomic(func(tx proteustm.Txn) { resp.Len = s.store.Len(tx) })
+		w.Atomic(func(tx proteustm.Txn) {
+			if fenced = checkFence && store.Fenced(tx); fenced {
+				return
+			}
+			resp.Len = store.Len(tx)
+		})
 	}
-	return resp
+	if fenced {
+		return response{}, true
+	}
+	return resp, false
 }
 
-// submit admits one request: a full queue rejects immediately (the 429
-// path) rather than stalling the client. The inflight registration
-// precedes the closed-check, so Close cannot observe an empty system
-// while a submitter is between its check and its enqueue.
-func (s *Server) submit(req *request) (response, int) {
+// submit admits one request to shard ss: a full queue rejects immediately
+// (the 429 path) rather than stalling the client. The inflight
+// registration precedes the closed-check, so Close cannot observe an
+// empty system while a submitter is between its check and its enqueue.
+func (s *Server) submit(ss *shardState, req *request) (response, int) {
 	s.inflight.Add(1)
 	defer s.inflight.Done()
 	if s.closed.Load() {
 		return response{Err: "server shutting down"}, http.StatusServiceUnavailable
 	}
-	req.enqueued = time.Now()
+	req.accepted = time.Now()
 	req.done = make(chan response, 1)
 	select {
-	case s.queue <- req:
+	case ss.queue <- req:
 	default:
 		s.rejected.Add(1)
 		return response{Err: "admission queue full"}, http.StatusTooManyRequests
 	}
 	resp := <-req.done
-	s.lat.Observe(float64(time.Since(req.enqueued).Nanoseconds()) / 1e6)
+	s.lat.Observe(msBetween(req.accepted, time.Now()))
 	if resp.Err != "" {
 		return resp, http.StatusServiceUnavailable
 	}
 	return resp, http.StatusOK
 }
 
-// Close drains the admission queue, stops the workers and shuts the
-// ProteusTM system down. In-flight and queued requests all complete;
-// new submissions are rejected with 503.
+// Close drains the admission queues, stops the workers and shuts every
+// shard's ProteusTM system down. In-flight and queued requests — and
+// in-flight cross-shard commits — all complete; new submissions are
+// rejected with 503. Shards drain one at a time so the shutdown log
+// attributes progress per shard.
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	// Every submission that passed the closed-check has registered in
 	// inflight, and the workers are still running, so waiting here both
-	// drains the queue and guarantees every admitted request got its
-	// reply before the workers stop.
+	// drains the queues and guarantees every admitted request (including
+	// every cross-shard coordinator) got its reply before workers stop.
 	s.inflight.Wait()
-	close(s.stop)
-	s.wg.Wait()
-	s.sys.OnReconfigure(nil)
-	s.opts.Logf("serve: drained and stopped (served=%d rejected=%d)", s.totalServed(), s.rejected.Load())
-	return s.sys.Close()
+	var firstErr error
+	for _, ss := range s.shards {
+		close(ss.stop)
+		ss.wg.Wait()
+		ss.sys.OnReconfigure(nil)
+		s.opts.Logf("serve: shard %d drained (final config %s)", ss.idx, ss.sys.CurrentConfig())
+		if err := ss.sys.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.opts.Logf("serve: drained and stopped (shards=%d served=%d rejected=%d cross=%d)",
+		len(s.shards), s.totalServed(), s.rejected.Load(), s.crossOps.Load())
+	return firstErr
 }
 
 func (s *Server) totalServed() uint64 {
@@ -407,7 +694,9 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("/kv/put", s.opHandler(opPut, "key", "val"))
 	mux.HandleFunc("/kv/del", s.opHandler(opDel, "key"))
 	mux.HandleFunc("/kv/cas", s.opHandler(opCAS, "key", "old", "new"))
-	mux.HandleFunc("/kv/range", s.opHandler(opRange, "lo", "hi"))
+	mux.HandleFunc("/kv/range", s.handleRange)
+	mux.HandleFunc("/kv/mput", s.batchHandler(opMPut))
+	mux.HandleFunc("/kv/mget", s.batchHandler(opMGet))
 	mux.HandleFunc("/list/lpush", s.opHandler(opLPush, "val"))
 	mux.HandleFunc("/list/rpush", s.opHandler(opRPush, "val"))
 	mux.HandleFunc("/list/lpop", s.opHandler(opLPop))
@@ -416,8 +705,21 @@ func (s *Server) routes() *http.ServeMux {
 	return mux
 }
 
-// opHandler builds the handler for one operation, parsing the named
-// uint64 query parameters.
+// shardFor routes a request to the shard owning its key. Single-key
+// operations go to the key's owner; deque operations live on shard 0 (the
+// deque is not partitioned — see docs/sharding.md).
+func (s *Server) shardFor(req *request) *shardState {
+	switch req.op {
+	case opGet, opPut, opDel, opCAS:
+		return s.shards[s.ring.Owner(req.key)]
+	default:
+		return s.shards[0]
+	}
+}
+
+// opHandler builds the handler for one single-key or deque operation,
+// parsing the named uint64 query parameters and routing to the owning
+// shard.
 func (s *Server) opHandler(op opKind, params ...string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		req := &request{op: op}
@@ -437,24 +739,91 @@ func (s *Server) opHandler(op opKind, params ...string) http.HandlerFunc {
 				req.old = v
 			case "new":
 				req.newv = v
-			case "lo":
-				req.lo = v
-			case "hi":
-				req.hi = v
 			}
 		}
-		if op == opRange {
-			if req.hi < req.lo {
-				writeJSON(w, http.StatusBadRequest, response{Err: "range: hi < lo"})
-				return
-			}
-			if req.hi-req.lo > s.opts.MaxScanSpan {
-				req.hi = req.lo + s.opts.MaxScanSpan
-			}
-		}
-		resp, code := s.submit(req)
+		resp, code := s.submit(s.shardFor(req), req)
 		writeJSON(w, code, resp)
 	}
+}
+
+// handleRange serves /kv/range. A range spans the whole hashed key space,
+// so on a sharded server it is a cross-shard operation over every shard.
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var lo, hi uint64
+	for _, p := range []struct {
+		name string
+		dst  *uint64
+	}{{"lo", &lo}, {"hi", &hi}} {
+		raw := r.URL.Query().Get(p.name)
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, response{Err: fmt.Sprintf("parameter %q: want uint64, got %q", p.name, raw)})
+			return
+		}
+		*p.dst = v
+	}
+	if hi < lo {
+		writeJSON(w, http.StatusBadRequest, response{Err: "range: hi < lo"})
+		return
+	}
+	if hi-lo > s.opts.MaxScanSpan {
+		hi = lo + s.opts.MaxScanSpan
+	}
+	resp, code := s.submitCross(&request{op: opRange, lo: lo, hi: hi})
+	writeJSON(w, code, resp)
+}
+
+// batchHandler serves /kv/mput and /kv/mget: comma-separated uint64 key
+// (and for mput, value) lists, committed atomically across every
+// participating shard.
+func (s *Server) batchHandler(op opKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		keys, err := parseUintList(r.URL.Query().Get("keys"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, response{Err: fmt.Sprintf("parameter \"keys\": %v", err)})
+			return
+		}
+		if len(keys) == 0 {
+			writeJSON(w, http.StatusBadRequest, response{Err: "parameter \"keys\": at least one key required"})
+			return
+		}
+		if len(keys) > s.opts.MaxBatchKeys {
+			writeJSON(w, http.StatusBadRequest, response{Err: fmt.Sprintf("batch of %d keys exceeds limit %d", len(keys), s.opts.MaxBatchKeys)})
+			return
+		}
+		req := &request{op: op, keys: keys}
+		if op == opMPut {
+			vals, err := parseUintList(r.URL.Query().Get("vals"))
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, response{Err: fmt.Sprintf("parameter \"vals\": %v", err)})
+				return
+			}
+			if len(vals) != len(keys) {
+				writeJSON(w, http.StatusBadRequest, response{Err: fmt.Sprintf("got %d keys but %d vals", len(keys), len(vals))})
+				return
+			}
+			req.vals = vals
+		}
+		resp, code := s.submitCross(req)
+		writeJSON(w, code, resp)
+	}
+}
+
+// parseUintList parses a comma-separated uint64 list.
+func parseUintList(raw string) ([]uint64, error) {
+	if strings.TrimSpace(raw) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]uint64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("want uint64 list, got %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -2,46 +2,65 @@ package serve
 
 import (
 	"net/http"
+	"sort"
 	"time"
 
 	"repro/internal/metrics"
 )
 
 // Status is the /statusz document. Field names are part of the operator
-// interface (docs/serving.md documents them; a golden test pins the
-// schema), so additions are fine but renames are breaking.
+// interface (docs/serving.md and docs/sharding.md document them; a golden
+// test pins the schema), so additions are fine but renames are breaking.
+// On a sharded server the top-level config/tm blocks are fleet rollups;
+// the per-shard breakdown lives in Shards.
 type Status struct {
 	Server  ServerStatus  `json:"server"`
 	Config  ConfigStatus  `json:"config"`
 	TM      TMStatus      `json:"tm"`
 	Ops     OpsStatus     `json:"ops"`
 	Latency LatencyStatus `json:"latency_ms"`
-	// Reconfigurations is the optimization-phase event log: one entry
-	// per exploration phase, oldest first.
+	// QueueWait is accept→execution-start; Service is the execution
+	// alone. Latency (above) is accept→reply. Separating them tells a
+	// saturated admission queue apart from a slow store.
+	QueueWait LatencyStatus `json:"queue_wait_ms"`
+	Service   LatencyStatus `json:"service_ms"`
+	// Shards is the per-shard breakdown: one entry per key-space shard,
+	// each with its own installed configuration, tuner state and abort
+	// profile.
+	Shards []ShardStatus `json:"shards"`
+	// Reconfigurations is the optimization-phase event log across all
+	// shards, ordered by time.
 	Reconfigurations []ReconfigStatus `json:"reconfigurations"`
-	// Timeline is the tail of the auto-tuner's KPI timeline, oldest
-	// first (KPI = committed transactions per second).
+	// Timeline is the tail of each shard's KPI timeline merged and
+	// ordered by time (KPI = committed transactions per second).
 	Timeline []TimelineStatus `json:"timeline"`
 }
 
-// ServerStatus describes the serving layer itself.
+// ServerStatus describes the serving layer itself. Workers and QueueDepth
+// are per shard; ActiveWorkers and QueueLen are summed across shards.
 type ServerStatus struct {
 	UptimeSec     float64 `json:"uptime_sec"`
+	Shards        int     `json:"shards"`
 	Workers       int     `json:"workers"`
 	ActiveWorkers int     `json:"active_workers"`
 	QueueDepth    int     `json:"queue_depth"`
 	QueueLen      int     `json:"queue_len"`
 }
 
-// ConfigStatus describes the installed TM configuration and tuner state.
+// ConfigStatus describes the fleet's configuration and tuner state.
+// Current is shard 0's installed configuration (the only shard when
+// unsharded); Distinct counts distinct configurations across shards, and
+// Phases sums optimization phases fleet-wide.
 type ConfigStatus struct {
 	Current   string `json:"current"`
+	Distinct  int    `json:"distinct"`
 	AutoTune  bool   `json:"autotune"`
 	Phases    int    `json:"phases"`
 	Exploring bool   `json:"exploring"`
 }
 
-// TMStatus aggregates transaction statistics since startup.
+// TMStatus aggregates transaction statistics since startup (fleet-wide at
+// the top level, per shard inside ShardStatus).
 type TMStatus struct {
 	Commits          uint64   `json:"commits"`
 	Aborts           uint64   `json:"aborts"`
@@ -53,7 +72,21 @@ type TMStatus struct {
 	PerWorkerCommits []uint64 `json:"per_worker_commits"`
 }
 
-// OpsStatus counts served operations by kind, plus admission outcomes.
+// ShardStatus is one shard's slice of the fleet: its configuration and
+// tuner state plus its transaction statistics and queue occupancy.
+type ShardStatus struct {
+	Index         int      `json:"index"`
+	Config        string   `json:"config"`
+	Phases        int      `json:"phases"`
+	Exploring     bool     `json:"exploring"`
+	ActiveWorkers int      `json:"active_workers"`
+	QueueLen      int      `json:"queue_len"`
+	FenceHeld     bool     `json:"fence_held"`
+	TM            TMStatus `json:"tm"`
+}
+
+// OpsStatus counts served operations by kind, plus admission and
+// cross-shard commit outcomes.
 type OpsStatus struct {
 	Served    map[string]uint64 `json:"served"`
 	Total     uint64            `json:"total"`
@@ -61,10 +94,16 @@ type OpsStatus struct {
 	Requeued  uint64            `json:"requeued"`
 	HookFires uint64            `json:"reconfigure_hook_fires"`
 	Drains    uint64            `json:"drains"`
+	// CrossOps counts committed cross-shard (multi-participant) commits;
+	// CrossAborts counts abort-all retries of the acquire phase; Fenced
+	// counts local operations requeued because a fence was held.
+	CrossOps    uint64 `json:"cross_ops"`
+	CrossAborts uint64 `json:"cross_aborts"`
+	Fenced      uint64 `json:"fenced_requeues"`
 }
 
-// LatencyStatus summarizes recent request latencies in milliseconds
-// (admission to completion, over the sliding reservoir window).
+// LatencyStatus summarizes one latency dimension in milliseconds over the
+// sliding reservoir window.
 type LatencyStatus struct {
 	metrics.Summary
 	// WindowObserved is the total number of requests ever observed (the
@@ -72,8 +111,9 @@ type LatencyStatus struct {
 	WindowObserved uint64 `json:"window_observed"`
 }
 
-// ReconfigStatus is one optimization-phase event.
+// ReconfigStatus is one optimization-phase event of one shard.
 type ReconfigStatus struct {
+	Shard  int     `json:"shard"`
 	AtSec  float64 `json:"at_sec"`
 	From   string  `json:"from"`
 	To     string  `json:"to"`
@@ -81,34 +121,116 @@ type ReconfigStatus struct {
 	Phase  int     `json:"phase"`
 }
 
-// TimelineStatus is one KPI observation of the adapter thread.
+// TimelineStatus is one KPI observation of one shard's adapter thread.
 type TimelineStatus struct {
+	Shard     int     `json:"shard"`
 	AtSec     float64 `json:"at_sec"`
 	KPI       float64 `json:"kpi"`
 	Config    string  `json:"config"`
 	Exploring bool    `json:"exploring"`
 }
 
+// latencyStatus packages one reservoir.
+func latencyStatus(r *metrics.Reservoir) LatencyStatus {
+	return LatencyStatus{Summary: metrics.Summarize(r.Snapshot()), WindowObserved: r.Count()}
+}
+
 // StatusSnapshot assembles the full status document. It synchronizes with
-// the worker threads the same way Stats does, so it must not be called
-// from inside an atomic block.
+// every shard's worker threads the same way Stats does, so it must not be
+// called from inside an atomic block.
 func (s *Server) StatusSnapshot() Status {
-	perWorker := s.sys.StatsPerWorker()
-	var total TMStatus
-	commits := make([]uint64, len(perWorker))
-	for i, st := range perWorker {
-		commits[i] = st.Commits
-		total.Commits += st.Commits
-		total.Aborts += st.Aborts
-		total.ConflictAborts += st.ConflictAborts
-		total.CapacityAborts += st.CapacityAborts
-		total.FallbackAborts += st.FallbackAborts
-		total.FallbackRuns += st.FallbackRuns
+	var fleet TMStatus
+	shards := make([]ShardStatus, len(s.shards))
+	var reconfigs []ReconfigStatus
+	var timeline []TimelineStatus
+	phases := 0
+	exploring := false
+	activeWorkers, queueLen := 0, 0
+	configs := map[string]bool{}
+
+	for i, ss := range s.shards {
+		perWorker := ss.sys.StatsPerWorker()
+		var tm TMStatus
+		commits := make([]uint64, len(perWorker))
+		for j, st := range perWorker {
+			commits[j] = st.Commits
+			tm.Commits += st.Commits
+			tm.Aborts += st.Aborts
+			tm.ConflictAborts += st.ConflictAborts
+			tm.CapacityAborts += st.CapacityAborts
+			tm.FallbackAborts += st.FallbackAborts
+			tm.FallbackRuns += st.FallbackRuns
+		}
+		if att := tm.Commits + tm.Aborts; att > 0 {
+			tm.AbortRate = float64(tm.Aborts) / float64(att)
+		}
+		tm.PerWorkerCommits = commits
+
+		fleet.Commits += tm.Commits
+		fleet.Aborts += tm.Aborts
+		fleet.ConflictAborts += tm.ConflictAborts
+		fleet.CapacityAborts += tm.CapacityAborts
+		fleet.FallbackAborts += tm.FallbackAborts
+		fleet.FallbackRuns += tm.FallbackRuns
+		fleet.PerWorkerCommits = append(fleet.PerWorkerCommits, commits...)
+
+		cfg := ss.sys.CurrentConfig().String()
+		configs[cfg] = true
+		shPhases := ss.sys.Phases()
+		phases += shPhases
+		shExploring := ss.sys.Exploring()
+		exploring = exploring || shExploring
+		act := int(ss.active.Load())
+		activeWorkers += act
+		qn := len(ss.queue)
+		queueLen += qn
+
+		shards[i] = ShardStatus{
+			Index:         i,
+			Config:        cfg,
+			Phases:        shPhases,
+			Exploring:     shExploring,
+			ActiveWorkers: act,
+			QueueLen:      qn,
+			FenceHeld:     ss.sys.Load(ss.store.FenceWord()) != 0,
+			TM:            tm,
+		}
+
+		for _, e := range ss.sys.Reconfigurations() {
+			reconfigs = append(reconfigs, ReconfigStatus{
+				Shard:  i,
+				AtSec:  e.At.Seconds(),
+				From:   e.From.String(),
+				To:     e.To.String(),
+				Reason: e.Reason,
+				Phase:  e.Phase,
+			})
+		}
+		tl := ss.sys.Timeline()
+		if tail := s.opts.TimelineTail; len(tl) > tail {
+			tl = tl[len(tl)-tail:]
+		}
+		for _, p := range tl {
+			timeline = append(timeline, TimelineStatus{
+				Shard:     i,
+				AtSec:     p.At.Seconds(),
+				KPI:       p.KPI,
+				Config:    p.Config.String(),
+				Exploring: p.Exploring,
+			})
+		}
 	}
-	if att := total.Commits + total.Aborts; att > 0 {
-		total.AbortRate = float64(total.Aborts) / float64(att)
+	if att := fleet.Commits + fleet.Aborts; att > 0 {
+		fleet.AbortRate = float64(fleet.Aborts) / float64(att)
 	}
-	total.PerWorkerCommits = commits
+	sort.SliceStable(reconfigs, func(i, j int) bool { return reconfigs[i].AtSec < reconfigs[j].AtSec })
+	sort.SliceStable(timeline, func(i, j int) bool { return timeline[i].AtSec < timeline[j].AtSec })
+	if reconfigs == nil {
+		reconfigs = []ReconfigStatus{}
+	}
+	if timeline == nil {
+		timeline = []TimelineStatus{}
+	}
 
 	served := make(map[string]uint64, numOps)
 	var servedTotal uint64
@@ -118,61 +240,40 @@ func (s *Server) StatusSnapshot() Status {
 		servedTotal += n
 	}
 
-	reconfigs := s.sys.Reconfigurations()
-	rs := make([]ReconfigStatus, len(reconfigs))
-	for i, e := range reconfigs {
-		rs[i] = ReconfigStatus{
-			AtSec:  e.At.Seconds(),
-			From:   e.From.String(),
-			To:     e.To.String(),
-			Reason: e.Reason,
-			Phase:  e.Phase,
-		}
-	}
-
-	timeline := s.sys.Timeline()
-	if tail := s.opts.TimelineTail; len(timeline) > tail {
-		timeline = timeline[len(timeline)-tail:]
-	}
-	ts := make([]TimelineStatus, len(timeline))
-	for i, p := range timeline {
-		ts[i] = TimelineStatus{
-			AtSec:     p.At.Seconds(),
-			KPI:       p.KPI,
-			Config:    p.Config.String(),
-			Exploring: p.Exploring,
-		}
-	}
-
 	return Status{
 		Server: ServerStatus{
 			UptimeSec:     time.Since(s.start).Seconds(),
-			Workers:       s.sys.Workers(),
-			ActiveWorkers: int(s.active.Load()),
+			Shards:        len(s.shards),
+			Workers:       s.opts.Workers,
+			ActiveWorkers: activeWorkers,
 			QueueDepth:    s.opts.QueueDepth,
-			QueueLen:      len(s.queue),
+			QueueLen:      queueLen,
 		},
 		Config: ConfigStatus{
-			Current:   s.sys.CurrentConfig().String(),
-			AutoTune:  s.sys.AutoTuning(),
-			Phases:    s.sys.Phases(),
-			Exploring: s.sys.Exploring(),
+			Current:   s.shards[0].sys.CurrentConfig().String(),
+			Distinct:  len(configs),
+			AutoTune:  s.opts.AutoTune,
+			Phases:    phases,
+			Exploring: exploring,
 		},
-		TM: total,
+		TM: fleet,
 		Ops: OpsStatus{
-			Served:    served,
-			Total:     servedTotal,
-			Rejected:  s.rejected.Load(),
-			Requeued:  s.requeued.Load(),
-			HookFires: s.hookFires.Load(),
-			Drains:    s.drains.Load(),
+			Served:      served,
+			Total:       servedTotal,
+			Rejected:    s.rejected.Load(),
+			Requeued:    s.requeued.Load(),
+			HookFires:   s.hookFires.Load(),
+			Drains:      s.drains.Load(),
+			CrossOps:    s.crossOps.Load(),
+			CrossAborts: s.crossAborts.Load(),
+			Fenced:      s.fenced.Load(),
 		},
-		Latency: LatencyStatus{
-			Summary:        metrics.Summarize(s.lat.Snapshot()),
-			WindowObserved: s.lat.Count(),
-		},
-		Reconfigurations: rs,
-		Timeline:         ts,
+		Latency:          latencyStatus(s.lat),
+		QueueWait:        latencyStatus(s.queueWait),
+		Service:          latencyStatus(s.svc),
+		Shards:           shards,
+		Reconfigurations: reconfigs,
+		Timeline:         timeline,
 	}
 }
 

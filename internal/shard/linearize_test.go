@@ -1,0 +1,123 @@
+package shard
+
+import "testing"
+
+// seq builds a trivially sequential op (each op's window follows the
+// previous one) for readability in the tests below.
+type histBuilder struct {
+	t   int64
+	ops []Op
+}
+
+func (b *histBuilder) add(op Op) {
+	op.Invoke = b.t
+	op.Return = b.t + 1
+	b.t += 2
+	b.ops = append(b.ops, op)
+}
+
+func get(k, v uint64, found bool) Op {
+	return Op{Kind: OpGet, Keys: []uint64{k}, Vals: []uint64{v}, Oks: []bool{found}}
+}
+func put(k, v uint64, existed bool) Op {
+	return Op{Kind: OpPut, Keys: []uint64{k}, Args: []uint64{v}, Oks: []bool{existed}}
+}
+
+// TestLinearizeSequential accepts a straight-line history.
+func TestLinearizeSequential(t *testing.T) {
+	var b histBuilder
+	b.add(put(1, 10, false))
+	b.add(get(1, 10, true))
+	b.add(Op{Kind: OpCAS, Keys: []uint64{1}, Args: []uint64{10, 11}, Vals: []uint64{11}, Oks: []bool{true}})
+	b.add(Op{Kind: OpCAS, Keys: []uint64{1}, Args: []uint64{10, 12}, Vals: []uint64{11}, Oks: []bool{false}})
+	b.add(Op{Kind: OpDel, Keys: []uint64{1}, Oks: []bool{true}})
+	b.add(get(1, 0, false))
+	order, ok := Linearize(b.ops)
+	if !ok {
+		t.Fatal("legal sequential history rejected")
+	}
+	if len(order) != len(b.ops) {
+		t.Fatalf("witness has %d ops, want %d", len(order), len(b.ops))
+	}
+}
+
+// TestLinearizeReordering accepts a history whose only witness reorders
+// overlapping operations.
+func TestLinearizeReordering(t *testing.T) {
+	// put(1,5) overlaps a get that already sees 5: the get must be
+	// linearized after the put even though it was invoked first.
+	h := []Op{
+		{Invoke: 0, Return: 10, Kind: OpGet, Keys: []uint64{1}, Vals: []uint64{5}, Oks: []bool{true}},
+		{Invoke: 1, Return: 9, Kind: OpPut, Keys: []uint64{1}, Args: []uint64{5}, Oks: []bool{false}},
+	}
+	if _, ok := Linearize(h); !ok {
+		t.Fatal("overlapping put/get history rejected")
+	}
+}
+
+// TestLinearizeRejectsStaleRead rejects the classic real-time violation:
+// a read that completed strictly before another read began observed newer
+// state than the later read.
+func TestLinearizeRejectsStaleRead(t *testing.T) {
+	h := []Op{
+		{Invoke: 0, Return: 20, Kind: OpMPut, Keys: []uint64{1, 2}, Args: []uint64{7, 7}},
+		// r1 sees key 1 written and returns before r2 starts...
+		{Invoke: 2, Return: 4, Kind: OpGet, Keys: []uint64{1}, Vals: []uint64{7}, Oks: []bool{true}},
+		// ...but r2 still sees key 2 unwritten: the batch was torn.
+		{Invoke: 6, Return: 8, Kind: OpGet, Keys: []uint64{2}, Vals: []uint64{0}, Oks: []bool{false}},
+	}
+	if _, ok := Linearize(h); ok {
+		t.Fatal("torn cross-shard batch accepted as linearizable")
+	}
+}
+
+// TestLinearizeRejectsTornMGet rejects a multi-key read that observed a
+// half-applied batch even without real-time ordering between the readers.
+func TestLinearizeRejectsTornMGet(t *testing.T) {
+	h := []Op{
+		{Invoke: 0, Return: 2, Kind: OpMPut, Keys: []uint64{1, 2}, Args: []uint64{1, 1}},
+		{Invoke: 4, Return: 6, Kind: OpMPut, Keys: []uint64{1, 2}, Args: []uint64{2, 2}},
+		// Observes key 1 from the second batch but key 2 from the first:
+		// no sequential order of the two mputs produces this.
+		{Invoke: 8, Return: 10, Kind: OpMGet, Keys: []uint64{1, 2}, Vals: []uint64{2, 1}, Oks: []bool{true, true}},
+	}
+	if _, ok := Linearize(h); ok {
+		t.Fatal("torn mget accepted as linearizable")
+	}
+}
+
+// TestLinearizeRejectsLostUpdate rejects two CAS operations that both
+// claim to have applied from the same observed value.
+func TestLinearizeRejectsLostUpdate(t *testing.T) {
+	h := []Op{
+		{Invoke: 0, Return: 1, Kind: OpPut, Keys: []uint64{9}, Args: []uint64{1}, Oks: []bool{false}},
+		{Invoke: 2, Return: 8, Kind: OpCAS, Keys: []uint64{9}, Args: []uint64{1, 2}, Vals: []uint64{2}, Oks: []bool{true}},
+		{Invoke: 3, Return: 9, Kind: OpCAS, Keys: []uint64{9}, Args: []uint64{1, 3}, Vals: []uint64{3}, Oks: []bool{true}},
+	}
+	if _, ok := Linearize(h); ok {
+		t.Fatal("lost-update CAS pair accepted as linearizable")
+	}
+}
+
+// TestLinearizeEmptyAndWitnessOrder covers the trivial cases and checks
+// the witness indexes are a permutation.
+func TestLinearizeEmptyAndWitnessOrder(t *testing.T) {
+	if _, ok := Linearize(nil); !ok {
+		t.Fatal("empty history rejected")
+	}
+	var b histBuilder
+	b.add(put(3, 1, false))
+	b.add(put(3, 2, true))
+	b.add(get(3, 2, true))
+	order, ok := Linearize(b.ops)
+	if !ok {
+		t.Fatal("history rejected")
+	}
+	seen := map[int]bool{}
+	for _, i := range order {
+		if i < 0 || i >= len(b.ops) || seen[i] {
+			t.Fatalf("witness %v is not a permutation", order)
+		}
+		seen[i] = true
+	}
+}

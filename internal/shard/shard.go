@@ -1,0 +1,116 @@
+// Package shard partitions the service key space across independent
+// ProteusTM systems. It provides the two pieces the sharded serving layer
+// (internal/serve) and the deterministic service-sharded scenario build on:
+//
+//   - Ring, a consistent-hash ring mapping 64-bit keys to shard indexes.
+//     Ownership is a pure function of (key, shard count): two rings built
+//     for the same N agree on every key, so clients (the loadgen skew
+//     planner, the sharded workload) can compute ownership locally without
+//     asking the server. Growing the ring from N to N+1 shards remaps only
+//     the keys the new shard takes over — every key either keeps its owner
+//     or moves to shard N.
+//
+//   - Linearize, a small-history exhaustive linearizability checker for
+//     key-value operation histories recorded against a sharded store.
+//     Cross-shard atomicity claims reduce to linearizability of the
+//     committed history (Armstrong et al., "Reducing Opacity to
+//     Linearizability"), which is what the serve-layer correctness battery
+//     checks.
+//
+// The package is dependency-free on purpose: internal/serve,
+// internal/workloads and cmd/proteusbench all import it, and it must never
+// import them back.
+package shard
+
+import "sort"
+
+// DefaultVnodes is the number of virtual nodes each shard places on the
+// ring. More vnodes smooth the key distribution across shards at the cost
+// of a larger (still tiny) sorted point table.
+const DefaultVnodes = 64
+
+// point is one virtual node: a position on the 64-bit hash ring owned by a
+// shard.
+type point struct {
+	h     uint64
+	shard int
+}
+
+// Ring is a consistent-hash ring partitioning the 64-bit key space across
+// n shards. The zero value is unusable; build one with New. A Ring is
+// immutable and safe for concurrent use.
+type Ring struct {
+	n      int
+	points []point
+}
+
+// mix is the splitmix64 finalizer — the same avalanche-quality mixer the
+// workload RNG uses, applied here to both vnode labels and keys so ring
+// positions are uniform even for dense small integers.
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// New builds a ring for n shards (clamped to at least 1) with
+// DefaultVnodes virtual nodes per shard. Construction is deterministic:
+// New(n) always yields the same ownership function.
+func New(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	pts := make([]point, 0, n*DefaultVnodes)
+	for s := 0; s < n; s++ {
+		for v := 0; v < DefaultVnodes; v++ {
+			// The vnode label packs (shard, replica); mixing twice keeps
+			// consecutive labels far apart on the ring.
+			h := mix(mix(uint64(s)<<32 | uint64(v)))
+			pts = append(pts, point{h: h, shard: s})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		// Deterministic tie-break: hash collisions between vnodes are
+		// astronomically unlikely but must not make ownership ambiguous.
+		return pts[i].shard < pts[j].shard
+	})
+	return &Ring{n: n, points: pts}
+}
+
+// Shards returns the number of shards the ring was built for.
+func (r *Ring) Shards() int { return r.n }
+
+// Owner returns the shard index owning key: the shard of the first vnode
+// at or after the key's ring position, wrapping past the top of the ring.
+func (r *Ring) Owner(key uint64) int {
+	if r.n == 1 {
+		return 0
+	}
+	h := mix(key)
+	// First point with point.h >= h; wraps to points[0].
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Participants returns the sorted distinct owners of keys — the shard set
+// a cross-shard operation must fence, in the global lock-acquisition
+// order (ascending shard index).
+func (r *Ring) Participants(keys []uint64) []int {
+	seen := make(map[int]bool, r.n)
+	for _, k := range keys {
+		seen[r.Owner(k)] = true
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
