@@ -7,14 +7,18 @@
 //
 // Usage:
 //
-//	proteusd [--addr 127.0.0.1:7411] [--shards 1] [--workers 8] [--queue 1024]
+//	proteusd [--addr 127.0.0.1:7411] [--shards 1] [--partitioner hash]
+//	    [--key-universe 16384] [--workers 8] [--queue 1024]
 //	    [--autotune=true] [--sample-period 100ms] [--seed 42]
 //	    [--heap-words 4194304] [--preload 8192]
 //
 // With --shards=N the key space is partitioned across N independent
-// ProteusTM systems by a consistent-hash ring; single-key operations
-// route to the owning shard and multi-key operations (range, mput, mget)
-// commit with the cross-shard two-phase protocol (see docs/sharding.md).
+// ProteusTM systems; single-key operations route to the owning shard and
+// multi-key operations (range, mput, mget) commit with the cross-shard
+// two-phase protocol (see docs/sharding.md). --partitioner selects the
+// placement policy: "hash" (consistent hashing, uniform placement) or
+// "range" (order-preserving boundary spans over --key-universe, so
+// /kv/range scans fence only the shards whose spans they intersect).
 // On SIGINT/SIGTERM the daemon drains each shard in turn before exiting.
 //
 // Endpoints (all parameters are uint64 query parameters; keys/vals are
@@ -57,6 +61,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7411", "listen address")
 	shards := flag.Int("shards", 1, "key-space shards, each an independent ProteusTM system with its own tuner")
+	partitioner := flag.String("partitioner", "hash", "placement policy: hash (uniform) or range (order-preserving, scan-localizing)")
+	keyUniverse := flag.Uint64("key-universe", 16384, "working key range the range partitioner pre-splits evenly (ignored by hash)")
 	workers := flag.Int("workers", 8, "worker slots per shard (ceiling of the tuned parallelism degree)")
 	queue := flag.Int("queue", 1024, "admission queue depth per shard (overflow returns HTTP 429)")
 	autotune := flag.Bool("autotune", true, "run one RecTM adapter thread per shard over live traffic")
@@ -70,6 +76,8 @@ func main() {
 	logger := log.New(os.Stderr, "proteusd: ", log.LstdFlags|log.Lmicroseconds)
 	srv, err := serve.New(serve.Options{
 		Shards:       *shards,
+		Partitioner:  *partitioner,
+		KeyUniverse:  *keyUniverse,
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		AutoTune:     *autotune,
@@ -83,8 +91,8 @@ func main() {
 	if err != nil {
 		logger.Fatalf("startup: %v", err)
 	}
-	logger.Printf("serving on http://%s (shards=%d workers=%d queue=%d autotune=%v preload=%d, initial config %s)",
-		*addr, srv.Shards(), *workers, *queue, *autotune, *preload, srv.System().CurrentConfig())
+	logger.Printf("serving on http://%s (shards=%d partitioner=%s workers=%d queue=%d autotune=%v preload=%d, initial config %s)",
+		*addr, srv.Shards(), *partitioner, *workers, *queue, *autotune, *preload, srv.System().CurrentConfig())
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errCh := make(chan error, 1)

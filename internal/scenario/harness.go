@@ -152,6 +152,11 @@ type Result struct {
 	Phases  int          `json:"phases,omitempty"`
 	Samples []Sample     `json:"samples,omitempty"`
 	Trace   []TraceEntry `json:"trace"`
+	// Metrics carries workload-specific counters (workloads.Metered),
+	// e.g. the scan-locality and fence counts of the service-range
+	// partitioner A/B. Keys marshal sorted, so deterministic-mode records
+	// stay byte-diffable.
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
 }
 
 func (spec *RunSpec) setDefaults() {
@@ -272,6 +277,14 @@ func verifyWorkload(wl workloads.Workload, h *tm.Heap) error {
 	return nil
 }
 
+// captureMetrics copies a Metered workload's counters into the record.
+// Called after the run, with no operations in flight.
+func captureMetrics(wl workloads.Workload, res *Result) {
+	if m, ok := wl.(workloads.Metered); ok {
+		res.Metrics = m.Metrics()
+	}
+}
+
 // virtualSec converts a transaction-attempt count to virtual seconds.
 func virtualSec(st tm.Stats, opCost time.Duration) float64 {
 	return float64(st.Commits+st.Aborts) * opCost.Seconds()
@@ -318,6 +331,7 @@ func runFixed(s Scenario, spec RunSpec, cfg config.Config) (*Result, error) {
 	total := pool.SnapshotStats().Sub(setupStats)
 	res.finish(sd.Ops(), total, virtualSec(total, spec.OpCost), cfg)
 	res.HeapDigest = fmt.Sprintf("%016x", pool.Heap().Digest())
+	captureMetrics(wl, res)
 	if err := verifyWorkload(wl, pool.Heap()); err != nil {
 		return nil, err
 	}
@@ -359,6 +373,7 @@ func runFixedTimed(s Scenario, spec RunSpec, cfg config.Config, wl workloads.Wor
 	}
 	d.Stop()
 	res.finish(ops, total, elapsed.Seconds(), cfg)
+	captureMetrics(wl, res)
 	return verifyWorkload(wl, pool.Heap())
 }
 
@@ -474,6 +489,7 @@ func runAutoTuned(s Scenario, spec RunSpec) (*Result, error) {
 	res.Phases = phase
 	res.finish(sd.Ops(), total, virtualSec(total, spec.OpCost), rt.Pool.Config())
 	res.HeapDigest = fmt.Sprintf("%016x", rt.Heap().Digest())
+	captureMetrics(wl, res)
 	if err := verifyWorkload(wl, rt.Heap()); err != nil {
 		return nil, err
 	}
@@ -518,6 +534,7 @@ func runAutoTunedTimed(s Scenario, spec RunSpec, wl workloads.Workload, rt *core
 	}
 	res.Phases = rt.Phases()
 	res.finish(ops, total, elapsed.Seconds(), final)
+	captureMetrics(wl, res)
 	return nil
 }
 

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// rangeSpec is the pinned parameterization of the partitioner A/B golden
+// records: the identical seeded op stream replayed under both placement
+// policies.
+func rangeSpec(partitioner string) RunSpec {
+	return RunSpec{
+		Scenario: "service-range",
+		Params: Values{
+			"partitioner": partitioner,
+			"shards":      "4",
+			"keyrange":    "4096",
+			"span":        "64",
+			"batchevery":  "32",
+		},
+		Seed:       42,
+		MaxThreads: 4,
+		HeapWords:  1 << 20,
+		Ops:        4000,
+		Configs:    []config.Config{{Alg: config.TL2, Threads: 4}},
+	}
+}
+
+// TestServiceRangePartitionerAB pins the partitioner A/B acceptance
+// criteria: for a fixed seed the scenario emits byte-identical records
+// per partitioner (each checked against a committed golden, regenerate
+// with UPDATE_GOLDEN=1), the two legs replay the identical op stream,
+// and the range-partitioned leg's scan fence count is strictly below the
+// hash-partitioned leg's for the scan-heavy mix.
+func TestServiceRangePartitionerAB(t *testing.T) {
+	results := map[string]Result{}
+	for _, kind := range []string{"hash", "range"} {
+		a, err := Run(rangeSpec(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(rangeSpec(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ja, jb := marshalResults(t, a), marshalResults(t, b)
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("%s: two runs of the same spec differ:\n--- run 1\n%s\n--- run 2\n%s", kind, ja, jb)
+		}
+		if a[0].Commits == 0 || a[0].HeapDigest == "" {
+			t.Fatalf("%s: empty measurement: %+v", kind, a[0])
+		}
+		if len(a[0].Metrics) == 0 {
+			t.Fatalf("%s: record carries no workload metrics", kind)
+		}
+
+		golden := fmt.Sprintf("testdata/service_range_%s.golden", kind)
+		if os.Getenv("UPDATE_GOLDEN") != "" {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, ja, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("reading %s (regenerate with UPDATE_GOLDEN=1): %v", golden, err)
+		}
+		if !bytes.Equal(ja, want) {
+			t.Errorf("service-range %s record drifted from %s — if intentional, regenerate with UPDATE_GOLDEN=1.\n--- got\n%s\n--- want\n%s", kind, golden, ja, want)
+		}
+		results[kind] = a[0]
+	}
+
+	hash, rng := results["hash"], results["range"]
+	// Identical op stream: both legs drew the same operations from the
+	// same seed, so the scan and batch counts agree exactly; only
+	// placement-dependent observables may differ.
+	for _, key := range []string{"scan_total", "cross_batches"} {
+		if hash.Metrics[key] != rng.Metrics[key] {
+			t.Errorf("op streams diverged: %s = %d (hash) vs %d (range)", key, hash.Metrics[key], rng.Metrics[key])
+		}
+	}
+	if hash.Ops != rng.Ops {
+		t.Errorf("op budgets diverged: %d vs %d", hash.Ops, rng.Ops)
+	}
+	// The acceptance inequality: order preservation fences strictly fewer
+	// shards per scan than hashing on the scan-heavy mix.
+	if rng.Metrics["scan_fenced_shards"] >= hash.Metrics["scan_fenced_shards"] {
+		t.Errorf("range partitioner fenced %d shards, hash %d — want strictly fewer",
+			rng.Metrics["scan_fenced_shards"], hash.Metrics["scan_fenced_shards"])
+	}
+	if rng.Metrics["scan_single_shard"] <= hash.Metrics["scan_single_shard"] {
+		t.Errorf("range partitioner localized %d scans, hash %d — want strictly more",
+			rng.Metrics["scan_single_shard"], hash.Metrics["scan_single_shard"])
+	}
+	t.Logf("scan locality: hash fenced %d shards across %d multi-shard scans; range fenced %d across %d (of %d scans each)",
+		hash.Metrics["scan_fenced_shards"], hash.Metrics["scan_multi_shard"],
+		rng.Metrics["scan_fenced_shards"], rng.Metrics["scan_multi_shard"], rng.Metrics["scan_total"])
+}
+
+// TestServiceRangeAutoTuneDeterministic runs the partitioner A/B family
+// under the full monitor/explore/install loop in virtual time, twice.
+func TestServiceRangeAutoTuneDeterministic(t *testing.T) {
+	spec := rangeSpec("range")
+	spec.Configs = nil
+	spec.AutoTune = true
+	spec.Ops = 6000
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, jb := marshalResults(t, a), marshalResults(t, b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("auto-tuned service-range runs differ:\n--- run 1\n%s\n--- run 2\n%s", ja, jb)
+	}
+	if a[0].Phases < 1 {
+		t.Errorf("phases = %d, want >= 1", a[0].Phases)
+	}
+	if len(a[0].Metrics) == 0 {
+		t.Error("auto-tuned record carries no workload metrics")
+	}
+}

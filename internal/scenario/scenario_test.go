@@ -64,6 +64,7 @@ func TestEveryScenarioSetsUp(t *testing.T) {
 		"service-kv":      {"keyrange": "256", "span": "32", "phaseops": "64"},
 		"service-steady":  {"keyrange": "256", "span": "32", "mix": "mixed"},
 		"service-sharded": {"shards": "2", "keyrange": "256", "span": "16", "batchevery": "8"},
+		"service-range":   {"partitioner": "range", "shards": "2", "keyrange": "256", "span": "16", "batchevery": "8"},
 	}
 	for _, s := range All() {
 		v, ok := small[s.Name]

@@ -9,7 +9,10 @@ import (
 // Service family (internal/workloads/service.go): proteusd's key-value
 // traffic shapes, replayed in-process. `service-kv` is the deterministic
 // twin of the `proteusbench loadgen` phase-shift session documented in
-// docs/serving.md; `service-steady` pins one mix for sweep rows.
+// docs/serving.md; `service-steady` pins one mix for sweep rows;
+// `service-sharded` exercises consistent-hash routing and the cross-shard
+// 2PC; `service-range` A/Bs the hash vs. order-preserving partitioner
+// under an identical scan-heavy op stream (docs/sharding.md).
 
 var (
 	svcKeyRange = Param{Name: "keyrange", Desc: "key range of the store", Kind: Int, Default: "16384"}
@@ -25,6 +28,15 @@ var (
 	shSkew       = Param{Name: "skew", Desc: "probability of the shard-correlated mix (0 = uniform routing)", Kind: Float, Default: "0.8"}
 	shBatchEvery = Param{Name: "batchevery", Desc: "every Nth op is a cross-shard 2PC batch (0 disables)", Kind: Int, Default: "64"}
 	shBatchKeys  = Param{Name: "batchkeys", Desc: "keys per cross-shard batch", Kind: Int, Default: "4"}
+
+	rgPartitioner = Param{Name: "partitioner", Desc: "placement policy: hash or range", Kind: String, Default: "range"}
+	rgShards      = Param{Name: "shards", Desc: "number of key-space shards", Kind: Int, Default: "4"}
+	rgKeyRange    = Param{Name: "keyrange", Desc: "key range (and range-partitioner universe)", Kind: Int, Default: "4096"}
+	rgInitial     = Param{Name: "initial", Desc: "pre-populated size (0 = keyrange/2)", Kind: Int, Default: "0"}
+	rgSpan        = Param{Name: "span", Desc: "range-scan width", Kind: Int, Default: "64"}
+	rgMix         = Param{Name: "mix", Desc: "traffic mix (scan-heavy stresses placement)", Kind: String, Default: "scan-heavy"}
+	rgBatchEvery  = Param{Name: "batchevery", Desc: "every Nth op is a cross-shard 2PC batch (0 disables)", Kind: Int, Default: "32"}
+	rgBatchKeys   = Param{Name: "batchkeys", Desc: "keys per cross-shard batch", Kind: Int, Default: "4"}
 )
 
 func init() {
@@ -60,6 +72,28 @@ func init() {
 				Skew:        v.Float(shSkew),
 				BatchEvery:  batchEvery,
 				BatchKeys:   v.Int(shBatchKeys),
+			}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "service-range",
+		Family:      "service",
+		Description: "partitioner A/B: identical scan-heavy op stream under hash or range placement, fence counts in metrics",
+		Params:      []Param{rgPartitioner, rgShards, rgKeyRange, rgInitial, rgSpan, rgMix, rgBatchEvery, rgBatchKeys},
+		Make: func(v Values) (workloads.Workload, error) {
+			batchEvery := v.Int(rgBatchEvery)
+			if batchEvery == 0 {
+				batchEvery = -1 // ServiceRange treats negative as disabled, 0 as default
+			}
+			return &workloads.ServiceRange{
+				Partitioner: v.Str(rgPartitioner),
+				Shards:      v.Int(rgShards),
+				KeyRange:    v.Int(rgKeyRange),
+				InitialSize: v.Int(rgInitial),
+				Span:        v.Int(rgSpan),
+				Mix:         v.Str(rgMix),
+				BatchEvery:  batchEvery,
+				BatchKeys:   v.Int(rgBatchKeys),
 			}, nil
 		},
 	})

@@ -39,7 +39,7 @@ type subBatch struct {
 // splitBatch groups the request's keys by owning shard, in ascending
 // shard order (the fence-acquisition order).
 func (s *Server) splitBatch(keys []uint64) []subBatch {
-	parts := s.ring.Participants(keys)
+	parts := s.part.Participants(keys)
 	pos := make(map[int]int, len(parts))
 	out := make([]subBatch, len(parts))
 	for i, p := range parts {
@@ -47,7 +47,7 @@ func (s *Server) splitBatch(keys []uint64) []subBatch {
 		pos[p] = i
 	}
 	for i, k := range keys {
-		j := pos[s.ring.Owner(k)]
+		j := pos[s.part.Owner(k)]
 		out[j].idx = append(out[j].idx, i)
 	}
 	return out
@@ -65,9 +65,19 @@ func (s *Server) submitCross(req *request) (response, int) {
 	}
 	var batches []subBatch
 	if req.op == opRange {
-		batches = make([]subBatch, len(s.shards))
-		for i := range s.shards {
-			batches[i] = subBatch{shard: i}
+		// Fence only the shards whose key spans intersect the scan. The
+		// partitioner's owner set is exact for the range partitioner and
+		// for narrow hashed scans, conservative (every shard) for wide
+		// hashed ones — never fewer than the shards that could hold a key
+		// in [lo, hi], which is what keeps the snapshot atomic.
+		for _, p := range s.part.OwnersInRange(req.lo, req.hi) {
+			batches = append(batches, subBatch{shard: p})
+		}
+		if len(batches) == 1 {
+			s.rangeLocal.Add(1)
+		} else {
+			s.rangeCross.Add(1)
+			s.rangeFencedShards.Add(uint64(len(batches)))
 		}
 	} else {
 		batches = s.splitBatch(req.keys)

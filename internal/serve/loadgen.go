@@ -92,8 +92,9 @@ type LoadgenOptions struct {
 }
 
 // skewPlan precomputes the shard-correlated key pools of a skewed
-// session: every generated key's owner is known client-side because ring
-// construction is deterministic in the shard count.
+// session: every generated key's owner is known client-side because
+// partitioner construction is deterministic in the parameters /statusz
+// reports (kind, shard count, key universe).
 type skewPlan struct {
 	shards int
 	// pools[s] holds the keys in [0, KeyRange) owned by shard s; hot[s]
@@ -108,10 +109,16 @@ type skewPlan struct {
 // plus enough keys to spread reads over, not a materialized partition of
 // the whole (possibly enormous) key range — and the scan stops as soon
 // as every pool is full, so plan construction is O(shards · poolCap)
-// with a balanced ring regardless of keyRange.
-func buildSkewPlan(shards int, keyRange uint64) *skewPlan {
+// with a balanced partitioner regardless of keyRange.
+func buildSkewPlan(st *ServerStatus, keyRange uint64) *skewPlan {
 	const poolCap = 4096
-	ring := shardpkg.New(shards)
+	shards := st.Shards
+	part, err := shardpkg.NewPartitioner(st.Partitioner, shards, st.KeyUniverse)
+	if err != nil {
+		// An unknown kind means a newer daemon; fall back to the hash
+		// ring, which every daemon speaks.
+		part = shardpkg.New(shards)
+	}
 	plan := &skewPlan{shards: shards, pools: make([][]uint64, shards), hot: make([][]uint64, shards)}
 	full := 0
 	// The scan bound guards against a pathologically unbalanced ring:
@@ -121,7 +128,7 @@ func buildSkewPlan(shards int, keyRange uint64) *skewPlan {
 		scanMax = limit
 	}
 	for k := uint64(0); k < scanMax && full < shards; k++ {
-		o := ring.Owner(k)
+		o := part.Owner(k)
 		if len(plan.pools[o]) < poolCap {
 			plan.pools[o] = append(plan.pools[o], k)
 			if len(plan.pools[o]) == poolCap {
@@ -176,7 +183,8 @@ type LoadReport struct {
 	KeyRange uint64  `json:"keyrange"`
 	Span     uint64  `json:"span"`
 	// Skew echoes the shard-correlated traffic fraction; Shards is the
-	// daemon's shard count. ShardConfigs is the per-shard installed
+	// daemon's shard count and Partitioner its placement policy (the
+	// client replicates both from /statusz). ShardConfigs is the per-shard installed
 	// configuration when the session ended. Because idle tuners re-
 	// converge once traffic stops, the session-level divergence signal is
 	// MaxDistinctShardConfigs: the largest number of distinct
@@ -185,6 +193,7 @@ type LoadReport struct {
 	// per-shard snapshot at that moment).
 	Skew                    float64  `json:"skew,omitempty"`
 	Shards                  int      `json:"shards"`
+	Partitioner             string   `json:"partitioner,omitempty"`
 	ShardConfigs            []string `json:"shard_configs"`
 	MaxDistinctShardConfigs int      `json:"max_distinct_shard_configs"`
 	DistinctShardSample     []string `json:"distinct_shard_sample,omitempty"`
@@ -250,14 +259,27 @@ func RunLoadgen(opts LoadgenOptions) (*LoadReport, error) {
 		Span:        opts.Span,
 		Skew:        opts.Skew,
 		Shards:      before.Server.Shards,
+		Partitioner: before.Server.Partitioner,
 		StartConfig: before.Config.Current,
 	}
 	seenReconfigs := len(before.Reconfigurations)
 	var plan *skewPlan
 	if opts.Skew > 0 && before.Server.Shards > 1 {
-		plan = buildSkewPlan(before.Server.Shards, opts.KeyRange)
+		plan = buildSkewPlan(&before.Server, opts.KeyRange)
 		opts.Logf("loadgen: skew %.2f across %d shards (writes -> shards 0-%d, reads -> shards %d-%d)",
 			opts.Skew, plan.shards, plan.shards/2-1, plan.shards/2, plan.shards-1)
+		// An empty pool means the client's key range never reaches that
+		// shard's slice of the placement — easy to hit against a range-
+		// partitioned daemon when --keyrange is smaller than the daemon's
+		// --key-universe (shard i of N only starts at i*universe/N).
+		// Skewed ops aimed at an empty pool are silently skipped, so say
+		// so loudly instead of reporting mysteriously low throughput.
+		for sh, pool := range plan.pools {
+			if len(pool) == 0 {
+				opts.Logf("loadgen: WARNING: shard %d owns no keys in [0,%d) under the daemon's %s partitioner (key_universe=%d); skewed ops for it will be skipped — raise --keyrange to cover the shard's span",
+					sh, opts.KeyRange, before.Server.Partitioner, before.Server.KeyUniverse)
+			}
+		}
 	}
 
 	// On a sharded daemon, sample /statusz through the session and track

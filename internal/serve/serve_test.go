@@ -513,7 +513,7 @@ func TestCrossShardAbortAll(t *testing.T) {
 	keys := make([]uint64, 0, 4)
 	seen := map[int]bool{}
 	for k := uint64(0); len(keys) < 4; k++ {
-		if o := s.ring.Owner(k); !seen[o] {
+		if o := s.part.Owner(k); !seen[o] {
 			seen[o] = true
 			keys = append(keys, k)
 		}
@@ -545,7 +545,7 @@ func TestCrossShardAbortAll(t *testing.T) {
 	}
 	// And no write may have landed anywhere.
 	for i, k := range keys {
-		ss := s.shards[s.ring.Owner(k)]
+		ss := s.shards[s.part.Owner(k)]
 		w, err := ss.sys.Worker(0)
 		if err != nil {
 			t.Fatal(err)
@@ -667,7 +667,7 @@ func TestFencedOpsWaitForCommit(t *testing.T) {
 	s := newTestServer(t, Options{Shards: 2, Workers: 2})
 	// Pick a key on shard 1 and wedge that shard's fence.
 	var k uint64
-	for s.ring.Owner(k) != 1 {
+	for s.part.Owner(k) != 1 {
 		k++
 	}
 	victim := s.shards[1]

@@ -86,6 +86,17 @@ type Options struct {
 	// shard, multi-key operations commit with the cross-shard two-phase
 	// protocol (see docs/sharding.md).
 	Shards int
+	// Partitioner selects the placement policy: shard.KindHash (the
+	// default; consistent hashing, uniform placement) or shard.KindRange
+	// (order-preserving boundary spans, so /kv/range fences only the
+	// shards whose spans intersect the scan — see docs/sharding.md).
+	Partitioner string
+	// KeyUniverse sizes the range partitioner's even pre-split: shard i
+	// of N starts owning [i*KeyUniverse/N, (i+1)*KeyUniverse/N), with the
+	// last span running to the top of the key space (default 16384,
+	// matching loadgen's default key range). Ignored by the hash
+	// partitioner.
+	KeyUniverse uint64
 	// Workers is the number of ProteusTM worker slots per shard — the
 	// ceiling of each shard's tuned parallelism degree (default 8).
 	Workers int
@@ -127,6 +138,12 @@ type Options struct {
 func (o *Options) setDefaults() {
 	if o.Shards <= 0 {
 		o.Shards = 1
+	}
+	if o.Partitioner == "" {
+		o.Partitioner = shard.KindHash
+	}
+	if o.KeyUniverse == 0 {
+		o.KeyUniverse = 16384
 	}
 	if o.Workers <= 0 {
 		o.Workers = 8
@@ -174,6 +191,11 @@ type shardState struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
+	// routed counts data operations admitted to this shard's queue — the
+	// per-shard load counter /statusz exposes (ops_routed) and the range
+	// partitioner's SplitHeaviest rebalance step consumes.
+	routed atomic.Uint64
+
 	// drainMu implements the graceful-drain protocol: every operation
 	// executes under RLock; the reconfigure hook takes the write lock
 	// before the pool gates any thread, so a shrink waits for in-flight
@@ -188,7 +210,7 @@ type shardState struct {
 // shards. Create with New, stop with Close.
 type Server struct {
 	opts   Options
-	ring   *shard.Ring
+	part   shard.Partitioner
 	shards []*shardState
 	mux    *http.ServeMux
 	start  time.Time
@@ -214,6 +236,15 @@ type Server struct {
 	crossAborts atomic.Uint64
 	hookFires   atomic.Uint64
 	drains      atomic.Uint64
+
+	// rangeLocal counts /kv/range scans whose owner set collapsed to one
+	// shard (a plain shard transaction, no fences); rangeCross counts
+	// scans that ran the cross-shard protocol; rangeFencedShards totals
+	// the shards those fenced — the scan-locality observables the
+	// partitioner A/B compares.
+	rangeLocal        atomic.Uint64
+	rangeCross        atomic.Uint64
+	rangeFencedShards atomic.Uint64
 
 	// lat is accept→reply; queueWait is accept→execution start; svc is
 	// the execution alone. Separating the three is what makes a saturated
@@ -244,9 +275,13 @@ func New(opts Options) (*Server, error) {
 // the split to exercise admission-queue overflow deterministically).
 func newServer(opts Options) (*Server, error) {
 	opts.setDefaults()
+	part, err := shard.NewPartitioner(opts.Partitioner, opts.Shards, opts.KeyUniverse)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	s := &Server{
 		opts:      opts,
-		ring:      shard.New(opts.Shards),
+		part:      part,
 		start:     time.Now(),
 		crossSem:  make(chan struct{}, crossSlots),
 		lat:       metrics.NewReservoir(opts.LatencyWindow),
@@ -341,7 +376,7 @@ func (s *Server) preload(n int) error {
 	}
 	byShard := make([][]uint64, len(s.shards))
 	for k := 0; k < n; k++ {
-		o := s.ring.Owner(uint64(k))
+		o := s.part.Owner(uint64(k))
 		byShard[o] = append(byShard[o], uint64(k))
 	}
 	const batch = 64
@@ -631,6 +666,7 @@ func (s *Server) submit(ss *shardState, req *request) (response, int) {
 	req.done = make(chan response, 1)
 	select {
 	case ss.queue <- req:
+		ss.routed.Add(1)
 	default:
 		s.rejected.Add(1)
 		return response{Err: "admission queue full"}, http.StatusTooManyRequests
@@ -711,7 +747,7 @@ func (s *Server) routes() *http.ServeMux {
 func (s *Server) shardFor(req *request) *shardState {
 	switch req.op {
 	case opGet, opPut, opDel, opCAS:
-		return s.shards[s.ring.Owner(req.key)]
+		return s.shards[s.part.Owner(req.key)]
 	default:
 		return s.shards[0]
 	}
@@ -746,8 +782,11 @@ func (s *Server) opHandler(op opKind, params ...string) http.HandlerFunc {
 	}
 }
 
-// handleRange serves /kv/range. A range spans the whole hashed key space,
-// so on a sharded server it is a cross-shard operation over every shard.
+// handleRange serves /kv/range. The scan fences only the shards the
+// partitioner maps the interval onto (OwnersInRange): under hashing a
+// wide scan still touches every shard, but under the range partitioner —
+// and for narrow scans under either — the owner set shrinks, down to a
+// plain single-shard transaction with no fence protocol at all.
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	var lo, hi uint64
 	for _, p := range []struct {

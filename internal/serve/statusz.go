@@ -38,9 +38,14 @@ type Status struct {
 
 // ServerStatus describes the serving layer itself. Workers and QueueDepth
 // are per shard; ActiveWorkers and QueueLen are summed across shards.
+// Partitioner and KeyUniverse, together with Shards, are everything a
+// client needs to rebuild the exact placement function the server routes
+// with (shard.NewPartitioner) — the loadgen skew planner does.
 type ServerStatus struct {
 	UptimeSec     float64 `json:"uptime_sec"`
 	Shards        int     `json:"shards"`
+	Partitioner   string  `json:"partitioner"`
+	KeyUniverse   uint64  `json:"key_universe"`
 	Workers       int     `json:"workers"`
 	ActiveWorkers int     `json:"active_workers"`
 	QueueDepth    int     `json:"queue_depth"`
@@ -75,14 +80,18 @@ type TMStatus struct {
 // ShardStatus is one shard's slice of the fleet: its configuration and
 // tuner state plus its transaction statistics and queue occupancy.
 type ShardStatus struct {
-	Index         int      `json:"index"`
-	Config        string   `json:"config"`
-	Phases        int      `json:"phases"`
-	Exploring     bool     `json:"exploring"`
-	ActiveWorkers int      `json:"active_workers"`
-	QueueLen      int      `json:"queue_len"`
-	FenceHeld     bool     `json:"fence_held"`
-	TM            TMStatus `json:"tm"`
+	Index         int    `json:"index"`
+	Config        string `json:"config"`
+	Phases        int    `json:"phases"`
+	Exploring     bool   `json:"exploring"`
+	ActiveWorkers int    `json:"active_workers"`
+	QueueLen      int    `json:"queue_len"`
+	FenceHeld     bool   `json:"fence_held"`
+	// OpsRouted counts data operations admitted to this shard — the
+	// per-shard load signal a split-heaviest rebalance plan
+	// (shard.RangePartitioner.SplitHeaviest) consumes.
+	OpsRouted uint64   `json:"ops_routed"`
+	TM        TMStatus `json:"tm"`
 }
 
 // OpsStatus counts served operations by kind, plus admission and
@@ -100,6 +109,13 @@ type OpsStatus struct {
 	CrossOps    uint64 `json:"cross_ops"`
 	CrossAborts uint64 `json:"cross_aborts"`
 	Fenced      uint64 `json:"fenced_requeues"`
+	// RangeLocal counts scans whose owner set collapsed to one shard (no
+	// fences taken); RangeCross counts scans that ran the cross-shard
+	// protocol, fencing RangeFencedShards shards in total. The scan-
+	// locality observables the hash-vs-range partitioner A/B compares.
+	RangeLocal        uint64 `json:"range_local"`
+	RangeCross        uint64 `json:"range_cross"`
+	RangeFencedShards uint64 `json:"range_fenced_shards"`
 }
 
 // LatencyStatus summarizes one latency dimension in milliseconds over the
@@ -193,6 +209,7 @@ func (s *Server) StatusSnapshot() Status {
 			ActiveWorkers: act,
 			QueueLen:      qn,
 			FenceHeld:     ss.sys.Load(ss.store.FenceWord()) != 0,
+			OpsRouted:     ss.routed.Load(),
 			TM:            tm,
 		}
 
@@ -244,6 +261,8 @@ func (s *Server) StatusSnapshot() Status {
 		Server: ServerStatus{
 			UptimeSec:     time.Since(s.start).Seconds(),
 			Shards:        len(s.shards),
+			Partitioner:   s.part.Kind(),
+			KeyUniverse:   s.opts.KeyUniverse,
 			Workers:       s.opts.Workers,
 			ActiveWorkers: activeWorkers,
 			QueueDepth:    s.opts.QueueDepth,
@@ -258,15 +277,18 @@ func (s *Server) StatusSnapshot() Status {
 		},
 		TM: fleet,
 		Ops: OpsStatus{
-			Served:      served,
-			Total:       servedTotal,
-			Rejected:    s.rejected.Load(),
-			Requeued:    s.requeued.Load(),
-			HookFires:   s.hookFires.Load(),
-			Drains:      s.drains.Load(),
-			CrossOps:    s.crossOps.Load(),
-			CrossAborts: s.crossAborts.Load(),
-			Fenced:      s.fenced.Load(),
+			Served:            served,
+			Total:             servedTotal,
+			Rejected:          s.rejected.Load(),
+			Requeued:          s.requeued.Load(),
+			HookFires:         s.hookFires.Load(),
+			Drains:            s.drains.Load(),
+			CrossOps:          s.crossOps.Load(),
+			CrossAborts:       s.crossAborts.Load(),
+			Fenced:            s.fenced.Load(),
+			RangeLocal:        s.rangeLocal.Load(),
+			RangeCross:        s.rangeCross.Load(),
+			RangeFencedShards: s.rangeFencedShards.Load(),
 		},
 		Latency:          latencyStatus(s.lat),
 		QueueWait:        latencyStatus(s.queueWait),

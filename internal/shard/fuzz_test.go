@@ -2,6 +2,87 @@ package shard
 
 import "testing"
 
+// FuzzRangePartition is the order-preserving mirror of FuzzShardRouting:
+// it fuzzes (shard count, universe, probe key, scan interval) and
+// asserts the invariants the serve layer's range routing depends on:
+//
+//  1. total coverage, no overlap — every key has exactly one owner, and
+//     it is a valid shard index;
+//  2. zero remapping for unchanged boundaries — two partitioners built
+//     from the same parameters agree on every key, and a round-trip
+//     through the explicit-boundary constructor changes nothing;
+//  3. Owner consistent with OwnersInRange — the owner of any key inside
+//     a scanned interval appears in the interval's owner set, and the
+//     set holds only valid, strictly ascending shard indexes;
+//  4. growth moves keys only to the new shard.
+func FuzzRangePartition(f *testing.F) {
+	f.Add(uint8(1), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint8(4), uint64(1<<14), uint64(12345), uint64(100), uint64(4200))
+	f.Add(uint8(7), uint64(4096), uint64(1)<<63, uint64(4000), uint64(5000))
+	f.Add(uint8(16), uint64(3), ^uint64(0), uint64(0), ^uint64(0))
+	f.Add(uint8(255), uint64(1<<20), uint64(1<<19), uint64(1<<18), uint64(1<<19))
+	f.Fuzz(func(t *testing.T, rawN uint8, universe, key, lo, hi uint64) {
+		n := int(rawN%16) + 1
+		p1, p2 := NewRange(n, universe), NewRange(n, universe)
+		o := p1.Owner(key)
+		if o < 0 || o >= n {
+			t.Fatalf("Owner(%d) with %d shards = %d, out of range", key, n, o)
+		}
+		if o2 := p2.Owner(key); o2 != o {
+			t.Fatalf("rebuilt partitioner remapped key %d: %d -> %d", key, o, o2)
+		}
+		// Round-trip the boundary table through the explicit constructor:
+		// identical boundaries must mean identical ownership.
+		starts, owners := p1.Spans()
+		rt, err := NewRangeFromSpans(starts, owners, universe)
+		if err != nil {
+			t.Fatalf("own span table rejected: %v", err)
+		}
+		if rt.Owner(key) != o {
+			t.Fatalf("span-table round trip remapped key %d", key)
+		}
+		// Coverage: every shard owns at least one span.
+		seen := make([]bool, n)
+		for _, ow := range owners {
+			seen[ow] = true
+		}
+		for s, ok := range seen {
+			if !ok {
+				t.Fatalf("shard %d of %d owns no span (universe=%d)", s, n, universe)
+			}
+		}
+		if lo <= hi {
+			set := p1.OwnersInRange(lo, hi)
+			if len(set) == 0 {
+				t.Fatalf("OwnersInRange(%d,%d) empty", lo, hi)
+			}
+			in := make(map[int]bool, len(set))
+			prev := -1
+			for _, s := range set {
+				if s <= prev || s >= n {
+					t.Fatalf("OwnersInRange(%d,%d) = %v not strictly ascending valid shards", lo, hi, set)
+				}
+				prev = s
+				in[s] = true
+			}
+			// Owner/OwnersInRange consistency at the probe points the
+			// fuzzer controls plus both interval ends.
+			for _, k := range []uint64{lo, hi, lo + (hi-lo)/2, key} {
+				if k < lo || k > hi {
+					continue
+				}
+				if !in[p1.Owner(k)] {
+					t.Fatalf("Owner(%d)=%d missing from OwnersInRange(%d,%d)=%v", k, p1.Owner(k), lo, hi, set)
+				}
+			}
+		}
+		grown := p1.Grow()
+		if g := grown.Owner(key); g != o && g != n {
+			t.Fatalf("grow %d->%d moved key %d from %d to %d, not the new shard", n, n+1, key, o, g)
+		}
+	})
+}
+
 // FuzzShardRouting fuzzes the consistent-hash router over (key, shard
 // count) pairs, asserting the three routing invariants the serve layer
 // depends on:

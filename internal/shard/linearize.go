@@ -18,6 +18,7 @@ const (
 	OpCAS
 	OpMPut
 	OpMGet
+	OpRange
 )
 
 // String names the kind for failure reports.
@@ -35,6 +36,8 @@ func (k OpKind) String() string {
 		return "mput"
 	case OpMGet:
 		return "mget"
+	case OpRange:
+		return "range"
 	}
 	return "?"
 }
@@ -48,6 +51,7 @@ func (k OpKind) String() string {
 //	cas  k, Args[0]=old, Args[1]=new → Vals[0] (observed), Oks[0] (applied)
 //	mput Keys, Args (values, aligned)  → no observable result
 //	mget Keys       → Vals, Oks (present), aligned with Keys
+//	range Keys[0]=lo, Keys[1]=hi → Vals[0] (count), Vals[1] (sum)
 type Op struct {
 	// Invoke and Return are the operation's invocation and response
 	// timestamps (any monotonic unit; only their order matters).
@@ -152,6 +156,20 @@ func step(st kvState, op *Op) (undo []kvUndo, ok bool) {
 			}
 		}
 		return nil, true
+	case OpRange:
+		// Ordered snapshot semantics: the recorded (count, sum) must be
+		// what a scan of this exact state over [lo, hi] produces — a scan
+		// that observed two different states (one shard's keys before a
+		// batch, another's after) has no admissible position.
+		lo, hi := op.Keys[0], op.Keys[1]
+		var count, sum uint64
+		for k, v := range st {
+			if k >= lo && k <= hi {
+				count++
+				sum += v
+			}
+		}
+		return nil, count == op.Vals[0] && sum == op.Vals[1]
 	}
 	return nil, false
 }

@@ -99,6 +99,72 @@ func TestLinearizeRejectsLostUpdate(t *testing.T) {
 	}
 }
 
+// scan builds a range-scan op: observed (count, sum) over [lo, hi].
+func scan(lo, hi, count, sum uint64) Op {
+	return Op{Kind: OpRange, Keys: []uint64{lo, hi}, Vals: []uint64{count, sum}}
+}
+
+// TestLinearizeRangeSequential accepts scans that observe consistent
+// snapshots at every point of a straight-line history.
+func TestLinearizeRangeSequential(t *testing.T) {
+	var b histBuilder
+	b.add(scan(0, 100, 0, 0)) // empty store
+	b.add(put(5, 10, false))
+	b.add(put(50, 30, false))
+	b.add(scan(0, 100, 2, 40)) // sees both
+	b.add(scan(0, 10, 1, 10))  // sees only key 5
+	b.add(scan(60, 100, 0, 0)) // sees neither
+	b.add(Op{Kind: OpDel, Keys: []uint64{5}, Oks: []bool{true}})
+	b.add(scan(0, 100, 1, 30)) // key 5 gone
+	if _, ok := Linearize(b.ops); !ok {
+		t.Fatal("legal scan history rejected")
+	}
+}
+
+// TestLinearizeRejectsTornScan rejects a scan that observed half of an
+// atomic cross-shard batch — the ordered-snapshot violation the range
+// extension exists to catch.
+func TestLinearizeRejectsTornScan(t *testing.T) {
+	h := []Op{
+		// Batch writes keys 1 and 2 (values 5 and 5) atomically.
+		{Invoke: 0, Return: 2, Kind: OpMPut, Keys: []uint64{1, 2}, Args: []uint64{5, 5}},
+		// A scan of [1,2] can legally see (0,0) or (2,10) — never (1,5).
+		{Invoke: 4, Return: 6, Kind: OpRange, Keys: []uint64{1, 2}, Vals: []uint64{1, 5}},
+	}
+	if _, ok := Linearize(h); ok {
+		t.Fatal("torn scan accepted as linearizable")
+	}
+}
+
+// TestLinearizeRejectsStaleScan rejects the real-time violation between
+// two scans: the earlier-completing scan saw newer state.
+func TestLinearizeRejectsStaleScan(t *testing.T) {
+	h := []Op{
+		{Invoke: 0, Return: 20, Kind: OpMPut, Keys: []uint64{1, 2}, Args: []uint64{3, 4}},
+		// This scan returned before the next began and saw the batch...
+		{Invoke: 2, Return: 4, Kind: OpRange, Keys: []uint64{0, 10}, Vals: []uint64{2, 7}},
+		// ...but the later scan saw the pre-batch state.
+		{Invoke: 6, Return: 8, Kind: OpRange, Keys: []uint64{0, 10}, Vals: []uint64{0, 0}},
+	}
+	if _, ok := Linearize(h); ok {
+		t.Fatal("stale scan accepted as linearizable")
+	}
+}
+
+// TestLinearizeRangeOverlapping accepts a scan overlapping a batch put
+// whichever side of the batch it lands on.
+func TestLinearizeRangeOverlapping(t *testing.T) {
+	for _, vals := range [][2]uint64{{0, 0}, {2, 10}} {
+		h := []Op{
+			{Invoke: 0, Return: 10, Kind: OpMPut, Keys: []uint64{1, 2}, Args: []uint64{5, 5}},
+			{Invoke: 1, Return: 9, Kind: OpRange, Keys: []uint64{0, 5}, Vals: []uint64{vals[0], vals[1]}},
+		}
+		if _, ok := Linearize(h); !ok {
+			t.Fatalf("overlapping scan observing (%d,%d) rejected", vals[0], vals[1])
+		}
+	}
+}
+
 // TestLinearizeEmptyAndWitnessOrder covers the trivial cases and checks
 // the witness indexes are a permutation.
 func TestLinearizeEmptyAndWitnessOrder(t *testing.T) {

@@ -1,6 +1,12 @@
 // Package shard partitions the service key space across independent
-// ProteusTM systems. It provides the two pieces the sharded serving layer
-// (internal/serve) and the deterministic service-sharded scenario build on:
+// ProteusTM systems. It provides the pieces the sharded serving layer
+// (internal/serve) and the deterministic service scenarios build on:
+//
+//   - Partitioner, the placement seam: the key→shard function the serve
+//     layer routes with. Two implementations exist — Ring (consistent
+//     hashing, uniform placement) and RangePartitioner (order-preserving
+//     boundary spans, scan locality) — selected by proteusd's
+//     --partitioner flag and A/B-able in the scenario registry.
 //
 //   - Ring, a consistent-hash ring mapping 64-bit keys to shard indexes.
 //     Ownership is a pure function of (key, shard count): two rings built
@@ -103,14 +109,49 @@ func (r *Ring) Owner(key uint64) int {
 // a cross-shard operation must fence, in the global lock-acquisition
 // order (ascending shard index).
 func (r *Ring) Participants(keys []uint64) []int {
-	seen := make(map[int]bool, r.n)
-	for _, k := range keys {
-		seen[r.Owner(k)] = true
+	return distinctOwners(r.n, r.Owner, keys)
+}
+
+// Kind implements Partitioner.
+func (r *Ring) Kind() string { return KindHash }
+
+// rangeEnumCap bounds the per-key enumeration OwnersInRange performs on
+// a hash ring before giving up and returning every shard. It comfortably
+// covers the serve layer's clamped scan spans (MaxScanSpan defaults to
+// 4096), and the walk short-circuits as soon as every shard has appeared
+// — which uniform hashing makes happen within a few dozen keys.
+const rangeEnumCap = 1 << 13
+
+// OwnersInRange implements Partitioner. Hashing destroys range locality,
+// so the owner set of an ordered interval is computed by enumerating the
+// possible keys in [lo, hi]; intervals wider than rangeEnumCap
+// conservatively report every shard. The result is exact for the narrow
+// scans where it matters (it is what lets a single-key /kv/range skip
+// the cross-shard fence protocol entirely) and a superset otherwise.
+func (r *Ring) OwnersInRange(lo, hi uint64) []int {
+	if hi < lo {
+		return nil
 	}
-	out := make([]int, 0, len(seen))
-	for s := range seen {
-		out = append(out, s)
+	if r.n == 1 {
+		return []int{0}
 	}
-	sort.Ints(out)
-	return out
+	if hi-lo >= rangeEnumCap {
+		out := make([]int, r.n)
+		for s := range out {
+			out[s] = s
+		}
+		return out
+	}
+	seen := make([]bool, r.n)
+	cnt := 0
+	for k := lo; ; k++ {
+		if o := r.Owner(k); !seen[o] {
+			seen[o] = true
+			cnt++
+		}
+		if cnt == r.n || k == hi {
+			break
+		}
+	}
+	return collectOwners(seen, cnt)
 }

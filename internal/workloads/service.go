@@ -49,11 +49,15 @@ var serviceMixes = map[string]ServiceOpMix{
 	"read-heavy":  {Name: "read-heavy", Get: 0.90, Put: 0.06, Del: 0.02, CAS: 0.02},
 	"write-heavy": {Name: "write-heavy", Get: 0.20, Put: 0.35, Del: 0.25, CAS: 0.20},
 	"scan":        {Name: "scan", Get: 0.28, Put: 0.02, Range: 0.70},
-	"mixed":       {Name: "mixed", Get: 0.50, Put: 0.25, Del: 0.15, CAS: 0.10},
+	// scan-heavy is almost pure range reads: the partitioner A/B mix,
+	// where placement (hash scatter vs. contiguous spans) dominates the
+	// fence count of a sharded deployment.
+	"scan-heavy": {Name: "scan-heavy", Get: 0.06, Put: 0.04, Range: 0.90},
+	"mixed":      {Name: "mixed", Get: 0.50, Put: 0.25, Del: 0.15, CAS: 0.10},
 }
 
 // ServiceMixByName returns a named service mix (read-heavy, write-heavy,
-// scan or mixed).
+// scan, scan-heavy or mixed).
 func ServiceMixByName(name string) (ServiceOpMix, error) {
 	m, ok := serviceMixes[name]
 	if !ok {

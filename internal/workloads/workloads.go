@@ -67,6 +67,16 @@ type Verifier interface {
 	Verify(h *tm.Heap) error
 }
 
+// Metered is optionally implemented by workloads that count semantic
+// events beyond the TM statistics — e.g. the fence counts and scan
+// locality of the partitioned service workloads. The scenario harness
+// copies the counters into the result record after the run (with no
+// operations in flight), so in deterministic mode they are byte-stable
+// across runs and diffable across workload variants.
+type Metered interface {
+	Metrics() map[string]uint64
+}
+
 // Rand is a tiny deterministic xorshift64* generator; each worker owns one.
 type Rand struct{ s uint64 }
 
