@@ -9,12 +9,14 @@
 //	proteusbench list [--threads 8]
 //	proteusbench run --scenario rbtree --seed 42 [--param update=0.6]
 //	    [--config TL2:4t,NOrec:4t | --autotune] [--ops 20000] [--duration 2s]
+//	    [--slo-rate 2000 --slo-target-ms 0.095 [--slo-tune]]
+//	    [--monitor-min-dwell N] [--monitor-band F] [--explore-epsilon F]
 //	proteusbench sweep --out um.csv [--scenarios rbtree,tpcc] [--window 200ms]
 //	proteusbench experiment --name fig4 [--quick]
 //	proteusbench bench [--benchtime 0.5s] [--filter Algorithms] [--compare BENCH_0.json]
 //	proteusbench loadgen [--addr http://127.0.0.1:7411] [--conns 8] [--rate 0]
 //	    [--phases read-heavy:5s,write-heavy:5s,scan:3s] [--skew 0.9]
-//	    [--out LOADGEN.json]
+//	    [--deadline 50ms] [--slo-p99 20ms] [--out LOADGEN.json]
 //
 // `run` is deterministic by default: operations execute serially against a
 // virtual clock, so the same seed produces byte-identical JSON records on
@@ -121,6 +123,12 @@ func cmdRun(args []string) error {
 	opCost := fs.Duration("op-cost", time.Microsecond, "virtual time per transaction attempt (deterministic mode)")
 	duration := fs.Duration("duration", 0, "wall-clock measurement window; >0 switches to timed mode")
 	umPath := fs.String("um", "", "training Utility-Matrix CSV for --autotune (from `proteusbench sweep`; default synthetic)")
+	sloRate := fs.Float64("slo-rate", 0, "offered rate (ops/sec) of the serving model; >0 scores auto-tuned runs as a serving deployment")
+	sloTargetMs := fs.Float64("slo-target-ms", 0, "p99 latency target (ms) the serving model scores attainment against")
+	sloTune := fs.Bool("slo-tune", false, "tune for throughput-under-SLO instead of raw capacity (needs --slo-rate and --slo-target-ms)")
+	minDwell := fs.Int("monitor-min-dwell", 0, "monitor minimum-dwell override: 0 default, >0 samples, <0 disables the gate")
+	band := fs.Float64("monitor-band", 0, "monitor hysteresis-band override: 0 default, >0 relative band, <0 disables the gate")
+	exploreEps := fs.Float64("explore-epsilon", 0, "SMBO early-stop threshold override: 0 default, <0 sweeps the space exhaustively")
 	out := fs.String("out", "", "write JSON records here instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -128,21 +136,30 @@ func cmdRun(args []string) error {
 	if *name == "" {
 		return fmt.Errorf("run: --scenario is required (try `proteusbench list`)")
 	}
+	if *sloTune && (*sloRate <= 0 || *sloTargetMs <= 0) {
+		return fmt.Errorf("run: --slo-tune needs --slo-rate and --slo-target-ms")
+	}
 	values, err := scenario.ParseAssignments(params)
 	if err != nil {
 		return err
 	}
 	spec := scenario.RunSpec{
-		Scenario:    *name,
-		Params:      values,
-		Seed:        *seed,
-		AutoTune:    *autotune,
-		MaxThreads:  *threads,
-		HeapWords:   *heapWords,
-		Ops:         *ops,
-		SampleEvery: *sampleEvery,
-		OpCost:      *opCost,
-		Duration:    *duration,
+		Scenario:        *name,
+		Params:          values,
+		Seed:            *seed,
+		AutoTune:        *autotune,
+		MaxThreads:      *threads,
+		HeapWords:       *heapWords,
+		Ops:             *ops,
+		SampleEvery:     *sampleEvery,
+		OpCost:          *opCost,
+		Duration:        *duration,
+		SLOOfferedRate:  *sloRate,
+		SLOTargetMs:     *sloTargetMs,
+		SLOTune:         *sloTune,
+		MonitorMinDwell: *minDwell,
+		MonitorBand:     *band,
+		ExploreEpsilon:  *exploreEps,
 	}
 	if *configs != "" {
 		if *autotune {
@@ -315,6 +332,8 @@ func cmdLoadgen(args []string) error {
 	span := fs.Uint64("span", 256, "range-scan width")
 	skew := fs.Float64("skew", 0, "fraction of shard-correlated traffic (sharded daemons: writes -> low shards, reads -> high shards)")
 	seed := fs.Uint64("seed", 42, "per-connection operation stream seed")
+	deadline := fs.Duration("deadline", 0, "per-request deadline_ms budget the daemon enforces (0 = none)")
+	sloP99 := fs.Duration("slo-p99", 0, "latency target SLO attainment is reported against (0 = no attainment reporting)")
 	out := fs.String("out", "", "write the JSON report here instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -332,6 +351,8 @@ func cmdLoadgen(args []string) error {
 		Span:     *span,
 		Skew:     *skew,
 		Seed:     *seed,
+		Deadline: *deadline,
+		SLOP99:   *sloP99,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

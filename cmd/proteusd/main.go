@@ -11,6 +11,17 @@
 //	    [--key-universe 16384] [--workers 8] [--queue 1024]
 //	    [--autotune=true] [--sample-period 100ms] [--seed 42]
 //	    [--heap-words 4194304] [--preload 8192]
+//	    [--slo-p99 0] [--deadline 0]
+//
+// --slo-p99 sets a tail-latency target: the per-shard tuners switch from
+// raw throughput to throughput-under-SLO (configurations that blow the
+// p99 budget are penalized), and admission sheds load with 429 once
+// queue-wait p99 crosses the budget. --deadline gives every operation a
+// default queueing budget: an op still queued past it (or whose client
+// hung up) is dropped with 504 instead of executed; clients can tighten
+// it per request with ?deadline_ms=. Both appear in /statusz
+// (server.slo_p99_ms, server.deadline_ms, ops.shed_latency,
+// ops.shed_deadline).
 //
 // With --shards=N the key space is partitioned across N independent
 // ProteusTM systems; single-key operations route to the owning shard and
@@ -71,6 +82,8 @@ func main() {
 	heapWords := flag.Int("heap-words", 1<<22, "transactional heap size per shard in 64-bit words")
 	preload := flag.Int("preload", 8192, "pre-populate keys 0..n-1 before serving")
 	maxScan := flag.Uint64("max-scan-span", 4096, "clamp on /kv/range spans")
+	sloP99 := flag.Duration("slo-p99", 0, "p99 latency target: tuners optimize throughput-under-SLO and admission sheds on queue-wait p99 (0 = plain throughput)")
+	deadline := flag.Duration("deadline", 0, "default per-op queueing budget; expired ops are dropped with 504 (0 = none; ?deadline_ms= tightens per request)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "proteusd: ", log.LstdFlags|log.Lmicroseconds)
@@ -86,6 +99,8 @@ func main() {
 		HeapWords:    *heapWords,
 		Preload:      *preload,
 		MaxScanSpan:  *maxScan,
+		SLOP99:       *sloP99,
+		Deadline:     *deadline,
 		Logf:         logger.Printf,
 	})
 	if err != nil {

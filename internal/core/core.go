@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,10 +35,35 @@ const (
 	// ThroughputPerJoule maximizes energy efficiency (Fig. 1a's KPI),
 	// using the machine's power model.
 	ThroughputPerJoule
+	// ThroughputUnderSLO maximizes throughput subject to a p99 latency
+	// target: windows whose observed p99 (Options.LatencyP99) stays at or
+	// under Options.SLOTargetMs score their raw throughput, windows that
+	// blow the target are penalized quadratically in the overshoot (see
+	// SLOPenalizedKPI). A serving layer sells a tail-latency objective,
+	// not a commit rate, so this is the KPI proteusd tunes when an SLO is
+	// configured.
+	ThroughputUnderSLO
 )
 
-// HigherIsBetter reports the KPI orientation (both online KPIs maximize).
+// HigherIsBetter reports the KPI orientation (all online KPIs maximize).
 func (k KPI) HigherIsBetter() bool { return true }
+
+// SLOPenalizedKPI folds a p99 latency observation into a throughput KPI:
+// at or under the target the throughput passes through untouched; over the
+// target it is scaled by (target/p99)², so a config that doubles the
+// allowed tail keeps only a quarter of its throughput score. The quadratic
+// penalty makes any config that meets the SLO beat any config that misses
+// it unless the miss is marginal and the throughput gap is large — exactly
+// the preference order an SLO-bound operator wants. Both the serving
+// layer's wall-clock tuner and the deterministic scenario harness score
+// windows through this one function.
+func SLOPenalizedKPI(tput, p99Ms, targetMs float64) float64 {
+	if targetMs <= 0 || p99Ms <= targetMs {
+		return tput
+	}
+	r := targetMs / p99Ms
+	return tput * r * r
+}
 
 // Options configures a Runtime.
 type Options struct {
@@ -55,6 +81,23 @@ type Options struct {
 	KPI KPI
 	// Energy is the power model for ThroughputPerJoule.
 	Energy energy.Model
+	// SLOTargetMs is the p99 latency target in milliseconds for
+	// ThroughputUnderSLO (required for that KPI; ignored otherwise).
+	SLOTargetMs float64
+	// LatencyP99 supplies the observed p99 latency in milliseconds for
+	// ThroughputUnderSLO windows — the serving layer wires it to its
+	// request-latency reservoir. Nil degrades ThroughputUnderSLO to plain
+	// Throughput (no latency signal, no penalty).
+	LatencyP99 func() float64
+	// MonitorMinDwell overrides the change detector's minimum dwell
+	// (samples after a re-anchor before alarms may fire): 0 keeps the
+	// monitor default, positive sets that many samples, negative disables
+	// the gate.
+	MonitorMinDwell int
+	// MonitorBand overrides the change detector's relative hysteresis
+	// band: 0 keeps the monitor default, positive sets the band, negative
+	// disables the gate.
+	MonitorBand float64
 	// SamplePeriod is the Monitor's KPI sampling period (default 100 ms;
 	// the paper uses 1 s).
 	SamplePeriod time.Duration
@@ -165,13 +208,20 @@ func New(opts Options) (*Runtime, error) {
 	}
 	initial := opts.Configs[rec.RefCol()]
 	pool := polytm.New(opts.HeapWords, opts.MaxThreads, initial)
+	cus := monitor.NewCUSUM()
+	if opts.MonitorMinDwell != 0 {
+		cus.MinDwell = max(opts.MonitorMinDwell, 0)
+	}
+	if opts.MonitorBand != 0 {
+		cus.Band = math.Max(opts.MonitorBand, 0)
+	}
 	return &Runtime{
 		Pool:       pool,
 		Rec:        rec,
 		opts:       opts,
 		cfgs:       opts.Configs,
 		clock:      opts.Clock,
-		cus:        monitor.NewCUSUM(),
+		cus:        cus,
 		reoptimize: make(chan struct{}, 1),
 		stop:       make(chan struct{}),
 	}, nil
@@ -357,6 +407,11 @@ func (rt *Runtime) measureWindow() float64 {
 			Aborts:  win.Aborts,
 		}
 		return rt.opts.Energy.ThroughputPerJoule(s)
+	case ThroughputUnderSLO:
+		if rt.opts.LatencyP99 == nil {
+			return tput
+		}
+		return SLOPenalizedKPI(tput, rt.opts.LatencyP99(), rt.opts.SLOTargetMs)
 	default:
 		return tput
 	}

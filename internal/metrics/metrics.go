@@ -168,6 +168,18 @@ func (r *Reservoir) Snapshot() []float64 {
 	return out
 }
 
+// Quantile returns the p-th percentile (p in [0,100]) of the current
+// window, or 0 for an empty window. It copies and sorts the window under
+// the hood, so hot paths should sample it at a bounded rate (the serving
+// layer's latency-shed gate caches it) rather than per request.
+func (r *Reservoir) Quantile(p float64) float64 {
+	xs := r.Snapshot()
+	if len(xs) == 0 {
+		return 0
+	}
+	return Percentile(xs, p)
+}
+
 // Summary is a compact distribution summary of a set of observations.
 type Summary struct {
 	// Count is the number of summarized observations.

@@ -11,6 +11,11 @@ import "math"
 // moving averages, so both the drift allowance K and the alarm threshold H
 // adapt to the signal's recent behaviour — detecting abrupt jumps as well as
 // smooth drifts, as §5.3 requires, without per-workload tuning.
+//
+// Two gates keep the detector from churning between close KPI levels (the
+// flip-flop a serving stack pays for with a full exploration phase): MinDwell
+// suppresses alarms for a few samples after every re-anchor, and Band
+// suppresses alarms whose level shift is too small to justify retuning.
 type CUSUM struct {
 	// Alpha is the EWMA weight for the running mean/deviation (default
 	// 0.1: roughly a 10-sample memory).
@@ -22,6 +27,21 @@ type CUSUM struct {
 	// Warmup is the number of samples consumed before alarms may fire
 	// (default 5).
 	Warmup int
+	// MinDwell is the minimum number of samples since the last re-anchor
+	// (Reset) before an alarm may fire. A genuine level change keeps
+	// accumulating while the dwell holds, so it alarms the moment the
+	// dwell expires; transient settle noise right after a reconfiguration
+	// decays instead of triggering another exploration. Zero or negative
+	// disables the gate (NewCUSUM defaults to 3).
+	MinDwell int
+	// Band is a relative hysteresis band around the anchored reference
+	// level: an alarm is suppressed — and the accumulators cleared — while
+	// the fast level estimate sits within Band×|anchor| of the level the
+	// detector last re-anchored on. This is what stops the detector from
+	// flip-flopping between configurations whose KPI levels are nearly
+	// equal. Zero or negative disables the gate (NewCUSUM defaults to
+	// 0.04, i.e. shifts under 4% are not worth a retune).
+	Band float64
 
 	mean   float64
 	dev    float64
@@ -29,11 +49,20 @@ type CUSUM struct {
 	sNeg   float64
 	n      int
 	alarms int
+
+	// anchor is the reference level of the last Reset; recent is a fast
+	// EWMA of the raw signal (never frozen) the Band gate compares against
+	// it.
+	anchor     float64
+	recent     float64
+	dwellHolds int
+	bandHolds  int
 }
 
-// NewCUSUM returns a detector with the default parameters.
+// NewCUSUM returns a detector with the default parameters, dwell and
+// hysteresis gates included.
 func NewCUSUM() *CUSUM {
-	return &CUSUM{Alpha: 0.1, K: 1, H: 10, Warmup: 5}
+	return &CUSUM{Alpha: 0.1, K: 1, H: 10, Warmup: 5, MinDwell: 3, Band: 0.04}
 }
 
 // Observe consumes one KPI sample and reports whether a behaviour change was
@@ -64,8 +93,14 @@ func (c *CUSUM) Observe(x float64) bool {
 	if c.n == 1 {
 		c.mean = x
 		c.dev = math.Abs(x) * 0.05
+		c.anchor = x
+		c.recent = x
 		return false
 	}
+	// Fast level estimate for the hysteresis band: a short-memory EWMA
+	// that keeps adapting even while the main reference is frozen below.
+	c.recent += 0.3 * (x - c.recent)
+
 	dev := c.dev
 	if dev <= 0 {
 		dev = math.Max(math.Abs(c.mean)*0.01, 1e-12)
@@ -87,6 +122,19 @@ func (c *CUSUM) Observe(x float64) bool {
 	}
 
 	if alarm {
+		// Hysteresis band: the level has not moved far enough from the
+		// anchor to justify a retune — absorb the accumulated evidence.
+		if c.Band > 0 && math.Abs(c.recent-c.anchor) < c.Band*math.Abs(c.anchor) {
+			c.sPos, c.sNeg = 0, 0
+			c.bandHolds++
+			return false
+		}
+		// Minimum dwell: too soon after the last re-anchor. Keep the
+		// accumulators so a genuine change alarms when the dwell expires.
+		if c.MinDwell > 0 && c.n <= c.MinDwell {
+			c.dwellHolds++
+			return false
+		}
 		c.Reset(x)
 		c.alarms++
 		return true
@@ -102,10 +150,16 @@ func (c *CUSUM) Reset(level float64) {
 	c.dev = math.Abs(level) * 0.05
 	c.sPos, c.sNeg = 0, 0
 	c.n = 1
+	c.anchor = level
+	c.recent = level
 }
 
 // Alarms returns the number of changes detected so far.
 func (c *CUSUM) Alarms() int { return c.alarms }
+
+// Suppressed returns the number of raw alarms the dwell and hysteresis
+// gates have held back so far.
+func (c *CUSUM) Suppressed() int { return c.dwellHolds + c.bandHolds }
 
 // Mean returns the current reference level estimate.
 func (c *CUSUM) Mean() float64 { return c.mean }

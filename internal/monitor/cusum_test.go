@@ -109,3 +109,82 @@ func TestIgnoresNonFinite(t *testing.T) {
 		t.Error("alarm on NaN")
 	}
 }
+
+// TestBandSuppressesCloseLevels: alternating between two KPI levels inside
+// the hysteresis band must not alarm — that is exactly the flip-flop
+// between near-equal configurations the band exists to kill — while a
+// detector with the gates disabled churns on the same signal.
+func TestBandSuppressesCloseLevels(t *testing.T) {
+	gated := monitor.NewCUSUM()
+	gated.Band = 0.05
+	raw := monitor.NewCUSUM()
+	raw.MinDwell = 0
+	raw.Band = 0
+
+	gs, rs := uint64(21), uint64(21)
+	gAlarms, rAlarms := 0, 0
+	// Ten "phases" flapping between 1000 and 1025 (a 2.5% shift).
+	for p := 0; p < 10; p++ {
+		level := 1000.0
+		if p%2 == 1 {
+			level = 1025
+		}
+		if feed(gated, level, 30, &gs) {
+			gAlarms++
+		}
+		if feed(raw, level, 30, &rs) {
+			rAlarms++
+		}
+	}
+	if gAlarms != 0 {
+		t.Errorf("banded detector alarmed %d times on sub-band flapping, want 0", gAlarms)
+	}
+	if rAlarms == 0 {
+		t.Error("ungated control never alarmed; the flapping signal is too tame to exercise the band")
+	}
+	if gated.Suppressed() == 0 {
+		t.Error("band gate never engaged (Suppressed() == 0); the raw alarm condition never fired")
+	}
+}
+
+// TestBandStillDetectsLargeShift: the band must not mask a level change
+// that clears it.
+func TestBandStillDetectsLargeShift(t *testing.T) {
+	c := monitor.NewCUSUM()
+	c.Band = 0.05
+	seed := uint64(23)
+	feed(c, 1000, 100, &seed)
+	if !feed(c, 800, 50, &seed) {
+		t.Error("20% drop never detected with a 5% band")
+	}
+}
+
+// TestMinDwellDelaysButKeepsAlarm: a genuine change arriving right after a
+// re-anchor must still alarm — after the dwell expires, not never.
+func TestMinDwellDelaysButKeepsAlarm(t *testing.T) {
+	c := monitor.NewCUSUM()
+	c.MinDwell = 10
+	seed := uint64(29)
+	feed(c, 1000, 100, &seed)
+	c.Reset(1000) // as the Controller does after installing a config
+	alarmAt := -1
+	for i := 0; i < 60; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		noise := float64(int64(seed>>40)%100)/100*0.04 - 0.02
+		if c.Observe(500 * (1 + noise)) {
+			alarmAt = i
+			break
+		}
+	}
+	if alarmAt < 0 {
+		t.Fatal("50% drop after a re-anchor never detected")
+	}
+	// Reset leaves n=1, so sample i has n=i+2: the dwell may hold the
+	// alarm through i=8 (n=10) and must release it soon after.
+	if alarmAt < 5 {
+		t.Errorf("alarm at sample %d, inside the 10-sample dwell", alarmAt)
+	}
+	if alarmAt > 20 {
+		t.Errorf("alarm at sample %d; dwell must delay, not suppress", alarmAt)
+	}
+}

@@ -69,6 +69,34 @@ type RunSpec struct {
 	// Duration selects timed mode when positive: each configuration (or
 	// the auto-tuned run) measures for this wall-clock span.
 	Duration time.Duration
+
+	// SLOOfferedRate activates the serving model for auto-tuned
+	// deterministic runs: the run is scored as a serving deployment
+	// facing an open-loop client population at this offered rate
+	// (ops/sec). Each window's measured abort profile yields a modeled
+	// capacity and queueing p99 (see servingCapacity/servingP99), the
+	// KPI becomes the modeled capacity, and Samples carry P99Ms. Zero
+	// disables the model (plain commit-rate KPI).
+	SLOOfferedRate float64
+	// SLOTargetMs is the p99 latency target (milliseconds) of the
+	// serving model: Samples are scored for attainment against it and —
+	// with SLOTune — the tuning KPI becomes
+	// core.SLOPenalizedKPI(capacity, p99, target).
+	SLOTargetMs float64
+	// SLOTune switches the tuning KPI from raw modeled capacity to
+	// throughput-under-SLO. Requires SLOOfferedRate and SLOTargetMs.
+	SLOTune bool
+	// MonitorMinDwell and MonitorBand override the change detector's
+	// churn gates (see core.Options): zero keeps the defaults, a
+	// positive value sets the gate, a negative value disables it.
+	MonitorMinDwell int
+	MonitorBand     float64
+	// ExploreEpsilon overrides the SMBO early-stop threshold for
+	// AutoTune (zero keeps the core default). A negative value disables
+	// Expected-Improvement early stopping so a small tuning space is
+	// swept exhaustively — what the A/B goldens use so every operating
+	// point is measured rather than predicted.
+	ExploreEpsilon float64
 }
 
 // Mode returns the mode the spec selects.
@@ -95,6 +123,9 @@ type Sample struct {
 	KPI float64 `json:"kpi"`
 	// Config is the configuration installed during the window.
 	Config string `json:"config"`
+	// P99Ms is the serving model's queueing p99 for the window
+	// (milliseconds; only set when RunSpec.SLOOfferedRate is active).
+	P99Ms float64 `json:"p99_ms,omitempty"`
 	// Exploring marks samples taken while profiling a candidate.
 	Exploring bool `json:"exploring,omitempty"`
 	// Alarm marks steady-state samples on which the CUSUM monitor
@@ -148,6 +179,9 @@ type Result struct {
 	// (deterministic mode only): two byte-identical records really did
 	// leave the data structures in the same end state.
 	HeapDigest string `json:"heap_digest,omitempty"`
+	// SLOAttainment is the fraction of steady (non-exploring) windows
+	// whose modeled p99 met RunSpec.SLOTargetMs (serving model only).
+	SLOAttainment float64 `json:"slo_attainment,omitempty"`
 	// Phases counts auto-tune optimization phases (1 = initial only).
 	Phases  int          `json:"phases,omitempty"`
 	Samples []Sample     `json:"samples,omitempty"`
@@ -347,6 +381,57 @@ func windowKPI(win tm.Stats, opCost time.Duration) float64 {
 	return float64(win.Commits) / sec
 }
 
+// servingEfficiency is the parallel-efficiency constant of the serving
+// model: per-operation service time inflates by this fraction for every
+// worker beyond the first, modeling the synchronization overhead that
+// keeps real TM deployments from scaling linearly (the paper's Fig. 1).
+// It is what gives the model its capacity/latency tradeoff — more
+// workers raise aggregate capacity sublinearly while raising the
+// per-request service-time floor, so the throughput-optimal thread count
+// and the p99-optimal one can differ.
+const servingEfficiency = 0.15
+
+// servingCapacity models one measured window as a serving deployment:
+// the window's abort profile gives the expected attempts per committed
+// operation, the per-operation service time is attempts x OpCost
+// inflated by the parallel-efficiency factor, and capacity is the
+// aggregate rate threads such servers sustain. Returns capacity in
+// ops/sec and the per-operation service time in seconds.
+func servingCapacity(win tm.Stats, opCost time.Duration, threads int) (capacity, svcSec float64) {
+	att := win.Commits + win.Aborts
+	if win.Commits == 0 || att == 0 {
+		return 0, 0
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	attempts := float64(att) / float64(win.Commits)
+	svcSec = attempts * opCost.Seconds() * (1 + servingEfficiency*float64(threads-1))
+	capacity = float64(threads) / svcSec
+	return capacity, svcSec
+}
+
+// servingP99 is the modeled queueing p99 (milliseconds) of an open-loop
+// client population at the given offered rate against a server with the
+// given service time and capacity: the service-time floor plus an
+// exponential-tail queueing term that grows with utilization
+// (p99 = s x (1 + 4.6 x rho/(1-rho)), clamped near saturation).
+func servingP99(svcSec, capacity, rate float64) float64 {
+	if svcSec <= 0 {
+		return 0
+	}
+	q := 0.0
+	if capacity > 0 && rate > 0 {
+		rho := rate / capacity
+		if rho >= 1 {
+			q = 64
+		} else if q = rho / (1 - rho); q > 64 {
+			q = 64
+		}
+	}
+	return 1000 * svcSec * (1 + 4.6*q)
+}
+
 // runFixedTimed measures one fixed configuration on real goroutines.
 func runFixedTimed(s Scenario, spec RunSpec, cfg config.Config, wl workloads.Workload, pool *polytm.Pool, res *Result) error {
 	var antagonist *workloads.Interference
@@ -396,13 +481,16 @@ func runAutoTuned(s Scenario, spec RunSpec) (*Result, error) {
 	}
 	vclock := core.NewVirtualClock(time.Time{})
 	rt, err := core.New(core.Options{
-		HeapWords:  spec.HeapWords,
-		MaxThreads: spec.MaxThreads,
-		Configs:    space,
-		TrainKPI:   train,
-		KPI:        core.Throughput,
-		Seed:       spec.Seed,
-		Clock:      vclock,
+		HeapWords:       spec.HeapWords,
+		MaxThreads:      spec.MaxThreads,
+		Configs:         space,
+		TrainKPI:        train,
+		KPI:             core.Throughput,
+		Seed:            spec.Seed,
+		Clock:           vclock,
+		MonitorMinDwell: spec.MonitorMinDwell,
+		MonitorBand:     spec.MonitorBand,
+		Epsilon:         spec.ExploreEpsilon,
 	})
 	if err != nil {
 		return nil, err
@@ -428,6 +516,11 @@ func runAutoTuned(s Scenario, spec RunSpec) (*Result, error) {
 	last := setupStats
 	phase := 0
 
+	rated, _ := wl.(workloads.Rated)
+	serving := spec.SLOOfferedRate > 0 || rated != nil
+	attain := spec.SLOOfferedRate > 0 && spec.SLOTargetMs > 0
+	steadyWins, steadyMet := 0, 0
+
 	// window runs n operations and returns the window's stats.
 	window := func(n uint64) tm.Stats {
 		sd.Run(n)
@@ -437,6 +530,38 @@ func runAutoTuned(s Scenario, spec RunSpec) (*Result, error) {
 		vclock.Advance(time.Duration(win.Commits+win.Aborts) * spec.OpCost)
 		return win
 	}
+	// kpiOf scores one window under the active KPI model: the plain
+	// commit rate, the delivered rate of a Rated (open-loop) workload
+	// capped at the configuration's modeled capacity, or the serving
+	// model's capacity / throughput-under-SLO.
+	kpiOf := func(win tm.Stats, cfg config.Config) (kpi, p99 float64) {
+		if !serving {
+			return windowKPI(win, spec.OpCost), 0
+		}
+		capacity, svcSec := servingCapacity(win, spec.OpCost, cfg.Threads)
+		if rated != nil {
+			if r := rated.OfferedRate(sd.Ops()); capacity >= r {
+				return r, 0
+			}
+			return capacity, 0
+		}
+		p99 = servingP99(svcSec, capacity, spec.SLOOfferedRate)
+		kpi = capacity
+		if spec.SLOTune && spec.SLOTargetMs > 0 {
+			kpi = core.SLOPenalizedKPI(capacity, p99, spec.SLOTargetMs)
+		}
+		return kpi, p99
+	}
+	// steady scores a non-exploring window for SLO attainment.
+	steady := func(p99 float64) {
+		if !attain {
+			return
+		}
+		steadyWins++
+		if p99 <= spec.SLOTargetMs {
+			steadyMet++
+		}
+	}
 	// measure profiles one candidate configuration for ExploreSync.
 	measure := func(cfg config.Config) float64 {
 		if err := rt.Pool.Reconfigure(cfg); err != nil {
@@ -444,11 +569,11 @@ func runAutoTuned(s Scenario, spec RunSpec) (*Result, error) {
 		}
 		sd.SetSlots(cfg.Threads)
 		win := window(spec.SampleEvery)
-		kpi := windowKPI(win, spec.OpCost)
+		kpi, p99 := kpiOf(win, cfg)
 		res.Trace = append(res.Trace, TraceEntry{Ops: sd.Ops(), Config: cfg.String(), Event: "explore", Phase: phase})
 		res.Samples = append(res.Samples, Sample{
 			Ops: sd.Ops(), Commits: win.Commits, Aborts: win.Aborts,
-			KPI: kpi, Config: cfg.String(), Exploring: true,
+			KPI: kpi, P99Ms: p99, Config: cfg.String(), Exploring: true,
 		})
 		return kpi
 	}
@@ -460,11 +585,12 @@ func runAutoTuned(s Scenario, spec RunSpec) (*Result, error) {
 		sd.SetSlots(installed.Threads)
 		res.Trace = append(res.Trace, TraceEntry{Ops: sd.Ops(), Config: installed.String(), Event: "install", Phase: phase})
 		win := window(spec.SampleEvery)
-		level := windowKPI(win, spec.OpCost)
+		level, p99 := kpiOf(win, installed)
 		rt.ResetMonitor(level)
+		steady(p99)
 		res.Samples = append(res.Samples, Sample{
 			Ops: sd.Ops(), Commits: win.Commits, Aborts: win.Aborts,
-			KPI: level, Config: installed.String(),
+			KPI: level, P99Ms: p99, Config: installed.String(),
 		})
 	}
 
@@ -475,11 +601,12 @@ func runAutoTuned(s Scenario, spec RunSpec) (*Result, error) {
 			n = rem
 		}
 		win := window(n)
-		kpi := windowKPI(win, spec.OpCost)
+		kpi, p99 := kpiOf(win, rt.Pool.Config())
 		alarm := rt.Observe(kpi)
+		steady(p99)
 		res.Samples = append(res.Samples, Sample{
 			Ops: sd.Ops(), Commits: win.Commits, Aborts: win.Aborts,
-			KPI: kpi, Config: rt.Pool.Config().String(), Alarm: alarm,
+			KPI: kpi, P99Ms: p99, Config: rt.Pool.Config().String(), Alarm: alarm,
 		})
 		if alarm {
 			explore()
@@ -487,6 +614,9 @@ func runAutoTuned(s Scenario, spec RunSpec) (*Result, error) {
 	}
 	total := rt.Pool.SnapshotStats().Sub(setupStats)
 	res.Phases = phase
+	if attain && steadyWins > 0 {
+		res.SLOAttainment = float64(steadyMet) / float64(steadyWins)
+	}
 	res.finish(sd.Ops(), total, virtualSec(total, spec.OpCost), rt.Pool.Config())
 	res.HeapDigest = fmt.Sprintf("%016x", rt.Heap().Digest())
 	captureMetrics(wl, res)

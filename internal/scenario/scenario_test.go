@@ -65,6 +65,9 @@ func TestEveryScenarioSetsUp(t *testing.T) {
 		"service-steady":  {"keyrange": "256", "span": "32", "mix": "mixed"},
 		"service-sharded": {"shards": "2", "keyrange": "256", "span": "16", "batchevery": "8"},
 		"service-range":   {"partitioner": "range", "shards": "2", "keyrange": "256", "span": "16", "batchevery": "8"},
+		"service-hotkey":  {"partitioner": "range", "shards": "2", "keyrange": "256", "hotspan": "32", "moveevery": "16", "span": "16", "batchevery": "8"},
+		"service-diurnal": {"keyrange": "256", "span": "16", "periodops": "64"},
+		"service-slo":     {"keyrange": "256", "span": "16", "mix": "scan-heavy"},
 	}
 	for _, s := range All() {
 		v, ok := small[s.Name]

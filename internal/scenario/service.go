@@ -29,6 +29,33 @@ var (
 	shBatchEvery = Param{Name: "batchevery", Desc: "every Nth op is a cross-shard 2PC batch (0 disables)", Kind: Int, Default: "64"}
 	shBatchKeys  = Param{Name: "batchkeys", Desc: "keys per cross-shard batch", Kind: Int, Default: "4"}
 
+	hkPartitioner = Param{Name: "partitioner", Desc: "placement policy: hash or range", Kind: String, Default: "range"}
+	hkShards      = Param{Name: "shards", Desc: "number of key-space shards", Kind: Int, Default: "4"}
+	hkKeyRange    = Param{Name: "keyrange", Desc: "key range (and range-partitioner universe)", Kind: Int, Default: "4096"}
+	hkInitial     = Param{Name: "initial", Desc: "pre-populated size (0 = keyrange/2)", Kind: Int, Default: "0"}
+	hkHotSpan     = Param{Name: "hotspan", Desc: "width of the Zipf hot window", Kind: Int, Default: "512"}
+	hkHotFrac     = Param{Name: "hotfrac", Desc: "probability an op draws from the hot window", Kind: Float, Default: "0.9"}
+	hkTheta       = Param{Name: "theta", Desc: "Zipf exponent of the hot window", Kind: Float, Default: "1.1"}
+	hkMoveEvery   = Param{Name: "moveevery", Desc: "slide the hot-window head every N ops", Kind: Int, Default: "1000"}
+	hkSpan        = Param{Name: "span", Desc: "range-scan width", Kind: Int, Default: "64"}
+	hkMix         = Param{Name: "mix", Desc: "traffic mix of the hot/uniform streams", Kind: String, Default: "mixed"}
+	hkBatchEvery  = Param{Name: "batchevery", Desc: "every Nth op is a cross-shard 2PC batch (0 disables)", Kind: Int, Default: "64"}
+	hkBatchKeys   = Param{Name: "batchkeys", Desc: "keys per cross-shard batch", Kind: Int, Default: "4"}
+
+	diKeyRange  = Param{Name: "keyrange", Desc: "key range of the store", Kind: Int, Default: "4096"}
+	diInitial   = Param{Name: "initial", Desc: "pre-populated size (0 = keyrange/2)", Kind: Int, Default: "0"}
+	diSpan      = Param{Name: "span", Desc: "range-scan width", Kind: Int, Default: "64"}
+	diMix       = Param{Name: "mix", Desc: "traffic mix of the steady stream", Kind: String, Default: "read-heavy"}
+	diPeriodOps = Param{Name: "periodops", Desc: "ops per full busy+idle cycle", Kind: Int, Default: "12000"}
+	diRateBusy  = Param{Name: "ratebusy", Desc: "busy-half offered rate (ops/sec)", Kind: Float, Default: "100000"}
+	diRateIdle  = Param{Name: "rateidle", Desc: "idle-half offered rate (ops/sec)", Kind: Float, Default: "50000"}
+	diRipple    = Param{Name: "ripple", Desc: "sub-step ripple height (fraction of the level)", Kind: Float, Default: "0.035"}
+
+	sloKeyRange = Param{Name: "keyrange", Desc: "key range of the store", Kind: Int, Default: "16384"}
+	sloInitial  = Param{Name: "initial", Desc: "pre-populated size (0 = keyrange/2)", Kind: Int, Default: "0"}
+	sloSpan     = Param{Name: "span", Desc: "range-scan width", Kind: Int, Default: "256"}
+	sloMix      = Param{Name: "mix", Desc: "traffic mix of the pinned stream", Kind: String, Default: "scan-heavy"}
+
 	rgPartitioner = Param{Name: "partitioner", Desc: "placement policy: hash or range", Kind: String, Default: "range"}
 	rgShards      = Param{Name: "shards", Desc: "number of key-space shards", Kind: Int, Default: "4"}
 	rgKeyRange    = Param{Name: "keyrange", Desc: "key range (and range-partitioner universe)", Kind: Int, Default: "4096"}
@@ -94,6 +121,69 @@ func init() {
 				Mix:         v.Str(rgMix),
 				BatchEvery:  batchEvery,
 				BatchKeys:   v.Int(rgBatchKeys),
+			}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "service-hotkey",
+		Family:      "service",
+		Description: "hostile hot-key traffic: sliding Zipf window over hash or range placement, locality counters in metrics",
+		Params:      []Param{hkPartitioner, hkShards, hkKeyRange, hkInitial, hkHotSpan, hkHotFrac, hkTheta, hkMoveEvery, hkSpan, hkMix, hkBatchEvery, hkBatchKeys},
+		Make: func(v Values) (workloads.Workload, error) {
+			batchEvery := v.Int(hkBatchEvery)
+			if batchEvery == 0 {
+				batchEvery = -1 // ServiceHotKey treats negative as disabled, 0 as default
+			}
+			return &workloads.ServiceHotKey{
+				Partitioner: v.Str(hkPartitioner),
+				Shards:      v.Int(hkShards),
+				KeyRange:    v.Int(hkKeyRange),
+				InitialSize: v.Int(hkInitial),
+				HotSpan:     v.Int(hkHotSpan),
+				HotFrac:     v.Float(hkHotFrac),
+				Theta:       v.Float(hkTheta),
+				MoveEvery:   v.Int(hkMoveEvery),
+				Span:        v.Int(hkSpan),
+				Mix:         v.Str(hkMix),
+				BatchEvery:  batchEvery,
+				BatchKeys:   v.Int(hkBatchKeys),
+			}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "service-diurnal",
+		Family:      "service",
+		Description: "diurnal offered-rate curve with a sub-band ripple: the monitor dwell/hysteresis churn trap",
+		Params:      []Param{diKeyRange, diInitial, diSpan, diMix, diPeriodOps, diRateBusy, diRateIdle, diRipple},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.ServiceDiurnal{
+				KeyRange:    v.Int(diKeyRange),
+				InitialSize: v.Int(diInitial),
+				Span:        v.Int(diSpan),
+				Mix:         v.Str(diMix),
+				PeriodOps:   v.Int(diPeriodOps),
+				RateBusy:    v.Float(diRateBusy),
+				RateIdle:    v.Float(diRateIdle),
+				RipplePct:   v.Float(diRipple),
+			}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "service-slo",
+		Family:      "service",
+		Description: "SLO-tuning A/B stream: one pinned mix scored under the serving model (capacity vs. throughput-under-SLO)",
+		Params:      []Param{sloKeyRange, sloInitial, sloSpan, sloMix},
+		Make: func(v Values) (workloads.Workload, error) {
+			mix, err := workloads.ServiceMixByName(v.Str(sloMix))
+			if err != nil {
+				return nil, fmt.Errorf("service-slo: %w", err)
+			}
+			return &workloads.ServiceKV{
+				Label:       "service-slo",
+				KeyRange:    v.Int(sloKeyRange),
+				InitialSize: v.Int(sloInitial),
+				Span:        v.Int(sloSpan),
+				Phases:      []workloads.ServicePhase{{Mix: mix, Ops: 1 << 62}},
 			}, nil
 		},
 	})

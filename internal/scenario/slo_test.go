@@ -1,0 +1,228 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+)
+
+// runPinned runs spec twice, checks the two records are byte-identical,
+// pins the first against the named golden (regenerate with
+// UPDATE_GOLDEN=1), and returns it.
+func runPinned(t *testing.T, name string, spec RunSpec) Result {
+	t.Helper()
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, jb := marshalResults(t, a), marshalResults(t, b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("%s: two runs of the same spec differ:\n--- run 1\n%s\n--- run 2\n%s", name, ja, jb)
+	}
+	golden := fmt.Sprintf("testdata/%s.golden", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, ja, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate with UPDATE_GOLDEN=1): %v", golden, err)
+	}
+	if !bytes.Equal(ja, want) {
+		t.Errorf("%s record drifted from %s — if intentional, regenerate with UPDATE_GOLDEN=1.\n--- got\n%s\n--- want\n%s", name, golden, ja, want)
+	}
+	return a[0]
+}
+
+// hotkeySpec is the pinned parameterization of the hot-key placement A/B:
+// the identical sliding-Zipf hostile stream replayed under both placement
+// policies.
+func hotkeySpec(partitioner string) RunSpec {
+	return RunSpec{
+		Scenario: "service-hotkey",
+		Params: Values{
+			"partitioner": partitioner,
+			"shards":      "4",
+			"keyrange":    "4096",
+			"hotspan":     "512",
+			"moveevery":   "500",
+			"span":        "64",
+			"mix":         "scan",
+			"batchevery":  "64",
+		},
+		Seed:       42,
+		MaxThreads: 4,
+		HeapWords:  1 << 20,
+		Ops:        4000,
+		Configs:    []config.Config{{Alg: config.TL2, Threads: 4}},
+	}
+}
+
+// TestServiceHotKeyPlacementAB pins the hostile hot-key acceptance
+// criteria: byte-stable per-leg goldens, an identical op stream across
+// placement policies, and strictly better hot-spot locality (fewer owner
+// switches) under range placement than under hashing.
+func TestServiceHotKeyPlacementAB(t *testing.T) {
+	results := map[string]Result{}
+	for _, kind := range []string{"hash", "range"} {
+		r := runPinned(t, "service_hotkey_"+kind, hotkeySpec(kind))
+		if r.Commits == 0 || r.HeapDigest == "" {
+			t.Fatalf("%s: empty measurement: %+v", kind, r)
+		}
+		if len(r.Metrics) == 0 {
+			t.Fatalf("%s: record carries no workload metrics", kind)
+		}
+		results[kind] = r
+	}
+
+	hash, rng := results["hash"], results["range"]
+	// Identical op stream: all draw-dependent counters agree exactly;
+	// only placement-dependent observables may differ.
+	for _, key := range []string{"hot_ops", "uniform_ops", "head_moves", "scan_total", "cross_batches"} {
+		if hash.Metrics[key] != rng.Metrics[key] {
+			t.Errorf("op streams diverged: %s = %d (hash) vs %d (range)", key, hash.Metrics[key], rng.Metrics[key])
+		}
+	}
+	if hash.Ops != rng.Ops {
+		t.Errorf("op budgets diverged: %d vs %d", hash.Ops, rng.Ops)
+	}
+	// The locality inequality: under range placement the contiguous Zipf
+	// window keeps the hot spot on one shard between head moves, so
+	// consecutive hot draws switch owners far less often than under
+	// hashing, and scans fence fewer shards.
+	if rng.Metrics["owner_switches"] >= hash.Metrics["owner_switches"] {
+		t.Errorf("range placement switched hot-key owners %d times, hash %d — want strictly fewer",
+			rng.Metrics["owner_switches"], hash.Metrics["owner_switches"])
+	}
+	if rng.Metrics["scan_fenced_shards"] >= hash.Metrics["scan_fenced_shards"] {
+		t.Errorf("range placement fenced %d shards, hash %d — want strictly fewer",
+			rng.Metrics["scan_fenced_shards"], hash.Metrics["scan_fenced_shards"])
+	}
+	t.Logf("hot-spot locality: hash switched owners %d times, range %d (of %d hot ops, %d head moves)",
+		hash.Metrics["owner_switches"], rng.Metrics["owner_switches"],
+		rng.Metrics["hot_ops"], rng.Metrics["head_moves"])
+}
+
+// sloSpec is the pinned parameterization of the ThroughputUnderSLO A/B:
+// one deterministic pinned-mix stream scored by the serving model, tuned
+// either for raw capacity or for throughput subject to a p99 target.
+//
+// With OpCost 50µs and a conflict-free serial stream (attempts = 1) the
+// modeled operating points are: TL2:2t — 34.8k ops/s capacity, 0.074 ms
+// p99 at the offered rate; TL2:4t — 55.2k, 0.085 ms; TL2:8t — 78.0k,
+// 0.115 ms. A 0.095 ms target therefore splits the space: the capacity
+// tuner should take TL2:8t (highest capacity, target missed), the SLO
+// tuner TL2:4t (highest capacity among target-meeting points).
+func sloSpec(sloTune bool) RunSpec {
+	return RunSpec{
+		Scenario: "service-slo",
+		Params: Values{
+			"keyrange": "4096",
+			"span":     "64",
+			"mix":      "scan-heavy",
+		},
+		Seed:       42,
+		MaxThreads: 8,
+		HeapWords:  1 << 20,
+		Ops:        6000,
+		OpCost:     50 * time.Microsecond,
+		AutoTune:   true,
+		Space: []config.Config{
+			{Alg: config.TL2, Threads: 2},
+			{Alg: config.TL2, Threads: 4},
+			{Alg: config.TL2, Threads: 8},
+		},
+		SLOOfferedRate: 2000,
+		SLOTargetMs:    0.095,
+		SLOTune:        sloTune,
+		ExploreEpsilon: -1, // sweep all three operating points every phase
+	}
+}
+
+// TestServiceSLOTuningAB pins the ThroughputUnderSLO acceptance criteria:
+// byte-stable goldens for both tuning legs, diverging installed-config
+// traces, the SLO leg meeting the p99 target in every steady window, and
+// strictly higher SLO attainment than the capacity leg.
+func TestServiceSLOTuningAB(t *testing.T) {
+	capacity := runPinned(t, "service_slo_capacity", sloSpec(false))
+	slo := runPinned(t, "service_slo_tuned", sloSpec(true))
+
+	if capacity.FinalConfig == slo.FinalConfig {
+		t.Errorf("tuning legs converged on %s — want the capacity and SLO tuners to install different configs", capacity.FinalConfig)
+	}
+	if slo.SLOAttainment <= capacity.SLOAttainment {
+		t.Errorf("SLO attainment: slo leg %.3f, capacity leg %.3f — want strictly higher under SLO tuning",
+			slo.SLOAttainment, capacity.SLOAttainment)
+	}
+	target := 0.095
+	for _, s := range slo.Samples {
+		if !s.Exploring && s.P99Ms > target {
+			t.Errorf("SLO leg steady window at ops=%d has p99 %.4f ms > target %.4f ms", s.Ops, s.P99Ms, target)
+		}
+	}
+	if slo.SLOAttainment != 1 {
+		t.Errorf("SLO leg attainment = %.3f, want 1.0", slo.SLOAttainment)
+	}
+	t.Logf("capacity leg installed %s (attainment %.2f), SLO leg %s (attainment %.2f)",
+		capacity.FinalConfig, capacity.SLOAttainment, slo.FinalConfig, slo.SLOAttainment)
+}
+
+// diurnalSpec is the pinned parameterization of the monitor-churn A/B:
+// the diurnal rate curve with its sub-band ripple, watched either by the
+// default gated monitor or by a dwell-free, band-free control monitor.
+func diurnalSpec(gated bool) RunSpec {
+	spec := RunSpec{
+		Scenario: "service-diurnal",
+		Params: Values{
+			"keyrange": "1024",
+			"span":     "16",
+		},
+		Seed:        42,
+		MaxThreads:  4,
+		HeapWords:   1 << 20,
+		Ops:         24000,
+		SampleEvery: 150,
+		AutoTune:    true,
+		Space: []config.Config{
+			{Alg: config.TL2, Threads: 1},
+			{Alg: config.TL2, Threads: 2},
+			{Alg: config.TL2, Threads: 4},
+		},
+	}
+	if !gated {
+		spec.MonitorMinDwell = -1
+		spec.MonitorBand = -1
+	}
+	return spec
+}
+
+// TestServiceDiurnalDwellAB pins the monitor-churn acceptance criterion:
+// on the identical diurnal curve the dwell/hysteresis-gated monitor runs
+// strictly fewer optimization phases than the ungated control, because
+// the control also re-tunes on every sub-band ripple edge.
+func TestServiceDiurnalDwellAB(t *testing.T) {
+	gated := runPinned(t, "service_diurnal_gated", diurnalSpec(true))
+	control := runPinned(t, "service_diurnal_control", diurnalSpec(false))
+
+	if gated.Phases < 2 {
+		t.Errorf("gated leg ran %d phases — want >= 2 (it must still react to the genuine busy/idle transitions)", gated.Phases)
+	}
+	if control.Phases <= gated.Phases {
+		t.Errorf("reconfiguration churn: control %d phases, gated %d — want strictly more without the dwell/band gates",
+			control.Phases, gated.Phases)
+	}
+	t.Logf("optimization phases: gated %d, ungated control %d (over %d ops, %s periods)",
+		gated.Phases, control.Phases, gated.Ops, gated.Params["periodops"])
+}

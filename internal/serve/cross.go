@@ -89,7 +89,8 @@ func (s *Server) submitCross(req *request) (response, int) {
 		return s.submit(s.shards[batches[0].shard], req)
 	}
 
-	accepted := time.Now()
+	s.armDeadline(req)
+	accepted := req.accepted
 	// Coordinator slots are bounded admission, same contract as the data
 	// queues: overflow rejects immediately (429), never stalls a handler.
 	select {
@@ -102,6 +103,14 @@ func (s *Server) submitCross(req *request) (response, int) {
 	token := s.nextToken.Add(1)
 
 	for attempt := 0; attempt < s.opts.CrossRetries; attempt++ {
+		// Deadline/cancellation gate, checked only between attempts: a
+		// coordinator never abandons a protocol round mid-flight (that
+		// would strand fences), but an expired or client-abandoned batch
+		// is dropped before it claims any fence.
+		if req.expired(time.Now()) {
+			s.shedDeadline.Add(1)
+			return response{Err: "deadline exceeded", code: http.StatusGatewayTimeout}, http.StatusGatewayTimeout
+		}
 		acquired := make([]subBatch, 0, len(batches))
 		ok := true
 		for _, b := range batches {

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -87,6 +89,18 @@ type LoadgenOptions struct {
 	Skew float64
 	// Seed drives the per-connection operation streams.
 	Seed uint64
+	// Deadline, when positive, is attached to every request as its
+	// deadline_ms budget: the daemon drops the operation with 504 if it
+	// is still queued when the budget expires. The client-side request
+	// context allows 4x the budget, so the server's verdict — not a
+	// client-side race — decides each operation's outcome; the context
+	// only catches a truly hung daemon (counted as Timeouts).
+	Deadline time.Duration
+	// SLOP99, when positive, is the latency target SLO attainment is
+	// reported against (PhaseReport.SLOAttainment): the fraction of
+	// attempted operations that completed within it, with rejections,
+	// expirations and timeouts counted as misses.
+	SLOP99 time.Duration
 	// Logf, when set, receives per-phase progress lines.
 	Logf func(format string, args ...any)
 }
@@ -163,8 +177,24 @@ type PhaseReport struct {
 	Errors     uint64  `json:"errors"`
 	Shed       uint64  `json:"shed,omitempty"`
 	Throughput float64 `json:"throughput"`
+	// Expired counts server-side deadline drops (HTTP 504); Timeouts
+	// counts client-side context expirations (the request was abandoned
+	// before any response arrived). Both stay zero unless a deadline was
+	// set.
+	Expired  uint64 `json:"expired,omitempty"`
+	Timeouts uint64 `json:"timeouts,omitempty"`
 	// LatencyMs summarizes per-operation client-observed latency.
 	LatencyMs metrics.Summary `json:"latency_ms"`
+	// QueueWaitP50Ms and QueueWaitP99Ms snapshot the daemon's
+	// accept-to-execution-start distribution at phase end (from
+	// /statusz) — the server-side queue-pressure counterpart of the
+	// client-observed LatencyMs.
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
+	// SLOAttainment is the fraction of attempted operations that
+	// completed within the session's SLOP99 target; omitted when no
+	// target was set.
+	SLOAttainment float64 `json:"slo_attainment,omitempty"`
 	// Reconfigurations counts daemon optimization phases that completed
 	// during this phase; Config is the configuration installed when the
 	// phase ended.
@@ -212,8 +242,9 @@ type LoadReport struct {
 
 // connStats accumulates one connection's phase counters.
 type connStats struct {
-	ops, rejected, errors uint64
-	lat                   []float64
+	ops, rejected, errors    uint64
+	expired, timeouts, okSLO uint64
+	lat                      []float64
 }
 
 // RunLoadgen drives the phase schedule against a running daemon and
@@ -314,9 +345,10 @@ func RunLoadgen(opts LoadgenOptions) (*LoadReport, error) {
 
 	var totalLat []float64
 	var totalDur time.Duration
+	var totalOKSLO uint64
 	for i, phase := range opts.Phases {
 		opts.Logf("loadgen: phase %d/%d %s for %s", i+1, len(opts.Phases), phase.Mix.Name, phase.Duration)
-		pr, lats := runPhase(client, base, opts, plan, i, phase)
+		pr, lats, okSLO := runPhase(client, base, opts, plan, i, phase)
 		after, err := fetchStatus(client, base)
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: statusz after phase %s: %w", phase.Mix.Name, err)
@@ -324,11 +356,14 @@ func RunLoadgen(opts LoadgenOptions) (*LoadReport, error) {
 		pr.Reconfigurations = len(after.Reconfigurations) - seenReconfigs
 		seenReconfigs = len(after.Reconfigurations)
 		pr.Config = after.Config.Current
+		pr.QueueWaitP50Ms = after.QueueWait.P50
+		pr.QueueWaitP99Ms = after.QueueWait.P99
 		report.Phases = append(report.Phases, pr)
 		totalLat = append(totalLat, lats...)
 		totalDur += phase.Duration
-		opts.Logf("loadgen: phase %s done: %d ops (%.0f/s), p50=%.2fms p99=%.2fms, %d rejected, %d reconfigurations, config %s",
-			phase.Mix.Name, pr.Ops, pr.Throughput, pr.LatencyMs.P50, pr.LatencyMs.P99, pr.Rejected, pr.Reconfigurations, pr.Config)
+		totalOKSLO += okSLO
+		opts.Logf("loadgen: phase %s done: %d ops (%.0f/s), p50=%.2fms p99=%.2fms, %d rejected, %d expired, %d reconfigurations, config %s",
+			phase.Mix.Name, pr.Ops, pr.Throughput, pr.LatencyMs.P50, pr.LatencyMs.P99, pr.Rejected, pr.Expired, pr.Reconfigurations, pr.Config)
 	}
 
 	if samplerStop != nil {
@@ -358,17 +393,25 @@ func RunLoadgen(opts LoadgenOptions) (*LoadReport, error) {
 		total.Rejected += pr.Rejected
 		total.Errors += pr.Errors
 		total.Shed += pr.Shed
+		total.Expired += pr.Expired
+		total.Timeouts += pr.Timeouts
 	}
 	if totalDur > 0 {
 		total.Throughput = float64(total.Ops) / totalDur.Seconds()
 	}
 	total.LatencyMs = metrics.Summarize(totalLat)
+	total.QueueWaitP50Ms = final.QueueWait.P50
+	total.QueueWaitP99Ms = final.QueueWait.P99
+	if attempts := total.Ops + total.Rejected + total.Errors + total.Expired + total.Timeouts; opts.SLOP99 > 0 && attempts > 0 {
+		total.SLOAttainment = float64(totalOKSLO) / float64(attempts)
+	}
 	report.Total = total
 	return report, nil
 }
 
-// runPhase drives one phase and returns its report plus the raw latencies.
-func runPhase(client *http.Client, base string, opts LoadgenOptions, plan *skewPlan, phaseIdx int, phase LoadPhase) (PhaseReport, []float64) {
+// runPhase drives one phase and returns its report, the raw latencies,
+// and the count of operations that completed within the SLO target.
+func runPhase(client *http.Client, base string, opts LoadgenOptions, plan *skewPlan, phaseIdx int, phase LoadPhase) (PhaseReport, []float64, uint64) {
 	deadline := time.Now().Add(phase.Duration)
 	mix := phase.Mix.Normalize()
 
@@ -429,15 +472,22 @@ func runPhase(client *http.Client, base string, opts LoadgenOptions, plan *skewP
 
 	pr := PhaseReport{Name: mix.Name, DurationSec: phase.Duration.Seconds(), Shed: shed}
 	var lats []float64
+	var okSLO uint64
 	for i := range stats {
 		pr.Ops += stats[i].ops
 		pr.Rejected += stats[i].rejected
 		pr.Errors += stats[i].errors
+		pr.Expired += stats[i].expired
+		pr.Timeouts += stats[i].timeouts
+		okSLO += stats[i].okSLO
 		lats = append(lats, stats[i].lat...)
 	}
 	pr.Throughput = float64(pr.Ops) / phase.Duration.Seconds()
 	pr.LatencyMs = metrics.Summarize(lats)
-	return pr, lats
+	if attempts := pr.Ops + pr.Rejected + pr.Errors + pr.Expired + pr.Timeouts; opts.SLOP99 > 0 && attempts > 0 {
+		pr.SLOAttainment = float64(okSLO) / float64(attempts)
+	}
+	return pr, lats, okSLO
 }
 
 // issueOp issues one operation — drawn from the shard-correlated skew
@@ -445,7 +495,7 @@ func runPhase(client *http.Client, base string, opts LoadgenOptions, plan *skewP
 // otherwise — and records its outcome.
 func issueOp(client *http.Client, base string, opts LoadgenOptions, plan *skewPlan, mix workloads.ServiceOpMix, rng *workloads.Rand, st *connStats) {
 	if plan != nil && rng.Float64() < opts.Skew {
-		issueSkewedOp(client, base, plan, rng, st)
+		issueSkewedOp(client, base, opts, plan, rng, st)
 		return
 	}
 	k := uint64(rng.Intn(int(opts.KeyRange)))
@@ -463,7 +513,7 @@ func issueOp(client *http.Client, base string, opts LoadgenOptions, plan *skewPl
 	default:
 		url = fmt.Sprintf("%s/kv/range?lo=%d&hi=%d", base, k, k+opts.Span)
 	}
-	issueURL(client, url, st)
+	issueURL(client, url, opts, st)
 }
 
 // issueSkewedOp issues one shard-correlated operation: writes hammer a
@@ -471,7 +521,7 @@ func issueOp(client *http.Client, base string, opts LoadgenOptions, plan *skewPl
 // profile), reads spread over an upper-half shard's pool (lookup
 // profile), and a small fraction of traffic is cross-shard mput batches
 // exercising the two-phase commit path.
-func issueSkewedOp(client *http.Client, base string, plan *skewPlan, rng *workloads.Rand, st *connStats) {
+func issueSkewedOp(client *http.Client, base string, opts LoadgenOptions, plan *skewPlan, rng *workloads.Rand, st *connStats) {
 	var url string
 	if rng.Float64() < 0.03 {
 		// Cross-shard batch put: four keys drawn from four different
@@ -518,26 +568,57 @@ func issueSkewedOp(client *http.Client, base string, plan *skewPlan, rng *worklo
 			url = fmt.Sprintf("%s/kv/get?key=%d", base, pool[rng.Intn(len(pool))])
 		}
 	}
-	issueURL(client, url, st)
+	issueURL(client, url, opts, st)
 }
 
 // issueURL issues one HTTP operation, drains the response for keep-alive
-// reuse, and classifies the outcome into the connection's counters.
-func issueURL(client *http.Client, url string, st *connStats) {
-	t0 := time.Now()
-	resp, err := client.Get(url)
+// reuse, and classifies the outcome into the connection's counters. With
+// a deadline configured the request declares its budget via deadline_ms
+// (the daemon enforces it server-side) and carries a client context at
+// 4x the budget so a hung daemon cannot strand the connection.
+func issueURL(client *http.Client, url string, opts LoadgenOptions, st *connStats) {
+	var req *http.Request
+	var err error
+	if opts.Deadline > 0 {
+		sep := "&"
+		if !strings.Contains(url, "?") {
+			sep = "?"
+		}
+		url = fmt.Sprintf("%s%sdeadline_ms=%.3f", url, sep, float64(opts.Deadline)/float64(time.Millisecond))
+		ctx, cancel := context.WithTimeout(context.Background(), 4*opts.Deadline)
+		defer cancel()
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	} else {
+		req, err = http.NewRequest(http.MethodGet, url, nil)
+	}
 	if err != nil {
 		st.errors++
 		return
 	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			st.timeouts++
+		} else {
+			st.errors++
+		}
+		return
+	}
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
 	resp.Body.Close()
-	st.lat = append(st.lat, float64(time.Since(t0).Nanoseconds())/1e6)
+	latMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+	st.lat = append(st.lat, latMs)
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		st.ops++
+		if opts.SLOP99 > 0 && latMs <= float64(opts.SLOP99)/float64(time.Millisecond) {
+			st.okSLO++
+		}
 	case resp.StatusCode == http.StatusTooManyRequests:
 		st.rejected++
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		st.expired++
 	default:
 		st.errors++
 	}

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -57,9 +59,31 @@ type request struct {
 	// accepted is stamped when the request is admitted, before it is
 	// enqueued, so queue-wait is measured from acceptance.
 	accepted time.Time
+	// ctx is the client's request context: a queued operation whose
+	// client hung up is dropped by the worker, never executed. Nil means
+	// no cancellation source (internal submissions).
+	ctx context.Context
+	// budget is the per-request deadline override (the wire's
+	// deadline_ms); the effective deadline is the tighter of budget and
+	// Options.Deadline, anchored at accepted.
+	budget time.Duration
+	// deadline, when non-zero, is the instant after which the operation
+	// must not execute (it is answered 504 and counted shed_deadline).
+	deadline time.Time
 	// fenceTries counts requeues caused by an observed fence.
 	fenceTries int
 	done       chan response
+}
+
+// expired reports whether the request must not execute: its deadline has
+// passed or its client's context is done. Workers call it after dequeue,
+// immediately before execution, so an expired queued op is dropped rather
+// than run against a store nobody is waiting on.
+func (r *request) expired(now time.Time) bool {
+	if !r.deadline.IsZero() && now.After(r.deadline) {
+		return true
+	}
+	return r.ctx != nil && r.ctx.Err() != nil
 }
 
 // response is the outcome of one executed operation.
@@ -76,6 +100,9 @@ type response struct {
 	Vals    []uint64 `json:"vals,omitempty"`
 	Present []bool   `json:"present,omitempty"`
 	Err     string   `json:"err,omitempty"`
+	// code, when non-zero, overrides the HTTP status the error maps to
+	// (504 for deadline drops); unexported so it never reaches the wire.
+	code int
 }
 
 // Options configures a Server.
@@ -124,6 +151,23 @@ type Options struct {
 	// CrossRetries bounds fence-acquisition attempts of one cross-shard
 	// operation before it fails with 503 (default 64).
 	CrossRetries int
+	// SLOP99 is the p99 latency target the service sells (0 disables all
+	// SLO machinery). With AutoTune it switches every shard's tuner to
+	// the ThroughputUnderSLO KPI, fed by the server's accept→reply
+	// latency reservoir; with or without AutoTune it arms latency-based
+	// load shedding (see ShedBudget).
+	SLOP99 time.Duration
+	// Deadline is the default per-operation deadline, measured from
+	// admission: a queued op older than this is dropped with 504 and
+	// counted shed_deadline, never executed (0 disables). Clients can
+	// tighten it per request with the deadline_ms query parameter.
+	Deadline time.Duration
+	// ShedBudget is the fraction of SLOP99 the observed queue-wait p99
+	// may consume before new admissions are shed with 429 (counted
+	// shed_latency). Shedding engages only while the target shard's
+	// queue is actually building (≥ 1/8 occupied), so a stale reservoir
+	// window cannot keep shedding an idle server. Default 0.5.
+	ShedBudget float64
 	// LatencyWindow is the size of each sliding latency reservoir behind
 	// /statusz percentiles (default 8192).
 	LatencyWindow int
@@ -162,6 +206,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.CrossRetries <= 0 {
 		o.CrossRetries = 64
+	}
+	if o.ShedBudget <= 0 {
+		o.ShedBudget = 0.5
 	}
 	if o.LatencyWindow <= 0 {
 		o.LatencyWindow = 8192
@@ -236,6 +283,18 @@ type Server struct {
 	crossAborts atomic.Uint64
 	hookFires   atomic.Uint64
 	drains      atomic.Uint64
+
+	// shedDeadline counts queued ops dropped unexecuted because their
+	// deadline passed or their client hung up; shedLatency counts
+	// admissions rejected because queue-wait p99 crossed the SLO budget.
+	shedDeadline atomic.Uint64
+	shedLatency  atomic.Uint64
+
+	// gateP99Bits/gateNext cache the queue-wait p99 (in float64 bits /
+	// next-refresh unixnano) so the shed gate costs two atomic loads per
+	// admission instead of a reservoir sort.
+	gateP99Bits atomic.Uint64
+	gateNext    atomic.Int64
 
 	// rangeLocal counts /kv/range scans whose owner set collapsed to one
 	// shard (a plain shard transaction, no fences); rangeCross counts
@@ -323,6 +382,15 @@ func (s *Server) newShard(i int) (*shardState, error) {
 	}
 	if opts.AutoTune {
 		sysOpts = append(sysOpts, proteustm.WithAutoTuning())
+	}
+	if opts.AutoTune && opts.SLOP99 > 0 {
+		// Tune throughput subject to the p99 target, fed by the server's
+		// accept→reply reservoir: the latency the client actually sees,
+		// queue wait included. The reservoir is server-wide (shards share
+		// the admission path), which is the SLO the operator configures.
+		sysOpts = append(sysOpts, proteustm.WithSLO(opts.SLOP99, func() float64 {
+			return s.lat.Quantile(99)
+		}))
 	}
 	sys, err := proteustm.Open(sysOpts...)
 	if err != nil {
@@ -456,6 +524,14 @@ func (ss *shardState) worker(id int) {
 			case req = <-ss.prio:
 			case req = <-ss.queue:
 			}
+		}
+		// Deadline/cancellation gate: a queued data op whose client hung
+		// up or whose deadline passed is dropped here, never executed.
+		// Control steps are exempt — a fence release must always run.
+		if req.ctl == nil && req.expired(time.Now()) {
+			ss.srv.shedDeadline.Add(1)
+			req.done <- response{Err: "deadline exceeded", code: http.StatusGatewayTimeout}
+			continue
 		}
 		ss.drainMu.RLock()
 		if int64(id) >= ss.active.Load() {
@@ -652,17 +728,63 @@ func (ss *shardState) execute(w *proteustm.Worker, slot int, req *request) (resp
 	return resp, false
 }
 
-// submit admits one request to shard ss: a full queue rejects immediately
-// (the 429 path) rather than stalling the client. The inflight
-// registration precedes the closed-check, so Close cannot observe an
-// empty system while a submitter is between its check and its enqueue.
+// armDeadline stamps the admission instant and derives the effective
+// deadline: the tighter of the server default (Options.Deadline) and the
+// request's own budget (the wire's deadline_ms), anchored at acceptance.
+func (s *Server) armDeadline(req *request) {
+	req.accepted = time.Now()
+	budget := s.opts.Deadline
+	if req.budget > 0 && (budget == 0 || req.budget < budget) {
+		budget = req.budget
+	}
+	if budget > 0 {
+		req.deadline = req.accepted.Add(budget)
+	}
+}
+
+// queueWaitP99 returns the observed queue-wait p99 in milliseconds,
+// recomputed from the reservoir at most every 25 ms so the admission path
+// never pays a sort per request.
+func (s *Server) queueWaitP99() float64 {
+	now := time.Now().UnixNano()
+	next := s.gateNext.Load()
+	if now >= next && s.gateNext.CompareAndSwap(next, now+(25*time.Millisecond).Nanoseconds()) {
+		s.gateP99Bits.Store(math.Float64bits(s.queueWait.Quantile(99)))
+	}
+	return math.Float64frombits(s.gateP99Bits.Load())
+}
+
+// shedForLatency reports whether an admission to ss must be shed because
+// the observed queue-wait p99 has crossed the SLO budget. The occupancy
+// guard keeps a stale reservoir window (old samples linger under light
+// load) from shedding an idle server.
+func (s *Server) shedForLatency(ss *shardState) bool {
+	if s.opts.SLOP99 <= 0 {
+		return false
+	}
+	if len(ss.queue) < max(1, cap(ss.queue)/8) {
+		return false
+	}
+	budgetMs := s.opts.ShedBudget * float64(s.opts.SLOP99) / float64(time.Millisecond)
+	return s.queueWaitP99() > budgetMs
+}
+
+// submit admits one request to shard ss: a full queue — or a queue-wait
+// p99 over the SLO budget — rejects immediately (the 429 paths) rather
+// than stalling the client. The inflight registration precedes the
+// closed-check, so Close cannot observe an empty system while a submitter
+// is between its check and its enqueue.
 func (s *Server) submit(ss *shardState, req *request) (response, int) {
 	s.inflight.Add(1)
 	defer s.inflight.Done()
 	if s.closed.Load() {
 		return response{Err: "server shutting down"}, http.StatusServiceUnavailable
 	}
-	req.accepted = time.Now()
+	s.armDeadline(req)
+	if s.shedForLatency(ss) {
+		s.shedLatency.Add(1)
+		return response{Err: "queue-wait p99 over SLO budget"}, http.StatusTooManyRequests
+	}
 	req.done = make(chan response, 1)
 	select {
 	case ss.queue <- req:
@@ -671,12 +793,28 @@ func (s *Server) submit(ss *shardState, req *request) (response, int) {
 		s.rejected.Add(1)
 		return response{Err: "admission queue full"}, http.StatusTooManyRequests
 	}
-	resp := <-req.done
-	s.lat.Observe(msBetween(req.accepted, time.Now()))
-	if resp.Err != "" {
-		return resp, http.StatusServiceUnavailable
+	var cancel <-chan struct{}
+	if req.ctx != nil {
+		cancel = req.ctx.Done()
 	}
-	return resp, http.StatusOK
+	select {
+	case resp := <-req.done:
+		s.lat.Observe(msBetween(req.accepted, time.Now()))
+		if resp.code != 0 {
+			return resp, resp.code
+		}
+		if resp.Err != "" {
+			return resp, http.StatusServiceUnavailable
+		}
+		return resp, http.StatusOK
+	case <-cancel:
+		// The client hung up while the op was queued. Hand the slot back
+		// immediately; the worker that eventually dequeues the op sees
+		// the dead context and drops it (counted shed_deadline). The 499
+		// mirrors the de-facto "client closed request" status — nobody is
+		// left to read it.
+		return response{Err: "client canceled"}, 499
+	}
 }
 
 // Close drains the admission queues, stops the workers and shuts every
@@ -758,7 +896,10 @@ func (s *Server) shardFor(req *request) *shardState {
 // shard.
 func (s *Server) opHandler(op opKind, params ...string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		req := &request{op: op}
+		req := &request{op: op, ctx: r.Context()}
+		if ok := parseDeadline(w, r, req); !ok {
+			return
+		}
 		for _, name := range params {
 			raw := r.URL.Query().Get(name)
 			v, err := strconv.ParseUint(raw, 10, 64)
@@ -808,8 +949,28 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if hi-lo > s.opts.MaxScanSpan {
 		hi = lo + s.opts.MaxScanSpan
 	}
-	resp, code := s.submitCross(&request{op: opRange, lo: lo, hi: hi})
+	req := &request{op: opRange, lo: lo, hi: hi, ctx: r.Context()}
+	if ok := parseDeadline(w, r, req); !ok {
+		return
+	}
+	resp, code := s.submitCross(req)
 	writeJSON(w, code, resp)
+}
+
+// parseDeadline reads the optional deadline_ms query parameter into
+// req.budget, answering 400 (and returning false) on a malformed value.
+func parseDeadline(w http.ResponseWriter, r *http.Request, req *request) bool {
+	raw := r.URL.Query().Get("deadline_ms")
+	if raw == "" {
+		return true
+	}
+	ms, err := strconv.ParseFloat(raw, 64)
+	if err != nil || ms <= 0 || math.IsNaN(ms) || math.IsInf(ms, 0) {
+		writeJSON(w, http.StatusBadRequest, response{Err: fmt.Sprintf("parameter \"deadline_ms\": want positive milliseconds, got %q", raw)})
+		return false
+	}
+	req.budget = time.Duration(ms * float64(time.Millisecond))
+	return true
 }
 
 // batchHandler serves /kv/mput and /kv/mget: comma-separated uint64 key
@@ -830,7 +991,10 @@ func (s *Server) batchHandler(op opKind) http.HandlerFunc {
 			writeJSON(w, http.StatusBadRequest, response{Err: fmt.Sprintf("batch of %d keys exceeds limit %d", len(keys), s.opts.MaxBatchKeys)})
 			return
 		}
-		req := &request{op: op, keys: keys}
+		req := &request{op: op, keys: keys, ctx: r.Context()}
+		if ok := parseDeadline(w, r, req); !ok {
+			return
+		}
 		if op == opMPut {
 			vals, err := parseUintList(r.URL.Query().Get("vals"))
 			if err != nil {

@@ -50,6 +50,11 @@ type ServerStatus struct {
 	ActiveWorkers int     `json:"active_workers"`
 	QueueDepth    int     `json:"queue_depth"`
 	QueueLen      int     `json:"queue_len"`
+	// SLOP99Ms and DeadlineMs echo the configured p99 target and default
+	// per-op deadline in milliseconds (0 = unset) so a monitoring stack
+	// can assert attainment against the target the server actually runs.
+	SLOP99Ms   float64 `json:"slo_p99_ms"`
+	DeadlineMs float64 `json:"deadline_ms"`
 }
 
 // ConfigStatus describes the fleet's configuration and tuner state.
@@ -103,6 +108,12 @@ type OpsStatus struct {
 	Requeued  uint64            `json:"requeued"`
 	HookFires uint64            `json:"reconfigure_hook_fires"`
 	Drains    uint64            `json:"drains"`
+	// ShedDeadline counts queued ops dropped unexecuted (deadline passed
+	// or client hung up); ShedLatency counts admissions rejected because
+	// queue-wait p99 crossed the SLO budget — the two tail-latency shed
+	// paths beside the queue-depth Rejected.
+	ShedDeadline uint64 `json:"shed_deadline"`
+	ShedLatency  uint64 `json:"shed_latency"`
 	// CrossOps counts committed cross-shard (multi-participant) commits;
 	// CrossAborts counts abort-all retries of the acquire phase; Fenced
 	// counts local operations requeued because a fence was held.
@@ -267,6 +278,8 @@ func (s *Server) StatusSnapshot() Status {
 			ActiveWorkers: activeWorkers,
 			QueueDepth:    s.opts.QueueDepth,
 			QueueLen:      queueLen,
+			SLOP99Ms:      float64(s.opts.SLOP99) / float64(time.Millisecond),
+			DeadlineMs:    float64(s.opts.Deadline) / float64(time.Millisecond),
 		},
 		Config: ConfigStatus{
 			Current:   s.shards[0].sys.CurrentConfig().String(),
@@ -283,6 +296,8 @@ func (s *Server) StatusSnapshot() Status {
 			Requeued:          s.requeued.Load(),
 			HookFires:         s.hookFires.Load(),
 			Drains:            s.drains.Load(),
+			ShedDeadline:      s.shedDeadline.Load(),
+			ShedLatency:       s.shedLatency.Load(),
 			CrossOps:          s.crossOps.Load(),
 			CrossAborts:       s.crossAborts.Load(),
 			Fenced:            s.fenced.Load(),

@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/tm"
+)
+
+// ServiceDiurnal models a service riding a diurnal traffic curve: an
+// open-loop client population whose offered rate alternates between a
+// busy and an idle level (the day/night square wave), with a small
+// sub-step ripple superimposed on each level. The store traffic itself is
+// a plain fixed-mix key-value stream — what varies is OfferedRate, which
+// the scenario harness's serving model turns into the delivered-KPI curve
+// the change monitor watches.
+//
+// The ripple is the hostile part: it shifts the level by RipplePct —
+// big enough that a dwell-free, band-free detector alarms on it once its
+// deviation estimate has tightened on the flat level, yet comfortably
+// inside the monitor's default hysteresis band. A tuner without the
+// dwell/band gates therefore burns an exploration phase on every ripple
+// edge (reconfiguration churn); the gated tuner re-tunes only on the
+// genuine busy/idle transitions. The scenario's A/B asserts exactly that
+// install-count gap.
+type ServiceDiurnal struct {
+	// Label overrides the workload name (default "service-diurnal").
+	Label string
+	// KeyRange bounds the keys (default 1 << 12).
+	KeyRange int
+	// InitialSize pre-populates the store (default KeyRange/2).
+	InitialSize int
+	// Span is the width of a range scan (default 64).
+	Span int
+	// Mix is the operation mix name (default "read-heavy").
+	Mix string
+	// PeriodOps is the length of one full busy+idle cycle in operations
+	// (default 12000: half busy, half idle).
+	PeriodOps int
+	// RateBusy and RateIdle are the offered rates (ops/sec) of the two
+	// halves of the cycle (defaults 100000 and 50000). Both should sit
+	// below the modeled capacity of every configuration in the tuning
+	// space so the delivered KPI is the rate curve itself.
+	RateBusy float64
+	// RateIdle is the night-side offered rate.
+	RateIdle float64
+	// RipplePct is the relative height of the sub-step ripple (default
+	// 0.035, i.e. +3.5% over the second half of each busy/idle level —
+	// inside the monitor's default 4% hysteresis band).
+	RipplePct float64
+
+	set *RBSet
+	ops atomic.Uint64
+
+	// Resolved by Setup so Op and OfferedRate stay cheap.
+	keyRange, span, periodOps int
+	rateBusy, rateIdle        float64
+	ripple                    float64
+	mix                       ServiceOpMix
+}
+
+// Name implements Workload.
+func (s *ServiceDiurnal) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "service-diurnal"
+}
+
+func (s *ServiceDiurnal) params() (keyRange, initial, span, periodOps int, rateBusy, rateIdle, ripple float64, mix ServiceOpMix, err error) {
+	keyRange = s.KeyRange
+	if keyRange <= 0 {
+		keyRange = 1 << 12
+	}
+	initial = s.InitialSize
+	if initial <= 0 {
+		initial = keyRange / 2
+	}
+	span = s.Span
+	if span <= 0 {
+		span = 64
+	}
+	periodOps = s.PeriodOps
+	if periodOps <= 0 {
+		periodOps = 12000
+	}
+	if periodOps < 4 {
+		periodOps = 4
+	}
+	rateBusy = s.RateBusy
+	if rateBusy <= 0 {
+		rateBusy = 100000
+	}
+	rateIdle = s.RateIdle
+	if rateIdle <= 0 {
+		rateIdle = 50000
+	}
+	ripple = s.RipplePct
+	if ripple <= 0 {
+		ripple = 0.035
+	}
+	name := s.Mix
+	if name == "" {
+		name = "read-heavy"
+	}
+	mix, err = ServiceMixByName(name)
+	if err != nil {
+		return
+	}
+	mix = mix.Normalize()
+	return
+}
+
+// Setup implements Workload.
+func (s *ServiceDiurnal) Setup(h *tm.Heap, rng *Rand) error {
+	var initial int
+	var err error
+	s.keyRange, initial, s.span, s.periodOps, s.rateBusy, s.rateIdle, s.ripple, s.mix, err = s.params()
+	if err != nil {
+		return fmt.Errorf("service-diurnal: %w", err)
+	}
+	set, err := NewRBSet(h)
+	if err != nil {
+		return fmt.Errorf("service-diurnal: %w", err)
+	}
+	s.set = set
+	s.ops.Store(0)
+	seq := NewBareRunner(seqAlg(), h, 1)
+	for i := 0; i < initial; i++ {
+		k := uint64(rng.Intn(s.keyRange))
+		seq.Atomic(0, func(tx tm.Txn) { s.set.Insert(tx, 0, k, k) })
+	}
+	return nil
+}
+
+// OfferedRate implements Rated: the busy/idle square wave with the
+// sub-step ripple. Each half of the cycle holds its base level for its
+// first half and the rippled level (+RipplePct) for its second, so every
+// level is flat long enough for a change detector's deviation estimate
+// to tighten before the next edge arrives — exactly the trap that makes
+// an ungated detector churn.
+func (s *ServiceDiurnal) OfferedRate(n uint64) float64 {
+	period := uint64(s.periodOps)
+	pos := n % period
+	half := period / 2
+	base := s.rateBusy
+	if pos >= half {
+		base = s.rateIdle
+		pos -= half
+	}
+	if pos >= half/2 {
+		base *= 1 + s.ripple
+	}
+	return base
+}
+
+// Op implements Workload: one fixed-mix key-value request. The shared
+// operation counter keeps OfferedRate's phase aligned with total served
+// traffic.
+func (s *ServiceDiurnal) Op(r Runner, self int, rng *Rand) {
+	n := s.ops.Add(1)
+	k := uint64(rng.Intn(s.keyRange))
+	p := rng.Float64()
+	switch {
+	case p < s.mix.Get:
+		r.Atomic(self, func(tx tm.Txn) { s.set.Get(tx, k) })
+	case p < s.mix.Get+s.mix.Put:
+		r.Atomic(self, func(tx tm.Txn) { s.set.Insert(tx, self, k, n) })
+	case p < s.mix.Get+s.mix.Put+s.mix.Del:
+		r.Atomic(self, func(tx tm.Txn) { s.set.Delete(tx, self, k) })
+	case p < s.mix.Get+s.mix.Put+s.mix.Del+s.mix.CAS:
+		r.Atomic(self, func(tx tm.Txn) {
+			if v, ok := s.set.Get(tx, k); ok {
+				s.set.Insert(tx, self, k, v+1)
+			}
+		})
+	default:
+		hi := k + uint64(s.span)
+		r.Atomic(self, func(tx tm.Txn) {
+			s.set.AscendRange(tx, k, hi, func(_, _ uint64) bool { return true })
+		})
+	}
+}

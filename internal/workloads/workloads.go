@@ -77,6 +77,19 @@ type Metered interface {
 	Metrics() map[string]uint64
 }
 
+// Rated is optionally implemented by workloads that model an open-loop
+// client population: OfferedRate reports the offered load in operations
+// per second as a pure function of the global operation count n, so the
+// curve is deterministic for a fixed spec. The scenario harness's serving
+// model caps the delivered KPI at the offered rate — whenever the
+// installed configuration has capacity headroom, the KPI tracks the rate
+// curve rather than the store, which is what lets a diurnal traffic shape
+// drive the change monitor directly.
+type Rated interface {
+	Workload
+	OfferedRate(n uint64) float64
+}
+
 // Rand is a tiny deterministic xorshift64* generator; each worker owns one.
 type Rand struct{ s uint64 }
 

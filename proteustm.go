@@ -100,6 +100,8 @@ type options struct {
 	initial      *Config
 	maxExplore   int
 	samplePeriod time.Duration
+	sloP99       time.Duration
+	latencyP99   func() float64
 }
 
 // WithHeapWords sizes the transactional heap (default 1<<22 words = 32 MiB).
@@ -113,6 +115,21 @@ func WithAutoTuning() Option { return func(o *options) { o.autoTune = true } }
 
 // WithEnergyKPI optimizes throughput-per-Joule instead of raw throughput.
 func WithEnergyKPI() Option { return func(o *options) { o.energyKPI = true } }
+
+// WithSLO optimizes throughput *subject to* a p99 latency target instead of
+// raw throughput (core.ThroughputUnderSLO): KPI windows whose observed p99 —
+// supplied in milliseconds by latencyP99, typically wired to a serving
+// layer's request-latency reservoir — exceed the target are penalized
+// quadratically in the overshoot, so the tuner prefers the fastest
+// configuration that still meets the SLO. A nil latencyP99 or non-positive
+// target degrades to plain throughput tuning. Takes precedence over
+// WithEnergyKPI.
+func WithSLO(p99Target time.Duration, latencyP99 func() float64) Option {
+	return func(o *options) {
+		o.sloP99 = p99Target
+		o.latencyP99 = latencyP99
+	}
+}
 
 // WithSeed fixes the random seed of the tuning machinery.
 func WithSeed(s uint64) Option { return func(o *options) { o.seed = s } }
@@ -189,6 +206,11 @@ func Open(opts ...Option) (*System, error) {
 	if o.energyKPI {
 		kpi = core.ThroughputPerJoule
 	}
+	var sloMs float64
+	if o.sloP99 > 0 && o.latencyP99 != nil {
+		kpi = core.ThroughputUnderSLO
+		sloMs = float64(o.sloP99) / float64(time.Millisecond)
+	}
 	rt, err := core.New(core.Options{
 		HeapWords:       o.heapWords,
 		MaxThreads:      o.workers,
@@ -196,6 +218,8 @@ func Open(opts ...Option) (*System, error) {
 		TrainKPI:        train,
 		KPI:             kpi,
 		Energy:          energy.NewModel(18, 6.5),
+		SLOTargetMs:     sloMs,
+		LatencyP99:      o.latencyP99,
 		Seed:            o.seed,
 		MaxExplorations: o.maxExplore,
 		SamplePeriod:    o.samplePeriod,
