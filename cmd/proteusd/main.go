@@ -11,7 +11,8 @@
 //	    [--key-universe 16384] [--workers 8] [--queue 1024]
 //	    [--autotune=true] [--sample-period 100ms] [--seed 42]
 //	    [--heap-words 4194304] [--preload 8192]
-//	    [--slo-p99 0] [--deadline 0]
+//	    [--slo-p99 0] [--deadline 0] [--fault ""]
+//	    [--fence-deadline 1s] [--breaker-cooldown 1s]
 //
 // --slo-p99 sets a tail-latency target: the per-shard tuners switch from
 // raw throughput to throughput-under-SLO (configurations that blow the
@@ -32,10 +33,19 @@
 // /kv/range scans fence only the shards whose spans they intersect).
 // On SIGINT/SIGTERM the daemon drains each shard in turn before exiting.
 //
+// --fault arms the deterministic fault-injection substrate with a spec
+// like "coord-crash@after=3;every=5;count=6,shard-stall:1@count=1;stall=1200ms"
+// (see internal/fault): injected coordinator crashes strand fences that
+// the per-shard failure detector recovers within --fence-deadline, and
+// stalled shards trip a circuit breaker that sheds with 503+Retry-After
+// until --breaker-cooldown elapses and progress resumes. Recovery
+// counters appear under /statusz ops.* and fault fire counts under
+// ops.faults.
+//
 // Endpoints (all parameters are uint64 query parameters; keys/vals are
 // comma-separated lists):
 //
-//	GET  /healthz                      liveness probe
+//	GET  /healthz                      readiness probe (503 while a breaker is open or a fence is stale)
 //	GET  /statusz                      per-shard tuner state, fleet rollup, latency split
 //	GET  /kv/get?key=K                 point read
 //	POST /kv/put?key=K&val=V           insert or update
@@ -66,6 +76,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/serve"
 )
 
@@ -84,24 +95,39 @@ func main() {
 	maxScan := flag.Uint64("max-scan-span", 4096, "clamp on /kv/range spans")
 	sloP99 := flag.Duration("slo-p99", 0, "p99 latency target: tuners optimize throughput-under-SLO and admission sheds on queue-wait p99 (0 = plain throughput)")
 	deadline := flag.Duration("deadline", 0, "default per-op queueing budget; expired ops are dropped with 504 (0 = none; ?deadline_ms= tightens per request)")
+	faultSpec := flag.String("fault", "", "deterministic fault-injection spec, e.g. coord-crash@after=3;every=5;count=6 (see internal/fault; empty = no injection)")
+	fenceDeadline := flag.Duration("fence-deadline", 0, "age past which a heartbeat-stale cross-shard fence is declared orphaned and recovered (0 = 1s default)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "minimum time a stalled shard's circuit breaker sheds before admitting probes (0 = 1s default)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "proteusd: ", log.LstdFlags|log.Lmicroseconds)
+	var injector *fault.Injector
+	if *faultSpec != "" {
+		var err error
+		injector, err = fault.Parse(*faultSpec, *seed)
+		if err != nil {
+			logger.Fatalf("--fault: %v", err)
+		}
+		logger.Printf("fault injection armed: %s", injector)
+	}
 	srv, err := serve.New(serve.Options{
-		Shards:       *shards,
-		Partitioner:  *partitioner,
-		KeyUniverse:  *keyUniverse,
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		AutoTune:     *autotune,
-		SamplePeriod: *samplePeriod,
-		Seed:         *seed,
-		HeapWords:    *heapWords,
-		Preload:      *preload,
-		MaxScanSpan:  *maxScan,
-		SLOP99:       *sloP99,
-		Deadline:     *deadline,
-		Logf:         logger.Printf,
+		Shards:          *shards,
+		Partitioner:     *partitioner,
+		KeyUniverse:     *keyUniverse,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		AutoTune:        *autotune,
+		SamplePeriod:    *samplePeriod,
+		Seed:            *seed,
+		HeapWords:       *heapWords,
+		Preload:         *preload,
+		MaxScanSpan:     *maxScan,
+		SLOP99:          *sloP99,
+		Deadline:        *deadline,
+		Fault:           injector,
+		FenceDeadline:   *fenceDeadline,
+		BreakerCooldown: *breakerCooldown,
+		Logf:            logger.Printf,
 	})
 	if err != nil {
 		logger.Fatalf("startup: %v", err)

@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var inj *Injector
+	if d, ok := inj.Fire(CoordCrash, -1); ok || d != 0 {
+		t.Fatalf("nil injector fired: %v %v", d, ok)
+	}
+	if inj.Fired(CoordCrash) != 0 || inj.Snapshot() != nil || inj.String() != "" {
+		t.Fatal("nil injector reported state")
+	}
+}
+
+func TestModularSchedule(t *testing.T) {
+	inj := NewInjector(1, Rule{Point: CoordCrash, Shard: -1, After: 3, Every: 5, Count: 2})
+	var fires []int
+	for i := 1; i <= 20; i++ {
+		if _, ok := inj.Fire(CoordCrash, -1); ok {
+			fires = append(fires, i)
+		}
+	}
+	// Skip 3 arrivals, then every 5th, twice: arrivals 4 and 9.
+	if want := []int{4, 9}; !reflect.DeepEqual(fires, want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	if got := inj.Fired(CoordCrash); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestShardFilterAndDelay(t *testing.T) {
+	inj := NewInjector(1, Rule{Point: ShardStall, Shard: 1, Every: 1, Count: 1, Delay: 40 * time.Millisecond})
+	if _, ok := inj.Fire(ShardStall, 0); ok {
+		t.Fatal("fired on wrong shard")
+	}
+	d, ok := inj.Fire(ShardStall, 1)
+	if !ok || d != 40*time.Millisecond {
+		t.Fatalf("Fire(shard=1) = %v %v", d, ok)
+	}
+	if _, ok := inj.Fire(ShardStall, 1); ok {
+		t.Fatal("fired past count")
+	}
+}
+
+func TestProbDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []bool {
+		inj := NewInjector(seed, Rule{Point: OpDelay, Shard: -1, Prob: 0.3, Every: 1})
+		out := make([]bool, 64)
+		for i := range out {
+			_, out[i] = inj.Fire(OpDelay, 2)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	fires := 0
+	for _, ok := range a {
+		if ok {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("prob=0.3 fired %d/%d times", fires, len(a))
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "coord-crash@after=3;every=5;count=6,shard-stall:1@after=1500;count=1;stall=1.2s,op-delay@prob=0.25;delay=2ms"
+	inj, err := Parse(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "coord-crash@after=3;every=5;count=6,shard-stall:1@after=1500;count=1;stall=1.2s,op-delay@prob=0.25;stall=2ms"
+	if got := inj.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	snap := inj.Snapshot()
+	for _, k := range []string{"coord-crash", "shard-stall:1", "op-delay"} {
+		if _, ok := snap[k]; !ok {
+			t.Fatalf("snapshot missing %q: %v", k, snap)
+		}
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	if inj, err := Parse("  ", 1); err != nil || inj != nil {
+		t.Fatalf("empty spec: %v %v", inj, err)
+	}
+	for _, bad := range []string{
+		"bogus-point@count=1",
+		"coord-crash:x@count=1",
+		"coord-crash@count",
+		"coord-crash@every=0",
+		"coord-crash@prob=2",
+		"coord-crash@wat=1",
+		"shard-stall@stall=xyz",
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}

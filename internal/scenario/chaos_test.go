@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// chaosSpec is the pinned parameterization of the service-chaos goldens:
+// with crossevery=16, faultevery=4 and faultcount=6, the last fault is
+// injected around operation 384 and its orphan recovered by operation
+// ~584, so a 4000-op run ends with a long quiet tail in which every
+// injected failure has been recovered before metrics are captured.
+func chaosSpec(fault string) RunSpec {
+	return RunSpec{
+		Scenario: "service-chaos",
+		Params: Values{
+			"shards":      "4",
+			"keyrange":    "1024",
+			"crossevery":  "16",
+			"faultevery":  "4",
+			"faultcount":  "6",
+			"deadlineops": "200",
+			"fault":       fault,
+		},
+		Seed:       42,
+		MaxThreads: 4,
+		HeapWords:  1 << 20,
+		Ops:        4000,
+		Configs:    []config.Config{{Alg: config.TL2, Threads: 4}},
+	}
+}
+
+// TestServiceChaosDeterminism pins the chaos acceptance criterion for
+// both scenario legs: a fixed seed injects the same faults and recovers
+// them at the same operations, producing byte-identical records across
+// runs and against the committed goldens. Regenerate with
+// UPDATE_GOLDEN=1 after intentional changes.
+func TestServiceChaosDeterminism(t *testing.T) {
+	for _, leg := range []struct {
+		fault, golden string
+	}{
+		{"crash", "testdata/service_chaos_crash.golden"},
+		{"stall", "testdata/service_chaos_stall.golden"},
+	} {
+		t.Run(leg.fault, func(t *testing.T) {
+			a, err := Run(chaosSpec(leg.fault))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(chaosSpec(leg.fault))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ja, jb := marshalResults(t, a), marshalResults(t, b)
+			if !bytes.Equal(ja, jb) {
+				t.Fatalf("two chaos runs of the same spec differ:\n--- run 1\n%s\n--- run 2\n%s", ja, jb)
+			}
+			m := a[0].Metrics
+			injected := m["crashes_injected"] + m["stalls_injected"]
+			if injected != 6 {
+				t.Fatalf("injected faults = %d, want 6: %v", injected, m)
+			}
+			if got := m["fence_recovered"]; got != injected {
+				t.Fatalf("fence_recovered = %d, want %d (all orphans healed in-run): %v", got, injected, m)
+			}
+			switch leg.fault {
+			case "crash":
+				if m["fence_rolled_forward"] != injected || m["fence_aborted"] != 0 {
+					t.Fatalf("crash leg must roll every batch forward: %v", m)
+				}
+			case "stall":
+				if m["fence_aborted"] != injected || m["fence_rolled_forward"] != 0 {
+					t.Fatalf("stall leg must abort every wedge: %v", m)
+				}
+			}
+
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(leg.golden, ja, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(leg.golden)
+			if err != nil {
+				t.Fatalf("reading %s (regenerate with UPDATE_GOLDEN=1): %v", leg.golden, err)
+			}
+			if !bytes.Equal(ja, want) {
+				t.Errorf("service-chaos %s record drifted from %s — if intentional, regenerate with UPDATE_GOLDEN=1.\n--- got\n%s\n--- want\n%s",
+					leg.fault, leg.golden, ja, want)
+			}
+		})
+	}
+}
+
+// TestServiceChaosLegsDiverge guards the fault knob: the crash and stall
+// legs must produce different heaps (rolled-forward batch writes vs.
+// committed-then-wedged ones), otherwise the two goldens pin one run.
+func TestServiceChaosLegsDiverge(t *testing.T) {
+	crash, err := Run(chaosSpec("crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall, err := Run(chaosSpec("stall"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crash[0].HeapDigest == stall[0].HeapDigest {
+		t.Fatalf("crash and stall legs produced the same heap digest %s", crash[0].HeapDigest)
+	}
+}

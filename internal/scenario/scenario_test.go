@@ -64,6 +64,7 @@ func TestEveryScenarioSetsUp(t *testing.T) {
 		"service-kv":      {"keyrange": "256", "span": "32", "phaseops": "64"},
 		"service-steady":  {"keyrange": "256", "span": "32", "mix": "mixed"},
 		"service-sharded": {"shards": "2", "keyrange": "256", "span": "16", "batchevery": "8"},
+		"service-chaos":   {"shards": "2", "keyrange": "256", "crossevery": "8", "faultevery": "2", "faultcount": "2", "deadlineops": "16"},
 		"service-range":   {"partitioner": "range", "shards": "2", "keyrange": "256", "span": "16", "batchevery": "8"},
 		"service-hotkey":  {"partitioner": "range", "shards": "2", "keyrange": "256", "hotspan": "32", "moveevery": "16", "span": "16", "batchevery": "8"},
 		"service-diurnal": {"keyrange": "256", "span": "16", "periodops": "64"},

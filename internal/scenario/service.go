@@ -56,6 +56,16 @@ var (
 	sloSpan     = Param{Name: "span", Desc: "range-scan width", Kind: Int, Default: "256"}
 	sloMix      = Param{Name: "mix", Desc: "traffic mix of the pinned stream", Kind: String, Default: "scan-heavy"}
 
+	chShards      = Param{Name: "shards", Desc: "number of key-space shards", Kind: Int, Default: "4"}
+	chKeyRange    = Param{Name: "keyrange", Desc: "key range of the sharded store", Kind: Int, Default: "16384"}
+	chInitial     = Param{Name: "initial", Desc: "pre-populated size (0 = keyrange/2)", Kind: Int, Default: "0"}
+	chCrossEvery  = Param{Name: "crossevery", Desc: "every Nth op is a cross-shard 2PC batch", Kind: Int, Default: "16"}
+	chBatchKeys   = Param{Name: "batchkeys", Desc: "keys per cross-shard batch", Kind: Int, Default: "4"}
+	chFault       = Param{Name: "fault", Desc: "injected failure: crash (roll-forward leg) or stall (abort leg)", Kind: String, Default: "crash"}
+	chFaultEvery  = Param{Name: "faultevery", Desc: "inject on every Nth cross-shard batch", Kind: Int, Default: "4"}
+	chFaultCount  = Param{Name: "faultcount", Desc: "total injections before the quiet tail", Kind: Int, Default: "6"}
+	chDeadlineOps = Param{Name: "deadlineops", Desc: "orphaned-fence deadline in operations", Kind: Int, Default: "200"}
+
 	rgPartitioner = Param{Name: "partitioner", Desc: "placement policy: hash or range", Kind: String, Default: "range"}
 	rgShards      = Param{Name: "shards", Desc: "number of key-space shards", Kind: Int, Default: "4"}
 	rgKeyRange    = Param{Name: "keyrange", Desc: "key range (and range-partitioner universe)", Kind: Int, Default: "4096"}
@@ -99,6 +109,25 @@ func init() {
 				Skew:        v.Float(shSkew),
 				BatchEvery:  batchEvery,
 				BatchKeys:   v.Int(shBatchKeys),
+			}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "service-chaos",
+		Family:      "service",
+		Description: "self-healing 2PC under injected faults: coordinator crashes roll forward, foreign wedges abort, recovery counts in metrics",
+		Params:      []Param{chShards, chKeyRange, chInitial, chCrossEvery, chBatchKeys, chFault, chFaultEvery, chFaultCount, chDeadlineOps},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.ServiceChaos{
+				Shards:      v.Int(chShards),
+				KeyRange:    v.Int(chKeyRange),
+				InitialSize: v.Int(chInitial),
+				CrossEvery:  v.Int(chCrossEvery),
+				BatchKeys:   v.Int(chBatchKeys),
+				FaultKind:   v.Str(chFault),
+				FaultEvery:  v.Int(chFaultEvery),
+				FaultCount:  v.Int(chFaultCount),
+				DeadlineOps: v.Int(chDeadlineOps),
 			}, nil
 		},
 	})

@@ -1,0 +1,409 @@
+package serve
+
+// Chaos battery: the fault-injection substrate driven end to end against
+// the self-healing cross-shard commit path. Every schedule here is
+// modular (after/every/count), so the injected failures — and therefore
+// the recovery counters the tests pin — are exact, not probabilistic.
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	proteustm "repro"
+	"repro/internal/fault"
+	"repro/internal/shard"
+)
+
+func mustFault(t *testing.T, spec string, seed uint64) *fault.Injector {
+	t.Helper()
+	inj, err := fault.Parse(spec, seed)
+	if err != nil {
+		t.Fatalf("fault.Parse(%q): %v", spec, err)
+	}
+	return inj
+}
+
+// keysOnDistinctShards returns n keys, each owned by a different shard,
+// so every batch over them runs the full cross-shard protocol.
+func keysOnDistinctShards(t *testing.T, s *Server, n int) []uint64 {
+	t.Helper()
+	keys := make([]uint64, 0, n)
+	seen := map[int]bool{}
+	for k := uint64(0); len(keys) < n; k++ {
+		if o := s.part.Owner(k); !seen[o] {
+			seen[o] = true
+			keys = append(keys, k)
+		}
+		if k > 1<<20 {
+			t.Fatalf("no %d keys on distinct shards", n)
+		}
+	}
+	return keys
+}
+
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func regSize(s *Server) int {
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	return len(s.reg.recs)
+}
+
+// TestCoordinatorCrashRecovery is the acceptance test of the self-healing
+// path: every injected coordinator crash between prepare and apply leaves
+// its fences orphaned, the failure detector recovers each batch within
+// the deadline, the decided writes roll forward exactly once, and
+// ops.fence_recovered matches the injected crash count exactly.
+func TestCoordinatorCrashRecovery(t *testing.T) {
+	const crashes = 3
+	s := newTestServer(t, Options{
+		Shards: 3, Workers: 2, Seed: 42,
+		FenceDeadline:  80 * time.Millisecond,
+		DetectInterval: 20 * time.Millisecond,
+		Fault:          mustFault(t, "coord-crash@every=1;count=3", 42),
+	})
+	keys := keysOnDistinctShards(t, s, 3)
+
+	var lastVals []uint64
+	for round := 0; round < crashes; round++ {
+		vals := []uint64{uint64(round)*10 + 1, uint64(round)*10 + 2, uint64(round)*10 + 3}
+		resp, code := s.submitCross(&request{op: opMPut, keys: keys, vals: vals})
+		if code != http.StatusServiceUnavailable || !strings.Contains(resp.Err, "crashed") {
+			t.Fatalf("round %d: crashed mput = %d %+v, want 503 with crash error", round, code, resp)
+		}
+		if resp.retryAfter <= 0 {
+			t.Fatalf("round %d: crashed mput carries no Retry-After hint: %+v", round, resp)
+		}
+		want := uint64(round + 1)
+		waitUntil(t, 10*time.Second, "fence recovery", func() bool {
+			return s.fenceRecovered.Load() >= want
+		})
+		lastVals = vals
+	}
+
+	if got := s.crossCrashes.Load(); got != crashes {
+		t.Fatalf("cross_crashes = %d, want %d", got, crashes)
+	}
+	if got := s.fenceRecovered.Load(); got != crashes {
+		t.Fatalf("fence_recovered = %d, want exactly %d (one per injected crash)", got, crashes)
+	}
+	if got := s.fenceRolledForward.Load(); got != crashes {
+		t.Fatalf("fence_rolled_forward = %d, want %d (every crash was post-decide)", got, crashes)
+	}
+	if got := s.fenceAborted.Load(); got != 0 {
+		t.Fatalf("fence_aborted = %d, want 0", got)
+	}
+	for i, ss := range s.shards {
+		if v := ss.sys.Load(ss.store.FenceWord()); v != 0 {
+			t.Fatalf("shard %d fence still held (%d) after recovery", i, v)
+		}
+	}
+	if n := regSize(s); n != 0 {
+		t.Fatalf("commit-state registry holds %d stale records", n)
+	}
+
+	// The injector's count is exhausted, so this batch commits normally —
+	// and must observe the last crashed batch's rolled-forward writes.
+	resp, code := s.submitCross(&request{op: opMGet, keys: keys})
+	if code != http.StatusOK {
+		t.Fatalf("post-recovery mget = %d %+v", code, resp)
+	}
+	for i := range keys {
+		if !resp.Present[i] || resp.Vals[i] != lastVals[i] {
+			t.Fatalf("rolled-forward write lost: mget[%d] = %+v, want %d", i, resp, lastVals[i])
+		}
+	}
+	if h := s.Health(); !h.Healthy {
+		t.Fatalf("health not ready after full recovery: %+v", h)
+	}
+	st := s.StatusSnapshot()
+	if st.Ops.FenceRecovered != crashes || st.Ops.CrossCrashes != crashes {
+		t.Fatalf("statusz recovery counters = %+v", st.Ops)
+	}
+	if got := st.Ops.Faults["coord-crash"]; got != crashes {
+		t.Fatalf("statusz faults[coord-crash] = %d, want %d", got, crashes)
+	}
+}
+
+// TestChaosLinearizability runs concurrent cross-shard traffic under
+// injected coordinator crashes and checks the committed history — with
+// every crashed-but-decided write included, its window extended to
+// recovery — still admits a sequential witness. Run under -race in CI.
+func TestChaosLinearizability(t *testing.T) {
+	const clients = 3
+	const opsPerClient = 4
+	s := newTestServer(t, Options{
+		Shards: 3, Workers: 2, HeapWords: 1 << 16, Seed: 7,
+		CrossRetries:   512, // ride out fences held across a recovery window
+		FenceDeadline:  100 * time.Millisecond,
+		DetectInterval: 25 * time.Millisecond,
+		Fault:          mustFault(t, "coord-crash@every=3;count=4", 9),
+	})
+	keys := keysOnDistinctShards(t, s, 3)
+	base := time.Now()
+	rec := &linRecorder{}
+	var pendMu sync.Mutex
+	var pending []shard.Op // crashed mputs: decided, applied by recovery
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < opsPerClient; i++ {
+				v := uint64(c*1000 + i + 1)
+				op := shard.Op{Invoke: int64(time.Since(base))}
+				if i%2 == 0 {
+					op.Kind = shard.OpMPut
+					op.Keys = append([]uint64{}, keys...)
+					op.Args = []uint64{v, v, v}
+					resp, code := s.submitCross(&request{op: opMPut, keys: op.Keys, vals: op.Args})
+					op.Return = int64(time.Since(base))
+					switch {
+					case code == http.StatusOK:
+						rec.record(op)
+					case strings.Contains(resp.Err, "crashed"):
+						// Decided before the crash: recovery will apply it.
+						// Its true effect time is anywhere up to recovery
+						// completion, so Return is restamped after drain.
+						pendMu.Lock()
+						pending = append(pending, op)
+						pendMu.Unlock()
+					}
+					// Any other failure (abort-all exhaustion, breaker shed,
+					// undecided supersede) applied nothing — safe to drop.
+				} else {
+					op.Kind = shard.OpMGet
+					op.Keys = append([]uint64{}, keys...)
+					resp, code := s.submitCross(&request{op: opMGet, keys: op.Keys})
+					op.Return = int64(time.Since(base))
+					if code == http.StatusOK {
+						op.Vals, op.Oks = resp.Vals, resp.Present
+						rec.record(op)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Quiescence: every orphaned batch recovered, every fence free.
+	waitUntil(t, 15*time.Second, "chaos quiescence", func() bool {
+		if regSize(s) != 0 {
+			return false
+		}
+		for _, ss := range s.shards {
+			if ss.sys.Load(ss.store.FenceWord()) != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if s.crossCrashes.Load() == 0 {
+		t.Fatal("chaos schedule injected no coordinator crashes")
+	}
+	if got, want := s.fenceRecovered.Load(), s.crossCrashes.Load(); got < want {
+		t.Fatalf("fence_recovered = %d < cross_crashes = %d after quiescence", got, want)
+	}
+	end := int64(time.Since(base))
+	for _, op := range pending {
+		op.Return = end
+		rec.record(op)
+	}
+	if _, ok := shard.Linearize(rec.ops); !ok {
+		t.Fatalf("chaos history of %d ops (%d crash-recovered) admits no sequential witness: %+v",
+			len(rec.ops), len(pending), rec.ops)
+	}
+}
+
+// TestFenceEpochLateReleaseIsNoOp pins the epoch guard: after the
+// detector recovers a fence and a new coordinator re-acquires it, the
+// original slow-but-alive coordinator's release — presented with its
+// superseded epoch — must change nothing.
+func TestFenceEpochLateReleaseIsNoOp(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 2, Workers: 2, FenceDeadline: -1})
+	ss := s.shards[1]
+
+	r1 := s.ctlAcquire(ss, 101)
+	if !r1.Applied {
+		t.Fatalf("initial acquire failed: %+v", r1)
+	}
+	// The detector (driven by hand: detection is disabled) declares
+	// coordinator 101 dead. Its token was never registered, so the fence
+	// is simply released at its observed epoch.
+	s.recoverOrphan(ss, 101, r1.epoch)
+	if v := ss.sys.Load(ss.store.FenceWord()); v != 0 {
+		t.Fatalf("fence not recovered: held by %d", v)
+	}
+	if got, aborted := s.fenceRecovered.Load(), s.fenceAborted.Load(); got != 1 || aborted != 1 {
+		t.Fatalf("recovery counters = recovered %d aborted %d, want 1/1", got, aborted)
+	}
+
+	// A new coordinator takes the fence under a fresh epoch.
+	r2 := s.ctlAcquire(ss, 202)
+	if !r2.Applied || r2.epoch != r1.epoch+1 {
+		t.Fatalf("re-acquire = %+v, want epoch %d", r2, r1.epoch+1)
+	}
+
+	// The original coordinator finally issues its release with the old
+	// epoch: a provable no-op, not a theft of coordinator 202's fence.
+	var heldByOld, released bool
+	s.ctl(ss, func(w *proteustm.Worker, _ int) response {
+		w.Atomic(func(tx proteustm.Txn) {
+			heldByOld = ss.store.FenceHeldBy(tx, 101, r1.epoch)
+			released = ss.store.FenceRelease(tx, r1.epoch)
+		})
+		return response{}
+	})
+	if heldByOld || released {
+		t.Fatalf("late release applied: heldByOld=%v released=%v", heldByOld, released)
+	}
+	if v := ss.sys.Load(ss.store.FenceWord()); v != 202 {
+		t.Fatalf("fence = %d after late release, want 202", v)
+	}
+	if e := ss.sys.Load(ss.store.FenceEpochWord()); e != r2.epoch {
+		t.Fatalf("epoch = %d after late release, want %d", e, r2.epoch)
+	}
+
+	// The current holder's correctly-epoched release still works.
+	s.ctl(ss, func(w *proteustm.Worker, _ int) response {
+		w.Atomic(func(tx proteustm.Txn) { ss.store.FenceRelease(tx, r2.epoch) })
+		return response{}
+	})
+	if v := ss.sys.Load(ss.store.FenceWord()); v != 0 {
+		t.Fatalf("guarded release by current holder failed: fence = %d", v)
+	}
+}
+
+// TestDoubleRecoveryIdempotence pins the counted-once edge: recovering
+// the same orphaned batch twice rolls its writes forward exactly once
+// and bumps the recovery counters exactly once.
+func TestDoubleRecoveryIdempotence(t *testing.T) {
+	s := newTestServer(t, Options{
+		Shards: 3, Workers: 2, FenceDeadline: -1,
+		Fault: mustFault(t, "coord-crash@every=1;count=1", 5),
+	})
+	keys := keysOnDistinctShards(t, s, 3)
+	vals := []uint64{10, 20, 30}
+	resp, code := s.submitCross(&request{op: opMPut, keys: keys, vals: vals})
+	if code != http.StatusServiceUnavailable || !strings.Contains(resp.Err, "crashed") {
+		t.Fatalf("crashed mput = %d %+v", code, resp)
+	}
+
+	ss := s.shards[s.part.Owner(keys[0])]
+	token := ss.sys.Load(ss.store.FenceWord())
+	epoch := ss.sys.Load(ss.store.FenceEpochWord())
+	if token == 0 {
+		t.Fatal("crashed coordinator left no fence held")
+	}
+
+	// First recovery heals the whole batch across all three shards.
+	s.recoverOrphan(ss, token, epoch)
+	for i, sh := range s.shards {
+		if v := sh.sys.Load(sh.store.FenceWord()); v != 0 {
+			t.Fatalf("shard %d fence still held (%d) after recovery", i, v)
+		}
+	}
+	if rec, fwd := s.fenceRecovered.Load(), s.fenceRolledForward.Load(); rec != 1 || fwd != 1 {
+		t.Fatalf("after first recovery: recovered %d rolled-forward %d, want 1/1", rec, fwd)
+	}
+
+	// A second detector firing on the same orphan — from this shard or
+	// any other participant — must be a no-op.
+	s.recoverOrphan(ss, token, epoch)
+	other := s.shards[s.part.Owner(keys[1])]
+	s.recoverOrphan(other, token, other.sys.Load(other.store.FenceEpochWord()))
+	if rec, fwd, ab := s.fenceRecovered.Load(), s.fenceRolledForward.Load(), s.fenceAborted.Load(); rec != 1 || fwd != 1 || ab != 0 {
+		t.Fatalf("after double recovery: recovered %d rolled-forward %d aborted %d, want 1/1/0", rec, fwd, ab)
+	}
+	if n := regSize(s); n != 0 {
+		t.Fatalf("registry holds %d records after recovery", n)
+	}
+
+	// The rolled-forward writes are present, once.
+	resp, code = s.submitCross(&request{op: opMGet, keys: keys})
+	if code != http.StatusOK {
+		t.Fatalf("mget = %d %+v", code, resp)
+	}
+	for i := range keys {
+		if !resp.Present[i] || resp.Vals[i] != vals[i] {
+			t.Fatalf("mget[%d] = %+v, want %d", i, resp, vals[i])
+		}
+	}
+}
+
+// TestBreakerOpensAndCloses drives the progress-watchdog circuit breaker
+// through a full cycle with an injected shard stall: queued work with no
+// progress opens it, new admissions shed 503 with a Retry-After hint and
+// /healthz goes not-ready, and resumed progress closes it again.
+func TestBreakerOpensAndCloses(t *testing.T) {
+	s := newTestServer(t, Options{
+		Shards: 2, Workers: 1, Seed: 3,
+		FenceDeadline:     5 * time.Second, // detector on, fence recovery out of play
+		DetectInterval:    10 * time.Millisecond,
+		BreakerStallTicks: 2,
+		BreakerCooldown:   3 * time.Second,
+		Fault:             mustFault(t, "shard-stall:0@every=1;count=1;stall=1200ms", 3),
+	})
+	var k uint64
+	for s.part.Owner(k) != 0 {
+		k++
+	}
+	ss := s.shards[0]
+
+	// The first dequeue on shard 0 arms the 1.2s stall; the rest of the
+	// puts sit in the queue, so the detector sees queued work with zero
+	// executions and opens the breaker.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if resp, code := s.submit(ss, &request{op: opPut, key: k, val: uint64(i)}); code != http.StatusOK {
+				t.Errorf("stalled put %d = %d %+v", i, code, resp)
+			}
+		}(i)
+		time.Sleep(10 * time.Millisecond)
+	}
+	waitUntil(t, 5*time.Second, "breaker open", func() bool {
+		return s.breakerOpenTotal.Load() > 0
+	})
+	if h := s.Health(); h.Healthy {
+		t.Fatalf("health ready with an open breaker: %+v", h)
+	}
+	resp, code := s.submit(ss, &request{op: opPut, key: k, val: 99})
+	if code != http.StatusServiceUnavailable || resp.retryAfter <= 0 {
+		t.Fatalf("open-breaker submit = %d %+v, want 503 with Retry-After", code, resp)
+	}
+	if s.breakerShed.Load() == 0 {
+		t.Fatal("shed admission not counted")
+	}
+
+	// The stall expires, the queue drains, and the next detector tick
+	// observes progress and closes the breaker.
+	wg.Wait()
+	waitUntil(t, 5*time.Second, "breaker close", func() bool {
+		return ss.breakerState.Load() == breakerClosed
+	})
+	if h := s.Health(); !h.Healthy {
+		t.Fatalf("health not ready after breaker closed: %+v", h)
+	}
+	if resp, code := s.submit(ss, &request{op: opPut, key: k, val: 100}); code != http.StatusOK {
+		t.Fatalf("post-recovery put = %d %+v", code, resp)
+	}
+	if st := s.StatusSnapshot(); st.Shards[0].Breaker != "closed" || st.Ops.BreakerOpenTotal == 0 {
+		t.Fatalf("statusz breaker state = %+v", st.Shards[0])
+	}
+}

@@ -5,17 +5,28 @@
 // Phase 1 (acquire): the coordinator claims each participating shard's
 // fence word with a CAS-with-fence transaction, in ascending shard-index
 // order — the global lock order that keeps concurrent coordinators
-// deadlock-free. Any acquisition failure aborts the whole attempt: every
-// fence taken so far is released ("abort-all on any shard abort") and the
-// coordinator backs off and retries.
+// deadlock-free. Every acquisition bumps the shard's fence epoch and
+// stamps a heartbeat, and the coordinator records the (shard, epoch)
+// pairs in the server's commit-state registry (see recovery.go). Any
+// acquisition failure aborts the whole attempt: every fence taken so far
+// is released ("abort-all on any shard abort") and the coordinator backs
+// off — capped exponential backoff with seeded jitter — and retries.
 //
-// Phase 2 (apply+release): with every fence held, the coordinator applies
-// each shard's sub-operation and releases that shard's fence in a single
-// transaction, so local operations observe the writes and the release
-// atomically. Local operations always read the fence inside their own
-// transaction and requeue while it is held, which is what makes the span
-// between the first and last apply unobservable — the protocol's
-// linearization point sits between the last acquire and the first apply.
+// Phase 2 (apply+release): with every fence held, the coordinator marks
+// the batch decided (for writes) and then applies each shard's
+// sub-operation and releases that shard's fence in a single transaction,
+// so local operations observe the writes and the release atomically.
+// Every apply and release is guarded by the recorded (token, epoch) pair:
+// if the per-shard failure detector declared this coordinator dead and
+// recovered the fence in the meantime, the late transaction observes the
+// mismatch and becomes a no-op instead of a corruption — the decided
+// flag in the registry is what recovery uses to choose roll-forward
+// (writes it finishes on the coordinator's behalf) over abort-release.
+//
+// Local operations always read the fence inside their own transaction
+// and requeue while it is held, which is what makes the span between the
+// first and last apply unobservable — the protocol's linearization point
+// sits between the last acquire and the first apply.
 //
 // Control steps travel on each shard's priority lane and execute on the
 // shard's own worker slots, so they obey the same graceful-drain protocol
@@ -27,6 +38,7 @@ import (
 	"time"
 
 	proteustm "repro"
+	"repro/internal/fault"
 )
 
 // subBatch is one shard's slice of a cross-shard batch: the positions
@@ -51,6 +63,34 @@ func (s *Server) splitBatch(keys []uint64) []subBatch {
 		out[j].idx = append(out[j].idx, i)
 	}
 	return out
+}
+
+// Backoff constants of the acquire-phase abort-retry loop: attempt n
+// sleeps min(base<<n, cap) scaled by a seeded jitter in [0.5, 1.5), so
+// colliding coordinators spread out instead of re-colliding in lockstep.
+const (
+	crossBackoffBase = 50 * time.Microsecond
+	crossBackoffCap  = 2 * time.Millisecond
+)
+
+// crossBackoff sleeps the capped exponential backoff for abort-retry
+// attempt n and accounts the sleep (surfaced as ops.cross_backoff_ms).
+func (s *Server) crossBackoff(attempt int) {
+	d := crossBackoffBase
+	for i := 0; i < attempt && d < crossBackoffCap; i++ {
+		d *= 2
+	}
+	if d > crossBackoffCap {
+		d = crossBackoffCap
+	}
+	// Seeded jitter: deterministic splitmix64 stream over Options.Seed.
+	x := s.jitterState.Add(0x9E3779B97F4A7C15)
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	frac := float64((x^(x>>31))>>11) / float64(1<<53) // [0, 1)
+	d = d/2 + time.Duration(float64(d)*frac)
+	s.crossBackoffNs.Add(uint64(d))
+	time.Sleep(d)
 }
 
 // submitCross admits one multi-key operation. Single-participant
@@ -89,6 +129,18 @@ func (s *Server) submitCross(req *request) (response, int) {
 		return s.submit(s.shards[batches[0].shard], req)
 	}
 
+	// A sick participant fails the whole batch before any fence is
+	// taken: shed to the breaker's Retry-After instead of letting the
+	// protocol discover the stall the slow way.
+	for _, b := range batches {
+		if ra := s.shards[b.shard].breakerRetryAfter(time.Now()); ra > 0 {
+			s.breakerShed.Add(1)
+			return response{Err: "participant shard circuit breaker open",
+					code: http.StatusServiceUnavailable, retryAfter: ra},
+				http.StatusServiceUnavailable
+		}
+	}
+
 	s.armDeadline(req)
 	accepted := req.accepted
 	// Coordinator slots are bounded admission, same contract as the data
@@ -101,6 +153,13 @@ func (s *Server) submitCross(req *request) (response, int) {
 	}
 	defer func() { <-s.crossSem }()
 	token := s.nextToken.Add(1)
+	rec := s.reg.register(token, req, batches)
+	abandoned := false
+	defer func() {
+		if !abandoned {
+			s.reg.remove(token)
+		}
+	}()
 
 	for attempt := 0; attempt < s.opts.CrossRetries; attempt++ {
 		// Deadline/cancellation gate, checked only between attempts: a
@@ -111,38 +170,76 @@ func (s *Server) submitCross(req *request) (response, int) {
 			s.shedDeadline.Add(1)
 			return response{Err: "deadline exceeded", code: http.StatusGatewayTimeout}, http.StatusGatewayTimeout
 		}
-		acquired := make([]subBatch, 0, len(batches))
 		ok := true
-		for _, b := range batches {
-			r := s.ctlAcquire(s.shards[b.shard], token)
+		for _, p := range rec.parts {
+			// Injected coordinator stall between acquisitions: the
+			// coordinator sits on already-claimed fences, indistinguishable
+			// from a dead one — the window the epoch guards exist for.
+			if d, fire := s.opts.Fault.Fire(fault.FenceAcquireStall, -1); fire {
+				time.Sleep(d)
+			}
+			r := s.ctlAcquire(s.shards[p.shard], token)
 			if r.Err != "" {
-				s.releaseAll(acquired)
+				s.releaseParts(rec)
 				return r, http.StatusServiceUnavailable
 			}
 			if !r.Applied {
 				ok = false
 				break
 			}
-			acquired = append(acquired, b)
+			s.reg.acquired(rec, p, r.epoch)
 		}
 		if !ok {
 			// Abort-all: another coordinator (or an unlucky interleaving)
 			// holds a fence we need. Release everything, back off, retry.
-			s.releaseAll(acquired)
+			s.releaseParts(rec)
 			s.crossAborts.Add(1)
-			time.Sleep(time.Duration(attempt%8+1) * 50 * time.Microsecond)
+			if attempt+1 < s.opts.CrossRetries {
+				s.crossBackoff(attempt)
+			}
 			continue
 		}
-		resp := s.applyAll(batches, req)
+		// Prepared: every fence held. Writes record their decision now —
+		// from here recovery rolls the batch forward instead of aborting.
+		// A failed decide means the detector claimed this batch for abort
+		// while we were stalled mid-acquire: nothing may be applied.
+		if req.op == opMPut && !s.reg.decide(rec) {
+			resp := s.superseded(rec)
+			return resp, resp.code
+		}
+		if _, fire := s.opts.Fault.Fire(fault.CoordCrash, -1); fire {
+			// Injected coordinator crash between prepare and apply: the
+			// registry record stays behind for the failure detector, the
+			// fences stay held until it recovers them, and the client is
+			// told when to retry.
+			abandoned = true
+			s.reg.abandon(rec)
+			s.crossCrashes.Add(1)
+			return response{Err: "cross-shard coordinator crashed (injected fault); fence recovery pending",
+					code: http.StatusServiceUnavailable, retryAfter: s.fenceRecoveryEta()},
+				http.StatusServiceUnavailable
+		}
+		resp := s.applyAll(rec, req)
 		if resp.Err != "" {
-			return resp, http.StatusServiceUnavailable
+			code := http.StatusServiceUnavailable
+			if resp.code != 0 {
+				code = resp.code
+			}
+			return resp, code
 		}
 		s.crossOps.Add(1)
 		s.served[req.op].Add(1)
 		s.lat.Observe(msBetween(accepted, time.Now()))
 		return resp, http.StatusOK
 	}
-	return response{Err: "cross-shard commit: fence contention exhausted retries"}, http.StatusServiceUnavailable
+	// Exhausting the retry budget on a sharded server almost always means
+	// the batch kept colliding with an orphaned fence (the capped backoff
+	// schedule is far shorter than a recovery window), so tell the client
+	// when the failure detector will have healed it rather than reporting
+	// a dead-end error.
+	return response{Err: "cross-shard commit: fence contention exhausted retries",
+			code: http.StatusServiceUnavailable, retryAfter: s.fenceRecoveryEta()},
+		http.StatusServiceUnavailable
 }
 
 // ctl submits one control step to shard ss's priority lane and waits for
@@ -160,100 +257,168 @@ func (s *Server) ctl(ss *shardState, fn func(w *proteustm.Worker, slot int) resp
 	return <-req.done
 }
 
-// ctlAcquire runs the CAS-with-fence acquisition on one shard.
+// ctlAcquire runs the CAS-with-fence acquisition on one shard, stamping
+// the heartbeat with the coordinator's current wall clock; the response
+// carries the new fence epoch.
 func (s *Server) ctlAcquire(ss *shardState, token uint64) response {
+	beat := uint64(time.Now().UnixNano())
 	return s.ctl(ss, func(w *proteustm.Worker, _ int) response {
 		var got bool
+		var epoch uint64
 		w.Atomic(func(tx proteustm.Txn) {
-			got = ss.store.FenceAcquire(tx, token)
+			epoch, got = ss.store.FenceAcquire(tx, token, beat)
 		})
-		return response{Applied: got}
+		return response{Applied: got, epoch: epoch}
 	})
 }
 
-// releaseAll frees the fences of every acquired shard (abort path; the
-// commit path releases inside applyAll's per-shard transactions).
-func (s *Server) releaseAll(acquired []subBatch) {
-	for _, b := range acquired {
-		ss := s.shards[b.shard]
+// releaseParts frees the fences of every acquired-but-unreleased part of
+// rec (the abort path; the commit path releases inside applyAll's
+// per-shard transactions). Every release is epoch-guarded, so a part the
+// failure detector already recovered — and possibly handed to a new
+// coordinator under a new epoch — is left alone. Part state is reset so
+// the next acquire attempt starts clean.
+func (s *Server) releaseParts(rec *crossRec) {
+	for _, p := range rec.parts {
+		token, epoch, held := s.reg.acquireState(rec, p)
+		if !held {
+			continue
+		}
+		ss := s.shards[p.shard]
 		s.ctl(ss, func(w *proteustm.Worker, _ int) response {
-			w.Atomic(func(tx proteustm.Txn) { ss.store.FenceRelease(tx) })
+			w.Atomic(func(tx proteustm.Txn) {
+				if ss.store.FenceHeldBy(tx, token, epoch) {
+					ss.store.FenceRelease(tx, epoch)
+				}
+			})
 			return response{}
 		})
 	}
+	s.reg.resetParts(rec)
+}
+
+// failRemaining handles a control-step failure inside phase 2 — only
+// reachable during process shutdown (the lane rejects steps once the
+// shard's stop channel closes, and Close waits for in-flight coordinators
+// before closing it). Even then the coordinator must not strand fences:
+// the remaining participants' fences are released best-effort before the
+// error propagates, so a shard can never be wedged for writes by a dead
+// batch.
+func (s *Server) failRemaining(rec *crossRec, r response) response {
+	s.releaseParts(rec)
+	return r
+}
+
+// superseded is the phase-2 outcome when a guarded apply observed a
+// foreign (token, epoch): the failure detector declared this coordinator
+// dead mid-protocol and recovered its fences. Reads cannot be salvaged
+// (their snapshot is torn); writes land here only when recovery aborted
+// an undecided batch, so nothing was applied anywhere and a retry is
+// safe either way.
+func (s *Server) superseded(rec *crossRec) response {
+	s.releaseParts(rec)
+	return response{Err: "cross-shard commit superseded by fence recovery; retry",
+		code: http.StatusServiceUnavailable, retryAfter: s.fenceRecoveryEta()}
 }
 
 // applyAll runs phase 2: each shard applies its slice of the operation
-// and releases its fence in one transaction. With every fence held no
-// local operation can observe the store between two shards' applies, so
-// the batch is atomic even though the applies run one shard at a time.
-//
-// A control-step failure here is only reachable during process shutdown
-// (the lane rejects steps once the shard's stop channel closes, and
-// Close waits for in-flight coordinators before closing it). Even then
-// the coordinator must not strand fences: the remaining participants'
-// fences are released best-effort before the error propagates, so a
-// shard can never be wedged for writes by a dead batch.
-func (s *Server) applyAll(batches []subBatch, req *request) response {
+// and releases its fence in one transaction, guarded by the (token,
+// epoch) recorded at acquisition. With every fence held no local
+// operation can observe the store between two shards' applies, so the
+// batch is atomic even though the applies run one shard at a time. A
+// part the failure detector already rolled forward (a slow-but-alive
+// coordinator racing recovery) is skipped: its writes are in and its
+// fence is released, which is exactly what this loop would have done.
+func (s *Server) applyAll(rec *crossRec, req *request) response {
 	var out response
-	fail := func(done int, r response) response {
-		s.releaseAll(batches[done+1:])
-		return r
-	}
 	switch req.op {
 	case opMPut:
-		for n, b := range batches {
-			ss, idx := s.shards[b.shard], b.idx
+		for _, p := range rec.parts {
+			if s.reg.partReleased(rec, p) {
+				continue // recovery rolled this part forward
+			}
+			ss, idx, epoch := s.shards[p.shard], p.idx, s.reg.epochOf(rec, p)
 			r := s.ctl(ss, func(w *proteustm.Worker, slot int) response {
+				var stale bool
 				w.Atomic(func(tx proteustm.Txn) {
+					if stale = !ss.store.FenceHeldBy(tx, rec.token, epoch); stale {
+						return
+					}
 					for _, i := range idx {
 						ss.store.Put(tx, slot, req.keys[i], req.vals[i])
 					}
-					ss.store.FenceRelease(tx)
+					ss.store.FenceRelease(tx, epoch)
 				})
+				if !stale {
+					s.reg.markReleased(rec, p, false)
+				}
 				return response{Applied: true}
 			})
 			if r.Err != "" {
-				return fail(n, r)
+				return s.failRemaining(rec, r)
+			}
+			if !s.reg.partReleased(rec, p) {
+				return s.superseded(rec)
 			}
 		}
 		out.Applied = true
 	case opMGet:
 		out.Vals = make([]uint64, len(req.keys))
 		out.Present = make([]bool, len(req.keys))
-		for n, b := range batches {
-			ss, idx := s.shards[b.shard], b.idx
+		for _, p := range rec.parts {
+			ss, idx, epoch := s.shards[p.shard], p.idx, s.reg.epochOf(rec, p)
 			r := s.ctl(ss, func(w *proteustm.Worker, _ int) response {
+				var stale bool
 				vals := make([]uint64, len(idx))
 				present := make([]bool, len(idx))
 				w.Atomic(func(tx proteustm.Txn) {
+					if stale = !ss.store.FenceHeldBy(tx, rec.token, epoch); stale {
+						return
+					}
 					for j, i := range idx {
 						vals[j], present[j] = ss.store.Get(tx, req.keys[i])
 					}
-					ss.store.FenceRelease(tx)
+					ss.store.FenceRelease(tx, epoch)
 				})
-				return response{Vals: vals, Present: present}
+				if !stale {
+					s.reg.markReleased(rec, p, false)
+				}
+				return response{Vals: vals, Present: present, Applied: !stale}
 			})
 			if r.Err != "" {
-				return fail(n, r)
+				return s.failRemaining(rec, r)
+			}
+			if !r.Applied {
+				return s.superseded(rec)
 			}
 			for j, i := range idx {
 				out.Vals[i], out.Present[i] = r.Vals[j], r.Present[j]
 			}
 		}
 	case opRange:
-		for n, b := range batches {
-			ss := s.shards[b.shard]
+		for _, p := range rec.parts {
+			ss, epoch := s.shards[p.shard], s.reg.epochOf(rec, p)
 			r := s.ctl(ss, func(w *proteustm.Worker, _ int) response {
+				var stale bool
 				var count, sum uint64
 				w.Atomic(func(tx proteustm.Txn) {
+					count, sum = 0, 0
+					if stale = !ss.store.FenceHeldBy(tx, rec.token, epoch); stale {
+						return
+					}
 					count, sum = ss.store.Range(tx, req.lo, req.hi)
-					ss.store.FenceRelease(tx)
+					ss.store.FenceRelease(tx, epoch)
 				})
-				return response{Count: count, Sum: sum}
+				if !stale {
+					s.reg.markReleased(rec, p, false)
+				}
+				return response{Count: count, Sum: sum, Applied: !stale}
 			})
 			if r.Err != "" {
-				return fail(n, r)
+				return s.failRemaining(rec, r)
+			}
+			if !r.Applied {
+				return s.superseded(rec)
 			}
 			out.Count += r.Count
 			out.Sum += r.Sum

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -183,6 +184,11 @@ type PhaseReport struct {
 	// set.
 	Expired  uint64 `json:"expired,omitempty"`
 	Timeouts uint64 `json:"timeouts,omitempty"`
+	// Retried503 counts 503 responses that carried a Retry-After header
+	// (circuit-breaker shedding or fence recovery in progress) and were
+	// retried after honoring it; only the final attempt's outcome lands in
+	// the other counters. A 503 without the header is a hard error.
+	Retried503 uint64 `json:"retried_503,omitempty"`
 	// LatencyMs summarizes per-operation client-observed latency.
 	LatencyMs metrics.Summary `json:"latency_ms"`
 	// QueueWaitP50Ms and QueueWaitP99Ms snapshot the daemon's
@@ -244,6 +250,7 @@ type LoadReport struct {
 type connStats struct {
 	ops, rejected, errors    uint64
 	expired, timeouts, okSLO uint64
+	retried503               uint64
 	lat                      []float64
 }
 
@@ -395,6 +402,7 @@ func RunLoadgen(opts LoadgenOptions) (*LoadReport, error) {
 		total.Shed += pr.Shed
 		total.Expired += pr.Expired
 		total.Timeouts += pr.Timeouts
+		total.Retried503 += pr.Retried503
 	}
 	if totalDur > 0 {
 		total.Throughput = float64(total.Ops) / totalDur.Seconds()
@@ -479,6 +487,7 @@ func runPhase(client *http.Client, base string, opts LoadgenOptions, plan *skewP
 		pr.Errors += stats[i].errors
 		pr.Expired += stats[i].expired
 		pr.Timeouts += stats[i].timeouts
+		pr.Retried503 += stats[i].retried503
 		okSLO += stats[i].okSLO
 		lats = append(lats, stats[i].lat...)
 	}
@@ -576,52 +585,91 @@ func issueSkewedOp(client *http.Client, base string, opts LoadgenOptions, plan *
 // a deadline configured the request declares its budget via deadline_ms
 // (the daemon enforces it server-side) and carries a client context at
 // 4x the budget so a hung daemon cannot strand the connection.
+//
+// A 503 carrying a Retry-After header is the daemon saying "transient:
+// breaker open or fence recovery pending" — the operation is retried up
+// to three more times after honoring the advertised wait (capped at 2s
+// so a pathological header cannot stall the connection). Only the final
+// attempt's outcome is classified and its latency recorded; each honored
+// retry increments retried503. A 503 without the header stays an error.
 func issueURL(client *http.Client, url string, opts LoadgenOptions, st *connStats) {
-	var req *http.Request
-	var err error
 	if opts.Deadline > 0 {
 		sep := "&"
 		if !strings.Contains(url, "?") {
 			sep = "?"
 		}
 		url = fmt.Sprintf("%s%sdeadline_ms=%.3f", url, sep, float64(opts.Deadline)/float64(time.Millisecond))
-		ctx, cancel := context.WithTimeout(context.Background(), 4*opts.Deadline)
-		defer cancel()
-		req, err = http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	} else {
-		req, err = http.NewRequest(http.MethodGet, url, nil)
 	}
-	if err != nil {
-		st.errors++
-		return
-	}
-	t0 := time.Now()
-	resp, err := client.Do(req)
-	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
-			st.timeouts++
+	const maxAttempts = 4
+	for attempt := 1; ; attempt++ {
+		var req *http.Request
+		var err error
+		if opts.Deadline > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), 4*opts.Deadline)
+			defer cancel()
+			req, err = http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 		} else {
+			req, err = http.NewRequest(http.MethodGet, url, nil)
+		}
+		if err != nil {
+			st.errors++
+			return
+		}
+		t0 := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				st.timeouts++
+			} else {
+				st.errors++
+			}
+			return
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < maxAttempts {
+			if wait, ok := retryAfterWait(resp); ok {
+				st.retried503++
+				time.Sleep(wait)
+				continue
+			}
+		}
+		latMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+		st.lat = append(st.lat, latMs)
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			st.ops++
+			if opts.SLOP99 > 0 && latMs <= float64(opts.SLOP99)/float64(time.Millisecond) {
+				st.okSLO++
+			}
+		case resp.StatusCode == http.StatusTooManyRequests:
+			st.rejected++
+		case resp.StatusCode == http.StatusGatewayTimeout:
+			st.expired++
+		default:
 			st.errors++
 		}
 		return
 	}
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
-	resp.Body.Close()
-	latMs := float64(time.Since(t0).Nanoseconds()) / 1e6
-	st.lat = append(st.lat, latMs)
-	switch {
-	case resp.StatusCode == http.StatusOK:
-		st.ops++
-		if opts.SLOP99 > 0 && latMs <= float64(opts.SLOP99)/float64(time.Millisecond) {
-			st.okSLO++
-		}
-	case resp.StatusCode == http.StatusTooManyRequests:
-		st.rejected++
-	case resp.StatusCode == http.StatusGatewayTimeout:
-		st.expired++
-	default:
-		st.errors++
+}
+
+// retryAfterWait extracts a 503 response's Retry-After delay, capped at
+// 2 seconds. A missing or unparseable header reports false: the daemon
+// gave no recovery estimate, so the response is not worth retrying.
+func retryAfterWait(resp *http.Response) (time.Duration, bool) {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return 0, false
 	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	wait := time.Duration(secs) * time.Second
+	if max := 2 * time.Second; wait > max {
+		wait = max
+	}
+	return wait, true
 }
 
 // sessionReconfigs extracts the reconfiguration events that happened

@@ -1,0 +1,497 @@
+// Self-healing for the cross-shard commit protocol: the commit-state
+// registry (the coordinator's write-ahead decision record), the per-shard
+// failure detector that scavenges orphaned fences, and the per-shard
+// circuit breaker that sheds load away from a shard that has stopped
+// making progress.
+//
+// The registry is the recovery oracle. Every cross-shard coordinator
+// registers its batch — token, operation, keys/values, and the (shard,
+// epoch) of each fence as it is acquired — and marks the batch *decided*
+// once every fence is held (writes only; reads are never decided). When a
+// shard's detector finds a fence held past the deadline, it looks the
+// token up: a decided batch is rolled forward (the writes are applied on
+// the dead coordinator's behalf, then the fence released), anything else
+// is aborted (fences released, nothing applied). Both paths run under the
+// fence's (token, epoch) guard, so recovery racing a slow-but-alive
+// coordinator is safe in both directions: whichever transaction commits
+// second observes the mismatch and becomes a no-op. The decide/claim
+// handshake is serialized by the registry mutex, so recovery and a slow
+// coordinator can never split a batch between roll-forward and abort.
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	proteustm "repro"
+)
+
+// crossPart is one shard's slice of a registered cross-shard batch.
+type crossPart struct {
+	shard int
+	idx   []int // positions into the batch's keys/vals owned by this shard
+	// epoch is the fence epoch this batch holds the shard under (valid
+	// while acquired); released marks the fence freed (by the
+	// coordinator's apply/abort or — byRecovery — by the detector).
+	epoch      uint64
+	acquired   bool
+	released   bool
+	byRecovery bool
+}
+
+// crossRec is the registry record of one in-flight cross-shard batch —
+// everything recovery needs to finish or undo it without its coordinator.
+type crossRec struct {
+	token      uint64
+	op         opKind
+	keys, vals []uint64
+	parts      []*crossPart
+	// decided flips once every fence is held (writes only): from here
+	// the batch must commit, so recovery rolls it forward. abandoned
+	// marks a coordinator crash (fault injection): the record is owned
+	// by recovery and removed when the last fence is released.
+	decided   bool
+	abandoned bool
+	// recovering serializes detectors (one recovery per batch at a
+	// time); counted makes the recovered-batch accounting idempotent.
+	recovering bool
+	counted    bool
+}
+
+// crossReg is the server-wide commit-state registry.
+type crossReg struct {
+	mu   sync.Mutex
+	recs map[uint64]*crossRec
+}
+
+func newCrossReg() *crossReg { return &crossReg{recs: make(map[uint64]*crossRec)} }
+
+// register records a new batch before its first acquisition.
+func (g *crossReg) register(token uint64, req *request, batches []subBatch) *crossRec {
+	rec := &crossRec{token: token, op: req.op, keys: req.keys, vals: req.vals}
+	for _, b := range batches {
+		rec.parts = append(rec.parts, &crossPart{shard: b.shard, idx: b.idx})
+	}
+	g.mu.Lock()
+	g.recs[token] = rec
+	g.mu.Unlock()
+	return rec
+}
+
+// remove drops a completed (non-abandoned) batch.
+func (g *crossReg) remove(token uint64) {
+	g.mu.Lock()
+	delete(g.recs, token)
+	g.mu.Unlock()
+}
+
+// acquired records that part p holds its shard's fence under epoch.
+func (g *crossReg) acquired(rec *crossRec, p *crossPart, epoch uint64) {
+	g.mu.Lock()
+	p.epoch, p.acquired, p.released, p.byRecovery = epoch, true, false, false
+	g.mu.Unlock()
+}
+
+// acquireState reports the (token, epoch) part p currently holds its
+// fence under, if it does.
+func (g *crossReg) acquireState(rec *crossRec, p *crossPart) (token, epoch uint64, held bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return rec.token, p.epoch, p.acquired && !p.released
+}
+
+// resetParts clears acquisition state after an abort-all, so the next
+// attempt starts clean.
+func (g *crossReg) resetParts(rec *crossRec) {
+	g.mu.Lock()
+	for _, p := range rec.parts {
+		p.epoch, p.acquired, p.released, p.byRecovery = 0, false, false, false
+	}
+	g.mu.Unlock()
+}
+
+// decide marks a fully-prepared write batch as committed — unless the
+// failure detector has already claimed the record for abort (it found
+// the batch undecided when it claimed), in which case the coordinator
+// must not apply anything: the claim/decide order is what guarantees
+// recovery and coordinator agree on commit-vs-abort.
+func (g *crossReg) decide(rec *crossRec) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if rec.recovering && !rec.decided {
+		return false
+	}
+	rec.decided = true
+	return true
+}
+
+// abandon hands the record to recovery (injected coordinator crash).
+func (g *crossReg) abandon(rec *crossRec) {
+	g.mu.Lock()
+	rec.abandoned = true
+	g.mu.Unlock()
+}
+
+// markReleased records that part p's fence was freed.
+func (g *crossReg) markReleased(rec *crossRec, p *crossPart, byRecovery bool) {
+	g.mu.Lock()
+	p.released, p.byRecovery = true, byRecovery
+	g.mu.Unlock()
+}
+
+// partReleased reports whether part p's fence has been freed.
+func (g *crossReg) partReleased(rec *crossRec, p *crossPart) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return p.released
+}
+
+// epochOf returns the epoch part p acquired under.
+func (g *crossReg) epochOf(rec *crossRec, p *crossPart) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return p.epoch
+}
+
+// claim hands token's record to one recovering detector. rollForward is
+// the decision frozen at claim time: a decided batch commits (recovery
+// applies its writes), anything else aborts. Returns (nil, false, true)
+// when another detector already owns the recovery and (nil, false,
+// false) for tokens the registry has never seen.
+func (g *crossReg) claim(token uint64) (rec *crossRec, rollForward, known bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.recs[token]
+	if !ok {
+		return nil, false, false
+	}
+	if r.recovering {
+		return nil, false, true
+	}
+	r.recovering = true
+	return r, r.decided, true
+}
+
+// unclaim releases a detector's claim (recovery complete or retrying
+// next tick).
+func (g *crossReg) unclaim(rec *crossRec) {
+	g.mu.Lock()
+	rec.recovering = false
+	g.mu.Unlock()
+}
+
+// completeIfDone checks whether every acquired part of rec has been
+// released; if so it removes abandoned records (their coordinator is
+// gone) and reports whether this call is the first to observe
+// completion — the once-per-batch accounting edge.
+func (g *crossReg) completeIfDone(rec *crossRec) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, p := range rec.parts {
+		if p.acquired && !p.released {
+			return false
+		}
+	}
+	if rec.counted {
+		return false
+	}
+	rec.counted = true
+	if rec.abandoned {
+		delete(g.recs, rec.token)
+	}
+	return true
+}
+
+// ---- per-shard failure detector + circuit breaker ----
+
+// Circuit-breaker states. The breaker is driven by the detector's
+// progress watchdog, not by response codes: a shard is sick when it has
+// queued work but executes nothing across BreakerStallTicks consecutive
+// detector ticks — a stalled worker pool or a wedged fence — and healthy
+// again the moment an operation completes.
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+)
+
+// breakerRetryAfter returns how long a new admission should stay away,
+// or 0 when the shard accepts work. Past the cooldown an open breaker
+// admits probes (half-open); the detector closes it on progress or
+// re-arms the cooldown if the stall persists.
+func (ss *shardState) breakerRetryAfter(now time.Time) time.Duration {
+	if ss.breakerState.Load() != breakerOpen {
+		return 0
+	}
+	if d := time.Duration(ss.breakerUntil.Load() - now.UnixNano()); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// breakerName renders the breaker state for /statusz and /healthz.
+func (ss *shardState) breakerName(now time.Time) string {
+	if ss.breakerState.Load() != breakerOpen {
+		return "closed"
+	}
+	if ss.breakerUntil.Load() > now.UnixNano() {
+		return "open"
+	}
+	return "half-open"
+}
+
+// extendStall pushes the shard's injected-stall horizon (fault.ShardStall).
+func (ss *shardState) extendStall(until time.Time) {
+	n := until.UnixNano()
+	for {
+		cur := ss.stallUntil.Load()
+		if n <= cur || ss.stallUntil.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// sleepInjectedStall parks the worker until the stall horizon passes.
+func (ss *shardState) sleepInjectedStall() {
+	until := ss.stallUntil.Load()
+	if until == 0 {
+		return
+	}
+	if rem := time.Until(time.Unix(0, until)); rem > 0 {
+		time.Sleep(rem)
+	}
+}
+
+// beatStale reports whether a fence heartbeat is older than the
+// deadline. A zero or future beat (a fence wedged by something outside
+// the protocol) is treated as stale — the continuity requirement in the
+// detector (same token+epoch observed across the whole deadline) is
+// what keeps short-lived holds safe from it.
+func beatStale(beat uint64, now time.Time, deadline time.Duration) bool {
+	n := now.UnixNano()
+	if beat == 0 || beat > uint64(n) {
+		return true
+	}
+	return time.Duration(uint64(n)-beat) >= deadline
+}
+
+// detector is shard ss's failure detector: a scavenger goroutine that
+// (a) recovers fences held past Options.FenceDeadline — the hold must be
+// the same (token, epoch) across the whole deadline AND carry a stale
+// heartbeat, so a busy protocol reacquiring the fence never trips it —
+// and (b) trips the circuit breaker when the shard has queued work but
+// made no progress for BreakerStallTicks consecutive ticks.
+func (ss *shardState) detector() {
+	defer ss.wg.Done()
+	s := ss.srv
+	deadline, cooldown := s.opts.FenceDeadline, s.opts.BreakerCooldown
+	tick := time.NewTicker(s.opts.DetectInterval)
+	defer tick.Stop()
+	var susToken, susEpoch uint64
+	var susSince time.Time
+	lastExecuted := ss.executed.Load()
+	stallTicks := 0
+	for {
+		select {
+		case <-ss.stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+
+		// Orphaned-fence scavenging.
+		token := ss.sys.Load(ss.store.FenceWord())
+		if token == 0 {
+			susToken, susEpoch = 0, 0
+		} else {
+			epoch := ss.sys.Load(ss.store.FenceEpochWord())
+			beat := ss.sys.Load(ss.store.FenceBeatWord())
+			if token != susToken || epoch != susEpoch {
+				susToken, susEpoch, susSince = token, epoch, now
+			} else if now.Sub(susSince) >= deadline && beatStale(beat, now, deadline) {
+				s.recoverOrphan(ss, token, epoch)
+				susToken, susEpoch = 0, 0
+			}
+		}
+
+		// Progress watchdog → circuit breaker.
+		executed := ss.executed.Load()
+		progressed := executed != lastExecuted
+		lastExecuted = executed
+		if progressed || len(ss.queue) == 0 {
+			stallTicks = 0
+			if ss.breakerState.CompareAndSwap(breakerOpen, breakerClosed) {
+				s.opts.Logf("serve: shard %d circuit breaker closed (progress resumed)", ss.idx)
+			}
+		} else if stallTicks++; stallTicks >= s.opts.BreakerStallTicks {
+			ss.breakerUntil.Store(now.Add(cooldown).UnixNano())
+			if ss.breakerState.CompareAndSwap(breakerClosed, breakerOpen) {
+				s.breakerOpenTotal.Add(1)
+				s.opts.Logf("serve: shard %d circuit breaker open (no progress for %d ticks, queue=%d)",
+					ss.idx, stallTicks, len(ss.queue))
+			}
+		}
+	}
+}
+
+// ctlRecover submits one recovery control step to shard target's
+// priority lane on behalf of shard own's detector, waiting for the
+// result but never past either shard's shutdown — a detector must not
+// deadlock Close. A step that times out this way may still execute on a
+// worker later; all its effects are epoch-guarded and it records its own
+// completion inside the closure, so the detector simply retries on the
+// next tick.
+func (s *Server) ctlRecover(own, target *shardState, fn func(w *proteustm.Worker, slot int) response) bool {
+	req := &request{ctl: fn, done: make(chan response, 1)}
+	select {
+	case target.prio <- req:
+	case <-target.stop:
+		return false
+	case <-own.stop:
+		return false
+	}
+	select {
+	case <-req.done:
+		return true
+	case <-target.stop:
+		return false
+	case <-own.stop:
+		return false
+	}
+}
+
+// fenceRecoveryEta is the Retry-After hint handed to clients whose batch
+// needs fence recovery: one detection deadline plus one detector tick.
+func (s *Server) fenceRecoveryEta() time.Duration {
+	if s.opts.FenceDeadline <= 0 {
+		return time.Second
+	}
+	return s.opts.FenceDeadline + s.opts.DetectInterval
+}
+
+// recoverOrphan recovers the batch holding (token, epoch) on shard ss's
+// fence past the deadline. A registered batch is recovered whole —
+// decided writes roll forward (applied on the dead coordinator's
+// behalf), everything else aborts — across all its shards, so one
+// detector firing heals every participant. A token the registry has
+// never seen (a fence wedged from outside the protocol) is simply
+// released at its observed epoch.
+func (s *Server) recoverOrphan(ss *shardState, token, epoch uint64) {
+	rec, rollForward, known := s.reg.claim(token)
+	if rec == nil {
+		if known {
+			return // another shard's detector owns this batch's recovery
+		}
+		released := false
+		ok := s.ctlRecover(ss, ss, func(w *proteustm.Worker, _ int) response {
+			w.Atomic(func(tx proteustm.Txn) {
+				released = ss.store.FenceHeldBy(tx, token, epoch) && ss.store.FenceRelease(tx, epoch)
+			})
+			return response{}
+		})
+		if ok && released {
+			s.fenceRecovered.Add(1)
+			s.fenceAborted.Add(1)
+			s.opts.Logf("serve: shard %d fence recovery: released unregistered token %d (epoch %d)", ss.idx, token, epoch)
+		}
+		return
+	}
+	defer s.reg.unclaim(rec)
+	for _, p := range rec.parts {
+		recToken, recEpoch, held := s.reg.acquireState(rec, p)
+		if !held {
+			continue
+		}
+		part, target := p, s.shards[p.shard]
+		s.ctlRecover(ss, target, func(w *proteustm.Worker, slot int) response {
+			var did bool
+			w.Atomic(func(tx proteustm.Txn) {
+				did = false
+				if !target.store.FenceHeldBy(tx, recToken, recEpoch) {
+					return
+				}
+				if rollForward {
+					for _, i := range part.idx {
+						target.store.Put(tx, slot, rec.keys[i], rec.vals[i])
+					}
+				}
+				target.store.FenceRelease(tx, recEpoch)
+				did = true
+			})
+			if did {
+				s.reg.markReleased(rec, part, true)
+			}
+			return response{}
+		})
+	}
+	if s.reg.completeIfDone(rec) {
+		s.fenceRecovered.Add(1)
+		action := "aborted"
+		if rollForward {
+			s.fenceRolledForward.Add(1)
+			action = "rolled forward"
+		} else {
+			s.fenceAborted.Add(1)
+		}
+		s.opts.Logf("serve: shard %d fence recovery: %s batch token %d across %d shard(s)",
+			ss.idx, action, token, len(rec.parts))
+	}
+}
+
+// ---- /healthz ----
+
+// ShardHealth is one shard's slice of the /healthz readiness document.
+type ShardHealth struct {
+	Index   int    `json:"index"`
+	Breaker string `json:"breaker"`
+	// FenceHeld reports a currently-held commit fence; FenceStale marks
+	// one held past the detection deadline (recovery due or in flight).
+	FenceHeld  bool `json:"fence_held"`
+	FenceStale bool `json:"fence_stale,omitempty"`
+}
+
+// HealthStatus is the /healthz document: Healthy (HTTP 200) only when
+// every shard's circuit breaker is closed and no fence has been held
+// past its deadline — the readiness condition for putting the instance
+// behind a load balancer.
+type HealthStatus struct {
+	Healthy bool          `json:"healthy"`
+	Shards  []ShardHealth `json:"shards"`
+}
+
+// Health evaluates the readiness condition.
+func (s *Server) Health() HealthStatus {
+	now := time.Now()
+	deadline := s.opts.FenceDeadline
+	if deadline <= 0 {
+		deadline = time.Second
+	}
+	h := HealthStatus{Healthy: true, Shards: make([]ShardHealth, len(s.shards))}
+	for i, ss := range s.shards {
+		sh := ShardHealth{Index: i, Breaker: ss.breakerName(now)}
+		if sh.Breaker == "open" {
+			h.Healthy = false
+		}
+		if ss.sys.Load(ss.store.FenceWord()) != 0 {
+			sh.FenceHeld = true
+			if beatStale(ss.sys.Load(ss.store.FenceBeatWord()), now, deadline) {
+				sh.FenceStale = true
+				h.Healthy = false
+			}
+		}
+		h.Shards[i] = sh
+	}
+	return h
+}
+
+// handleHealthz serves the readiness probe: 200 when healthy, 503 with
+// the same document otherwise (distinct from /statusz, which always
+// answers 200 — liveness and introspection belong there).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.Health()
+	code := http.StatusOK
+	if !h.Healthy {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}

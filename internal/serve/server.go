@@ -13,6 +13,7 @@ import (
 	"time"
 
 	proteustm "repro"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/shard"
 )
@@ -103,6 +104,12 @@ type response struct {
 	// code, when non-zero, overrides the HTTP status the error maps to
 	// (504 for deadline drops); unexported so it never reaches the wire.
 	code int
+	// retryAfter, when non-zero, becomes the Retry-After header of the
+	// HTTP reply — the circuit breaker's and fence recovery's backoff
+	// hint to clients.
+	retryAfter time.Duration
+	// epoch carries the fence epoch out of a ctlAcquire control step.
+	epoch uint64
 }
 
 // Options configures a Server.
@@ -174,6 +181,28 @@ type Options struct {
 	// TimelineTail bounds the number of timeline points /statusz returns
 	// per shard (default 64, newest last; 0 keeps the default).
 	TimelineTail int
+	// Fault, when set, arms the deterministic fault-injection substrate
+	// (chaos testing): the injector decides at named points whether to
+	// crash a cross-shard coordinator, stall it mid-acquire, pause a
+	// shard's workers or spike an operation's latency. Nil (production)
+	// costs one pointer comparison per hook.
+	Fault *fault.Injector
+	// FenceDeadline is how long a shard's fence may be held by one
+	// (token, epoch) acquisition before the failure detector declares
+	// the coordinator dead and recovers the fence — rolling the batch
+	// forward if its decision was recorded, aborting it otherwise
+	// (default 1s; negative disables detection entirely).
+	FenceDeadline time.Duration
+	// DetectInterval is the failure detector's tick (default
+	// FenceDeadline/4).
+	DetectInterval time.Duration
+	// BreakerStallTicks is how many consecutive detector ticks a shard
+	// may spend with queued work and zero executed operations before its
+	// circuit breaker opens (default 3).
+	BreakerStallTicks int
+	// BreakerCooldown is how long an open breaker sheds (503 +
+	// Retry-After) before admitting probes again (default 1s).
+	BreakerCooldown time.Duration
 	// Logf, when set, receives operational log lines (reconfigurations,
 	// drains, shutdown).
 	Logf func(format string, args ...any)
@@ -216,6 +245,21 @@ func (o *Options) setDefaults() {
 	if o.TimelineTail <= 0 {
 		o.TimelineTail = 64
 	}
+	if o.FenceDeadline == 0 {
+		o.FenceDeadline = time.Second
+	}
+	if o.DetectInterval <= 0 {
+		o.DetectInterval = o.FenceDeadline / 4
+		if o.DetectInterval <= 0 {
+			o.DetectInterval = 250 * time.Millisecond
+		}
+	}
+	if o.BreakerStallTicks <= 0 {
+		o.BreakerStallTicks = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -242,6 +286,17 @@ type shardState struct {
 	// per-shard load counter /statusz exposes (ops_routed) and the range
 	// partitioner's SplitHeaviest rebalance step consumes.
 	routed atomic.Uint64
+
+	// executed counts data operations this shard completed (fenced
+	// requeues excluded) — the progress signal the failure detector's
+	// watchdog samples to drive the circuit breaker.
+	executed atomic.Uint64
+	// breakerState/breakerUntil implement the per-shard circuit breaker
+	// (see recovery.go); stallUntil is the injected-stall horizon of
+	// fault.ShardStall.
+	breakerState atomic.Int32
+	breakerUntil atomic.Int64
+	stallUntil   atomic.Int64
 
 	// drainMu implements the graceful-drain protocol: every operation
 	// executes under RLock; the reconfigure hook takes the write lock
@@ -275,6 +330,10 @@ type Server struct {
 	crossSem  chan struct{}
 	nextToken atomic.Uint64
 
+	// reg is the cross-shard commit-state registry — the decision record
+	// fence recovery consults (see recovery.go).
+	reg *crossReg
+
 	served      [numOps]atomic.Uint64
 	rejected    atomic.Uint64
 	requeued    atomic.Uint64
@@ -283,6 +342,24 @@ type Server struct {
 	crossAborts atomic.Uint64
 	hookFires   atomic.Uint64
 	drains      atomic.Uint64
+
+	// crossBackoffNs totals acquire-phase backoff sleeps (surfaced as
+	// ops.cross_backoff_ms); jitterState is the seeded stream behind the
+	// backoff jitter.
+	crossBackoffNs atomic.Uint64
+	jitterState    atomic.Uint64
+
+	// crossCrashes counts injected coordinator crashes; fenceRecovered
+	// counts recovered orphan batches (fenceRolledForward of them
+	// re-applied as decided writes, fenceAborted released with nothing
+	// applied). breakerOpenTotal counts breaker open transitions and
+	// breakerShed the admissions shed while open.
+	crossCrashes       atomic.Uint64
+	fenceRecovered     atomic.Uint64
+	fenceRolledForward atomic.Uint64
+	fenceAborted       atomic.Uint64
+	breakerOpenTotal   atomic.Uint64
+	breakerShed        atomic.Uint64
 
 	// shedDeadline counts queued ops dropped unexecuted because their
 	// deadline passed or their client hung up; shedLatency counts
@@ -343,10 +420,12 @@ func newServer(opts Options) (*Server, error) {
 		part:      part,
 		start:     time.Now(),
 		crossSem:  make(chan struct{}, crossSlots),
+		reg:       newCrossReg(),
 		lat:       metrics.NewReservoir(opts.LatencyWindow),
 		queueWait: metrics.NewReservoir(opts.LatencyWindow),
 		svc:       metrics.NewReservoir(opts.LatencyWindow),
 	}
+	s.jitterState.Store(opts.Seed | 1)
 	for i := 0; i < opts.Shards; i++ {
 		ss, err := s.newShard(i)
 		if err != nil {
@@ -415,12 +494,17 @@ func (s *Server) newShard(i int) (*shardState, error) {
 	return ss, nil
 }
 
-// startWorkers launches one queue worker per slot per shard.
+// startWorkers launches one queue worker per slot per shard, plus each
+// shard's failure detector (unless detection is disabled).
 func (s *Server) startWorkers() {
 	for _, ss := range s.shards {
 		for id := 0; id < s.opts.Workers; id++ {
 			ss.wg.Add(1)
 			go ss.worker(id)
+		}
+		if s.opts.FenceDeadline > 0 {
+			ss.wg.Add(1)
+			go ss.detector()
 		}
 	}
 }
@@ -525,6 +609,21 @@ func (ss *shardState) worker(id int) {
 			case req = <-ss.queue:
 			}
 		}
+		// Fault-injection hooks (nil injector: one pointer compare). A
+		// fired shard-stall freezes every worker of this shard — each
+		// sleeps out the shared horizon at its next dequeue — which is
+		// the no-progress signature the circuit breaker trips on.
+		if inj := ss.srv.opts.Fault; inj != nil {
+			if d, ok := inj.Fire(fault.ShardStall, ss.idx); ok {
+				ss.extendStall(time.Now().Add(d))
+			}
+			ss.sleepInjectedStall()
+			if req.ctl == nil {
+				if d, ok := inj.Fire(fault.OpDelay, ss.idx); ok {
+					time.Sleep(d)
+				}
+			}
+		}
 		// Deadline/cancellation gate: a queued data op whose client hung
 		// up or whose deadline passed is dropped here, never executed.
 		// Control steps are exempt — a fence release must always run.
@@ -567,6 +666,7 @@ func (ss *shardState) worker(id int) {
 		}
 		if req.ctl == nil {
 			ss.srv.served[req.op].Add(1)
+			ss.executed.Add(1)
 		}
 		req.done <- resp
 	}
@@ -780,6 +880,15 @@ func (s *Server) submit(ss *shardState, req *request) (response, int) {
 	if s.closed.Load() {
 		return response{Err: "server shutting down"}, http.StatusServiceUnavailable
 	}
+	if ra := ss.breakerRetryAfter(time.Now()); ra > 0 {
+		// The shard's circuit breaker is open: it has queued work it is
+		// not executing. Shed with a Retry-After instead of feeding the
+		// dead queue.
+		s.breakerShed.Add(1)
+		return response{Err: "shard circuit breaker open",
+				code: http.StatusServiceUnavailable, retryAfter: ra},
+			http.StatusServiceUnavailable
+	}
 	s.armDeadline(req)
 	if s.shedForLatency(ss) {
 		s.shedLatency.Add(1)
@@ -860,9 +969,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // routes builds the endpoint mux.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/kv/get", s.opHandler(opGet, "key"))
 	mux.HandleFunc("/kv/put", s.opHandler(opPut, "key", "val"))
@@ -919,7 +1026,7 @@ func (s *Server) opHandler(op opKind, params ...string) http.HandlerFunc {
 			}
 		}
 		resp, code := s.submit(s.shardFor(req), req)
-		writeJSON(w, code, resp)
+		writeResp(w, code, resp)
 	}
 }
 
@@ -954,7 +1061,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, code := s.submitCross(req)
-	writeJSON(w, code, resp)
+	writeResp(w, code, resp)
 }
 
 // parseDeadline reads the optional deadline_ms query parameter into
@@ -1008,7 +1115,7 @@ func (s *Server) batchHandler(op opKind) http.HandlerFunc {
 			req.vals = vals
 		}
 		resp, code := s.submitCross(req)
-		writeJSON(w, code, resp)
+		writeResp(w, code, resp)
 	}
 }
 
@@ -1033,4 +1140,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort write to client
+}
+
+// writeResp writes an operation response, surfacing its Retry-After
+// hint (circuit-breaker shed, fence recovery pending) as the standard
+// header, rounded up to whole seconds as the header requires.
+func writeResp(w http.ResponseWriter, code int, resp response) {
+	if resp.retryAfter > 0 {
+		secs := int(math.Ceil(resp.retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, code, resp)
 }

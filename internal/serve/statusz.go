@@ -55,6 +55,9 @@ type ServerStatus struct {
 	// can assert attainment against the target the server actually runs.
 	SLOP99Ms   float64 `json:"slo_p99_ms"`
 	DeadlineMs float64 `json:"deadline_ms"`
+	// FenceDeadlineMs echoes the failure detector's orphaned-fence
+	// deadline (negative = detection disabled).
+	FenceDeadlineMs float64 `json:"fence_deadline_ms"`
 }
 
 // ConfigStatus describes the fleet's configuration and tuner state.
@@ -92,6 +95,11 @@ type ShardStatus struct {
 	ActiveWorkers int    `json:"active_workers"`
 	QueueLen      int    `json:"queue_len"`
 	FenceHeld     bool   `json:"fence_held"`
+	// FenceEpoch is the shard's fence acquisition counter (monotonic;
+	// each cross-shard hold of this shard bumps it). Breaker is the
+	// shard's circuit-breaker state: closed, open or half-open.
+	FenceEpoch uint64 `json:"fence_epoch"`
+	Breaker    string `json:"breaker"`
 	// OpsRouted counts data operations admitted to this shard — the
 	// per-shard load signal a split-heaviest rebalance plan
 	// (shard.RangePartitioner.SplitHeaviest) consumes.
@@ -120,6 +128,25 @@ type OpsStatus struct {
 	CrossOps    uint64 `json:"cross_ops"`
 	CrossAborts uint64 `json:"cross_aborts"`
 	Fenced      uint64 `json:"fenced_requeues"`
+	// CrossBackoffMs totals the acquire-phase backoff sleeps (capped
+	// exponential with seeded jitter) across all coordinators.
+	CrossBackoffMs float64 `json:"cross_backoff_ms"`
+	// CrossCrashes counts injected coordinator crashes (fault
+	// substrate); FenceRecovered counts orphaned fence batches the
+	// failure detector recovered — FenceRolledForward of them re-applied
+	// as decided writes, FenceAborted released with nothing applied.
+	CrossCrashes       uint64 `json:"cross_crashes"`
+	FenceRecovered     uint64 `json:"fence_recovered"`
+	FenceRolledForward uint64 `json:"fence_rolled_forward"`
+	FenceAborted       uint64 `json:"fence_aborted"`
+	// BreakerOpenTotal counts circuit-breaker open transitions across
+	// shards; BreakerShed counts admissions shed (503 + Retry-After)
+	// while a breaker was open.
+	BreakerOpenTotal uint64 `json:"breaker_open_total"`
+	BreakerShed      uint64 `json:"breaker_shed"`
+	// Faults reports per-rule fault-injection fire counts (absent
+	// without an armed injector).
+	Faults map[string]uint64 `json:"faults,omitempty"`
 	// RangeLocal counts scans whose owner set collapsed to one shard (no
 	// fences taken); RangeCross counts scans that ran the cross-shard
 	// protocol, fencing RangeFencedShards shards in total. The scan-
@@ -220,6 +247,8 @@ func (s *Server) StatusSnapshot() Status {
 			ActiveWorkers: act,
 			QueueLen:      qn,
 			FenceHeld:     ss.sys.Load(ss.store.FenceWord()) != 0,
+			FenceEpoch:    ss.sys.Load(ss.store.FenceEpochWord()),
+			Breaker:       ss.breakerName(time.Now()),
 			OpsRouted:     ss.routed.Load(),
 			TM:            tm,
 		}
@@ -270,16 +299,17 @@ func (s *Server) StatusSnapshot() Status {
 
 	return Status{
 		Server: ServerStatus{
-			UptimeSec:     time.Since(s.start).Seconds(),
-			Shards:        len(s.shards),
-			Partitioner:   s.part.Kind(),
-			KeyUniverse:   s.opts.KeyUniverse,
-			Workers:       s.opts.Workers,
-			ActiveWorkers: activeWorkers,
-			QueueDepth:    s.opts.QueueDepth,
-			QueueLen:      queueLen,
-			SLOP99Ms:      float64(s.opts.SLOP99) / float64(time.Millisecond),
-			DeadlineMs:    float64(s.opts.Deadline) / float64(time.Millisecond),
+			UptimeSec:       time.Since(s.start).Seconds(),
+			Shards:          len(s.shards),
+			Partitioner:     s.part.Kind(),
+			KeyUniverse:     s.opts.KeyUniverse,
+			Workers:         s.opts.Workers,
+			ActiveWorkers:   activeWorkers,
+			QueueDepth:      s.opts.QueueDepth,
+			QueueLen:        queueLen,
+			SLOP99Ms:        float64(s.opts.SLOP99) / float64(time.Millisecond),
+			DeadlineMs:      float64(s.opts.Deadline) / float64(time.Millisecond),
+			FenceDeadlineMs: float64(s.opts.FenceDeadline) / float64(time.Millisecond),
 		},
 		Config: ConfigStatus{
 			Current:   s.shards[0].sys.CurrentConfig().String(),
@@ -290,20 +320,28 @@ func (s *Server) StatusSnapshot() Status {
 		},
 		TM: fleet,
 		Ops: OpsStatus{
-			Served:            served,
-			Total:             servedTotal,
-			Rejected:          s.rejected.Load(),
-			Requeued:          s.requeued.Load(),
-			HookFires:         s.hookFires.Load(),
-			Drains:            s.drains.Load(),
-			ShedDeadline:      s.shedDeadline.Load(),
-			ShedLatency:       s.shedLatency.Load(),
-			CrossOps:          s.crossOps.Load(),
-			CrossAborts:       s.crossAborts.Load(),
-			Fenced:            s.fenced.Load(),
-			RangeLocal:        s.rangeLocal.Load(),
-			RangeCross:        s.rangeCross.Load(),
-			RangeFencedShards: s.rangeFencedShards.Load(),
+			Served:             served,
+			Total:              servedTotal,
+			Rejected:           s.rejected.Load(),
+			Requeued:           s.requeued.Load(),
+			HookFires:          s.hookFires.Load(),
+			Drains:             s.drains.Load(),
+			ShedDeadline:       s.shedDeadline.Load(),
+			ShedLatency:        s.shedLatency.Load(),
+			CrossOps:           s.crossOps.Load(),
+			CrossAborts:        s.crossAborts.Load(),
+			Fenced:             s.fenced.Load(),
+			CrossBackoffMs:     float64(s.crossBackoffNs.Load()) / 1e6,
+			CrossCrashes:       s.crossCrashes.Load(),
+			FenceRecovered:     s.fenceRecovered.Load(),
+			FenceRolledForward: s.fenceRolledForward.Load(),
+			FenceAborted:       s.fenceAborted.Load(),
+			BreakerOpenTotal:   s.breakerOpenTotal.Load(),
+			BreakerShed:        s.breakerShed.Load(),
+			Faults:             s.opts.Fault.Snapshot(),
+			RangeLocal:         s.rangeLocal.Load(),
+			RangeCross:         s.rangeCross.Load(),
+			RangeFencedShards:  s.rangeFencedShards.Load(),
 		},
 		Latency:          latencyStatus(s.lat),
 		QueueWait:        latencyStatus(s.queueWait),

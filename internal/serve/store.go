@@ -57,7 +57,17 @@ type Store struct {
 	// shard. Every data operation on a sharded server reads it inside its
 	// own transaction, so the TM serializes local operations against fence
 	// acquisition and release (see docs/sharding.md).
-	fence tm.Addr
+	//
+	// fenceEpoch increments on every acquisition and never resets: a
+	// (token, epoch) pair names one specific hold, so a release presented
+	// with a superseded epoch — a slow coordinator racing the failure
+	// detector's recovery, or a second recovery of the same orphan — is a
+	// provable no-op. fenceBeat is the holder's heartbeat (unix
+	// nanoseconds, stamped at acquisition); the per-shard failure
+	// detector reads it non-transactionally to date an orphaned hold.
+	fence      tm.Addr
+	fenceEpoch tm.Addr
+	fenceBeat  tm.Addr
 }
 
 // NewStore allocates an empty store on h.
@@ -70,11 +80,15 @@ func NewStore(h *tm.Heap) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: deque pool: %w", err)
 	}
-	words, err := h.Alloc(4)
+	words, err := h.Alloc(6)
 	if err != nil {
 		return nil, fmt.Errorf("serve: deque heads: %w", err)
 	}
-	return &Store{kv: kv, pool: pool, lhead: words, ltail: words + 1, llen: words + 2, fence: words + 3}, nil
+	return &Store{
+		kv: kv, pool: pool,
+		lhead: words, ltail: words + 1, llen: words + 2,
+		fence: words + 3, fenceEpoch: words + 4, fenceBeat: words + 5,
+	}, nil
 }
 
 // Fenced reports whether a cross-shard commit currently holds this
@@ -84,25 +98,51 @@ func NewStore(h *tm.Heap) (*Store, error) {
 func (s *Store) Fenced(tx tm.Txn) bool { return tx.Load(s.fence) != 0 }
 
 // FenceAcquire is the CAS-with-fence of the cross-shard commit protocol:
-// it claims the fence for token iff it is free, reporting success. The
+// it claims the fence for token iff it is free, bumping the epoch and
+// stamping the holder heartbeat, and returns the new epoch. The
 // surrounding transaction makes the test-and-set atomic against every
 // other fence access.
-func (s *Store) FenceAcquire(tx tm.Txn, token uint64) bool {
+func (s *Store) FenceAcquire(tx tm.Txn, token, beat uint64) (epoch uint64, ok bool) {
 	if tx.Load(s.fence) != 0 {
-		return false
+		return 0, false
 	}
+	epoch = tx.Load(s.fenceEpoch) + 1
 	tx.Store(s.fence, token)
-	return true
+	tx.Store(s.fenceEpoch, epoch)
+	tx.Store(s.fenceBeat, beat)
+	return epoch, true
 }
 
-// FenceRelease frees the fence. Cross-shard commits release inside the
+// FenceHeldBy reports whether the fence is currently held by exactly
+// this (token, epoch) acquisition — the guard every apply and release
+// runs under, which is what makes a superseded coordinator's late writes
+// no-ops instead of corruption.
+func (s *Store) FenceHeldBy(tx tm.Txn, token, epoch uint64) bool {
+	return tx.Load(s.fence) == token && tx.Load(s.fenceEpoch) == epoch
+}
+
+// FenceRelease frees the fence iff it is still held at the given epoch,
+// reporting whether it released. Cross-shard commits release inside the
 // same transaction that applies their per-shard writes, so local readers
-// observe the writes and the release atomically.
-func (s *Store) FenceRelease(tx tm.Txn) { tx.Store(s.fence, 0) }
+// observe the writes and the release atomically; a release racing the
+// failure detector (which re-acquires under a new epoch) is a no-op.
+func (s *Store) FenceRelease(tx tm.Txn, epoch uint64) bool {
+	if tx.Load(s.fence) == 0 || tx.Load(s.fenceEpoch) != epoch {
+		return false
+	}
+	tx.Store(s.fence, 0)
+	return true
+}
 
 // FenceWord exposes the fence's heap address for non-transactional status
 // peeks and tests.
 func (s *Store) FenceWord() tm.Addr { return s.fence }
+
+// FenceEpochWord exposes the epoch word's heap address.
+func (s *Store) FenceEpochWord() tm.Addr { return s.fenceEpoch }
+
+// FenceBeatWord exposes the heartbeat word's heap address.
+func (s *Store) FenceBeatWord() tm.Addr { return s.fenceBeat }
 
 // Get reads the value at key.
 func (s *Store) Get(tx tm.Txn, key uint64) (uint64, bool) { return s.kv.Get(tx, key) }
