@@ -1,0 +1,60 @@
+package serve
+
+// Temporary review reproduction: a coordinator stalled mid-acquire whose
+// undecided batch is aborted by fence recovery, then resumes, acquires
+// the remaining fences, decides, and applies only the non-recovered
+// parts — a torn cross-shard write reported as 200 OK.
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestReviewTornWriteAfterAcquireStallRecovery(t *testing.T) {
+	s := newTestServer(t, Options{
+		Shards: 3, Workers: 2, Seed: 11,
+		FenceDeadline:  60 * time.Millisecond,
+		DetectInterval: 15 * time.Millisecond,
+		// Arrival 1 = before first acquire; fire on arrival 2 so the
+		// coordinator stalls holding shard A's fence, well past the
+		// detection deadline.
+		Fault: mustFault(t, "fence-acquire-stall@after=1;count=1;stall=500ms", 11),
+	})
+	keys := keysOnDistinctShards(t, s, 3)
+	vals := []uint64{111, 222, 333}
+
+	resp, code := s.submitCross(&request{op: opMPut, keys: keys, vals: vals})
+	t.Logf("mput resp=%+v code=%d aborted=%d recovered=%d", resp, code,
+		s.fenceAborted.Load(), s.fenceRecovered.Load())
+
+	got, gcode := s.submitCross(&request{op: opMGet, keys: keys})
+	if gcode != http.StatusOK {
+		t.Fatalf("mget = %d %+v", gcode, got)
+	}
+	t.Logf("mget present=%v vals=%v", got.Present, got.Vals)
+
+	if code == http.StatusOK {
+		// The server reported success: every key must hold its value.
+		for i := range keys {
+			if !got.Present[i] || got.Vals[i] != vals[i] {
+				t.Fatalf("TORN WRITE: mput returned 200 but key[%d]: present=%v val=%d (want %d)",
+					i, got.Present[i], got.Vals[i], vals[i])
+			}
+		}
+	} else {
+		// The server reported failure: an atomic batch must be all-or-nothing.
+		any, all := false, true
+		for i := range keys {
+			if got.Present[i] && got.Vals[i] == vals[i] {
+				any = true
+			} else {
+				all = false
+			}
+		}
+		if any && !all {
+			t.Fatalf("TORN WRITE: mput failed (%d) but writes partially applied: present=%v vals=%v",
+				code, got.Present, got.Vals)
+		}
+	}
+}
