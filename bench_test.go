@@ -222,6 +222,12 @@ func BenchmarkAlgorithmsWriteHeavy(b *testing.B) { runSuitePrefix(b, "Algorithms
 // (the per-transaction delta behind Table 4).
 func BenchmarkPolyTMDispatch(b *testing.B) { runSuitePrefix(b, "PolyTMDispatch") }
 
+// BenchmarkGroupCommit is the amortization pair behind the serve layer's
+// group-commit worker gate: the same 16 logical operations per iteration
+// as 16 transactions (solo) vs one (grouped); the ns/op gap is pure
+// per-transaction overhead.
+func BenchmarkGroupCommit(b *testing.B) { runSuitePrefix(b, "GroupCommit") }
+
 // BenchmarkThreadGate is the Algorithm-1 ablation: fetch-and-add gating vs a
 // compare-and-swap loop for the enter/exit pair.
 func BenchmarkThreadGate(b *testing.B) {

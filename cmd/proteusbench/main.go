@@ -16,7 +16,7 @@
 //	proteusbench bench [--benchtime 0.5s] [--filter Algorithms] [--compare BENCH_0.json]
 //	proteusbench loadgen [--addr http://127.0.0.1:7411] [--conns 8] [--rate 0]
 //	    [--phases read-heavy:5s,write-heavy:5s,scan:3s] [--skew 0.9]
-//	    [--deadline 50ms] [--slo-p99 20ms] [--out LOADGEN.json]
+//	    [--mput-frac 0.2] [--deadline 50ms] [--slo-p99 20ms] [--out LOADGEN.json]
 //
 // `run` is deterministic by default: operations execute serially against a
 // virtual clock, so the same seed produces byte-identical JSON records on
@@ -331,6 +331,7 @@ func cmdLoadgen(args []string) error {
 	keyrange := fs.Uint64("keyrange", 16384, "key range of generated operations")
 	span := fs.Uint64("span", 256, "range-scan width")
 	skew := fs.Float64("skew", 0, "fraction of shard-correlated traffic (sharded daemons: writes -> low shards, reads -> high shards)")
+	mputFrac := fs.Float64("mput-frac", 0, "fraction of ops issued as cross-shard 4-key mput batches (batch-heavy sessions for the group-commit/keyed-fence A/B)")
 	seed := fs.Uint64("seed", 42, "per-connection operation stream seed")
 	deadline := fs.Duration("deadline", 0, "per-request deadline_ms budget the daemon enforces (0 = none)")
 	sloP99 := fs.Duration("slo-p99", 0, "latency target SLO attainment is reported against (0 = no attainment reporting)")
@@ -350,6 +351,7 @@ func cmdLoadgen(args []string) error {
 		KeyRange: *keyrange,
 		Span:     *span,
 		Skew:     *skew,
+		MPutFrac: *mputFrac,
 		Seed:     *seed,
 		Deadline: *deadline,
 		SLOP99:   *sloP99,

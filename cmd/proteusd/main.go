@@ -13,6 +13,8 @@
 //	    [--heap-words 4194304] [--preload 8192]
 //	    [--slo-p99 0] [--deadline 0] [--fault ""]
 //	    [--fence-deadline 1s] [--breaker-cooldown 1s]
+//	    [--group-commit] [--group-commit-max 16]
+//	    [--fence-granularity shard]
 //
 // --slo-p99 sets a tail-latency target: the per-shard tuners switch from
 // raw throughput to throughput-under-SLO (configurations that blow the
@@ -41,6 +43,17 @@
 // until --breaker-cooldown elapses and progress resumes. Recovery
 // counters appear under /statusz ops.* and fault fire counts under
 // ops.faults.
+//
+// --group-commit turns on the worker-gate group commit: when the
+// admission queue has backlog, compatible single-shard ops are coalesced
+// (up to --group-commit-max) into one TM transaction, amortizing the
+// per-transaction overhead; per-op deadlines still hold inside a batch
+// (an expired op is excised with 504, not executed).
+// --fence-granularity=key replaces the whole-shard cross-shard fence
+// with per-key fence table entries, so local ops that don't intersect an
+// in-flight 2PC's footprint proceed instead of requeueing. Observables:
+// ops.group_commits, ops.group_batch_p50/p99, ops.fence_keys_held,
+// ops.fenced_requeues.
 //
 // Endpoints (all parameters are uint64 query parameters; keys/vals are
 // comma-separated lists):
@@ -98,6 +111,9 @@ func main() {
 	faultSpec := flag.String("fault", "", "deterministic fault-injection spec, e.g. coord-crash@after=3;every=5;count=6 (see internal/fault; empty = no injection)")
 	fenceDeadline := flag.Duration("fence-deadline", 0, "age past which a heartbeat-stale cross-shard fence is declared orphaned and recovered (0 = 1s default)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "minimum time a stalled shard's circuit breaker sheds before admitting probes (0 = 1s default)")
+	groupCommit := flag.Bool("group-commit", false, "coalesce queued single-shard ops into one TM transaction when the admission queue has backlog")
+	groupCommitMax := flag.Int("group-commit-max", 0, "cap on ops coalesced per group commit (0 = 16 default)")
+	fenceGranularity := flag.String("fence-granularity", "shard", "cross-shard fence granularity: shard (whole-shard word) or key (per-key fence table; non-intersecting local ops proceed during a 2PC)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "proteusd: ", log.LstdFlags|log.Lmicroseconds)
@@ -111,23 +127,26 @@ func main() {
 		logger.Printf("fault injection armed: %s", injector)
 	}
 	srv, err := serve.New(serve.Options{
-		Shards:          *shards,
-		Partitioner:     *partitioner,
-		KeyUniverse:     *keyUniverse,
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		AutoTune:        *autotune,
-		SamplePeriod:    *samplePeriod,
-		Seed:            *seed,
-		HeapWords:       *heapWords,
-		Preload:         *preload,
-		MaxScanSpan:     *maxScan,
-		SLOP99:          *sloP99,
-		Deadline:        *deadline,
-		Fault:           injector,
-		FenceDeadline:   *fenceDeadline,
-		BreakerCooldown: *breakerCooldown,
-		Logf:            logger.Printf,
+		Shards:           *shards,
+		Partitioner:      *partitioner,
+		KeyUniverse:      *keyUniverse,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		AutoTune:         *autotune,
+		SamplePeriod:     *samplePeriod,
+		Seed:             *seed,
+		HeapWords:        *heapWords,
+		Preload:          *preload,
+		MaxScanSpan:      *maxScan,
+		SLOP99:           *sloP99,
+		Deadline:         *deadline,
+		Fault:            injector,
+		FenceDeadline:    *fenceDeadline,
+		BreakerCooldown:  *breakerCooldown,
+		GroupCommit:      *groupCommit,
+		GroupCommitMax:   *groupCommitMax,
+		FenceGranularity: *fenceGranularity,
+		Logf:             logger.Printf,
 	})
 	if err != nil {
 		logger.Fatalf("startup: %v", err)

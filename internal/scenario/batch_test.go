@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// batchSpec is the pinned parameterization of the service-batch goldens:
+// the two legs differ ONLY in the groupcommit knob, so they build
+// identical micro-op plans from the identical rng stream and differ only
+// in transaction boundaries.
+func batchSpec(groupCommit string) RunSpec {
+	return RunSpec{
+		Scenario: "service-batch",
+		Params: Values{
+			"shards":      "4",
+			"keyrange":    "1024",
+			"batchmax":    "8",
+			"crossevery":  "32",
+			"batchkeys":   "4",
+			"groupcommit": groupCommit,
+		},
+		Seed:       42,
+		MaxThreads: 4,
+		HeapWords:  1 << 20,
+		Ops:        3000,
+		Configs:    []config.Config{{Alg: config.TL2, Threads: 4}},
+	}
+}
+
+// TestServiceBatchDeterminism pins both A/B legs byte-for-byte: a fixed
+// seed produces the identical record across runs and against the
+// committed goldens. Regenerate with UPDATE_GOLDEN=1 after intentional
+// changes.
+func TestServiceBatchDeterminism(t *testing.T) {
+	for _, leg := range []struct {
+		name, groupCommit, golden string
+	}{
+		{"on", "1", "testdata/service_batch_on.golden"},
+		{"off", "0", "testdata/service_batch_off.golden"},
+	} {
+		t.Run(leg.name, func(t *testing.T) {
+			a, err := Run(batchSpec(leg.groupCommit))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(batchSpec(leg.groupCommit))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ja, jb := marshalResults(t, a), marshalResults(t, b)
+			if !bytes.Equal(ja, jb) {
+				t.Fatalf("two batch runs of the same spec differ:\n--- run 1\n%s\n--- run 2\n%s", ja, jb)
+			}
+			m := a[0].Metrics
+			switch leg.name {
+			case "on":
+				if m["group_commits"] == 0 || m["grouped_ops"] == 0 {
+					t.Fatalf("group-commit leg coalesced nothing: %v", m)
+				}
+			case "off":
+				if m["group_commits"] != 0 || m["grouped_ops"] != 0 {
+					t.Fatalf("solo leg reports group commits: %v", m)
+				}
+			}
+			if m["cross_batches"] == 0 {
+				t.Fatalf("no cross-shard batches ran: %v", m)
+			}
+
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(leg.golden, ja, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(leg.golden)
+			if err != nil {
+				t.Fatalf("reading %s (regenerate with UPDATE_GOLDEN=1): %v", leg.golden, err)
+			}
+			if !bytes.Equal(ja, want) {
+				t.Errorf("service-batch %s record drifted from %s — if intentional, regenerate with UPDATE_GOLDEN=1.\n--- got\n%s\n--- want\n%s",
+					leg.name, leg.golden, ja, want)
+			}
+		})
+	}
+}
+
+// TestServiceBatchLegsConverge is the metamorphic acceptance criterion:
+// group commit must change transaction boundaries and nothing else, so
+// the identical seeded op stream replayed with the knob on vs. off must
+// leave byte-identical KV end-state (equal heap digests) with both legs
+// passing the routing/fence Verifier (Run fails on violation).
+func TestServiceBatchLegsConverge(t *testing.T) {
+	on, err := Run(batchSpec("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(batchSpec("0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on[0].HeapDigest != off[0].HeapDigest {
+		t.Fatalf("group commit changed the end state: on %s != off %s", on[0].HeapDigest, off[0].HeapDigest)
+	}
+	// The legs must still be distinguishable by their batch counters,
+	// otherwise the knob pinned nothing.
+	if on[0].Metrics["group_commits"] == off[0].Metrics["group_commits"] {
+		t.Fatalf("legs report identical group_commits = %d", on[0].Metrics["group_commits"])
+	}
+}

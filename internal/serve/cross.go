@@ -178,7 +178,7 @@ func (s *Server) submitCross(req *request) (response, int) {
 			if d, fire := s.opts.Fault.Fire(fault.FenceAcquireStall, -1); fire {
 				time.Sleep(d)
 			}
-			r := s.ctlAcquire(s.shards[p.shard], token)
+			r := s.ctlAcquire(s.shards[p.shard], token, partSig(req, p))
 			if r.Err != "" {
 				s.releaseParts(rec)
 				return r, http.StatusServiceUnavailable
@@ -187,7 +187,7 @@ func (s *Server) submitCross(req *request) (response, int) {
 				ok = false
 				break
 			}
-			s.reg.acquired(rec, p, r.epoch)
+			s.reg.acquired(rec, p, r.epoch, r.slot)
 		}
 		if !ok {
 			// Abort-all: another coordinator (or an unlucky interleaving)
@@ -257,18 +257,42 @@ func (s *Server) ctl(ss *shardState, fn func(w *proteustm.Worker, slot int) resp
 	return <-req.done
 }
 
+// partSig builds the keyed-fence Bloom signature for part p of req: the
+// union of the signature bits of the keys the part owns, or a
+// conflict-with-everything signature for range scans (whose covered key
+// set cannot be enumerated). Unused under the whole-shard fence.
+func partSig(req *request, p *crossPart) uint64 {
+	if req.op == opRange {
+		return ^uint64(0)
+	}
+	var sig uint64
+	for _, i := range p.idx {
+		sig |= keyBit(req.keys[i])
+	}
+	return sig
+}
+
 // ctlAcquire runs the CAS-with-fence acquisition on one shard, stamping
 // the heartbeat with the coordinator's current wall clock; the response
-// carries the new fence epoch.
-func (s *Server) ctlAcquire(ss *shardState, token uint64) response {
+// carries the new fence epoch and — under keyed fences — the claimed
+// slot (-1 under the whole-shard fence). sig is the keyed-fence Bloom
+// signature of the keys this acquisition covers.
+func (s *Server) ctlAcquire(ss *shardState, token, sig uint64) response {
 	beat := uint64(time.Now().UnixNano())
+	keyed := s.opts.FenceGranularity == FenceKey
 	return s.ctl(ss, func(w *proteustm.Worker, _ int) response {
 		var got bool
 		var epoch uint64
+		slot := -1
 		w.Atomic(func(tx proteustm.Txn) {
-			epoch, got = ss.store.FenceAcquire(tx, token, beat)
+			if keyed {
+				epoch, slot, got = ss.store.FenceAcquireKey(tx, token, beat, sig)
+			} else {
+				epoch, got = ss.store.FenceAcquire(tx, token, beat)
+				slot = -1
+			}
 		})
-		return response{Applied: got, epoch: epoch}
+		return response{Applied: got, epoch: epoch, slot: slot}
 	})
 }
 
@@ -280,15 +304,15 @@ func (s *Server) ctlAcquire(ss *shardState, token uint64) response {
 // the next acquire attempt starts clean.
 func (s *Server) releaseParts(rec *crossRec) {
 	for _, p := range rec.parts {
-		token, epoch, held := s.reg.acquireState(rec, p)
+		token, epoch, slot, held := s.reg.acquireState(rec, p)
 		if !held {
 			continue
 		}
 		ss := s.shards[p.shard]
 		s.ctl(ss, func(w *proteustm.Worker, _ int) response {
 			w.Atomic(func(tx proteustm.Txn) {
-				if ss.store.FenceHeldBy(tx, token, epoch) {
-					ss.store.FenceRelease(tx, epoch)
+				if ss.store.FenceHeldAt(tx, slot, token, epoch) {
+					ss.store.FenceReleaseAt(tx, slot, epoch)
 				}
 			})
 			return response{}
@@ -335,19 +359,26 @@ func (s *Server) applyAll(rec *crossRec, req *request) response {
 	case opMPut:
 		for _, p := range rec.parts {
 			if s.reg.partReleased(rec, p) {
-				continue // recovery rolled this part forward
+				if s.reg.partRolledForward(rec, p) {
+					continue // recovery rolled this part forward
+				}
+				// Released but not rolled forward: recovery aborted the
+				// batch out from under a stalled coordinator. Nothing was
+				// applied on this shard — fail the batch whole.
+				return s.superseded(rec)
 			}
-			ss, idx, epoch := s.shards[p.shard], p.idx, s.reg.epochOf(rec, p)
+			ss, idx := s.shards[p.shard], p.idx
+			epoch, fslot := s.reg.holdOf(rec, p)
 			r := s.ctl(ss, func(w *proteustm.Worker, slot int) response {
 				var stale bool
 				w.Atomic(func(tx proteustm.Txn) {
-					if stale = !ss.store.FenceHeldBy(tx, rec.token, epoch); stale {
+					if stale = !ss.store.FenceHeldAt(tx, fslot, rec.token, epoch); stale {
 						return
 					}
 					for _, i := range idx {
 						ss.store.Put(tx, slot, req.keys[i], req.vals[i])
 					}
-					ss.store.FenceRelease(tx, epoch)
+					ss.store.FenceReleaseAt(tx, fslot, epoch)
 				})
 				if !stale {
 					s.reg.markReleased(rec, p, false)
@@ -366,19 +397,20 @@ func (s *Server) applyAll(rec *crossRec, req *request) response {
 		out.Vals = make([]uint64, len(req.keys))
 		out.Present = make([]bool, len(req.keys))
 		for _, p := range rec.parts {
-			ss, idx, epoch := s.shards[p.shard], p.idx, s.reg.epochOf(rec, p)
+			ss, idx := s.shards[p.shard], p.idx
+			epoch, fslot := s.reg.holdOf(rec, p)
 			r := s.ctl(ss, func(w *proteustm.Worker, _ int) response {
 				var stale bool
 				vals := make([]uint64, len(idx))
 				present := make([]bool, len(idx))
 				w.Atomic(func(tx proteustm.Txn) {
-					if stale = !ss.store.FenceHeldBy(tx, rec.token, epoch); stale {
+					if stale = !ss.store.FenceHeldAt(tx, fslot, rec.token, epoch); stale {
 						return
 					}
 					for j, i := range idx {
 						vals[j], present[j] = ss.store.Get(tx, req.keys[i])
 					}
-					ss.store.FenceRelease(tx, epoch)
+					ss.store.FenceReleaseAt(tx, fslot, epoch)
 				})
 				if !stale {
 					s.reg.markReleased(rec, p, false)
@@ -397,17 +429,18 @@ func (s *Server) applyAll(rec *crossRec, req *request) response {
 		}
 	case opRange:
 		for _, p := range rec.parts {
-			ss, epoch := s.shards[p.shard], s.reg.epochOf(rec, p)
+			ss := s.shards[p.shard]
+			epoch, fslot := s.reg.holdOf(rec, p)
 			r := s.ctl(ss, func(w *proteustm.Worker, _ int) response {
 				var stale bool
 				var count, sum uint64
 				w.Atomic(func(tx proteustm.Txn) {
 					count, sum = 0, 0
-					if stale = !ss.store.FenceHeldBy(tx, rec.token, epoch); stale {
+					if stale = !ss.store.FenceHeldAt(tx, fslot, rec.token, epoch); stale {
 						return
 					}
 					count, sum = ss.store.Range(tx, req.lo, req.hi)
-					ss.store.FenceRelease(tx, epoch)
+					ss.store.FenceReleaseAt(tx, fslot, epoch)
 				})
 				if !stale {
 					s.reg.markReleased(rec, p, false)

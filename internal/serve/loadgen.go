@@ -88,6 +88,13 @@ type LoadgenOptions struct {
 	// shard; the client computes ownership with the same consistent-hash
 	// ring the server routes with.
 	Skew float64
+	// MPutFrac in [0,1] is the probability an operation is a cross-shard
+	// 4-key /kv/mput batch regardless of the phase mix — the batch-heavy
+	// knob the group-commit and keyed-fence A/B sessions turn up. The
+	// mputs run the full two-phase fence protocol on a sharded daemon, so
+	// raising this drives ops.fenced_requeues under shard-granularity
+	// fences and exercises the keyed-fence OCC path under key granularity.
+	MPutFrac float64
 	// Seed drives the per-connection operation streams.
 	Seed uint64
 	// Deadline, when positive, is attached to every request as its
@@ -228,6 +235,7 @@ type LoadReport struct {
 	// any status sample during the session (DistinctShardSample is the
 	// per-shard snapshot at that moment).
 	Skew                    float64  `json:"skew,omitempty"`
+	MPutFrac                float64  `json:"mput_frac,omitempty"`
 	Shards                  int      `json:"shards"`
 	Partitioner             string   `json:"partitioner,omitempty"`
 	ShardConfigs            []string `json:"shard_configs"`
@@ -296,6 +304,7 @@ func RunLoadgen(opts LoadgenOptions) (*LoadReport, error) {
 		KeyRange:    opts.KeyRange,
 		Span:        opts.Span,
 		Skew:        opts.Skew,
+		MPutFrac:    opts.MPutFrac,
 		Shards:      before.Server.Shards,
 		Partitioner: before.Server.Partitioner,
 		StartConfig: before.Config.Current,
@@ -505,6 +514,19 @@ func runPhase(client *http.Client, base string, opts LoadgenOptions, plan *skewP
 func issueOp(client *http.Client, base string, opts LoadgenOptions, plan *skewPlan, mix workloads.ServiceOpMix, rng *workloads.Rand, st *connStats) {
 	if plan != nil && rng.Float64() < opts.Skew {
 		issueSkewedOp(client, base, opts, plan, rng, st)
+		return
+	}
+	if opts.MPutFrac > 0 && rng.Float64() < opts.MPutFrac {
+		// Batch-heavy traffic: a 4-key mput over the whole key range,
+		// which almost always spans shards and runs the fence protocol.
+		keys := make([]string, 4)
+		vals := make([]string, 4)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("%d", rng.Intn(int(opts.KeyRange)))
+			vals[i] = fmt.Sprintf("%d", rng.Intn(1000))
+		}
+		issueURL(client, fmt.Sprintf("%s/kv/mput?keys=%s&vals=%s",
+			base, strings.Join(keys, ","), strings.Join(vals, ",")), opts, st)
 		return
 	}
 	k := uint64(rng.Intn(int(opts.KeyRange)))

@@ -32,9 +32,12 @@ type crossPart struct {
 	shard int
 	idx   []int // positions into the batch's keys/vals owned by this shard
 	// epoch is the fence epoch this batch holds the shard under (valid
-	// while acquired); released marks the fence freed (by the
-	// coordinator's apply/abort or — byRecovery — by the detector).
+	// while acquired); slot is the keyed fence table entry the hold
+	// occupies (-1 under the whole-shard fence); released marks the
+	// fence freed (by the coordinator's apply/abort or — byRecovery —
+	// by the detector).
 	epoch      uint64
+	slot       int
 	acquired   bool
 	released   bool
 	byRecovery bool
@@ -71,7 +74,7 @@ func newCrossReg() *crossReg { return &crossReg{recs: make(map[uint64]*crossRec)
 func (g *crossReg) register(token uint64, req *request, batches []subBatch) *crossRec {
 	rec := &crossRec{token: token, op: req.op, keys: req.keys, vals: req.vals}
 	for _, b := range batches {
-		rec.parts = append(rec.parts, &crossPart{shard: b.shard, idx: b.idx})
+		rec.parts = append(rec.parts, &crossPart{shard: b.shard, idx: b.idx, slot: -1})
 	}
 	g.mu.Lock()
 	g.recs[token] = rec
@@ -86,19 +89,20 @@ func (g *crossReg) remove(token uint64) {
 	g.mu.Unlock()
 }
 
-// acquired records that part p holds its shard's fence under epoch.
-func (g *crossReg) acquired(rec *crossRec, p *crossPart, epoch uint64) {
+// acquired records that part p holds its shard's fence under epoch, at
+// keyed table entry slot (-1 under the whole-shard fence).
+func (g *crossReg) acquired(rec *crossRec, p *crossPart, epoch uint64, slot int) {
 	g.mu.Lock()
-	p.epoch, p.acquired, p.released, p.byRecovery = epoch, true, false, false
+	p.epoch, p.slot, p.acquired, p.released, p.byRecovery = epoch, slot, true, false, false
 	g.mu.Unlock()
 }
 
-// acquireState reports the (token, epoch) part p currently holds its
-// fence under, if it does.
-func (g *crossReg) acquireState(rec *crossRec, p *crossPart) (token, epoch uint64, held bool) {
+// acquireState reports the (token, epoch, slot) part p currently holds
+// its fence under, if it does.
+func (g *crossReg) acquireState(rec *crossRec, p *crossPart) (token, epoch uint64, slot int, held bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return rec.token, p.epoch, p.acquired && !p.released
+	return rec.token, p.epoch, p.slot, p.acquired && !p.released
 }
 
 // resetParts clears acquisition state after an abort-all, so the next
@@ -106,7 +110,7 @@ func (g *crossReg) acquireState(rec *crossRec, p *crossPart) (token, epoch uint6
 func (g *crossReg) resetParts(rec *crossRec) {
 	g.mu.Lock()
 	for _, p := range rec.parts {
-		p.epoch, p.acquired, p.released, p.byRecovery = 0, false, false, false
+		p.epoch, p.slot, p.acquired, p.released, p.byRecovery = 0, -1, false, false, false
 	}
 	g.mu.Unlock()
 }
@@ -115,12 +119,22 @@ func (g *crossReg) resetParts(rec *crossRec) {
 // failure detector has already claimed the record for abort (it found
 // the batch undecided when it claimed), in which case the coordinator
 // must not apply anything: the claim/decide order is what guarantees
-// recovery and coordinator agree on commit-vs-abort.
+// recovery and coordinator agree on commit-vs-abort. Deciding also
+// re-validates that every part still holds its fence: a coordinator
+// that stalled mid-acquire and whose undecided batch recovery aborted
+// (fences released, recovery long unclaimed) would otherwise resume,
+// acquire the remaining fences and commit a batch that is already
+// part-released — a torn write.
 func (g *crossReg) decide(rec *crossRec) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if rec.recovering && !rec.decided {
 		return false
+	}
+	for _, p := range rec.parts {
+		if !p.acquired || p.released {
+			return false
+		}
 	}
 	rec.decided = true
 	return true
@@ -147,11 +161,23 @@ func (g *crossReg) partReleased(rec *crossRec, p *crossPart) bool {
 	return p.released
 }
 
-// epochOf returns the epoch part p acquired under.
-func (g *crossReg) epochOf(rec *crossRec, p *crossPart) uint64 {
+// partRolledForward reports whether part p's fence was freed by a
+// recovery that rolled the decided batch forward — the only kind of
+// release a committing coordinator may treat as already-applied. A
+// release that is not a decided roll-forward (recovery aborted the
+// batch while the coordinator was stalled) means nothing of this part
+// was written and the whole batch must fail.
+func (g *crossReg) partRolledForward(rec *crossRec, p *crossPart) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return p.epoch
+	return p.released && p.byRecovery && rec.decided
+}
+
+// holdOf returns the (epoch, slot) part p acquired its fence under.
+func (g *crossReg) holdOf(rec *crossRec, p *crossPart) (epoch uint64, slot int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return p.epoch, p.slot
 }
 
 // claim hands token's record to one recovering detector. rollForward is
@@ -275,20 +301,49 @@ func beatStale(beat uint64, now time.Time, deadline time.Duration) bool {
 	return time.Duration(uint64(n)-beat) >= deadline
 }
 
+// fenceSus is one suspicion cell of the detector: the (token, epoch)
+// last observed on a fence word or slot, and since when.
+type fenceSus struct {
+	token, epoch uint64
+	since        time.Time
+}
+
+// watch advances one suspicion cell against a freshly-observed hold and
+// reports whether the hold is ripe for recovery: same (token, epoch)
+// across the whole deadline and a stale heartbeat.
+func (f *fenceSus) watch(token, epoch, beat uint64, now time.Time, deadline time.Duration) bool {
+	if token == 0 {
+		f.token, f.epoch = 0, 0
+		return false
+	}
+	if token != f.token || epoch != f.epoch {
+		f.token, f.epoch, f.since = token, epoch, now
+		return false
+	}
+	if now.Sub(f.since) >= deadline && beatStale(beat, now, deadline) {
+		f.token, f.epoch = 0, 0
+		return true
+	}
+	return false
+}
+
 // detector is shard ss's failure detector: a scavenger goroutine that
 // (a) recovers fences held past Options.FenceDeadline — the hold must be
 // the same (token, epoch) across the whole deadline AND carry a stale
 // heartbeat, so a busy protocol reacquiring the fence never trips it —
 // and (b) trips the circuit breaker when the shard has queued work but
-// made no progress for BreakerStallTicks consecutive ticks.
+// made no progress for BreakerStallTicks consecutive ticks. Under keyed
+// fences the scavenger iterates the fence table, one suspicion cell per
+// slot, so each orphaned entry is recovered independently.
 func (ss *shardState) detector() {
 	defer ss.wg.Done()
 	s := ss.srv
 	deadline, cooldown := s.opts.FenceDeadline, s.opts.BreakerCooldown
+	keyed := s.opts.FenceGranularity == FenceKey
 	tick := time.NewTicker(s.opts.DetectInterval)
 	defer tick.Stop()
-	var susToken, susEpoch uint64
-	var susSince time.Time
+	var sus fenceSus
+	var slotSus [FenceSlots]fenceSus
 	lastExecuted := ss.executed.Load()
 	stallTicks := 0
 	for {
@@ -299,18 +354,30 @@ func (ss *shardState) detector() {
 		}
 		now := time.Now()
 
-		// Orphaned-fence scavenging.
+		// Orphaned-fence scavenging: the whole-shard word always (it is
+		// never set under keyed granularity, so the extra load is free),
+		// plus the keyed fence table when configured.
 		token := ss.sys.Load(ss.store.FenceWord())
-		if token == 0 {
-			susToken, susEpoch = 0, 0
-		} else {
-			epoch := ss.sys.Load(ss.store.FenceEpochWord())
-			beat := ss.sys.Load(ss.store.FenceBeatWord())
-			if token != susToken || epoch != susEpoch {
-				susToken, susEpoch, susSince = token, epoch, now
-			} else if now.Sub(susSince) >= deadline && beatStale(beat, now, deadline) {
-				s.recoverOrphan(ss, token, epoch)
-				susToken, susEpoch = 0, 0
+		var epoch, beat uint64
+		if token != 0 {
+			epoch = ss.sys.Load(ss.store.FenceEpochWord())
+			beat = ss.sys.Load(ss.store.FenceBeatWord())
+		}
+		if sus.watch(token, epoch, beat, now, deadline) {
+			s.recoverOrphan(ss, token, epoch, -1)
+		}
+		if keyed && ss.sys.Load(ss.store.FenceOccWord()) != 0 {
+			for i := 0; i < FenceSlots; i++ {
+				tokenW, epochW, beatW := ss.store.FenceSlotWordsOf(i)
+				tok := ss.sys.Load(tokenW)
+				var ep, bt uint64
+				if tok != 0 {
+					ep = ss.sys.Load(epochW)
+					bt = ss.sys.Load(beatW)
+				}
+				if slotSus[i].watch(tok, ep, bt, now, deadline) {
+					s.recoverOrphan(ss, tok, ep, i)
+				}
 			}
 		}
 
@@ -370,13 +437,14 @@ func (s *Server) fenceRecoveryEta() time.Duration {
 }
 
 // recoverOrphan recovers the batch holding (token, epoch) on shard ss's
-// fence past the deadline. A registered batch is recovered whole —
+// fence — the whole-shard word when slot < 0, keyed table entry slot
+// otherwise — past the deadline. A registered batch is recovered whole —
 // decided writes roll forward (applied on the dead coordinator's
 // behalf), everything else aborts — across all its shards, so one
 // detector firing heals every participant. A token the registry has
 // never seen (a fence wedged from outside the protocol) is simply
 // released at its observed epoch.
-func (s *Server) recoverOrphan(ss *shardState, token, epoch uint64) {
+func (s *Server) recoverOrphan(ss *shardState, token, epoch uint64, slot int) {
 	rec, rollForward, known := s.reg.claim(token)
 	if rec == nil {
 		if known {
@@ -385,7 +453,7 @@ func (s *Server) recoverOrphan(ss *shardState, token, epoch uint64) {
 		released := false
 		ok := s.ctlRecover(ss, ss, func(w *proteustm.Worker, _ int) response {
 			w.Atomic(func(tx proteustm.Txn) {
-				released = ss.store.FenceHeldBy(tx, token, epoch) && ss.store.FenceRelease(tx, epoch)
+				released = ss.store.FenceHeldAt(tx, slot, token, epoch) && ss.store.FenceReleaseAt(tx, slot, epoch)
 			})
 			return response{}
 		})
@@ -398,7 +466,7 @@ func (s *Server) recoverOrphan(ss *shardState, token, epoch uint64) {
 	}
 	defer s.reg.unclaim(rec)
 	for _, p := range rec.parts {
-		recToken, recEpoch, held := s.reg.acquireState(rec, p)
+		recToken, recEpoch, recSlot, held := s.reg.acquireState(rec, p)
 		if !held {
 			continue
 		}
@@ -407,7 +475,7 @@ func (s *Server) recoverOrphan(ss *shardState, token, epoch uint64) {
 			var did bool
 			w.Atomic(func(tx proteustm.Txn) {
 				did = false
-				if !target.store.FenceHeldBy(tx, recToken, recEpoch) {
+				if !target.store.FenceHeldAt(tx, recSlot, recToken, recEpoch) {
 					return
 				}
 				if rollForward {
@@ -415,7 +483,7 @@ func (s *Server) recoverOrphan(ss *shardState, token, epoch uint64) {
 						target.store.Put(tx, slot, rec.keys[i], rec.vals[i])
 					}
 				}
-				target.store.FenceRelease(tx, recEpoch)
+				target.store.FenceReleaseAt(tx, recSlot, recEpoch)
 				did = true
 			})
 			if did {
@@ -466,6 +534,7 @@ func (s *Server) Health() HealthStatus {
 	if deadline <= 0 {
 		deadline = time.Second
 	}
+	keyed := s.opts.FenceGranularity == FenceKey
 	h := HealthStatus{Healthy: true, Shards: make([]ShardHealth, len(s.shards))}
 	for i, ss := range s.shards {
 		sh := ShardHealth{Index: i, Breaker: ss.breakerName(now)}
@@ -477,6 +546,19 @@ func (s *Server) Health() HealthStatus {
 			if beatStale(ss.sys.Load(ss.store.FenceBeatWord()), now, deadline) {
 				sh.FenceStale = true
 				h.Healthy = false
+			}
+		}
+		if keyed && ss.sys.Load(ss.store.FenceOccWord()) != 0 {
+			for slot := 0; slot < FenceSlots; slot++ {
+				tokenW, _, beatW := ss.store.FenceSlotWordsOf(slot)
+				if ss.sys.Load(tokenW) == 0 {
+					continue
+				}
+				sh.FenceHeld = true
+				if beatStale(ss.sys.Load(beatW), now, deadline) {
+					sh.FenceStale = true
+					h.Healthy = false
+				}
 			}
 		}
 		h.Shards[i] = sh

@@ -591,11 +591,27 @@ func (lr *linRecorder) record(op shard.Op) {
 // every committed operation's invocation/response window recorded, must
 // admit a sequential witness. Run under -race in CI.
 func TestLinearizability(t *testing.T) {
+	forEachGranularity(t, func(t *testing.T, granularity string) {
+		testLinearizability(t, granularity, false)
+	})
+	// The batching worker gate must preserve per-op atomicity and
+	// ordering; rerun the full battery with group commit engaged.
+	t.Run("group-commit", func(t *testing.T) {
+		forEachGranularity(t, func(t *testing.T, granularity string) {
+			testLinearizability(t, granularity, true)
+		})
+	})
+}
+
+func testLinearizability(t *testing.T, granularity string, groupCommit bool) {
 	const rounds = 4
 	const clients = 3
 	const opsPerClient = 4
 	for round := 0; round < rounds; round++ {
-		s := newTestServer(t, Options{Shards: 3, Workers: 2, HeapWords: 1 << 16})
+		s := newTestServer(t, Options{
+			Shards: 3, Workers: 2, HeapWords: 1 << 16,
+			FenceGranularity: granularity, GroupCommit: groupCommit,
+		})
 		base := time.Now()
 		rec := &linRecorder{}
 		// The keys deliberately straddle shards so mput/mget cross.
@@ -817,5 +833,78 @@ func TestLoadgenSkewedAgainstShardedServer(t *testing.T) {
 	// ally (writes produce conflict aborts, reads almost none).
 	if st.TM.Commits == 0 {
 		t.Fatal("no commits recorded")
+	}
+}
+
+// TestKeyedFenceAllowsNonIntersectingOps pins the keyed-fence value
+// proposition: while a cross-shard hold covers one key's signature,
+// a local op on a non-intersecting key of the same shard proceeds
+// immediately (no fenced requeue), while an intersecting op parks until
+// release — and ops.fence_keys_held observes the hold.
+func TestKeyedFenceAllowsNonIntersectingOps(t *testing.T) {
+	s := newTestServer(t, Options{Shards: 2, Workers: 2, FenceGranularity: FenceKey})
+	// Two keys on shard 1 whose Bloom signature bits are disjoint.
+	var fencedKey, freeKey uint64
+	found := false
+	for a := uint64(0); a < 1<<12 && !found; a++ {
+		if s.part.Owner(a) != 1 {
+			continue
+		}
+		for b := a + 1; b < 1<<12; b++ {
+			if s.part.Owner(b) == 1 && keyBit(a)&keyBit(b) == 0 {
+				fencedKey, freeKey, found = a, b, true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no two same-shard keys with disjoint signature bits")
+	}
+	victim := s.shards[1]
+
+	// A coordinator holds a keyed fence covering only fencedKey.
+	r := s.ctlAcquire(victim, 7, KeyFenceSig([]uint64{fencedKey}))
+	if !r.Applied || r.slot < 0 {
+		t.Fatalf("keyed acquire = %+v", r)
+	}
+	if got := s.StatusSnapshot().Ops.FenceKeysHeld; got != 1 {
+		t.Fatalf("fence_keys_held = %d while one slot held, want 1", got)
+	}
+
+	// The non-intersecting op must complete while the fence is held.
+	if resp, code := s.submit(victim, &request{op: opPut, key: freeKey, val: 1}); code != http.StatusOK {
+		t.Fatalf("non-intersecting put = %d %+v", code, resp)
+	}
+	if got := s.fenced.Load(); got != 0 {
+		t.Fatalf("fenced_requeues = %d after non-intersecting op, want 0", got)
+	}
+
+	// The intersecting op must park (fenced requeue), not complete.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if resp, code := s.submit(victim, &request{op: opPut, key: fencedKey, val: 2}); code != http.StatusOK {
+			t.Errorf("intersecting put = %d %+v", code, resp)
+		}
+	}()
+	waitUntil(t, 2*time.Second, "fenced requeue", func() bool { return s.fenced.Load() > 0 })
+	select {
+	case <-done:
+		t.Fatal("intersecting op completed while its key was fenced")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Release the slot: the parked op drains.
+	s.ctl(victim, func(w *proteustm.Worker, _ int) response {
+		w.Atomic(func(tx proteustm.Txn) { victim.store.FenceSlotRelease(tx, r.slot, r.epoch) })
+		return response{}
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("intersecting op never completed after release")
+	}
+	if got := s.StatusSnapshot().Ops.FenceKeysHeld; got != 0 {
+		t.Fatalf("fence_keys_held = %d after release, want 0", got)
 	}
 }

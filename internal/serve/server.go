@@ -108,9 +108,19 @@ type response struct {
 	// HTTP reply — the circuit breaker's and fence recovery's backoff
 	// hint to clients.
 	retryAfter time.Duration
-	// epoch carries the fence epoch out of a ctlAcquire control step.
+	// epoch carries the fence epoch out of a ctlAcquire control step;
+	// slot carries the keyed fence table entry the acquisition claimed
+	// (-1 under the whole-shard fence).
 	epoch uint64
+	slot  int
 }
+
+// Fence granularities (Options.FenceGranularity): one whole-shard fence
+// word per shard, or a table of per-key fence entries (see store.go).
+const (
+	FenceShard = "shard"
+	FenceKey   = "key"
+)
 
 // Options configures a Server.
 type Options struct {
@@ -158,6 +168,27 @@ type Options struct {
 	// CrossRetries bounds fence-acquisition attempts of one cross-shard
 	// operation before it fails with 503 (default 64).
 	CrossRetries int
+	// GroupCommit enables the batching worker gate: when a worker dequeues
+	// a data operation and more are already queued behind it, it coalesces
+	// up to GroupCommitMax of them into one TM transaction (group commit),
+	// amortizing the per-transaction overhead under load. Per-operation
+	// deadline and cancellation semantics are preserved inside a batch: an
+	// expired or client-abandoned operation is excised (answered 504/499)
+	// before the transaction runs, never executed. Batching engages only
+	// at queue depth — an idle server executes one op per transaction
+	// exactly as before.
+	GroupCommit bool
+	// GroupCommitMax caps how many operations one group commit coalesces
+	// (default 16).
+	GroupCommitMax int
+	// FenceGranularity selects the cross-shard fence implementation:
+	// FenceShard (default) blocks every local operation on a participant
+	// shard for the whole 2PC window; FenceKey replaces the whole-shard
+	// fence with per-key fence entries (an OCC-style prepare that
+	// validates key ownership via Bloom signatures), so local operations
+	// whose keys do not intersect an in-flight commit proceed instead of
+	// requeueing. See docs/sharding.md.
+	FenceGranularity string
 	// SLOP99 is the p99 latency target the service sells (0 disables all
 	// SLO machinery). With AutoTune it switches every shard's tuner to
 	// the ThroughputUnderSLO KPI, fed by the server's accept→reply
@@ -235,6 +266,12 @@ func (o *Options) setDefaults() {
 	}
 	if o.CrossRetries <= 0 {
 		o.CrossRetries = 64
+	}
+	if o.GroupCommitMax <= 0 {
+		o.GroupCommitMax = 16
+	}
+	if o.FenceGranularity == "" {
+		o.FenceGranularity = FenceShard
 	}
 	if o.ShedBudget <= 0 {
 		o.ShedBudget = 0.5
@@ -373,6 +410,12 @@ type Server struct {
 	gateP99Bits atomic.Uint64
 	gateNext    atomic.Int64
 
+	// groupCommits counts batched transactions the worker gate committed
+	// (each covering 2+ coalesced operations); batchSizes is the sliding
+	// reservoir behind the group_batch_p50/p99 status fields.
+	groupCommits atomic.Uint64
+	batchSizes   *metrics.Reservoir
+
 	// rangeLocal counts /kv/range scans whose owner set collapsed to one
 	// shard (a plain shard transaction, no fences); rangeCross counts
 	// scans that ran the cross-shard protocol; rangeFencedShards totals
@@ -411,19 +454,24 @@ func New(opts Options) (*Server, error) {
 // the split to exercise admission-queue overflow deterministically).
 func newServer(opts Options) (*Server, error) {
 	opts.setDefaults()
+	if opts.FenceGranularity != FenceShard && opts.FenceGranularity != FenceKey {
+		return nil, fmt.Errorf("serve: unknown fence granularity %q (want %q or %q)",
+			opts.FenceGranularity, FenceShard, FenceKey)
+	}
 	part, err := shard.NewPartitioner(opts.Partitioner, opts.Shards, opts.KeyUniverse)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s := &Server{
-		opts:      opts,
-		part:      part,
-		start:     time.Now(),
-		crossSem:  make(chan struct{}, crossSlots),
-		reg:       newCrossReg(),
-		lat:       metrics.NewReservoir(opts.LatencyWindow),
-		queueWait: metrics.NewReservoir(opts.LatencyWindow),
-		svc:       metrics.NewReservoir(opts.LatencyWindow),
+		opts:       opts,
+		part:       part,
+		start:      time.Now(),
+		crossSem:   make(chan struct{}, crossSlots),
+		reg:        newCrossReg(),
+		lat:        metrics.NewReservoir(opts.LatencyWindow),
+		queueWait:  metrics.NewReservoir(opts.LatencyWindow),
+		svc:        metrics.NewReservoir(opts.LatencyWindow),
+		batchSizes: metrics.NewReservoir(opts.LatencyWindow),
 	}
 	s.jitterState.Store(opts.Seed | 1)
 	for i := 0; i < opts.Shards; i++ {
@@ -449,6 +497,13 @@ func newServer(opts Options) (*Server, error) {
 // newShard opens shard i's system and store.
 func (s *Server) newShard(i int) (*shardState, error) {
 	opts := &s.opts
+	ss := &shardState{
+		idx:   i,
+		srv:   s,
+		queue: make(chan *request, opts.QueueDepth),
+		prio:  make(chan *request, crossSlots),
+		stop:  make(chan struct{}),
+	}
 	sysOpts := []proteustm.Option{
 		proteustm.WithWorkers(opts.Workers),
 		proteustm.WithHeapWords(opts.HeapWords),
@@ -471,6 +526,14 @@ func (s *Server) newShard(i int) (*shardState, error) {
 			return s.lat.Quantile(99)
 		}))
 	}
+	if opts.AutoTune && opts.GroupCommit {
+		// Group commit breaks the ops ∝ commits proportionality the
+		// commit-rate KPI relies on (one transaction covers a whole
+		// batch, so the commit rate shrinks and jitters with queue
+		// depth). Feed the tuner this shard's completed-operation
+		// counter instead, so it optimizes what the service delivers.
+		sysOpts = append(sysOpts, proteustm.WithOpsKPI(ss.executed.Load))
+	}
 	sys, err := proteustm.Open(sysOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("serve: shard %d: %w", i, err)
@@ -480,15 +543,8 @@ func (s *Server) newShard(i int) (*shardState, error) {
 		sys.Close() //nolint:errcheck // already failing
 		return nil, fmt.Errorf("serve: shard %d: %w", i, err)
 	}
-	ss := &shardState{
-		idx:   i,
-		srv:   s,
-		sys:   sys,
-		store: store,
-		queue: make(chan *request, opts.QueueDepth),
-		prio:  make(chan *request, crossSlots),
-		stop:  make(chan struct{}),
-	}
+	ss.sys = sys
+	ss.store = store
 	ss.active.Store(int64(sys.CurrentConfig().Threads))
 	sys.OnReconfigure(ss.reconfigureHook)
 	return ss, nil
@@ -632,10 +688,67 @@ func (ss *shardState) worker(id int) {
 			req.done <- response{Err: "deadline exceeded", code: http.StatusGatewayTimeout}
 			continue
 		}
+		// Group commit: with backlog behind this op, coalesce compatible
+		// queued data ops into the same transaction. Expired ops are
+		// excised during the drain, so a batch preserves per-op deadline
+		// semantics exactly.
+		var batch []*request
+		if req.ctl == nil && ss.srv.opts.GroupCommit {
+			batch = ss.coalesce(req)
+		}
 		ss.drainMu.RLock()
 		if int64(id) >= ss.active.Load() {
 			ss.drainMu.RUnlock()
-			ss.requeue(req)
+			if batch != nil {
+				for _, r := range batch {
+					ss.requeue(r)
+				}
+			} else {
+				ss.requeue(req)
+			}
+			continue
+		}
+		if batch != nil {
+			t0 := time.Now()
+			resps, fencedOps := ss.executeBatch(w, id, batch)
+			t1 := time.Now()
+			ss.drainMu.RUnlock()
+			committed := 0
+			for _, f := range fencedOps {
+				if !f {
+					committed++
+				}
+			}
+			// Only batches that actually coalesced work count as group
+			// commits: fenced ops no-op inside the transaction, and a
+			// fully-fenced batch committed nothing at all.
+			if committed >= 2 {
+				ss.srv.groupCommits.Add(1)
+				ss.srv.batchSizes.Observe(float64(committed))
+			}
+			for i, r := range batch {
+				if fencedOps[i] {
+					ss.srv.fenced.Add(1)
+					r.fenceTries++
+					if r.fenceTries > maxFenceTries {
+						r.done <- response{Err: "shard fence held too long"}
+						continue
+					}
+					ss.requeue(r)
+					continue
+				}
+				ss.srv.queueWait.Observe(msBetween(r.accepted, t0))
+				ss.srv.svc.Observe(msBetween(t0, t1))
+				ss.srv.served[r.op].Add(1)
+				ss.executed.Add(1)
+				r.done <- resps[i]
+			}
+			if committed == 0 {
+				// The whole batch was fenced: yield like the solo path so
+				// the fence holder's control steps make progress instead
+				// of the batch re-coalescing hot through the queue.
+				time.Sleep(50 * time.Microsecond)
+			}
 			continue
 		}
 		var resp response
@@ -670,6 +783,40 @@ func (ss *shardState) worker(id int) {
 		}
 		req.done <- resp
 	}
+}
+
+// coalesce builds a group-commit batch behind first: a non-blocking
+// drain of further data operations from the admission queue, up to
+// Options.GroupCommitMax. Only the queue is drained — control steps
+// ride the priority lane and are never batched. An op that expired
+// while queued is excised here (504, shed_deadline), exactly as the
+// solo gate would have dropped it. Returns nil when nothing coalesced,
+// so an idle server keeps the one-op-per-transaction path.
+func (ss *shardState) coalesce(first *request) []*request {
+	maxB := ss.srv.opts.GroupCommitMax
+	if maxB <= 1 || len(ss.queue) == 0 {
+		return nil
+	}
+	batch := []*request{first}
+	now := time.Now()
+drain:
+	for len(batch) < maxB {
+		select {
+		case extra := <-ss.queue:
+			if extra.expired(now) {
+				ss.srv.shedDeadline.Add(1)
+				extra.done <- response{Err: "deadline exceeded", code: http.StatusGatewayTimeout}
+				continue
+			}
+			batch = append(batch, extra)
+		default:
+			break drain
+		}
+	}
+	if len(batch) == 1 {
+		return nil
+	}
+	return batch
 }
 
 // msBetween converts a time span to milliseconds for the reservoirs.
@@ -709,123 +856,118 @@ func (ss *shardState) requeue(req *request) {
 	req.done <- response{Err: "admission queue full during requeue"}
 }
 
-// execute runs one data operation as a single atomic block on worker w.
-// It reports fenced=true (and performs no writes) when the shard's
-// cross-shard commit fence was held: the caller must requeue the request
-// rather than answer it. Closure-captured results are reset at the top of
-// every attempt because the TM retries the block on aborts.
-func (ss *shardState) execute(w *proteustm.Worker, slot int, req *request) (response, bool) {
-	// With a single shard no cross-shard commit ever takes the fence, so
+// opFenced reports whether req must requeue because a cross-shard
+// commit fence covers it, dispatching on the configured granularity.
+// Under the whole-shard fence every operation blocks while the fence is
+// held. Under keyed fences a single-key or batch operation intersects
+// its keys' Bloom signature with the held fence entries (a false
+// positive costs one spurious requeue; a false negative is impossible),
+// a local range scan checks conservatively against any held entry, and
+// deque operations never block — the cross-shard protocol cannot touch
+// the deque.
+func (ss *shardState) opFenced(tx proteustm.Txn, req *request) bool {
+	// With a single shard no cross-shard commit ever takes a fence, so
 	// skip the per-operation fence read entirely.
-	checkFence := len(ss.srv.shards) > 1
-	var resp response
-	var fenced bool
+	if len(ss.srv.shards) == 1 {
+		return false
+	}
+	if ss.srv.opts.FenceGranularity != FenceKey {
+		return ss.store.Fenced(tx)
+	}
+	switch req.op {
+	case opGet, opPut, opDel, opCAS:
+		return ss.store.FencedKey(tx, req.key)
+	case opMPut, opMGet:
+		return ss.store.FencedSig(tx, KeyFenceSig(req.keys))
+	case opRange:
+		return ss.store.FencedAny(tx)
+	default:
+		return false
+	}
+}
+
+// applyOp executes one data operation inside an open transaction. It
+// reports fenced=true (and performs no writes) when a cross-shard fence
+// covers the operation: the caller must requeue it rather than answer
+// it. The response is reset at the top because the TM retries the
+// enclosing atomic block on aborts — and because a group commit runs
+// many applyOps in one block, every op's results must rebuild cleanly
+// on each attempt.
+func (ss *shardState) applyOp(tx proteustm.Txn, slot int, req *request, resp *response) (fenced bool) {
+	*resp = response{}
+	if ss.opFenced(tx, req) {
+		return true
+	}
 	store := ss.store
 	switch req.op {
 	case opGet:
-		w.Atomic(func(tx proteustm.Txn) {
-			if fenced = checkFence && store.Fenced(tx); fenced {
-				return
-			}
-			resp.Val, resp.Found = store.Get(tx, req.key)
-		})
+		resp.Val, resp.Found = store.Get(tx, req.key)
 	case opPut:
-		w.Atomic(func(tx proteustm.Txn) {
-			if fenced = checkFence && store.Fenced(tx); fenced {
-				return
-			}
-			resp.Existed = store.Put(tx, slot, req.key, req.val)
-		})
-		resp.Applied = !fenced
+		resp.Existed = store.Put(tx, slot, req.key, req.val)
+		resp.Applied = true
 	case opDel:
-		w.Atomic(func(tx proteustm.Txn) {
-			if fenced = checkFence && store.Fenced(tx); fenced {
-				return
-			}
-			resp.Applied = store.Delete(tx, slot, req.key)
-		})
+		resp.Applied = store.Delete(tx, slot, req.key)
 	case opCAS:
-		w.Atomic(func(tx proteustm.Txn) {
-			if fenced = checkFence && store.Fenced(tx); fenced {
-				return
-			}
-			resp.Val, resp.Applied = store.CAS(tx, slot, req.key, req.old, req.newv)
-		})
+		resp.Val, resp.Applied = store.CAS(tx, slot, req.key, req.old, req.newv)
 	case opRange:
-		w.Atomic(func(tx proteustm.Txn) {
-			resp.Count, resp.Sum = 0, 0
-			if fenced = checkFence && store.Fenced(tx); fenced {
-				return
-			}
-			resp.Count, resp.Sum = store.Range(tx, req.lo, req.hi)
-		})
+		resp.Count, resp.Sum = store.Range(tx, req.lo, req.hi)
 	case opMPut:
-		w.Atomic(func(tx proteustm.Txn) {
-			if fenced = checkFence && store.Fenced(tx); fenced {
-				return
-			}
-			for i, k := range req.keys {
-				store.Put(tx, slot, k, req.vals[i])
-			}
-		})
-		resp.Applied = !fenced
+		for i, k := range req.keys {
+			store.Put(tx, slot, k, req.vals[i])
+		}
+		resp.Applied = true
 	case opMGet:
-		w.Atomic(func(tx proteustm.Txn) {
-			resp.Vals, resp.Present = nil, nil
-			if fenced = checkFence && store.Fenced(tx); fenced {
-				return
-			}
-			vals := make([]uint64, len(req.keys))
-			present := make([]bool, len(req.keys))
-			for i, k := range req.keys {
-				vals[i], present[i] = store.Get(tx, k)
-			}
-			resp.Vals, resp.Present = vals, present
-		})
+		vals := make([]uint64, len(req.keys))
+		present := make([]bool, len(req.keys))
+		for i, k := range req.keys {
+			vals[i], present[i] = store.Get(tx, k)
+		}
+		resp.Vals, resp.Present = vals, present
 	case opLPush:
-		w.Atomic(func(tx proteustm.Txn) {
-			if fenced = checkFence && store.Fenced(tx); fenced {
-				return
-			}
-			store.PushLeft(tx, slot, req.val)
-		})
-		resp.Applied = !fenced
+		store.PushLeft(tx, slot, req.val)
+		resp.Applied = true
 	case opRPush:
-		w.Atomic(func(tx proteustm.Txn) {
-			if fenced = checkFence && store.Fenced(tx); fenced {
-				return
-			}
-			store.PushRight(tx, slot, req.val)
-		})
-		resp.Applied = !fenced
+		store.PushRight(tx, slot, req.val)
+		resp.Applied = true
 	case opLPop:
-		w.Atomic(func(tx proteustm.Txn) {
-			resp.Val, resp.Found = 0, false
-			if fenced = checkFence && store.Fenced(tx); fenced {
-				return
-			}
-			resp.Val, resp.Found = store.PopLeft(tx, slot)
-		})
+		resp.Val, resp.Found = store.PopLeft(tx, slot)
 	case opRPop:
-		w.Atomic(func(tx proteustm.Txn) {
-			resp.Val, resp.Found = 0, false
-			if fenced = checkFence && store.Fenced(tx); fenced {
-				return
-			}
-			resp.Val, resp.Found = store.PopRight(tx, slot)
-		})
+		resp.Val, resp.Found = store.PopRight(tx, slot)
 	case opLLen:
-		w.Atomic(func(tx proteustm.Txn) {
-			if fenced = checkFence && store.Fenced(tx); fenced {
-				return
-			}
-			resp.Len = store.Len(tx)
-		})
+		resp.Len = store.Len(tx)
 	}
+	return false
+}
+
+// execute runs one data operation as a single atomic block on worker w.
+func (ss *shardState) execute(w *proteustm.Worker, slot int, req *request) (response, bool) {
+	var resp response
+	var fenced bool
+	w.Atomic(func(tx proteustm.Txn) {
+		fenced = ss.applyOp(tx, slot, req, &resp)
+	})
 	if fenced {
 		return response{}, true
 	}
 	return resp, false
+}
+
+// executeBatch runs a group commit: every coalesced operation applies
+// inside one atomic block, in queue order, so the batch costs one
+// commit instead of len(reqs). A fenced op contributes nothing to the
+// transaction (applyOp returns before touching the store) and is
+// requeued by the caller; the others' effects commit regardless —
+// exactly the per-op outcome of the solo path, minus the per-op
+// transaction overhead.
+func (ss *shardState) executeBatch(w *proteustm.Worker, slot int, reqs []*request) ([]response, []bool) {
+	resps := make([]response, len(reqs))
+	fenced := make([]bool, len(reqs))
+	w.Atomic(func(tx proteustm.Txn) {
+		for i, r := range reqs {
+			fenced[i] = ss.applyOp(tx, slot, r, &resps[i])
+		}
+	})
+	return resps, fenced
 }
 
 // armDeadline stamps the admission instant and derives the effective

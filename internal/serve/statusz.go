@@ -154,6 +154,16 @@ type OpsStatus struct {
 	RangeLocal        uint64 `json:"range_local"`
 	RangeCross        uint64 `json:"range_cross"`
 	RangeFencedShards uint64 `json:"range_fenced_shards"`
+	// GroupCommits counts worker-gate batches that coalesced two or more
+	// queued ops into one TM transaction; GroupBatchP50/P99 summarize the
+	// batch-size distribution over the sliding window. The amortization
+	// observables the group-commit A/B compares.
+	GroupCommits  uint64  `json:"group_commits"`
+	GroupBatchP50 float64 `json:"group_batch_p50"`
+	GroupBatchP99 float64 `json:"group_batch_p99"`
+	// FenceKeysHeld sums the keyed fence table occupancy across shards at
+	// snapshot time (identically 0 under --fence-granularity=shard).
+	FenceKeysHeld uint64 `json:"fence_keys_held"`
 }
 
 // LatencyStatus summarizes one latency dimension in milliseconds over the
@@ -297,6 +307,12 @@ func (s *Server) StatusSnapshot() Status {
 		servedTotal += n
 	}
 
+	var fenceKeysHeld uint64
+	for _, ss := range s.shards {
+		fenceKeysHeld += ss.sys.Load(ss.store.FenceOccWord())
+	}
+	batch := metrics.Summarize(s.batchSizes.Snapshot())
+
 	return Status{
 		Server: ServerStatus{
 			UptimeSec:       time.Since(s.start).Seconds(),
@@ -342,6 +358,10 @@ func (s *Server) StatusSnapshot() Status {
 			RangeLocal:         s.rangeLocal.Load(),
 			RangeCross:         s.rangeCross.Load(),
 			RangeFencedShards:  s.rangeFencedShards.Load(),
+			GroupCommits:       s.groupCommits.Load(),
+			GroupBatchP50:      batch.P50,
+			GroupBatchP99:      batch.P99,
+			FenceKeysHeld:      fenceKeysHeld,
 		},
 		Latency:          latencyStatus(s.lat),
 		QueueWait:        latencyStatus(s.queueWait),

@@ -68,7 +68,35 @@ type Store struct {
 	fence      tm.Addr
 	fenceEpoch tm.Addr
 	fenceBeat  tm.Addr
+
+	// slots is the keyed fence table (Options.FenceGranularity == "key"):
+	// FenceSlots entries of fenceSlotWords words each — holder token,
+	// epoch, heartbeat, and a 64-bit Bloom signature over the keys the
+	// hold covers — preceded at fenceOcc by an occupancy count so the
+	// dominant unfenced case costs local operations a single load. The
+	// epoch space is shared with the whole-shard fence (fenceEpoch), so a
+	// (token, epoch) pair still names exactly one hold across both
+	// granularities.
+	slots    tm.Addr
+	fenceOcc tm.Addr
 }
+
+// FenceSlots is the keyed fence table's capacity per shard: the maximum
+// number of cross-shard commits that can simultaneously hold fence
+// entries on one shard. It matches the server-wide coordinator-slot
+// bound, so a keyed acquire never fails for want of a table entry while
+// a whole-shard acquire would have succeeded.
+const FenceSlots = 32
+
+// Keyed fence slot layout: holder token (zero = free), epoch, heartbeat,
+// Bloom key signature.
+const (
+	fsToken = iota
+	fsEpoch
+	fsBeat
+	fsSig
+	fenceSlotWords
+)
 
 // NewStore allocates an empty store on h.
 func NewStore(h *tm.Heap) (*Store, error) {
@@ -84,10 +112,15 @@ func NewStore(h *tm.Heap) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: deque heads: %w", err)
 	}
+	slots, err := h.Alloc(1 + FenceSlots*fenceSlotWords)
+	if err != nil {
+		return nil, fmt.Errorf("serve: fence slots: %w", err)
+	}
 	return &Store{
 		kv: kv, pool: pool,
 		lhead: words, ltail: words + 1, llen: words + 2,
 		fence: words + 3, fenceEpoch: words + 4, fenceBeat: words + 5,
+		fenceOcc: slots, slots: slots + 1,
 	}, nil
 }
 
@@ -143,6 +176,155 @@ func (s *Store) FenceEpochWord() tm.Addr { return s.fenceEpoch }
 
 // FenceBeatWord exposes the heartbeat word's heap address.
 func (s *Store) FenceBeatWord() tm.Addr { return s.fenceBeat }
+
+// ---- keyed fences (Options.FenceGranularity == "key") ----
+//
+// Instead of one whole-shard fence word, a cross-shard commit claims a
+// slot in a per-shard fence table and publishes a Bloom signature of the
+// keys it covers. Local operations intersect their own key's signature
+// bit with the held slots: a miss (the common case — one occupancy load
+// plus, when entries are held, one signature AND per slot) proceeds
+// immediately instead of requeueing for the whole 2PC window; a hit
+// requeues exactly as under the whole-shard fence. A signature false
+// positive costs one spurious requeue and nothing else; a false negative
+// is impossible, so atomicity never rests on the filter.
+
+// keyBit maps a key to its Bloom signature bit via a splitmix64-style
+// mix, so dense key ranges spread across the 64-bit signature.
+func keyBit(key uint64) uint64 {
+	x := key + 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return 1 << ((x ^ (x >> 31)) & 63)
+}
+
+// KeyFenceSig builds the Bloom signature a keyed fence publishes for a
+// batch: the union of every key's signature bit. Range holds, which
+// cannot enumerate their keys, pass ^uint64(0) and conflict with every
+// local operation — exactly the whole-shard fence's behavior.
+func KeyFenceSig(keys []uint64) uint64 {
+	var sig uint64
+	for _, k := range keys {
+		sig |= keyBit(k)
+	}
+	return sig
+}
+
+// slotAddr returns the base word of fence slot i.
+func (s *Store) slotAddr(i int) tm.Addr { return s.slots + tm.Addr(i*fenceSlotWords) }
+
+// FenceAcquireKey claims a free keyed fence slot for token, covering the
+// keys summarized by sig: the keyed counterpart of FenceAcquire. The
+// epoch comes from the same monotonic counter as the whole-shard fence
+// and the slot index is the handle every later guard needs. Acquisition
+// fails — abort-all and retry, like fence contention — when the table is
+// full or when sig intersects a slot already held: two cross-shard
+// commits touching the same key on this shard must serialize exactly as
+// they would on the whole-shard fence, or their apply phases could
+// interleave and tear each other's batches.
+func (s *Store) FenceAcquireKey(tx tm.Txn, token, beat, sig uint64) (epoch uint64, slot int, ok bool) {
+	free := -1
+	for i := 0; i < FenceSlots; i++ {
+		a := s.slotAddr(i)
+		if tx.Load(a+fsToken) == 0 {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if tx.Load(a+fsSig)&sig != 0 {
+			return 0, -1, false
+		}
+	}
+	if free < 0 {
+		return 0, -1, false
+	}
+	a := s.slotAddr(free)
+	epoch = tx.Load(s.fenceEpoch) + 1
+	tx.Store(s.fenceEpoch, epoch)
+	tx.Store(a+fsToken, token)
+	tx.Store(a+fsEpoch, epoch)
+	tx.Store(a+fsBeat, beat)
+	tx.Store(a+fsSig, sig)
+	tx.Store(s.fenceOcc, tx.Load(s.fenceOcc)+1)
+	return epoch, free, true
+}
+
+// FenceSlotHeldBy reports whether slot is held by exactly this (token,
+// epoch) acquisition — the keyed analogue of FenceHeldBy.
+func (s *Store) FenceSlotHeldBy(tx tm.Txn, slot int, token, epoch uint64) bool {
+	a := s.slotAddr(slot)
+	return tx.Load(a+fsToken) == token && tx.Load(a+fsEpoch) == epoch
+}
+
+// FenceSlotRelease frees slot iff it is still held at the given epoch,
+// reporting whether it released.
+func (s *Store) FenceSlotRelease(tx tm.Txn, slot int, epoch uint64) bool {
+	a := s.slotAddr(slot)
+	if tx.Load(a+fsToken) == 0 || tx.Load(a+fsEpoch) != epoch {
+		return false
+	}
+	tx.Store(a+fsToken, 0)
+	tx.Store(a+fsSig, 0)
+	tx.Store(s.fenceOcc, tx.Load(s.fenceOcc)-1)
+	return true
+}
+
+// FencedSig reports whether any held fence slot's key signature
+// intersects sig — the keyed-fence check local operations run instead of
+// Fenced. With no slots held it costs a single load.
+func (s *Store) FencedSig(tx tm.Txn, sig uint64) bool {
+	if tx.Load(s.fenceOcc) == 0 {
+		return false
+	}
+	for i := 0; i < FenceSlots; i++ {
+		a := s.slotAddr(i)
+		if tx.Load(a+fsToken) != 0 && tx.Load(a+fsSig)&sig != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FencedKey reports whether key may be covered by a held keyed fence.
+func (s *Store) FencedKey(tx tm.Txn, key uint64) bool { return s.FencedSig(tx, keyBit(key)) }
+
+// FencedAny reports whether any keyed fence slot is held — the
+// conservative check for local range scans, whose key set cannot be
+// intersected with a Bloom signature.
+func (s *Store) FencedAny(tx tm.Txn) bool { return tx.Load(s.fenceOcc) != 0 }
+
+// FenceOccWord exposes the slot-occupancy word's heap address for
+// non-transactional status peeks (ops.fence_keys_held).
+func (s *Store) FenceOccWord() tm.Addr { return s.fenceOcc }
+
+// FenceSlotWordsOf exposes slot i's (token, epoch, beat) heap addresses
+// for the failure detector's non-transactional scan.
+func (s *Store) FenceSlotWordsOf(i int) (token, epoch, beat tm.Addr) {
+	a := s.slotAddr(i)
+	return a + fsToken, a + fsEpoch, a + fsBeat
+}
+
+// FenceHeldAt dispatches the held-by guard across granularities: a
+// negative slot checks the whole-shard fence, anything else the keyed
+// table entry. The cross-shard protocol records the slot at acquisition
+// and threads it through every later guard, so phase 2 and recovery
+// stay granularity-agnostic.
+func (s *Store) FenceHeldAt(tx tm.Txn, slot int, token, epoch uint64) bool {
+	if slot < 0 {
+		return s.FenceHeldBy(tx, token, epoch)
+	}
+	return s.FenceSlotHeldBy(tx, slot, token, epoch)
+}
+
+// FenceReleaseAt dispatches the epoch-guarded release across
+// granularities, mirroring FenceHeldAt.
+func (s *Store) FenceReleaseAt(tx tm.Txn, slot int, epoch uint64) bool {
+	if slot < 0 {
+		return s.FenceRelease(tx, epoch)
+	}
+	return s.FenceSlotRelease(tx, slot, epoch)
+}
 
 // Get reads the value at key.
 func (s *Store) Get(tx tm.Txn, key uint64) (uint64, bool) { return s.kv.Get(tx, key) }

@@ -1,0 +1,366 @@
+package workloads
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/shard"
+	"repro/internal/tm"
+)
+
+// ServiceBatch is the deterministic twin of proteusd's group-commit
+// worker gate (internal/serve, Options.GroupCommit): every Op call
+// generates a plan of BatchMax single-key micro-operations from the rng
+// FIRST — so both legs of an A/B consume the rng stream identically —
+// and then executes the plan either coalesced into one atomic block
+// (GroupCommit on) or one atomic block per micro-op (off). Because the
+// micro-ops run in plan order either way, only the transaction
+// boundaries differ between the legs: the KV end-state, and therefore
+// the heap digest, must be byte-identical. That metamorphic property is
+// what the service-batch determinism goldens pin.
+//
+// Every CrossEvery-th Op is instead a cross-shard 2PC batch through the
+// per-shard fences (ordered acquire, abort-all, apply+release), so the
+// batching path coexists with fence traffic exactly as in the daemon.
+type ServiceBatch struct {
+	// Label overrides the workload name (default "service-batch").
+	Label string
+	// Shards is the number of key-space shards (default 4).
+	Shards int
+	// KeyRange bounds the keys (default 1 << 14).
+	KeyRange int
+	// InitialSize pre-populates the stores (default KeyRange/2).
+	InitialSize int
+	// Span is the width of a micro-op range scan (default 64).
+	Span int
+	// GroupCommit coalesces each plan into one atomic block.
+	GroupCommit bool
+	// BatchMax is the number of micro-ops per plan (default 8).
+	BatchMax int
+	// CrossEvery makes every Nth Op a cross-shard batch put (default 32;
+	// negative disables).
+	CrossEvery int
+	// BatchKeys is the cross-shard batch width (default 4).
+	BatchKeys int
+
+	ring   *shard.Ring
+	sets   []*RBSet
+	fences tm.Addr // Shards consecutive fence words, one per shard
+	ops    atomic.Uint64
+
+	groupCommits atomic.Uint64
+	groupedOps   atomic.Uint64
+	crossBatches atomic.Uint64
+	fencedTries  atomic.Uint64
+
+	// Resolved by Setup so Op stays cheap on the hot path.
+	shards, keyRange, span, batchMax, crossEvery, batchKeys int
+}
+
+// Name implements Workload.
+func (s *ServiceBatch) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "service-batch"
+}
+
+func (s *ServiceBatch) params() (shards, keyRange, initial, span, batchMax, crossEvery, batchKeys int) {
+	shards = s.Shards
+	if shards <= 0 {
+		shards = 4
+	}
+	keyRange = s.KeyRange
+	if keyRange <= 0 {
+		keyRange = 1 << 14
+	}
+	initial = s.InitialSize
+	if initial <= 0 {
+		initial = keyRange / 2
+	}
+	span = s.Span
+	if span <= 0 {
+		span = 64
+	}
+	batchMax = s.BatchMax
+	if batchMax <= 0 {
+		batchMax = 8
+	}
+	crossEvery = s.CrossEvery
+	if crossEvery < 0 {
+		crossEvery = 0
+	} else if crossEvery == 0 {
+		crossEvery = 32
+	}
+	batchKeys = s.BatchKeys
+	if batchKeys <= 0 {
+		batchKeys = 4
+	}
+	return
+}
+
+// Setup implements Workload: one store and one fence word per shard,
+// pre-populated with the keys each shard owns.
+func (s *ServiceBatch) Setup(h *tm.Heap, rng *Rand) error {
+	var initial int
+	s.shards, s.keyRange, initial, s.span, s.batchMax, s.crossEvery, s.batchKeys = s.params()
+	s.ring = shard.New(s.shards)
+	s.sets = make([]*RBSet, s.shards)
+	for i := range s.sets {
+		set, err := NewRBSet(h)
+		if err != nil {
+			return fmt.Errorf("batch: shard %d store: %w", i, err)
+		}
+		s.sets[i] = set
+	}
+	fences, err := h.Alloc(s.shards)
+	if err != nil {
+		return fmt.Errorf("batch: fences: %w", err)
+	}
+	s.fences = fences
+	s.ops.Store(0)
+	s.groupCommits.Store(0)
+	s.groupedOps.Store(0)
+	s.crossBatches.Store(0)
+	s.fencedTries.Store(0)
+	seq := NewBareRunner(seqAlg(), h, 1)
+	for i := 0; i < initial; i++ {
+		k := uint64(rng.Intn(s.keyRange))
+		o := s.ring.Owner(k)
+		seq.Atomic(0, func(tx tm.Txn) { s.sets[o].Insert(tx, 0, k, k) })
+	}
+	return nil
+}
+
+// fence returns shard i's fence word.
+func (s *ServiceBatch) fence(i int) tm.Addr { return s.fences + tm.Addr(i) }
+
+// Micro-op kinds of a plan entry.
+const (
+	mopGet = iota
+	mopPut
+	mopDel
+	mopCAS
+	mopScan
+)
+
+// microOp is one planned single-key operation: kind, key and the value a
+// write installs. It is a pure function of the rng draws and the global
+// op counter, so both A/B legs build identical plans.
+type microOp struct {
+	kind int
+	key  uint64
+	val  uint64
+}
+
+// plan draws BatchMax micro-ops from the rng under the "mixed" mix. All
+// rng consumption happens here, before any execution.
+func (s *ServiceBatch) plan(rng *Rand, n uint64) []microOp {
+	mix := serviceMixes["mixed"]
+	out := make([]microOp, s.batchMax)
+	for i := range out {
+		k := uint64(rng.Intn(s.keyRange))
+		p := rng.Float64()
+		var kind int
+		switch {
+		case p < mix.Get:
+			kind = mopGet
+		case p < mix.Get+mix.Put:
+			kind = mopPut
+		case p < mix.Get+mix.Put+mix.Del:
+			kind = mopDel
+		case p < mix.Get+mix.Put+mix.Del+mix.CAS:
+			kind = mopCAS
+		default:
+			kind = mopScan
+		}
+		out[i] = microOp{kind: kind, key: k, val: n*uint64(s.batchMax) + uint64(i)}
+	}
+	return out
+}
+
+// applyMicro executes one plan entry against its owning shard's store
+// inside the caller's transaction.
+func (s *ServiceBatch) applyMicro(tx tm.Txn, self int, m microOp) {
+	set := s.sets[s.ring.Owner(m.key)]
+	switch m.kind {
+	case mopGet:
+		set.Get(tx, m.key)
+	case mopPut:
+		set.Insert(tx, self, m.key, m.val)
+	case mopDel:
+		set.Delete(tx, self, m.key)
+	case mopCAS:
+		if v, ok := set.Get(tx, m.key); ok {
+			set.Insert(tx, self, m.key, v+1)
+		}
+	default:
+		cnt := 0
+		set.AscendRange(tx, m.key, m.key+uint64(s.span), func(_, _ uint64) bool {
+			cnt++
+			return true
+		})
+	}
+}
+
+// fencedShard reports whether any shard a plan entry routes to currently
+// holds its fence — the batch-wide requeue check the serve worker's
+// group commit runs per op.
+func (s *ServiceBatch) fencedShard(tx tm.Txn, ms []microOp) bool {
+	for _, m := range ms {
+		if tx.Load(s.fence(s.ring.Owner(m.key))) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Op implements Workload: every CrossEvery-th call runs the cross-shard
+// 2PC batch; otherwise the plan executes grouped or solo.
+func (s *ServiceBatch) Op(r Runner, self int, rng *Rand) {
+	n := s.ops.Add(1)
+	if s.crossEvery > 0 && n%uint64(s.crossEvery) == 0 {
+		s.crossBatch(r, self, rng, n)
+		return
+	}
+	ms := s.plan(rng, n)
+	if s.GroupCommit {
+		s.runGrouped(r, self, ms)
+		return
+	}
+	for _, m := range ms {
+		s.runSolo(r, self, m)
+	}
+}
+
+// runGrouped executes the whole plan in one atomic block, retrying while
+// any involved shard is fenced (the requeue the serve worker performs).
+func (s *ServiceBatch) runGrouped(r Runner, self int, ms []microOp) {
+	for try := 0; try < 1000; try++ {
+		fenced := false
+		r.Atomic(self, func(tx tm.Txn) {
+			if fenced = s.fencedShard(tx, ms); fenced {
+				return
+			}
+			for _, m := range ms {
+				s.applyMicro(tx, self, m)
+			}
+		})
+		if !fenced {
+			s.groupCommits.Add(1)
+			s.groupedOps.Add(uint64(len(ms)))
+			return
+		}
+		s.fencedTries.Add(1)
+	}
+}
+
+// runSolo executes one plan entry in its own atomic block under the same
+// fence check.
+func (s *ServiceBatch) runSolo(r Runner, self int, m microOp) {
+	fence := s.fence(s.ring.Owner(m.key))
+	for try := 0; try < 1000; try++ {
+		fenced := false
+		r.Atomic(self, func(tx tm.Txn) {
+			if fenced = tx.Load(fence) != 0; fenced {
+				return
+			}
+			s.applyMicro(tx, self, m)
+		})
+		if !fenced {
+			return
+		}
+		s.fencedTries.Add(1)
+	}
+}
+
+// crossBatch runs one cross-shard batch put through the commit protocol
+// (ordered acquire, abort-all on failure, apply+release per shard) —
+// identical to ServiceSharded's, so the batching legs still exercise
+// fence traffic.
+func (s *ServiceBatch) crossBatch(r Runner, self int, rng *Rand, n uint64) {
+	keys := make([]uint64, s.batchKeys)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(s.keyRange))
+	}
+	parts := s.ring.Participants(keys)
+	token := uint64(self) + 1
+	for try := 0; try < 1000; try++ {
+		acquired := 0
+		ok := true
+		for _, p := range parts {
+			fence := s.fence(p)
+			var got bool
+			r.Atomic(self, func(tx tm.Txn) {
+				got = false
+				if tx.Load(fence) == 0 {
+					tx.Store(fence, token)
+					got = true
+				}
+			})
+			if !got {
+				ok = false
+				break
+			}
+			acquired++
+		}
+		if !ok {
+			for _, p := range parts[:acquired] {
+				fence := s.fence(p)
+				r.Atomic(self, func(tx tm.Txn) { tx.Store(fence, 0) })
+			}
+			continue
+		}
+		for _, p := range parts {
+			set, fence := s.sets[p], s.fence(p)
+			r.Atomic(self, func(tx tm.Txn) {
+				for _, k := range keys {
+					if s.ring.Owner(k) == p {
+						set.Insert(tx, self, k, n)
+					}
+				}
+				tx.Store(fence, 0)
+			})
+		}
+		s.crossBatches.Add(1)
+		return
+	}
+}
+
+// Metrics implements Metered: the batching observables the A/B legs
+// compare. Only these may differ between group commit on and off — the
+// heap digest must not.
+func (s *ServiceBatch) Metrics() map[string]uint64 {
+	return map[string]uint64{
+		"group_commits": s.groupCommits.Load(),
+		"grouped_ops":   s.groupedOps.Load(),
+		"cross_batches": s.crossBatches.Load(),
+		"fenced_tries":  s.fencedTries.Load(),
+	}
+}
+
+// Verify implements Verifier: every key must live on the shard that owns
+// it and no fence may be left held.
+func (s *ServiceBatch) Verify(h *tm.Heap) error {
+	seq := NewBareRunner(seqAlg(), h, 1)
+	var err error
+	for i, set := range s.sets {
+		seq.Atomic(0, func(tx tm.Txn) {
+			if tx.Load(s.fence(i)) != 0 {
+				err = fmt.Errorf("batch: shard %d fence left held", i)
+				return
+			}
+			set.AscendRange(tx, 0, ^uint64(0), func(k, _ uint64) bool {
+				if o := s.ring.Owner(k); o != i {
+					err = fmt.Errorf("batch: key %d found on shard %d but owned by %d", k, i, o)
+					return false
+				}
+				return true
+			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
