@@ -15,6 +15,7 @@
 //	    [--fence-deadline 1s] [--breaker-cooldown 1s]
 //	    [--group-commit] [--group-commit-max 16]
 //	    [--fence-granularity shard]
+//	    [--autosplit 0] [--autosplit-max 8] [--autosplit-interval 2s]
 //
 // --slo-p99 sets a tail-latency target: the per-shard tuners switch from
 // raw throughput to throughput-under-SLO (configurations that blow the
@@ -55,11 +56,26 @@
 // ops.group_commits, ops.group_batch_p50/p99, ops.fence_keys_held,
 // ops.fenced_requeues.
 //
+// A range-partitioned daemon resharding live: POST /admin/reshard plans a
+// SplitHeaviest step from the live per-shard ops_routed counters, grows
+// the fleet by one shard, migrates the moved span under the donor's
+// fence, and flips the placement epoch — no restart, no dropped
+// requests (operations routed under the old placement bounce off the
+// donor's placement-epoch word and re-route). --autosplit=S arms the
+// same step as a background trigger: when the hottest shard carries more
+// than fraction S of routed operations, the daemon splits it, up to
+// --autosplit-max shards, checking every --autosplit-interval.
+// Observables: server.partitioner_epoch, server.resharding,
+// server.span_starts/span_owners, ops.reshards, ops.keys_migrated,
+// ops.moved_bounces. The deque stays pinned to shard 0 and its reserved
+// key window never migrates.
+//
 // Endpoints (all parameters are uint64 query parameters; keys/vals are
 // comma-separated lists):
 //
 //	GET  /healthz                      readiness probe (503 while a breaker is open or a fence is stale)
 //	GET  /statusz                      per-shard tuner state, fleet rollup, latency split
+//	POST /admin/reshard                split the heaviest shard and migrate its moved span live
 //	GET  /kv/get?key=K                 point read
 //	POST /kv/put?key=K&val=V           insert or update
 //	POST /kv/del?key=K                 delete
@@ -114,6 +130,9 @@ func main() {
 	groupCommit := flag.Bool("group-commit", false, "coalesce queued single-shard ops into one TM transaction when the admission queue has backlog")
 	groupCommitMax := flag.Int("group-commit-max", 0, "cap on ops coalesced per group commit (0 = 16 default)")
 	fenceGranularity := flag.String("fence-granularity", "shard", "cross-shard fence granularity: shard (whole-shard word) or key (per-key fence table; non-intersecting local ops proceed during a 2PC)")
+	autosplit := flag.Float64("autosplit", 0, "hottest-shard ops_routed share above which the daemon splits it live (range partitioner only; 0 = manual /admin/reshard only)")
+	autosplitMax := flag.Int("autosplit-max", 0, "shard-count ceiling for --autosplit (0 = 8 default)")
+	autosplitInterval := flag.Duration("autosplit-interval", 0, "how often --autosplit checks the load signal (0 = 2s default)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "proteusd: ", log.LstdFlags|log.Lmicroseconds)
@@ -127,26 +146,29 @@ func main() {
 		logger.Printf("fault injection armed: %s", injector)
 	}
 	srv, err := serve.New(serve.Options{
-		Shards:           *shards,
-		Partitioner:      *partitioner,
-		KeyUniverse:      *keyUniverse,
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		AutoTune:         *autotune,
-		SamplePeriod:     *samplePeriod,
-		Seed:             *seed,
-		HeapWords:        *heapWords,
-		Preload:          *preload,
-		MaxScanSpan:      *maxScan,
-		SLOP99:           *sloP99,
-		Deadline:         *deadline,
-		Fault:            injector,
-		FenceDeadline:    *fenceDeadline,
-		BreakerCooldown:  *breakerCooldown,
-		GroupCommit:      *groupCommit,
-		GroupCommitMax:   *groupCommitMax,
-		FenceGranularity: *fenceGranularity,
-		Logf:             logger.Printf,
+		Shards:             *shards,
+		Partitioner:        *partitioner,
+		KeyUniverse:        *keyUniverse,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		AutoTune:           *autotune,
+		SamplePeriod:       *samplePeriod,
+		Seed:               *seed,
+		HeapWords:          *heapWords,
+		Preload:            *preload,
+		MaxScanSpan:        *maxScan,
+		SLOP99:             *sloP99,
+		Deadline:           *deadline,
+		Fault:              injector,
+		FenceDeadline:      *fenceDeadline,
+		BreakerCooldown:    *breakerCooldown,
+		GroupCommit:        *groupCommit,
+		GroupCommitMax:     *groupCommitMax,
+		FenceGranularity:   *fenceGranularity,
+		AutosplitShare:     *autosplit,
+		AutosplitMaxShards: *autosplitMax,
+		AutosplitInterval:  *autosplitInterval,
+		Logf:               logger.Printf,
 	})
 	if err != nil {
 		logger.Fatalf("startup: %v", err)

@@ -54,10 +54,25 @@ const (
 	// OpDelay adds an artificial latency spike to one data operation.
 	// Arrival unit: one executed operation.
 	OpDelay Point = "op-delay"
+	// ReshardDonorCrash kills the resharding migrator mid-copy, donor
+	// side: the donor's fence stays held over a partially-exported span
+	// until the failure detector rolls the migration back (the placement
+	// never flipped, so the donor still serves everything). Arrival unit:
+	// one migration copy batch.
+	ReshardDonorCrash Point = "reshard-donor-crash"
+	// ReshardInstallCrash kills the migrator after the span is fully
+	// installed on the recipient but before the placement flips: same
+	// rollback as ReshardDonorCrash — the copied data is unreachable
+	// garbage the next attempt clears. Arrival unit: one completed span
+	// copy about to flip.
+	ReshardInstallCrash Point = "reshard-install-crash"
 )
 
 // points is the closed set of valid fault points.
-var points = map[Point]bool{FenceAcquireStall: true, CoordCrash: true, ShardStall: true, OpDelay: true}
+var points = map[Point]bool{
+	FenceAcquireStall: true, CoordCrash: true, ShardStall: true, OpDelay: true,
+	ReshardDonorCrash: true, ReshardInstallCrash: true,
+}
 
 // Rule arms one fault point. A rule fires when an arrival at its point
 // (optionally filtered to one shard) passes its trigger: skip the first

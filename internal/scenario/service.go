@@ -75,6 +75,17 @@ var (
 	gbCrossEvery  = Param{Name: "crossevery", Desc: "every Nth op is a cross-shard 2PC batch (0 disables)", Kind: Int, Default: "32"}
 	gbBatchKeys   = Param{Name: "batchkeys", Desc: "keys per cross-shard batch", Kind: Int, Default: "4"}
 
+	rsShards       = Param{Name: "shards", Desc: "initial shard count", Kind: Int, Default: "2"}
+	rsMaxShards    = Param{Name: "maxshards", Desc: "shard-count ceiling for splits", Kind: Int, Default: "4"}
+	rsKeyRange     = Param{Name: "keyrange", Desc: "key range (and range-partitioner universe)", Kind: Int, Default: "16384"}
+	rsInitial      = Param{Name: "initial", Desc: "pre-populated size (0 = keyrange/2)", Kind: Int, Default: "0"}
+	rsHotTenth     = Param{Name: "hottenth", Desc: "per-mille chance an op draws from the hot low span", Kind: Int, Default: "600"}
+	rsSplitEvery   = Param{Name: "splitevery", Desc: "attempt one split-and-migrate every N ops", Kind: Int, Default: "1500"}
+	rsRefreshEvery = Param{Name: "refreshevery", Desc: "client placement-replica refresh cadence in ops", Kind: Int, Default: "64"}
+	rsMigrateBatch = Param{Name: "migratebatch", Desc: "keys per fenced copy/delete batch", Kind: Int, Default: "64"}
+	rsCrossEvery   = Param{Name: "crossevery", Desc: "every Nth op is a cross-shard 2PC batch", Kind: Int, Default: "16"}
+	rsBatchKeys    = Param{Name: "batchkeys", Desc: "keys per cross-shard batch", Kind: Int, Default: "4"}
+
 	rgPartitioner = Param{Name: "partitioner", Desc: "placement policy: hash or range", Kind: String, Default: "range"}
 	rgShards      = Param{Name: "shards", Desc: "number of key-space shards", Kind: Int, Default: "4"}
 	rgKeyRange    = Param{Name: "keyrange", Desc: "key range (and range-partitioner universe)", Kind: Int, Default: "4096"}
@@ -159,6 +170,26 @@ func init() {
 				FaultEvery:  v.Int(chFaultEvery),
 				FaultCount:  v.Int(chFaultCount),
 				DeadlineOps: v.Int(chDeadlineOps),
+			}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "service-reshard",
+		Family:      "service",
+		Description: "live resharding: SplitHeaviest plans installed under skewed load — fenced span migration, epoch'd placement flips, stale-replica bounces in metrics",
+		Params:      []Param{rsShards, rsMaxShards, rsKeyRange, rsInitial, rsHotTenth, rsSplitEvery, rsRefreshEvery, rsMigrateBatch, rsCrossEvery, rsBatchKeys},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.ServiceReshard{
+				Shards:       v.Int(rsShards),
+				MaxShards:    v.Int(rsMaxShards),
+				KeyRange:     v.Int(rsKeyRange),
+				InitialSize:  v.Int(rsInitial),
+				HotTenth:     v.Int(rsHotTenth),
+				SplitEvery:   v.Int(rsSplitEvery),
+				RefreshEvery: v.Int(rsRefreshEvery),
+				MigrateBatch: v.Int(rsMigrateBatch),
+				CrossEvery:   v.Int(rsCrossEvery),
+				BatchKeys:    v.Int(rsBatchKeys),
 			}, nil
 		},
 	})

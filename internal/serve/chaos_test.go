@@ -33,7 +33,7 @@ func keysOnDistinctShards(t *testing.T, s *Server, n int) []uint64 {
 	keys := make([]uint64, 0, n)
 	seen := map[int]bool{}
 	for k := uint64(0); len(keys) < n; k++ {
-		if o := s.part.Owner(k); !seen[o] {
+		if o := s.part().Owner(k); !seen[o] {
 			seen[o] = true
 			keys = append(keys, k)
 		}
@@ -74,7 +74,7 @@ func forEachGranularity(t *testing.T, leg func(t *testing.T, granularity string)
 // entry — is held on any shard. Under shard granularity the occupancy
 // word is identically zero, and vice versa, so both are always checked.
 func fencesFree(s *Server) bool {
-	for _, ss := range s.shards {
+	for _, ss := range s.fleet() {
 		if ss.sys.Load(ss.store.FenceWord()) != 0 {
 			return false
 		}
@@ -258,7 +258,7 @@ func testChaosLinearizability(t *testing.T, granularity string) {
 // superseded epoch — must change nothing.
 func TestFenceEpochLateReleaseIsNoOp(t *testing.T) {
 	s := newTestServer(t, Options{Shards: 2, Workers: 2, FenceDeadline: -1})
-	ss := s.shards[1]
+	ss := s.fleet()[1]
 
 	r1 := s.ctlAcquire(ss, 101, 0)
 	if !r1.Applied {
@@ -326,7 +326,7 @@ func TestDoubleRecoveryIdempotence(t *testing.T) {
 		t.Fatalf("crashed mput = %d %+v", code, resp)
 	}
 
-	ss := s.shards[s.part.Owner(keys[0])]
+	ss := s.fleet()[s.part().Owner(keys[0])]
 	token := ss.sys.Load(ss.store.FenceWord())
 	epoch := ss.sys.Load(ss.store.FenceEpochWord())
 	if token == 0 {
@@ -335,7 +335,7 @@ func TestDoubleRecoveryIdempotence(t *testing.T) {
 
 	// First recovery heals the whole batch across all three shards.
 	s.recoverOrphan(ss, token, epoch, -1)
-	for i, sh := range s.shards {
+	for i, sh := range s.fleet() {
 		if v := sh.sys.Load(sh.store.FenceWord()); v != 0 {
 			t.Fatalf("shard %d fence still held (%d) after recovery", i, v)
 		}
@@ -347,7 +347,7 @@ func TestDoubleRecoveryIdempotence(t *testing.T) {
 	// A second detector firing on the same orphan — from this shard or
 	// any other participant — must be a no-op.
 	s.recoverOrphan(ss, token, epoch, -1)
-	other := s.shards[s.part.Owner(keys[1])]
+	other := s.fleet()[s.part().Owner(keys[1])]
 	s.recoverOrphan(other, token, other.sys.Load(other.store.FenceEpochWord()), -1)
 	if rec, fwd, ab := s.fenceRecovered.Load(), s.fenceRolledForward.Load(), s.fenceAborted.Load(); rec != 1 || fwd != 1 || ab != 0 {
 		t.Fatalf("after double recovery: recovered %d rolled-forward %d aborted %d, want 1/1/0", rec, fwd, ab)
@@ -387,10 +387,10 @@ func testBreakerOpensAndCloses(t *testing.T, granularity string) {
 		Fault:             mustFault(t, "shard-stall:0@every=1;count=1;stall=1200ms", 3),
 	})
 	var k uint64
-	for s.part.Owner(k) != 0 {
+	for s.part().Owner(k) != 0 {
 		k++
 	}
-	ss := s.shards[0]
+	ss := s.fleet()[0]
 
 	// The first dequeue on shard 0 arms the 1.2s stall; the rest of the
 	// puts sit in the queue, so the detector sees queued work with zero

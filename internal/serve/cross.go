@@ -39,6 +39,7 @@ import (
 
 	proteustm "repro"
 	"repro/internal/fault"
+	"repro/internal/shard"
 )
 
 // subBatch is one shard's slice of a cross-shard batch: the positions
@@ -48,10 +49,12 @@ type subBatch struct {
 	idx   []int
 }
 
-// splitBatch groups the request's keys by owning shard, in ascending
-// shard order (the fence-acquisition order).
-func (s *Server) splitBatch(keys []uint64) []subBatch {
-	parts := s.part.Participants(keys)
+// splitBatchAt groups the request's keys by owning shard under one
+// pinned placement, in ascending shard order (the fence-acquisition
+// order). The caller passes the partitioner it loaded alongside the
+// routing epoch, so the batch and the epoch describe the same placement.
+func splitBatchAt(part shard.Partitioner, keys []uint64) []subBatch {
+	parts := part.Participants(keys)
 	pos := make(map[int]int, len(parts))
 	out := make([]subBatch, len(parts))
 	for i, p := range parts {
@@ -59,7 +62,7 @@ func (s *Server) splitBatch(keys []uint64) []subBatch {
 		pos[p] = i
 	}
 	for i, k := range keys {
-		j := pos[s.part.Owner(k)]
+		j := pos[part.Owner(k)]
 		out[j].idx = append(out[j].idx, i)
 	}
 	return out
@@ -93,51 +96,84 @@ func (s *Server) crossBackoff(attempt int) {
 	time.Sleep(d)
 }
 
-// submitCross admits one multi-key operation. Single-participant
-// operations take the fast path: one ordinary admission-queue request on
-// the owning shard, atomic by construction. Everything else runs the
-// two-phase commit protocol above.
+// submitCross admits one multi-key operation. The participant set is
+// computed from one atomically-loaded (placement, epoch) pair, and the
+// epoch rides along: if a live reshard flips the placement before the
+// operation executes, the shard (fast path) or the post-acquire epoch
+// re-check (protocol path) bounces it back here to recompute under the
+// current placement. Single-participant operations take the fast path:
+// one ordinary admission-queue request on the owning shard, atomic by
+// construction. Everything else runs the two-phase commit protocol
+// above.
 func (s *Server) submitCross(req *request) (response, int) {
 	s.inflight.Add(1)
 	defer s.inflight.Done()
 	if s.closed.Load() {
 		return response{Err: "server shutting down"}, http.StatusServiceUnavailable
 	}
-	var batches []subBatch
-	if req.op == opRange {
-		// Fence only the shards whose key spans intersect the scan. The
-		// partitioner's owner set is exact for the range partitioner and
-		// for narrow hashed scans, conservative (every shard) for wide
-		// hashed ones — never fewer than the shards that could hold a key
-		// in [lo, hi], which is what keeps the snapshot atomic.
-		for _, p := range s.part.OwnersInRange(req.lo, req.hi) {
-			batches = append(batches, subBatch{shard: p})
-		}
-		if len(batches) == 1 {
-			s.rangeLocal.Add(1)
+	for try := 0; ; try++ {
+		part, epoch := s.place.Load()
+		req.routingEpoch = epoch
+		var batches []subBatch
+		if req.op == opRange {
+			// Fence only the shards whose key spans intersect the scan. The
+			// partitioner's owner set is exact for the range partitioner and
+			// for narrow hashed scans, conservative (every shard) for wide
+			// hashed ones — never fewer than the shards that could hold a key
+			// in [lo, hi], which is what keeps the snapshot atomic.
+			for _, p := range part.OwnersInRange(req.lo, req.hi) {
+				batches = append(batches, subBatch{shard: p})
+			}
+			if len(batches) == 1 {
+				s.rangeLocal.Add(1)
+			} else {
+				s.rangeCross.Add(1)
+				s.rangeFencedShards.Add(uint64(len(batches)))
+			}
 		} else {
-			s.rangeCross.Add(1)
-			s.rangeFencedShards.Add(uint64(len(batches)))
+			batches = splitBatchAt(part, req.keys)
 		}
-	} else {
-		batches = s.splitBatch(req.keys)
+		var resp response
+		var code int
+		var flipped bool
+		if len(batches) == 1 {
+			// Fast path: the whole operation lives on one shard; the shard's
+			// own transaction makes it atomic, and the fence check inside
+			// execute keeps it ordered against concurrent cross-shard commits.
+			resp, code = s.submit(s.fleet()[batches[0].shard], req)
+			flipped = resp.moved
+		} else {
+			resp, code, flipped = s.crossProtocol(req, batches, epoch)
+		}
+		if !flipped {
+			return resp, code
+		}
+		if try >= movedRetries {
+			return response{Err: "placement moved during retries"}, http.StatusServiceUnavailable
+		}
+		s.movedBounces.Add(1)
 	}
-	if len(batches) == 1 {
-		// Fast path: the whole operation lives on one shard; the shard's
-		// own transaction makes it atomic, and the fence check inside
-		// execute keeps it ordered against concurrent cross-shard commits.
-		return s.submit(s.shards[batches[0].shard], req)
-	}
+}
 
+// crossProtocol runs the two-phase commit over batches, which were
+// computed under the placement of routedEpoch. It reports flipped=true —
+// with every fence released and nothing applied — when a live reshard
+// installed a newer placement after the fences were acquired: the
+// participant set may be stale, and the caller recomputes it. The check
+// sits with every fence held, and any migration that moves this batch's
+// keys must first take their current owner's fence (a participant's), so
+// a batch that passes the check cannot lose a key to a flip before it
+// applies.
+func (s *Server) crossProtocol(req *request, batches []subBatch, routedEpoch uint64) (response, int, bool) {
 	// A sick participant fails the whole batch before any fence is
 	// taken: shed to the breaker's Retry-After instead of letting the
 	// protocol discover the stall the slow way.
 	for _, b := range batches {
-		if ra := s.shards[b.shard].breakerRetryAfter(time.Now()); ra > 0 {
+		if ra := s.fleet()[b.shard].breakerRetryAfter(time.Now()); ra > 0 {
 			s.breakerShed.Add(1)
 			return response{Err: "participant shard circuit breaker open",
 					code: http.StatusServiceUnavailable, retryAfter: ra},
-				http.StatusServiceUnavailable
+				http.StatusServiceUnavailable, false
 		}
 	}
 
@@ -149,7 +185,7 @@ func (s *Server) submitCross(req *request) (response, int) {
 	case s.crossSem <- struct{}{}:
 	default:
 		s.rejected.Add(1)
-		return response{Err: "cross-shard coordinator slots full"}, http.StatusTooManyRequests
+		return response{Err: "cross-shard coordinator slots full"}, http.StatusTooManyRequests, false
 	}
 	defer func() { <-s.crossSem }()
 	token := s.nextToken.Add(1)
@@ -168,7 +204,7 @@ func (s *Server) submitCross(req *request) (response, int) {
 		// is dropped before it claims any fence.
 		if req.expired(time.Now()) {
 			s.shedDeadline.Add(1)
-			return response{Err: "deadline exceeded", code: http.StatusGatewayTimeout}, http.StatusGatewayTimeout
+			return response{Err: "deadline exceeded", code: http.StatusGatewayTimeout}, http.StatusGatewayTimeout, false
 		}
 		ok := true
 		for _, p := range rec.parts {
@@ -178,10 +214,10 @@ func (s *Server) submitCross(req *request) (response, int) {
 			if d, fire := s.opts.Fault.Fire(fault.FenceAcquireStall, -1); fire {
 				time.Sleep(d)
 			}
-			r := s.ctlAcquire(s.shards[p.shard], token, partSig(req, p))
+			r := s.ctlAcquire(s.fleet()[p.shard], token, partSig(req, p))
 			if r.Err != "" {
 				s.releaseParts(rec)
-				return r, http.StatusServiceUnavailable
+				return r, http.StatusServiceUnavailable, false
 			}
 			if !r.Applied {
 				ok = false
@@ -199,13 +235,22 @@ func (s *Server) submitCross(req *request) (response, int) {
 			}
 			continue
 		}
+		// Placement re-check, with every fence held: a reshard that moves
+		// any of this batch's keys must first take their current owner's
+		// fence — one of ours — so an epoch still equal to the routing
+		// epoch proves the participant set is current, and a newer epoch
+		// sends the batch back to be recomputed before anything applies.
+		if s.place.Epoch() != routedEpoch {
+			s.releaseParts(rec)
+			return response{}, 0, true
+		}
 		// Prepared: every fence held. Writes record their decision now —
 		// from here recovery rolls the batch forward instead of aborting.
 		// A failed decide means the detector claimed this batch for abort
 		// while we were stalled mid-acquire: nothing may be applied.
 		if req.op == opMPut && !s.reg.decide(rec) {
 			resp := s.superseded(rec)
-			return resp, resp.code
+			return resp, resp.code, false
 		}
 		if _, fire := s.opts.Fault.Fire(fault.CoordCrash, -1); fire {
 			// Injected coordinator crash between prepare and apply: the
@@ -217,7 +262,7 @@ func (s *Server) submitCross(req *request) (response, int) {
 			s.crossCrashes.Add(1)
 			return response{Err: "cross-shard coordinator crashed (injected fault); fence recovery pending",
 					code: http.StatusServiceUnavailable, retryAfter: s.fenceRecoveryEta()},
-				http.StatusServiceUnavailable
+				http.StatusServiceUnavailable, false
 		}
 		resp := s.applyAll(rec, req)
 		if resp.Err != "" {
@@ -225,12 +270,12 @@ func (s *Server) submitCross(req *request) (response, int) {
 			if resp.code != 0 {
 				code = resp.code
 			}
-			return resp, code
+			return resp, code, false
 		}
 		s.crossOps.Add(1)
 		s.served[req.op].Add(1)
 		s.lat.Observe(msBetween(accepted, time.Now()))
-		return resp, http.StatusOK
+		return resp, http.StatusOK, false
 	}
 	// Exhausting the retry budget on a sharded server almost always means
 	// the batch kept colliding with an orphaned fence (the capped backoff
@@ -239,7 +284,7 @@ func (s *Server) submitCross(req *request) (response, int) {
 	// a dead-end error.
 	return response{Err: "cross-shard commit: fence contention exhausted retries",
 			code: http.StatusServiceUnavailable, retryAfter: s.fenceRecoveryEta()},
-		http.StatusServiceUnavailable
+		http.StatusServiceUnavailable, false
 }
 
 // ctl submits one control step to shard ss's priority lane and waits for
@@ -308,7 +353,7 @@ func (s *Server) releaseParts(rec *crossRec) {
 		if !held {
 			continue
 		}
-		ss := s.shards[p.shard]
+		ss := s.fleet()[p.shard]
 		s.ctl(ss, func(w *proteustm.Worker, _ int) response {
 			w.Atomic(func(tx proteustm.Txn) {
 				if ss.store.FenceHeldAt(tx, slot, token, epoch) {
@@ -367,7 +412,7 @@ func (s *Server) applyAll(rec *crossRec, req *request) response {
 				// applied on this shard — fail the batch whole.
 				return s.superseded(rec)
 			}
-			ss, idx := s.shards[p.shard], p.idx
+			ss, idx := s.fleet()[p.shard], p.idx
 			epoch, fslot := s.reg.holdOf(rec, p)
 			r := s.ctl(ss, func(w *proteustm.Worker, slot int) response {
 				var stale bool
@@ -397,7 +442,7 @@ func (s *Server) applyAll(rec *crossRec, req *request) response {
 		out.Vals = make([]uint64, len(req.keys))
 		out.Present = make([]bool, len(req.keys))
 		for _, p := range rec.parts {
-			ss, idx := s.shards[p.shard], p.idx
+			ss, idx := s.fleet()[p.shard], p.idx
 			epoch, fslot := s.reg.holdOf(rec, p)
 			r := s.ctl(ss, func(w *proteustm.Worker, _ int) response {
 				var stale bool
@@ -429,7 +474,7 @@ func (s *Server) applyAll(rec *crossRec, req *request) response {
 		}
 	case opRange:
 		for _, p := range rec.parts {
-			ss := s.shards[p.shard]
+			ss := s.fleet()[p.shard]
 			epoch, fslot := s.reg.holdOf(rec, p)
 			r := s.ctl(ss, func(w *proteustm.Worker, _ int) response {
 				var stale bool

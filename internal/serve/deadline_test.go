@@ -30,11 +30,11 @@ func TestCancellationStormNeverExecutes(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, code := s.submit(s.shards[0], &request{op: opPut, key: uint64(1000 + i), val: 1, ctx: ctx})
+			_, code := s.submit(s.fleet()[0], &request{op: opPut, key: uint64(1000 + i), val: 1, ctx: ctx})
 			codes <- code
 		}(i)
 	}
-	waitQueueLen(t, s.shards[0], n)
+	waitQueueLen(t, s.fleet()[0], n)
 	cancel()
 	wg.Wait() // every submitter came back 499 before any worker ran
 	for i := 0; i < n; i++ {
@@ -50,11 +50,11 @@ func TestCancellationStormNeverExecutes(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, code := s.submit(s.shards[0], &request{op: opPut, key: uint64(2000 + i), val: 1})
+			_, code := s.submit(s.fleet()[0], &request{op: opPut, key: uint64(2000 + i), val: 1})
 			codes <- code
 		}(i)
 	}
-	waitQueueLen(t, s.shards[0], 2*n)
+	waitQueueLen(t, s.fleet()[0], 2*n)
 	time.Sleep(10 * time.Millisecond) // let every storm-B deadline lapse
 
 	s.startWorkers()
@@ -75,7 +75,7 @@ func TestCancellationStormNeverExecutes(t *testing.T) {
 		if i >= n {
 			k = uint64(2000 + i - n)
 		}
-		resp, code := s.submit(s.shards[0], &request{op: opGet, key: k})
+		resp, code := s.submit(s.fleet()[0], &request{op: opGet, key: k})
 		if code != http.StatusOK {
 			t.Fatalf("get key %d = HTTP %d", k, code)
 		}

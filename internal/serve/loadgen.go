@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -118,6 +119,11 @@ type LoadgenOptions struct {
 // partitioner construction is deterministic in the parameters /statusz
 // reports (kind, shard count, key universe).
 type skewPlan struct {
+	// epoch is the daemon's partitioner_epoch the plan was built from. A
+	// live reshard moves the epoch, and a plan built under an older one
+	// steers keys at shards that no longer own them — the status sampler
+	// detects the change and rebuilds (LoadReport.Replans counts these).
+	epoch  uint64
 	shards int
 	// pools[s] holds the keys in [0, KeyRange) owned by shard s; hot[s]
 	// is a small prefix of them that write traffic hammers to create
@@ -135,13 +141,21 @@ type skewPlan struct {
 func buildSkewPlan(st *ServerStatus, keyRange uint64) *skewPlan {
 	const poolCap = 4096
 	shards := st.Shards
-	part, err := shardpkg.NewPartitioner(st.Partitioner, shards, st.KeyUniverse)
+	var part shardpkg.Partitioner
+	var err error
+	if len(st.SpanStarts) > 0 {
+		// A resharded daemon's placement is not derivable from the shard
+		// count alone — rebuild the exact span table it routes with.
+		part, err = shardpkg.NewRangeFromSpans(st.SpanStarts, st.SpanOwners, st.KeyUniverse)
+	} else {
+		part, err = shardpkg.NewPartitioner(st.Partitioner, shards, st.KeyUniverse)
+	}
 	if err != nil {
-		// An unknown kind means a newer daemon; fall back to the hash
-		// ring, which every daemon speaks.
+		// An unknown kind (or a malformed span table) means a newer
+		// daemon; fall back to the hash ring, which every daemon speaks.
 		part = shardpkg.New(shards)
 	}
-	plan := &skewPlan{shards: shards, pools: make([][]uint64, shards), hot: make([][]uint64, shards)}
+	plan := &skewPlan{epoch: st.PartitionerEpoch, shards: shards, pools: make([][]uint64, shards), hot: make([][]uint64, shards)}
 	full := 0
 	// The scan bound guards against a pathologically unbalanced ring:
 	// past it, a still-unfilled pool just stays smaller.
@@ -243,6 +257,10 @@ type LoadReport struct {
 	DistinctShardSample     []string `json:"distinct_shard_sample,omitempty"`
 	StartConfig             string   `json:"start_config"`
 	FinalConfig             string   `json:"final_config"`
+	// Replans counts client-side partitioner-replica rebuilds: the status
+	// sampler saw partitioner_epoch move (a live reshard installed a new
+	// placement) and rebuilt the skew plan from the fresh span table.
+	Replans int `json:"replans,omitempty"`
 	// DaemonCommits is the daemon's committed-transaction delta over the
 	// session (from /statusz), which bounds the served throughput from
 	// below even if some client requests failed.
@@ -310,9 +328,13 @@ func RunLoadgen(opts LoadgenOptions) (*LoadReport, error) {
 		StartConfig: before.Config.Current,
 	}
 	seenReconfigs := len(before.Reconfigurations)
-	var plan *skewPlan
+	// The skew plan lives behind an atomic pointer: the status sampler
+	// swaps in a rebuilt replica when the daemon's partitioner_epoch moves
+	// mid-session, and every issued operation reads the current one.
+	var planPtr atomic.Pointer[skewPlan]
 	if opts.Skew > 0 && before.Server.Shards > 1 {
-		plan = buildSkewPlan(&before.Server, opts.KeyRange)
+		plan := buildSkewPlan(&before.Server, opts.KeyRange)
+		planPtr.Store(plan)
 		opts.Logf("loadgen: skew %.2f across %d shards (writes -> shards 0-%d, reads -> shards %d-%d)",
 			opts.Skew, plan.shards, plan.shards/2-1, plan.shards/2, plan.shards-1)
 		// An empty pool means the client's key range never reaches that
@@ -354,6 +376,16 @@ func RunLoadgen(opts LoadgenOptions) (*LoadReport, error) {
 						report.MaxDistinctShardConfigs = n
 						report.DistinctShardSample = sample
 					}
+					// A moved partitioner_epoch means a reshard installed a
+					// new placement: the cached replica now routes moved keys
+					// at their old owner, so rebuild it from the live table.
+					if plan := planPtr.Load(); plan != nil && st.Server.PartitionerEpoch != plan.epoch {
+						np := buildSkewPlan(&st.Server, opts.KeyRange)
+						planPtr.Store(np)
+						report.Replans++
+						opts.Logf("loadgen: placement epoch %d -> %d: rebuilt partitioner replica (%d shards)",
+							plan.epoch, st.Server.PartitionerEpoch, np.shards)
+					}
 				}
 			}
 		}()
@@ -364,7 +396,7 @@ func RunLoadgen(opts LoadgenOptions) (*LoadReport, error) {
 	var totalOKSLO uint64
 	for i, phase := range opts.Phases {
 		opts.Logf("loadgen: phase %d/%d %s for %s", i+1, len(opts.Phases), phase.Mix.Name, phase.Duration)
-		pr, lats, okSLO := runPhase(client, base, opts, plan, i, phase)
+		pr, lats, okSLO := runPhase(client, base, opts, &planPtr, i, phase)
 		after, err := fetchStatus(client, base)
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: statusz after phase %s: %w", phase.Mix.Name, err)
@@ -428,7 +460,7 @@ func RunLoadgen(opts LoadgenOptions) (*LoadReport, error) {
 
 // runPhase drives one phase and returns its report, the raw latencies,
 // and the count of operations that completed within the SLO target.
-func runPhase(client *http.Client, base string, opts LoadgenOptions, plan *skewPlan, phaseIdx int, phase LoadPhase) (PhaseReport, []float64, uint64) {
+func runPhase(client *http.Client, base string, opts LoadgenOptions, planPtr *atomic.Pointer[skewPlan], phaseIdx int, phase LoadPhase) (PhaseReport, []float64, uint64) {
 	deadline := time.Now().Add(phase.Duration)
 	mix := phase.Mix.Normalize()
 
@@ -480,7 +512,7 @@ func runPhase(client *http.Client, base string, opts LoadgenOptions, plan *skewP
 				} else if !time.Now().Before(deadline) {
 					return
 				}
-				issueOp(client, base, opts, plan, mix, rng, st)
+				issueOp(client, base, opts, planPtr, mix, rng, st)
 			}
 		}(c)
 	}
@@ -511,8 +543,8 @@ func runPhase(client *http.Client, base string, opts LoadgenOptions, plan *skewP
 // issueOp issues one operation — drawn from the shard-correlated skew
 // plan when one is active and the skew coin lands, from the phase mix
 // otherwise — and records its outcome.
-func issueOp(client *http.Client, base string, opts LoadgenOptions, plan *skewPlan, mix workloads.ServiceOpMix, rng *workloads.Rand, st *connStats) {
-	if plan != nil && rng.Float64() < opts.Skew {
+func issueOp(client *http.Client, base string, opts LoadgenOptions, planPtr *atomic.Pointer[skewPlan], mix workloads.ServiceOpMix, rng *workloads.Rand, st *connStats) {
+	if plan := planPtr.Load(); plan != nil && rng.Float64() < opts.Skew {
 		issueSkewedOp(client, base, opts, plan, rng, st)
 		return
 	}

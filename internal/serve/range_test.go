@@ -41,10 +41,10 @@ func TestRangeScanLocality(t *testing.T) {
 	// scan; both servers hold identical data, so results must agree.
 	for _, s := range []*Server{hash, rng} {
 		if r := scan(s, 100, 200); r.Count != 101 {
-			t.Fatalf("%s narrow scan count = %d, want 101", s.part.Kind(), r.Count)
+			t.Fatalf("%s narrow scan count = %d, want 101", s.part().Kind(), r.Count)
 		}
 		if r := scan(s, 0, universe-1); r.Count != universe {
-			t.Fatalf("%s full scan count = %d, want %d", s.part.Kind(), r.Count, universe)
+			t.Fatalf("%s full scan count = %d, want %d", s.part().Kind(), r.Count, universe)
 		}
 	}
 

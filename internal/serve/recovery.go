@@ -470,7 +470,7 @@ func (s *Server) recoverOrphan(ss *shardState, token, epoch uint64, slot int) {
 		if !held {
 			continue
 		}
-		part, target := p, s.shards[p.shard]
+		part, target := p, s.fleet()[p.shard]
 		s.ctlRecover(ss, target, func(w *proteustm.Worker, slot int) response {
 			var did bool
 			w.Atomic(func(tx proteustm.Txn) {
@@ -535,8 +535,8 @@ func (s *Server) Health() HealthStatus {
 		deadline = time.Second
 	}
 	keyed := s.opts.FenceGranularity == FenceKey
-	h := HealthStatus{Healthy: true, Shards: make([]ShardHealth, len(s.shards))}
-	for i, ss := range s.shards {
+	h := HealthStatus{Healthy: true, Shards: make([]ShardHealth, len(s.fleet()))}
+	for i, ss := range s.fleet() {
 		sh := ShardHealth{Index: i, Breaker: ss.breakerName(now)}
 		if sh.Breaker == "open" {
 			h.Healthy = false

@@ -1,0 +1,453 @@
+// Live resharding: installing a shard.SplitHeaviest plan under load.
+//
+// The migration is a fenced protocol step, not a redeploy:
+//
+//	plan   — PlanSplitHeaviest over the live ops_routed counters picks the
+//	         donor shard and the key span to move (clamped around the
+//	         deque-reserved window).
+//	fence  — the migrator claims the donor's fence with the same
+//	         CAS-with-fence step a cross-shard commit uses, under a
+//	         conflict-with-everything key signature, so every local
+//	         operation and every competing coordinator serializes against
+//	         the move.
+//	copy   — the moved span streams donor → recipient in bounded range
+//	         transactions, each guarded by the fence hold and re-stamping
+//	         the holder heartbeat.
+//	flip   — the grown fleet is already published, the span installed, so
+//	         the placement swaps atomically (shard.Epoched) under the next
+//	         epoch; every router loads the pair per-operation.
+//	release — still fenced, the donor bumps its placement-epoch word
+//	         (stale-routed operations start bouncing for re-routing the
+//	         instant the fence drops), deletes the moved span in bounded
+//	         batches, and releases.
+//
+// Crash model: a migrator that dies mid-copy or after install-but-
+// before-flip leaves the donor's fence held with an unregistered token;
+// the failure detector's orphan recovery releases it (rollback — the
+// placement never flipped, so the donor still serves the whole span, and
+// the partial copy on the spare shard is cleared when the next attempt
+// begins). See docs/sharding.md for the crash matrix.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	proteustm "repro"
+	"repro/internal/fault"
+	"repro/internal/shard"
+)
+
+// dequeHome is the shard the deque lives on. The deque is not
+// partitioned and never migrates.
+const dequeHome = 0
+
+// DequeReservedLo is the bottom of the deque-reserved key window
+// [DequeReservedLo, 2^64-1]: the key-space shadow of the unpartitioned
+// deque pinned to shard dequeHome. A reshard plan must never move it —
+// clampPlanForDeque trims a moved span that reaches into the window and
+// rejects one that lies entirely inside it — so the guard that deque
+// state never migrates is structural, not an implicit assumption.
+const DequeReservedLo = ^uint64(0) - 1023
+
+// migrateBatch bounds the key-value pairs one migration copy/delete
+// transaction touches, keeping each step a bounded transaction instead
+// of one scan proportional to the span's population.
+const migrateBatch = 256
+
+// autosplitMinRouted is the minimum total routed operations before the
+// autosplit trigger trusts the load signal enough to split on it.
+const autosplitMinRouted = 1024
+
+// reshardResult is the JSON reply of POST /admin/reshard (and the
+// autosplit trigger's log source). Applied=false with a Reason is the
+// explicit no-op: nothing worth splitting, no degenerate plan installed.
+type reshardResult struct {
+	Applied      bool   `json:"applied"`
+	Reason       string `json:"reason,omitempty"`
+	Err          string `json:"err,omitempty"`
+	Epoch        uint64 `json:"epoch,omitempty"`
+	Donor        int    `json:"donor"`
+	NewShard     int    `json:"new_shard"`
+	MovedLo      uint64 `json:"moved_lo"`
+	MovedHi      uint64 `json:"moved_hi"`
+	KeysMigrated uint64 `json:"keys_migrated"`
+	Shards       int    `json:"shards"`
+}
+
+// handleReshard serves POST /admin/reshard: plan, migrate and install
+// one SplitHeaviest step live.
+func (s *Server) handleReshard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, reshardResult{Err: "POST required"})
+		return
+	}
+	res, code := s.Reshard()
+	writeJSON(w, code, res)
+}
+
+// Reshard computes a SplitHeaviest plan from the live per-shard routed
+// counters and installs it: grow the fleet by one shard, migrate the
+// moved span under the donor's fence, flip the placement epoch. One
+// reshard runs at a time (409 when busy); a plan the planner cannot
+// produce (zero load, un-splittable span) is an explicit no-op, and a
+// plan that would move deque-reserved keys is clamped or rejected.
+func (s *Server) Reshard() (reshardResult, int) {
+	// Registering in inflight keeps Close from tearing shards down under
+	// a live migration (it waits for us like any other submission).
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.closed.Load() {
+		return reshardResult{Err: "server shutting down"}, http.StatusServiceUnavailable
+	}
+	if !s.reshardMu.TryLock() {
+		return reshardResult{Err: "a reshard is already in progress"}, http.StatusConflict
+	}
+	defer s.reshardMu.Unlock()
+	s.resharding.Store(true)
+	defer s.resharding.Store(false)
+
+	part, _ := s.place.Load()
+	rp, ok := part.(*shard.RangePartitioner)
+	if !ok {
+		return reshardResult{Err: fmt.Sprintf("resharding requires the range partitioner (have %q)", part.Kind())},
+			http.StatusBadRequest
+	}
+	fleet := s.fleet()
+	load := make([]uint64, part.Shards())
+	for i := range load {
+		load[i] = fleet[i].routed.Load()
+	}
+	plan, ok := rp.PlanSplitHeaviest(load)
+	if !ok {
+		s.opts.Logf("serve: reshard no-op: zero load or heaviest span too narrow to split (shards=%d)", part.Shards())
+		return reshardResult{Reason: "no splittable span (zero load or heaviest span too narrow)",
+			Shards: part.Shards()}, http.StatusOK
+	}
+	plan, err := clampPlanForDeque(plan)
+	if err != nil {
+		return reshardResult{Err: err.Error(), Donor: plan.Donor, NewShard: plan.NewShard,
+			Shards: part.Shards()}, http.StatusBadRequest
+	}
+
+	moved, newEpoch, err := s.migrate(plan)
+	res := reshardResult{
+		Donor: plan.Donor, NewShard: plan.NewShard,
+		MovedLo: plan.MovedLo, MovedHi: plan.MovedHi,
+		KeysMigrated: moved, Shards: s.part().Shards(),
+	}
+	if err != nil {
+		res.Err = err.Error()
+		s.opts.Logf("serve: reshard failed: %v", err)
+		return res, http.StatusServiceUnavailable
+	}
+	s.reshards.Add(1)
+	s.keysMigrated.Add(moved)
+	res.Applied = true
+	res.Epoch = newEpoch
+	s.opts.Logf("serve: reshard installed: shard %d split, span [%d, %d] -> shard %d, %d keys migrated, placement epoch %d",
+		plan.Donor, plan.MovedLo, plan.MovedHi, plan.NewShard, moved, newEpoch)
+	return res, http.StatusOK
+}
+
+// clampPlanForDeque enforces the deque guard on a split plan: a moved
+// span that reaches into the deque-reserved window is trimmed to end at
+// DequeReservedLo-1 (the window stays with the donor via an extra tail
+// span), and a span entirely inside the window is rejected outright.
+// Without the clamp every top-span split would be illegal — the top
+// span's moved interval always runs to 2^64-1.
+func clampPlanForDeque(plan shard.SplitPlan) (shard.SplitPlan, error) {
+	if plan.MovedLo >= DequeReservedLo {
+		return plan, fmt.Errorf("reshard plan rejected: moved span [%d, %d] lies inside the deque-reserved window [%d, 2^64-1]",
+			plan.MovedLo, plan.MovedHi, uint64(DequeReservedLo))
+	}
+	if plan.MovedHi < DequeReservedLo {
+		return plan, nil
+	}
+	starts, owners := plan.Grown.Spans()
+	// The moved span starts at MovedLo and is owned by NewShard; reaching
+	// past DequeReservedLo it must be the table's last span (no boundary
+	// is ever created above DequeReservedLo).
+	j := len(starts) - 1
+	if starts[j] != plan.MovedLo || owners[j] != plan.NewShard {
+		return plan, fmt.Errorf("reshard plan rejected: moved span [%d, %d] overlaps the deque-reserved window mid-table",
+			plan.MovedLo, plan.MovedHi)
+	}
+	starts = append(starts, DequeReservedLo)
+	owners = append(owners, plan.Donor)
+	grown, err := shard.NewRangeFromSpans(starts, owners, plan.Grown.Universe())
+	if err != nil {
+		return plan, fmt.Errorf("reshard plan rejected: clamping around the deque-reserved window: %v", err)
+	}
+	plan.MovedHi = DequeReservedLo - 1
+	plan.Grown = grown
+	return plan, nil
+}
+
+// migrate executes one clamped split plan: grow (or reuse) the fleet's
+// spare shard, clear it, fence the donor, copy the span, flip the
+// placement, and clean the donor up under the same fence. It returns the
+// migrated pair count and the installed placement epoch.
+func (s *Server) migrate(plan shard.SplitPlan) (moved uint64, newEpoch uint64, err error) {
+	fleet := s.fleet()
+	donor := fleet[plan.Donor]
+	var recip *shardState
+	if plan.NewShard < len(fleet) {
+		// A spare shard left by an earlier rolled-back attempt: reuse it.
+		recip = fleet[plan.NewShard]
+	} else {
+		recip, err = s.newShard(plan.NewShard)
+		if err != nil {
+			return 0, 0, fmt.Errorf("building shard %d: %w", plan.NewShard, err)
+		}
+		grown := make([]*shardState, len(fleet), len(fleet)+1)
+		copy(grown, fleet)
+		grown = append(grown, recip)
+		// Publish the grown fleet before the placement can name it:
+		// readers load the placement first, so once the flip lands, index
+		// NewShard is guaranteed present.
+		s.fleetPtr.Store(&grown)
+		s.startShardWorkers(recip)
+	}
+
+	// Clear the recipient's KV state: an earlier rolled-back attempt may
+	// have left a partial copy, and stray keys would pollute range scans
+	// once the recipient starts serving.
+	for {
+		var more bool
+		r := s.ctl(recip, func(w *proteustm.Worker, slot int) response {
+			w.Atomic(func(tx proteustm.Txn) {
+				_, more = recip.store.DeleteSpan(tx, slot, 0, ^uint64(0), migrateBatch)
+			})
+			return response{Applied: true}
+		})
+		if r.Err != "" {
+			return 0, 0, fmt.Errorf("clearing recipient shard %d: %s", plan.NewShard, r.Err)
+		}
+		if !more {
+			break
+		}
+	}
+
+	// Fence the donor. The conflict-with-everything signature makes the
+	// keyed granularity behave exactly like the whole-shard word for the
+	// migration window: every local KV operation requeues, every
+	// competing cross-shard commit serializes.
+	token := s.nextToken.Add(1)
+	hold, err := s.acquireMigrationFence(donor, token)
+	if err != nil {
+		return 0, 0, err
+	}
+	beatAddr := donor.store.FenceBeatWord()
+	if hold.slot >= 0 {
+		_, _, beatAddr = donor.store.FenceSlotWordsOf(hold.slot)
+	}
+
+	// Copy the moved span donor → recipient in bounded batches. Each
+	// export runs under the fence-hold guard — if the failure detector
+	// recovered the fence, this migration is dead and must stop — and
+	// re-stamps the holder heartbeat so a long copy is never mistaken
+	// for an orphan.
+	lo := plan.MovedLo
+	for {
+		if _, fire := s.opts.Fault.Fire(fault.ReshardDonorCrash, plan.Donor); fire {
+			// Injected migrator crash mid-copy: abandon with the fence
+			// held. The failure detector sees an unregistered token and
+			// rolls the migration back by releasing the fence; the
+			// placement never flipped, so the donor still serves the whole
+			// span and the partial copy is cleared on the next attempt.
+			return 0, 0, fmt.Errorf("reshard migrator crashed mid-copy (injected fault); fence recovery pending")
+		}
+		var keys, vals []uint64
+		var next uint64
+		var resume, held bool
+		r := s.ctl(donor, func(w *proteustm.Worker, _ int) response {
+			w.Atomic(func(tx proteustm.Txn) {
+				keys, vals, next, resume = nil, nil, 0, false
+				if held = donor.store.FenceHeldAt(tx, hold.slot, token, hold.epoch); !held {
+					return
+				}
+				keys, vals, next, resume = donor.store.ExportSpan(tx, lo, plan.MovedHi, migrateBatch)
+				tx.Store(beatAddr, uint64(time.Now().UnixNano()))
+			})
+			return response{Applied: true}
+		})
+		if r.Err != "" {
+			s.releaseMigrationFence(donor, hold, token)
+			return 0, 0, fmt.Errorf("exporting span from shard %d: %s", plan.Donor, r.Err)
+		}
+		if !held {
+			return 0, 0, fmt.Errorf("donor fence recovered out from under the migration; rolled back")
+		}
+		if len(keys) > 0 {
+			r = s.ctl(recip, func(w *proteustm.Worker, slot int) response {
+				w.Atomic(func(tx proteustm.Txn) {
+					recip.store.InstallPairs(tx, slot, keys, vals)
+				})
+				return response{Applied: true}
+			})
+			if r.Err != "" {
+				s.releaseMigrationFence(donor, hold, token)
+				return 0, 0, fmt.Errorf("installing span on shard %d: %s", plan.NewShard, r.Err)
+			}
+			moved += uint64(len(keys))
+		}
+		if !resume {
+			break
+		}
+		lo = next
+	}
+
+	if _, fire := s.opts.Fault.Fire(fault.ReshardInstallCrash, plan.Donor); fire {
+		// Injected migrator crash after install, before the flip: same
+		// rollback as the donor-side crash — the copied span is
+		// unreachable garbage until the next attempt clears it.
+		return 0, 0, fmt.Errorf("reshard migrator crashed before the flip (injected fault); fence recovery pending")
+	}
+
+	// Flip. The grown fleet is published and the span fully installed,
+	// so any operation routed under the new epoch finds its shard and
+	// its data; everything routed under the old epoch either requeues on
+	// the still-held fence or bounces off the placement bump below.
+	newEpoch = s.place.Install(plan.Grown)
+
+	// Donor cleanup, entirely under the fence: bump the placement-epoch
+	// word (in the same transactions that delete, so a stale-routed
+	// operation can never observe the donor after a delete without also
+	// observing the bump), remove the moved span in bounded batches,
+	// release. If the detector stole the fence mid-cleanup (a falsely
+	// declared death — the beat re-stamps make this a pathological
+	// FenceDeadline), re-acquire and resume: the flip is installed, and
+	// leftover moved keys on the donor would tear range scans.
+	held := true
+	for {
+		if !held {
+			hold, err = s.acquireMigrationFence(donor, token)
+			if err != nil {
+				// Can't re-fence: publish the bump unfenced — monotonic and
+				// harmless, and without it stale-routed operations would
+				// read the half-deleted span.
+				s.ctl(donor, func(w *proteustm.Worker, _ int) response {
+					w.Atomic(func(tx proteustm.Txn) { donor.store.BumpPlacement(tx, newEpoch) })
+					return response{}
+				})
+				return moved, newEpoch, fmt.Errorf("re-fencing donor for cleanup: %w", err)
+			}
+			beatAddr = donor.store.FenceBeatWord()
+			if hold.slot >= 0 {
+				_, _, beatAddr = donor.store.FenceSlotWordsOf(hold.slot)
+			}
+			held = true
+		}
+		var more bool
+		r := s.ctl(donor, func(w *proteustm.Worker, slot int) response {
+			w.Atomic(func(tx proteustm.Txn) {
+				more = false
+				if held = donor.store.FenceHeldAt(tx, hold.slot, token, hold.epoch); !held {
+					return
+				}
+				donor.store.BumpPlacement(tx, newEpoch)
+				_, more = donor.store.DeleteSpan(tx, slot, plan.MovedLo, plan.MovedHi, migrateBatch)
+				tx.Store(beatAddr, uint64(time.Now().UnixNano()))
+			})
+			return response{Applied: true}
+		})
+		if r.Err != "" {
+			s.releaseMigrationFence(donor, hold, token)
+			return moved, newEpoch, fmt.Errorf("cleaning donor shard %d: %s", plan.Donor, r.Err)
+		}
+		if !held {
+			continue
+		}
+		if !more {
+			break
+		}
+	}
+	s.releaseMigrationFence(donor, hold, token)
+	return moved, newEpoch, nil
+}
+
+// acquireMigrationFence claims the donor's fence for the migration,
+// riding out coordinator contention with the cross-shard backoff
+// schedule.
+func (s *Server) acquireMigrationFence(donor *shardState, token uint64) (response, error) {
+	for attempt := 0; ; attempt++ {
+		r := s.ctlAcquire(donor, token, ^uint64(0))
+		if r.Err != "" {
+			return r, fmt.Errorf("acquiring donor fence: %s", r.Err)
+		}
+		if r.Applied {
+			return r, nil
+		}
+		if attempt+1 >= s.opts.CrossRetries {
+			return r, fmt.Errorf("donor fence contention: exhausted %d acquisition attempts", s.opts.CrossRetries)
+		}
+		s.crossBackoff(attempt)
+	}
+}
+
+// releaseMigrationFence frees the migration's fence hold, epoch-guarded
+// like every release: a hold the failure detector already recovered is
+// left alone.
+func (s *Server) releaseMigrationFence(donor *shardState, hold response, token uint64) {
+	s.ctl(donor, func(w *proteustm.Worker, _ int) response {
+		w.Atomic(func(tx proteustm.Txn) {
+			if donor.store.FenceHeldAt(tx, hold.slot, token, hold.epoch) {
+				donor.store.FenceReleaseAt(tx, hold.slot, hold.epoch)
+			}
+		})
+		return response{}
+	})
+}
+
+// autosplitLoop is the background trigger behind --autosplit: poll the
+// per-shard routed counters, and when the hottest shard's share crosses
+// Options.AutosplitShare (with enough traffic to trust the signal and
+// room under AutosplitMaxShards), run the same reshard step the admin
+// endpoint does. A plan the planner declines is an explicit logged
+// no-op — never a degenerate install.
+func (s *Server) autosplitLoop() {
+	defer s.autosplitWG.Done()
+	t := time.NewTicker(s.opts.AutosplitInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.autosplitStop:
+			return
+		case <-t.C:
+		}
+		if s.closed.Load() {
+			return
+		}
+		part, _ := s.place.Load()
+		if part.Kind() != shard.KindRange {
+			s.opts.Logf("serve: autosplit disabled: requires the range partitioner (have %q)", part.Kind())
+			return
+		}
+		if part.Shards() >= s.opts.AutosplitMaxShards {
+			continue
+		}
+		fleet := s.fleet()
+		var total, hottest uint64
+		for i := 0; i < part.Shards() && i < len(fleet); i++ {
+			v := fleet[i].routed.Load()
+			total += v
+			if v > hottest {
+				hottest = v
+			}
+		}
+		if total < autosplitMinRouted || float64(hottest)/float64(total) <= s.opts.AutosplitShare {
+			continue
+		}
+		res, _ := s.Reshard()
+		switch {
+		case res.Applied:
+			s.opts.Logf("serve: autosplit: shard %d split at placement epoch %d (%d keys migrated, hottest share %.2f)",
+				res.Donor, res.Epoch, res.KeysMigrated, float64(hottest)/float64(total))
+		case res.Err != "":
+			s.opts.Logf("serve: autosplit attempt failed: %s", res.Err)
+		}
+	}
+}

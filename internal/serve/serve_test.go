@@ -227,12 +227,12 @@ func TestAdmissionOverflow(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, code := s.submit(s.shards[0], &request{op: opGet, key: uint64(i)})
+			_, code := s.submit(s.fleet()[0], &request{op: opGet, key: uint64(i)})
 			codes <- code
 		}(i)
 	}
 	deadline := time.Now().Add(2 * time.Second)
-	for len(s.shards[0].queue) < 4 {
+	for len(s.fleet()[0].queue) < 4 {
 		if time.Now().After(deadline) {
 			t.Fatal("queue never filled")
 		}
@@ -240,7 +240,7 @@ func TestAdmissionOverflow(t *testing.T) {
 	}
 	done := make(chan int, 1)
 	go func() {
-		_, code := s.submit(s.shards[0], &request{op: opGet, key: 99})
+		_, code := s.submit(s.fleet()[0], &request{op: opGet, key: 99})
 		done <- code
 	}()
 	select {
@@ -279,7 +279,7 @@ func TestGracefulDrainNoStall(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, code := s.submit(s.shards[0], &request{op: opGet, key: uint64(i % 128)})
+			_, code := s.submit(s.fleet()[0], &request{op: opGet, key: uint64(i % 128)})
 			if code == http.StatusOK {
 				completed.Add(1)
 			}
@@ -513,18 +513,18 @@ func TestCrossShardAbortAll(t *testing.T) {
 	keys := make([]uint64, 0, 4)
 	seen := map[int]bool{}
 	for k := uint64(0); len(keys) < 4; k++ {
-		if o := s.part.Owner(k); !seen[o] {
+		if o := s.part().Owner(k); !seen[o] {
 			seen[o] = true
 			keys = append(keys, k)
 		}
 	}
-	batches := s.splitBatch(keys)
+	batches := splitBatchAt(s.part(), keys)
 	if len(batches) != 4 {
 		t.Fatalf("expected 4 participants, got %d", len(batches))
 	}
 	// Wedge the fence of the last participant (highest shard index, so
 	// the coordinator acquires the other three first).
-	victim := s.shards[batches[3].shard]
+	victim := s.fleet()[batches[3].shard]
 	victim.sys.Store(victim.store.FenceWord(), 999)
 
 	vals := []uint64{1, 2, 3, 4}
@@ -538,14 +538,14 @@ func TestCrossShardAbortAll(t *testing.T) {
 	}
 	// Abort-all must have released every fence the coordinator acquired.
 	for _, b := range batches[:3] {
-		ss := s.shards[b.shard]
+		ss := s.fleet()[b.shard]
 		if v := ss.sys.Load(ss.store.FenceWord()); v != 0 {
 			t.Fatalf("shard %d fence leaked after abort-all: %d", b.shard, v)
 		}
 	}
 	// And no write may have landed anywhere.
 	for i, k := range keys {
-		ss := s.shards[s.part.Owner(k)]
+		ss := s.fleet()[s.part().Owner(k)]
 		w, err := ss.sys.Worker(0)
 		if err != nil {
 			t.Fatal(err)
@@ -683,10 +683,10 @@ func TestFencedOpsWaitForCommit(t *testing.T) {
 	s := newTestServer(t, Options{Shards: 2, Workers: 2})
 	// Pick a key on shard 1 and wedge that shard's fence.
 	var k uint64
-	for s.part.Owner(k) != 1 {
+	for s.part().Owner(k) != 1 {
 		k++
 	}
-	victim := s.shards[1]
+	victim := s.fleet()[1]
 	victim.sys.Store(victim.store.FenceWord(), 7)
 
 	done := make(chan struct{})
@@ -748,7 +748,7 @@ func TestConcurrentCrossShardStress(t *testing.T) {
 	if f := fails.Load(); f > 0 {
 		t.Fatalf("%d cross-shard ops failed under contention", f)
 	}
-	for i, ss := range s.shards {
+	for i, ss := range s.fleet() {
 		if v := ss.sys.Load(ss.store.FenceWord()); v != 0 {
 			t.Fatalf("shard %d fence left held (%d) after stress", i, v)
 		}
@@ -847,11 +847,11 @@ func TestKeyedFenceAllowsNonIntersectingOps(t *testing.T) {
 	var fencedKey, freeKey uint64
 	found := false
 	for a := uint64(0); a < 1<<12 && !found; a++ {
-		if s.part.Owner(a) != 1 {
+		if s.part().Owner(a) != 1 {
 			continue
 		}
 		for b := a + 1; b < 1<<12; b++ {
-			if s.part.Owner(b) == 1 && keyBit(a)&keyBit(b) == 0 {
+			if s.part().Owner(b) == 1 && keyBit(a)&keyBit(b) == 0 {
 				fencedKey, freeKey, found = a, b, true
 				break
 			}
@@ -860,7 +860,7 @@ func TestKeyedFenceAllowsNonIntersectingOps(t *testing.T) {
 	if !found {
 		t.Fatal("no two same-shard keys with disjoint signature bits")
 	}
-	victim := s.shards[1]
+	victim := s.fleet()[1]
 
 	// A coordinator holds a keyed fence covering only fencedKey.
 	r := s.ctlAcquire(victim, 7, KeyFenceSig([]uint64{fencedKey}))

@@ -73,7 +73,12 @@ type request struct {
 	deadline time.Time
 	// fenceTries counts requeues caused by an observed fence.
 	fenceTries int
-	done       chan response
+	// routingEpoch is the placement epoch the request was routed under
+	// (stamped by shardFor / submitCross). A shard whose placement epoch
+	// has advanced past it bounces the operation back for re-routing
+	// instead of executing against possibly-migrated state.
+	routingEpoch uint64
+	done         chan response
 }
 
 // expired reports whether the request must not execute: its deadline has
@@ -113,6 +118,10 @@ type response struct {
 	// (-1 under the whole-shard fence).
 	epoch uint64
 	slot  int
+	// moved reports that the executing shard's placement epoch has
+	// advanced past the request's routing epoch: nothing was executed,
+	// and the submitter must re-route under the current placement.
+	moved bool
 }
 
 // Fence granularities (Options.FenceGranularity): one whole-shard fence
@@ -234,6 +243,17 @@ type Options struct {
 	// BreakerCooldown is how long an open breaker sheds (503 +
 	// Retry-After) before admitting probes again (default 1s).
 	BreakerCooldown time.Duration
+	// AutosplitShare arms the background autosplit trigger (range
+	// partitioner only): when the hottest shard's share of routed
+	// operations exceeds this fraction — and at least autosplitMinRouted
+	// operations have been routed since the last split, and the fleet is
+	// below AutosplitMaxShards — the server installs a SplitHeaviest plan
+	// live, exactly as POST /admin/reshard would. 0 disables.
+	AutosplitShare float64
+	// AutosplitMaxShards caps autosplit growth (default 8).
+	AutosplitMaxShards int
+	// AutosplitInterval is the trigger's poll period (default 2s).
+	AutosplitInterval time.Duration
 	// Logf, when set, receives operational log lines (reconfigurations,
 	// drains, shutdown).
 	Logf func(format string, args ...any)
@@ -297,6 +317,12 @@ func (o *Options) setDefaults() {
 	if o.BreakerCooldown <= 0 {
 		o.BreakerCooldown = time.Second
 	}
+	if o.AutosplitMaxShards <= 0 {
+		o.AutosplitMaxShards = 8
+	}
+	if o.AutosplitInterval <= 0 {
+		o.AutosplitInterval = 2 * time.Second
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -348,11 +374,16 @@ type shardState struct {
 // operations execute as ProteusTM atomic blocks on one or more key-space
 // shards. Create with New, stop with Close.
 type Server struct {
-	opts   Options
-	part   shard.Partitioner
-	shards []*shardState
-	mux    *http.ServeMux
-	start  time.Time
+	opts Options
+	// place is the epoch-stamped placement every router, coordinator and
+	// recovery path loads per-operation (see shard.Epoched); a live
+	// reshard swaps it atomically. fleetPtr is the matching shard slice:
+	// it is grown before a new placement is installed, and readers load
+	// the placement first, so a placement can never name a missing shard.
+	place    *shard.Epoched
+	fleetPtr atomic.Pointer[[]*shardState]
+	mux      *http.ServeMux
+	start    time.Time
 
 	// inflight counts submissions between admission and reply; Close
 	// waits on it after setting closed, so no submitter can be stranded
@@ -397,6 +428,20 @@ type Server struct {
 	fenceAborted       atomic.Uint64
 	breakerOpenTotal   atomic.Uint64
 	breakerShed        atomic.Uint64
+
+	// reshardMu serializes live resharding (one migration at a time);
+	// resharding mirrors it as the /statusz gauge. reshards counts
+	// installed placement flips, keysMigrated the key-value pairs moved
+	// between shards, and movedBounces the operations bounced back for
+	// re-routing by a placement-epoch mismatch (see store.PlacementStale).
+	// autosplitStop/autosplitWG manage the optional background trigger.
+	reshardMu     sync.Mutex
+	resharding    atomic.Bool
+	reshards      atomic.Uint64
+	keysMigrated  atomic.Uint64
+	movedBounces  atomic.Uint64
+	autosplitStop chan struct{}
+	autosplitWG   sync.WaitGroup
 
 	// shedDeadline counts queued ops dropped unexecuted because their
 	// deadline passed or their client hung up; shedLatency counts
@@ -464,7 +509,7 @@ func newServer(opts Options) (*Server, error) {
 	}
 	s := &Server{
 		opts:       opts,
-		part:       part,
+		place:      shard.NewEpoched(part),
 		start:      time.Now(),
 		crossSem:   make(chan struct{}, crossSlots),
 		reg:        newCrossReg(),
@@ -474,18 +519,20 @@ func newServer(opts Options) (*Server, error) {
 		batchSizes: metrics.NewReservoir(opts.LatencyWindow),
 	}
 	s.jitterState.Store(opts.Seed | 1)
+	fleet := make([]*shardState, 0, opts.Shards)
 	for i := 0; i < opts.Shards; i++ {
 		ss, err := s.newShard(i)
 		if err != nil {
-			for _, prev := range s.shards {
+			for _, prev := range fleet {
 				prev.sys.Close() //nolint:errcheck // already failing
 			}
 			return nil, err
 		}
-		s.shards = append(s.shards, ss)
+		fleet = append(fleet, ss)
 	}
+	s.fleetPtr.Store(&fleet)
 	if err := s.preload(opts.Preload); err != nil {
-		for _, ss := range s.shards {
+		for _, ss := range fleet {
 			ss.sys.Close() //nolint:errcheck // already failing
 		}
 		return nil, err
@@ -493,6 +540,17 @@ func newServer(opts Options) (*Server, error) {
 	s.mux = s.routes()
 	return s, nil
 }
+
+// fleet returns the current shard slice. When both the placement and the
+// fleet are needed, load the placement first: the fleet is grown before
+// a new placement is installed, so a placement loaded earlier can never
+// name a shard the fleet lacks.
+func (s *Server) fleet() []*shardState { return *s.fleetPtr.Load() }
+
+// part returns the current partitioner, discarding its epoch. Routing
+// paths that must detect a concurrent flip load s.place directly and
+// stamp the epoch into the work they derive.
+func (s *Server) part() shard.Partitioner { p, _ := s.place.Load(); return p }
 
 // newShard opens shard i's system and store.
 func (s *Server) newShard(i int) (*shardState, error) {
@@ -553,27 +611,39 @@ func (s *Server) newShard(i int) (*shardState, error) {
 // startWorkers launches one queue worker per slot per shard, plus each
 // shard's failure detector (unless detection is disabled).
 func (s *Server) startWorkers() {
-	for _, ss := range s.shards {
-		for id := 0; id < s.opts.Workers; id++ {
-			ss.wg.Add(1)
-			go ss.worker(id)
-		}
-		if s.opts.FenceDeadline > 0 {
-			ss.wg.Add(1)
-			go ss.detector()
-		}
+	for _, ss := range s.fleet() {
+		s.startShardWorkers(ss)
+	}
+	if s.opts.AutosplitShare > 0 {
+		s.autosplitStop = make(chan struct{})
+		s.autosplitWG.Add(1)
+		go s.autosplitLoop()
+	}
+}
+
+// startShardWorkers launches one shard's queue workers and failure
+// detector — the per-shard half of startWorkers, reused when a live
+// reshard grows the fleet.
+func (s *Server) startShardWorkers(ss *shardState) {
+	for id := 0; id < s.opts.Workers; id++ {
+		ss.wg.Add(1)
+		go ss.worker(id)
+	}
+	if s.opts.FenceDeadline > 0 {
+		ss.wg.Add(1)
+		go ss.detector()
 	}
 }
 
 // System exposes shard 0's ProteusTM instance (for status and tests; use
 // ShardSystem for the others).
-func (s *Server) System() *proteustm.System { return s.shards[0].sys }
+func (s *Server) System() *proteustm.System { return s.fleet()[0].sys }
 
 // Shards returns the number of key-space shards.
-func (s *Server) Shards() int { return len(s.shards) }
+func (s *Server) Shards() int { return len(s.fleet()) }
 
 // ShardSystem exposes shard i's ProteusTM instance.
-func (s *Server) ShardSystem(i int) *proteustm.System { return s.shards[i].sys }
+func (s *Server) ShardSystem(i int) *proteustm.System { return s.fleet()[i].sys }
 
 // preload inserts n keys, each into its owning shard, in batched setup
 // transactions on slot 0 (always an active slot: the parallelism degree
@@ -582,14 +652,14 @@ func (s *Server) preload(n int) error {
 	if n <= 0 {
 		return nil
 	}
-	byShard := make([][]uint64, len(s.shards))
+	byShard := make([][]uint64, len(s.fleet()))
 	for k := 0; k < n; k++ {
-		o := s.part.Owner(uint64(k))
+		o := s.part().Owner(uint64(k))
 		byShard[o] = append(byShard[o], uint64(k))
 	}
 	const batch = 64
 	for i, keys := range byShard {
-		ss := s.shards[i]
+		ss := s.fleet()[i]
 		w, err := ss.sys.Worker(0)
 		if err != nil {
 			return err
@@ -714,8 +784,8 @@ func (ss *shardState) worker(id int) {
 			t1 := time.Now()
 			ss.drainMu.RUnlock()
 			committed := 0
-			for _, f := range fencedOps {
-				if !f {
+			for i, f := range fencedOps {
+				if !f && !resps[i].moved {
 					committed++
 				}
 			}
@@ -735,6 +805,12 @@ func (ss *shardState) worker(id int) {
 						continue
 					}
 					ss.requeue(r)
+					continue
+				}
+				if resps[i].moved {
+					// Nothing executed: the submitter re-routes under the
+					// current placement (no served/executed accounting).
+					r.done <- resps[i]
 					continue
 				}
 				ss.srv.queueWait.Observe(msBetween(r.accepted, t0))
@@ -777,7 +853,7 @@ func (ss *shardState) worker(id int) {
 			ss.requeue(req)
 			continue
 		}
-		if req.ctl == nil {
+		if req.ctl == nil && !resp.moved {
 			ss.srv.served[req.op].Add(1)
 			ss.executed.Add(1)
 		}
@@ -868,7 +944,7 @@ func (ss *shardState) requeue(req *request) {
 func (ss *shardState) opFenced(tx proteustm.Txn, req *request) bool {
 	// With a single shard no cross-shard commit ever takes a fence, so
 	// skip the per-operation fence read entirely.
-	if len(ss.srv.shards) == 1 {
+	if len(ss.srv.fleet()) == 1 {
 		return false
 	}
 	if ss.srv.opts.FenceGranularity != FenceKey {
@@ -895,6 +971,20 @@ func (ss *shardState) opFenced(tx proteustm.Txn, req *request) bool {
 // on each attempt.
 func (ss *shardState) applyOp(tx proteustm.Txn, slot int, req *request, resp *response) (fenced bool) {
 	*resp = response{}
+	// Placement-epoch gate: a KV operation routed under a placement a
+	// live reshard has since replaced may be on the wrong shard, so it
+	// bounces back for re-routing (resp.moved) instead of executing.
+	// Reading the word inside this transaction closes the route/flip
+	// race — the donor's bump commits atomically with the moved span's
+	// deletion. Deque operations are exempt: the deque is pinned to its
+	// home shard and never migrates.
+	switch req.op {
+	case opGet, opPut, opDel, opCAS, opRange, opMPut, opMGet:
+		if ss.store.PlacementStale(tx, req.routingEpoch) {
+			resp.moved = true
+			return false
+		}
+	}
 	if ss.opFenced(tx, req) {
 		return true
 	}
@@ -1077,13 +1167,21 @@ func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	// Stop the autosplit trigger and wait out any in-flight migration
+	// before draining, so no reshard races the shard teardown below.
+	if s.autosplitStop != nil {
+		close(s.autosplitStop)
+		s.autosplitWG.Wait()
+	}
+	s.reshardMu.Lock()
+	s.reshardMu.Unlock() //nolint:staticcheck // barrier: wait out a live migration
 	// Every submission that passed the closed-check has registered in
 	// inflight, and the workers are still running, so waiting here both
 	// drains the queues and guarantees every admitted request (including
 	// every cross-shard coordinator) got its reply before workers stop.
 	s.inflight.Wait()
 	var firstErr error
-	for _, ss := range s.shards {
+	for _, ss := range s.fleet() {
 		close(ss.stop)
 		ss.wg.Wait()
 		ss.sys.OnReconfigure(nil)
@@ -1093,7 +1191,7 @@ func (s *Server) Close() error {
 		}
 	}
 	s.opts.Logf("serve: drained and stopped (shards=%d served=%d rejected=%d cross=%d)",
-		len(s.shards), s.totalServed(), s.rejected.Load(), s.crossOps.Load())
+		len(s.fleet()), s.totalServed(), s.rejected.Load(), s.crossOps.Load())
 	return firstErr
 }
 
@@ -1113,6 +1211,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/admin/reshard", s.handleReshard)
 	mux.HandleFunc("/kv/get", s.opHandler(opGet, "key"))
 	mux.HandleFunc("/kv/put", s.opHandler(opPut, "key", "val"))
 	mux.HandleFunc("/kv/del", s.opHandler(opDel, "key"))
@@ -1128,15 +1227,40 @@ func (s *Server) routes() *http.ServeMux {
 	return mux
 }
 
-// shardFor routes a request to the shard owning its key. Single-key
-// operations go to the key's owner; deque operations live on shard 0 (the
+// shardFor routes a request to the shard owning its key under the
+// current placement, stamping the placement epoch into the request so a
+// concurrent flip is detectable at execution time. Single-key operations
+// go to the key's owner; deque operations live on shard dequeHome (the
 // deque is not partitioned — see docs/sharding.md).
 func (s *Server) shardFor(req *request) *shardState {
+	p, epoch := s.place.Load()
+	req.routingEpoch = epoch
+	fleet := s.fleet()
 	switch req.op {
 	case opGet, opPut, opDel, opCAS:
-		return s.shards[s.part.Owner(req.key)]
+		return fleet[p.Owner(req.key)]
 	default:
-		return s.shards[0]
+		return fleet[dequeHome]
+	}
+}
+
+// movedRetries bounds how many times a bounced operation re-routes: one
+// flip needs one bounce, the slack covers back-to-back splits.
+const movedRetries = 8
+
+// submitRouted admits req to its key's owner, re-routing when a live
+// reshard flipped the placement between routing and execution (the
+// shard bounces the op back with resp.moved, having executed nothing).
+func (s *Server) submitRouted(req *request) (response, int) {
+	for try := 0; ; try++ {
+		resp, code := s.submit(s.shardFor(req), req)
+		if !resp.moved {
+			return resp, code
+		}
+		if try >= movedRetries {
+			return response{Err: "placement moved during retries"}, http.StatusServiceUnavailable
+		}
+		s.movedBounces.Add(1)
 	}
 }
 
@@ -1167,7 +1291,7 @@ func (s *Server) opHandler(op opKind, params ...string) http.HandlerFunc {
 				req.newv = v
 			}
 		}
-		resp, code := s.submit(s.shardFor(req), req)
+		resp, code := s.submitRouted(req)
 		writeResp(w, code, resp)
 	}
 }

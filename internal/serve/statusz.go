@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/shard"
 )
 
 // Status is the /statusz document. Field names are part of the operator
@@ -58,6 +59,19 @@ type ServerStatus struct {
 	// FenceDeadlineMs echoes the failure detector's orphaned-fence
 	// deadline (negative = detection disabled).
 	FenceDeadlineMs float64 `json:"fence_deadline_ms"`
+	// PartitionerEpoch is the placement generation: 0 at boot, +1 per
+	// installed reshard. A client that cached Partitioner/SpanStarts must
+	// rebuild its replica when this moves (the loadgen skew planner does).
+	PartitionerEpoch uint64 `json:"partitioner_epoch"`
+	// Resharding is true while a split-and-migrate is in flight.
+	Resharding bool `json:"resharding"`
+	// SpanStarts/SpanOwners are the range partitioner's live span table
+	// (start key of each span, ascending, and its owning shard) — after a
+	// reshard the placement is no longer derivable from Shards alone, so
+	// clients rebuild from the table (shard.NewRangeFromSpans). Absent
+	// under the hash/modulo partitioners.
+	SpanStarts []uint64 `json:"span_starts,omitempty"`
+	SpanOwners []int    `json:"span_owners,omitempty"`
 }
 
 // ConfigStatus describes the fleet's configuration and tuner state.
@@ -164,6 +178,13 @@ type OpsStatus struct {
 	// FenceKeysHeld sums the keyed fence table occupancy across shards at
 	// snapshot time (identically 0 under --fence-granularity=shard).
 	FenceKeysHeld uint64 `json:"fence_keys_held"`
+	// Reshards counts installed placement flips; KeysMigrated totals the
+	// key-value pairs moved by them; MovedBounces counts operations that
+	// hit a donor's bumped placement-epoch word and were re-routed under
+	// the new placement.
+	Reshards     uint64 `json:"reshards"`
+	KeysMigrated uint64 `json:"keys_migrated"`
+	MovedBounces uint64 `json:"moved_bounces"`
 }
 
 // LatencyStatus summarizes one latency dimension in milliseconds over the
@@ -203,8 +224,20 @@ func latencyStatus(r *metrics.Reservoir) LatencyStatus {
 // every shard's worker threads the same way Stats does, so it must not be
 // called from inside an atomic block.
 func (s *Server) StatusSnapshot() Status {
+	// Snapshot the placement and the fleet once: a concurrent reshard may
+	// flip either mid-assembly, and the document must be internally
+	// consistent (the fleet is always a superset of what the snapshotted
+	// placement names).
+	part, epoch := s.place.Load()
+	fleetShards := s.fleet()
+	var spanStarts []uint64
+	var spanOwners []int
+	if rp, ok := part.(*shard.RangePartitioner); ok {
+		spanStarts, spanOwners = rp.Spans()
+	}
+
 	var fleet TMStatus
-	shards := make([]ShardStatus, len(s.shards))
+	shards := make([]ShardStatus, len(fleetShards))
 	var reconfigs []ReconfigStatus
 	var timeline []TimelineStatus
 	phases := 0
@@ -212,7 +245,7 @@ func (s *Server) StatusSnapshot() Status {
 	activeWorkers, queueLen := 0, 0
 	configs := map[string]bool{}
 
-	for i, ss := range s.shards {
+	for i, ss := range fleetShards {
 		perWorker := ss.sys.StatsPerWorker()
 		var tm TMStatus
 		commits := make([]uint64, len(perWorker))
@@ -308,27 +341,31 @@ func (s *Server) StatusSnapshot() Status {
 	}
 
 	var fenceKeysHeld uint64
-	for _, ss := range s.shards {
+	for _, ss := range fleetShards {
 		fenceKeysHeld += ss.sys.Load(ss.store.FenceOccWord())
 	}
 	batch := metrics.Summarize(s.batchSizes.Snapshot())
 
 	return Status{
 		Server: ServerStatus{
-			UptimeSec:       time.Since(s.start).Seconds(),
-			Shards:          len(s.shards),
-			Partitioner:     s.part.Kind(),
-			KeyUniverse:     s.opts.KeyUniverse,
-			Workers:         s.opts.Workers,
-			ActiveWorkers:   activeWorkers,
-			QueueDepth:      s.opts.QueueDepth,
-			QueueLen:        queueLen,
-			SLOP99Ms:        float64(s.opts.SLOP99) / float64(time.Millisecond),
-			DeadlineMs:      float64(s.opts.Deadline) / float64(time.Millisecond),
-			FenceDeadlineMs: float64(s.opts.FenceDeadline) / float64(time.Millisecond),
+			UptimeSec:        time.Since(s.start).Seconds(),
+			Shards:           len(fleetShards),
+			Partitioner:      part.Kind(),
+			KeyUniverse:      s.opts.KeyUniverse,
+			Workers:          s.opts.Workers,
+			ActiveWorkers:    activeWorkers,
+			QueueDepth:       s.opts.QueueDepth,
+			QueueLen:         queueLen,
+			SLOP99Ms:         float64(s.opts.SLOP99) / float64(time.Millisecond),
+			DeadlineMs:       float64(s.opts.Deadline) / float64(time.Millisecond),
+			FenceDeadlineMs:  float64(s.opts.FenceDeadline) / float64(time.Millisecond),
+			PartitionerEpoch: epoch,
+			Resharding:       s.resharding.Load(),
+			SpanStarts:       spanStarts,
+			SpanOwners:       spanOwners,
 		},
 		Config: ConfigStatus{
-			Current:   s.shards[0].sys.CurrentConfig().String(),
+			Current:   fleetShards[0].sys.CurrentConfig().String(),
 			Distinct:  len(configs),
 			AutoTune:  s.opts.AutoTune,
 			Phases:    phases,
@@ -362,6 +399,9 @@ func (s *Server) StatusSnapshot() Status {
 			GroupBatchP50:      batch.P50,
 			GroupBatchP99:      batch.P99,
 			FenceKeysHeld:      fenceKeysHeld,
+			Reshards:           s.reshards.Load(),
+			KeysMigrated:       s.keysMigrated.Load(),
+			MovedBounces:       s.movedBounces.Load(),
 		},
 		Latency:          latencyStatus(s.lat),
 		QueueWait:        latencyStatus(s.queueWait),

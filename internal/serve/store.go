@@ -79,6 +79,18 @@ type Store struct {
 	// granularities.
 	slots    tm.Addr
 	fenceOcc tm.Addr
+
+	// placeEpoch is the shard's placement epoch: the partitioner epoch as
+	// of which this shard's span set is current. Every KV data operation
+	// loads it inside its own transaction and compares it to the epoch
+	// the request was routed under; a request stamped with an older epoch
+	// may have been routed to the wrong shard by a placement that a
+	// reshard has since replaced, so it bounces back for re-routing
+	// instead of executing. The word only ever increases, and the bump on
+	// a migration donor happens inside the same fenced transaction that
+	// deletes the moved span, so a stale read and the data it would have
+	// served cannot be observed together.
+	placeEpoch tm.Addr
 }
 
 // FenceSlots is the keyed fence table's capacity per shard: the maximum
@@ -108,7 +120,7 @@ func NewStore(h *tm.Heap) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: deque pool: %w", err)
 	}
-	words, err := h.Alloc(6)
+	words, err := h.Alloc(7)
 	if err != nil {
 		return nil, fmt.Errorf("serve: deque heads: %w", err)
 	}
@@ -120,7 +132,8 @@ func NewStore(h *tm.Heap) (*Store, error) {
 		kv: kv, pool: pool,
 		lhead: words, ltail: words + 1, llen: words + 2,
 		fence: words + 3, fenceEpoch: words + 4, fenceBeat: words + 5,
-		fenceOcc: slots, slots: slots + 1,
+		placeEpoch: words + 6,
+		fenceOcc:   slots, slots: slots + 1,
 	}, nil
 }
 
@@ -324,6 +337,78 @@ func (s *Store) FenceReleaseAt(tx tm.Txn, slot int, epoch uint64) bool {
 		return s.FenceRelease(tx, epoch)
 	}
 	return s.FenceSlotRelease(tx, slot, epoch)
+}
+
+// ---- live resharding (span migration + placement epoch) ----
+
+// PlacementStale reports whether this shard's placement epoch has moved
+// past the epoch a request was routed under: the request's owner lookup
+// may be stale, so it must bounce back for re-routing. Reading the word
+// inside the operation's own transaction is what closes the route/flip
+// race — the donor's epoch bump shares a fenced transaction with the
+// moved span's deletion, so an operation either runs entirely before the
+// flip (and sees the data) or observes the bump (and re-routes).
+func (s *Store) PlacementStale(tx tm.Txn, routedEpoch uint64) bool {
+	return tx.Load(s.placeEpoch) > routedEpoch
+}
+
+// BumpPlacement raises the shard's placement epoch to epoch (monotonic:
+// an older value never overwrites a newer one).
+func (s *Store) BumpPlacement(tx tm.Txn, epoch uint64) {
+	if tx.Load(s.placeEpoch) < epoch {
+		tx.Store(s.placeEpoch, epoch)
+	}
+}
+
+// PlacementWord exposes the placement-epoch word's heap address for
+// non-transactional status peeks and tests.
+func (s *Store) PlacementWord() tm.Addr { return s.placeEpoch }
+
+// ExportSpan copies up to max key-value pairs in [lo, hi] (inclusive)
+// out of the store, returning the pairs and, when the span held more
+// than max, resume=true with next set to the first un-exported key. The
+// migrator calls it in batches under the donor's fence, so each batch is
+// one bounded transaction instead of a single scan proportional to the
+// span's population.
+func (s *Store) ExportSpan(tx tm.Txn, lo, hi uint64, max int) (keys, vals []uint64, next uint64, resume bool) {
+	s.kv.AscendRange(tx, lo, hi, func(k, v uint64) bool {
+		if len(keys) == max {
+			next, resume = k, true
+			return false
+		}
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	})
+	return keys, vals, next, resume
+}
+
+// InstallPairs inserts the exported pairs into this store — the
+// recipient half of a span migration. Existing keys are overwritten, so
+// re-running an interrupted install converges instead of diverging.
+func (s *Store) InstallPairs(tx tm.Txn, self int, keys, vals []uint64) {
+	for i, k := range keys {
+		s.kv.Insert(tx, self, k, vals[i])
+	}
+}
+
+// DeleteSpan removes up to max keys in [lo, hi] (inclusive), reporting
+// how many it removed and whether keys remain. The donor's post-flip
+// cleanup loops it to bounded transactions, exactly like ExportSpan.
+func (s *Store) DeleteSpan(tx tm.Txn, self int, lo, hi uint64, max int) (removed int, more bool) {
+	var doomed []uint64
+	s.kv.AscendRange(tx, lo, hi, func(k, _ uint64) bool {
+		if len(doomed) == max {
+			more = true
+			return false
+		}
+		doomed = append(doomed, k)
+		return true
+	})
+	for _, k := range doomed {
+		s.kv.Delete(tx, self, k)
+	}
+	return len(doomed), more
 }
 
 // Get reads the value at key.

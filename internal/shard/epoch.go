@@ -1,0 +1,114 @@
+package shard
+
+import "sync/atomic"
+
+// Epoched is the atomically-swappable placement the serving layer routes
+// with once resharding exists: a Partitioner paired with a monotonically
+// increasing epoch, swapped as one unit. Every router, coordinator and
+// recovery path loads the pair once per operation, stamps the epoch into
+// the work it derives from the placement, and downstream checks compare
+// epochs instead of partitioner pointers — a stale epoch names exactly
+// the placement the work was computed under.
+//
+// The zero Epoched is not usable; build one with NewEpoched.
+type Epoched struct {
+	cur atomic.Pointer[epochedPlacement]
+}
+
+type epochedPlacement struct {
+	epoch uint64
+	p     Partitioner
+}
+
+// NewEpoched wraps p as epoch 0 — the placement the fleet booted with.
+func NewEpoched(p Partitioner) *Epoched {
+	e := &Epoched{}
+	e.cur.Store(&epochedPlacement{epoch: 0, p: p})
+	return e
+}
+
+// Load returns the current placement and its epoch as one consistent
+// pair. Callers that route must stamp the returned epoch into the work
+// they derive, so a later flip is detectable.
+func (e *Epoched) Load() (Partitioner, uint64) {
+	c := e.cur.Load()
+	return c.p, c.epoch
+}
+
+// Epoch returns the current placement epoch.
+func (e *Epoched) Epoch() uint64 { return e.cur.Load().epoch }
+
+// Install atomically replaces the placement with p under the next epoch
+// and returns that epoch. The caller must have published every resource
+// the new placement can route to (grown fleet slice, migrated data)
+// before calling Install: readers load the placement first, so anything
+// it names must already exist.
+func (e *Epoched) Install(p Partitioner) uint64 {
+	for {
+		old := e.cur.Load()
+		next := &epochedPlacement{epoch: old.epoch + 1, p: p}
+		if e.cur.CompareAndSwap(old, next) {
+			return next.epoch
+		}
+	}
+}
+
+// SplitPlan is one executable rebalance step: cut the donor's widest
+// span at its midpoint and hand the upper half — keys in [MovedLo,
+// MovedHi], inclusive — to NewShard. Grown is the placement to install
+// once the span's keys have migrated.
+type SplitPlan struct {
+	// Donor is the heaviest shard, the one losing the span's upper half.
+	Donor int
+	// NewShard is the recipient: always the current shard count, so
+	// installing the plan grows the fleet by exactly one.
+	NewShard int
+	// MovedLo and MovedHi bound the migrating keys, inclusive on both
+	// ends (MovedHi is ^uint64(0) when the split span is the key space's
+	// top span).
+	MovedLo, MovedHi uint64
+	// Grown is the post-split placement.
+	Grown *RangePartitioner
+}
+
+// PlanSplitHeaviest is SplitHeaviest as an executable migration plan:
+// the same deterministic heaviest-shard/widest-span/midpoint-cut
+// decision, plus the moved key interval a migrator must copy before the
+// plan is installed. It reports ok=false exactly when SplitHeaviest
+// would — all-zero or empty load, or no span of the heaviest shard wide
+// enough to cut — and callers must treat that as an explicit no-op, not
+// install a degenerate split.
+func (p *RangePartitioner) PlanSplitHeaviest(load []uint64) (SplitPlan, bool) {
+	heaviest, best := -1, uint64(0)
+	for s := 0; s < p.n && s < len(load); s++ {
+		if heaviest == -1 || load[s] > best {
+			heaviest, best = s, load[s]
+		}
+	}
+	if heaviest < 0 || best == 0 {
+		return SplitPlan{}, false
+	}
+	i := p.widest(heaviest)
+	if i < 0 {
+		return SplitPlan{}, false
+	}
+	grown, ok := p.split(i, p.n)
+	if !ok {
+		return SplitPlan{}, false
+	}
+	// The new span is grown's span i+1: [mid, next start) as an
+	// inclusive interval, running to the top of the key space when the
+	// cut span was the last one.
+	movedLo := grown.starts[i+1]
+	movedHi := ^uint64(0)
+	if i+2 < len(grown.starts) {
+		movedHi = grown.starts[i+2] - 1
+	}
+	return SplitPlan{
+		Donor:    heaviest,
+		NewShard: p.n,
+		MovedLo:  movedLo,
+		MovedHi:  movedHi,
+		Grown:    grown,
+	}, true
+}

@@ -1,0 +1,511 @@
+package workloads
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/shard"
+	"repro/internal/tm"
+)
+
+// ServiceReshard is the deterministic twin of proteusd's live
+// split-and-migrate (internal/serve POST /admin/reshard): a
+// range-partitioned store under skewed traffic that plans SplitHeaviest
+// steps from per-shard routed-operation counters, migrates each moved
+// span under the donor's fence, and flips an epoch-stamped placement —
+// while clients keep routing through a deliberately stale placement
+// replica that is only refreshed on a fixed cadence. Operations routed
+// under the stale replica bounce off the donor's placement-epoch word
+// and re-route against the live placement, pinning the
+// stale-client-placement bugfix family as protocol algebra: every
+// bounce is counted, every replica refresh that observes a new epoch is
+// counted, and Verify sweeps every key onto the shard the final
+// placement owns it on.
+//
+// Time is operation count, not wall clock: splits fire at fixed
+// operation indices (every SplitEvery-th op, up to MaxShards), the
+// replica refreshes at fixed indices (every RefreshEvery-th op), and
+// fence heartbeats are stamped with operation numbers — so a fixed seed
+// splits the same spans at the same operations every run, the property
+// the byte-pinned service-reshard goldens lean on. The live daemon's
+// reshard (wall-clock autosplit, HTTP admin surface, real goroutines)
+// is exercised by the serve tests and the reshard e2e job.
+type ServiceReshard struct {
+	// Label overrides the workload name (default "service-reshard").
+	Label string
+	// Shards is the initial shard count (default 2).
+	Shards int
+	// MaxShards is the shard-count ceiling; each split grows the fleet
+	// by one until it is reached (default 4).
+	MaxShards int
+	// KeyRange bounds the keys and is the range partitioner's universe
+	// (default 1 << 14).
+	KeyRange int
+	// InitialSize pre-populates the stores (default KeyRange/2).
+	InitialSize int
+	// HotTenth is the per-mille probability that an operation draws its
+	// key from the hot span [0, KeyRange/8) instead of uniformly, so
+	// the low shard stays the heaviest and SplitHeaviest keeps cutting
+	// it (default 600, i.e. 60%).
+	HotTenth int
+	// SplitEvery is the split cadence in operations: every
+	// SplitEvery-th operation attempts one plan-and-migrate step
+	// (default 1500).
+	SplitEvery int
+	// RefreshEvery is the client placement-replica refresh cadence in
+	// operations: between a flip and the next refresh, single-key
+	// operations route through the stale replica and must bounce
+	// (default 64).
+	RefreshEvery int
+	// MigrateBatch is the fenced copy/delete batch width in keys
+	// (default 64).
+	MigrateBatch int
+	// CrossEvery makes every CrossEvery-th operation a cross-shard
+	// batch put, showing migration composes with the 2PC fences
+	// (default 16).
+	CrossEvery int
+	// BatchKeys is the cross-shard batch width (default 4).
+	BatchKeys int
+
+	sets  []*RBSet // MaxShards stores, pre-built so splits alloc nothing
+	words tm.Addr  // 4 per shard: fence token, fence epoch, heartbeat, placement epoch
+	ops   atomic.Uint64
+
+	// place is the authoritative epoch-stamped placement; replica is the
+	// client-side copy, refreshed only every RefreshEvery ops — the
+	// stale replica whose misroutes the bounce path must absorb.
+	place   atomic.Pointer[reshardPlace]
+	replica atomic.Pointer[reshardPlace]
+	routed  []atomic.Uint64 // per-shard routed-op load signal
+
+	splits       atomic.Uint64
+	splitSkips   atomic.Uint64
+	splitBlocked atomic.Uint64
+	migrated     atomic.Uint64
+	bounces      atomic.Uint64
+	replans      atomic.Uint64
+	batches      atomic.Uint64
+	committed    atomic.Uint64
+	blocked      atomic.Uint64
+	fencedSkip   atomic.Uint64
+
+	// Resolved by Setup so Op stays cheap on the hot path.
+	shards, maxShards, keyRange, hotTenth  int
+	splitEvery, refreshEvery, migrateBatch int
+	crossEvery, batchKeys                  int
+}
+
+// reshardPlace is one epoch-stamped placement: what serve's
+// shard.Epoched publishes, as a plain immutable value.
+type reshardPlace struct {
+	part  *shard.RangePartitioner
+	epoch uint64
+}
+
+// Name implements Workload.
+func (s *ServiceReshard) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "service-reshard"
+}
+
+func (s *ServiceReshard) params() (shards, maxShards, keyRange, initial, hotTenth, splitEvery, refreshEvery, migrateBatch, crossEvery, batchKeys int) {
+	shards = s.Shards
+	if shards <= 0 {
+		shards = 2
+	}
+	maxShards = s.MaxShards
+	if maxShards <= 0 {
+		maxShards = 4
+	}
+	if maxShards < shards {
+		maxShards = shards
+	}
+	keyRange = s.KeyRange
+	if keyRange <= 0 {
+		keyRange = 1 << 14
+	}
+	initial = s.InitialSize
+	if initial <= 0 {
+		initial = keyRange / 2
+	}
+	hotTenth = s.HotTenth
+	if hotTenth <= 0 {
+		hotTenth = 600
+	}
+	splitEvery = s.SplitEvery
+	if splitEvery <= 0 {
+		splitEvery = 1500
+	}
+	refreshEvery = s.RefreshEvery
+	if refreshEvery <= 0 {
+		refreshEvery = 64
+	}
+	migrateBatch = s.MigrateBatch
+	if migrateBatch <= 0 {
+		migrateBatch = 64
+	}
+	crossEvery = s.CrossEvery
+	if crossEvery <= 0 {
+		crossEvery = 16
+	}
+	batchKeys = s.BatchKeys
+	if batchKeys <= 0 {
+		batchKeys = 4
+	}
+	return
+}
+
+// Setup implements Workload.
+func (s *ServiceReshard) Setup(h *tm.Heap, rng *Rand) error {
+	var initial int
+	s.shards, s.maxShards, s.keyRange, initial, s.hotTenth,
+		s.splitEvery, s.refreshEvery, s.migrateBatch, s.crossEvery, s.batchKeys = s.params()
+	s.sets = make([]*RBSet, s.maxShards)
+	for i := range s.sets {
+		set, err := NewRBSet(h)
+		if err != nil {
+			return fmt.Errorf("reshard: shard %d store: %w", i, err)
+		}
+		s.sets[i] = set
+	}
+	words, err := h.Alloc(4 * s.maxShards)
+	if err != nil {
+		return fmt.Errorf("reshard: fence words: %w", err)
+	}
+	s.words = words
+	p := &reshardPlace{part: shard.NewRange(s.shards, uint64(s.keyRange)), epoch: 0}
+	s.place.Store(p)
+	s.replica.Store(p)
+	s.routed = make([]atomic.Uint64, s.maxShards)
+	s.ops.Store(0)
+	for _, c := range []*atomic.Uint64{&s.splits, &s.splitSkips, &s.splitBlocked, &s.migrated,
+		&s.bounces, &s.replans, &s.batches, &s.committed, &s.blocked, &s.fencedSkip} {
+		c.Store(0)
+	}
+	seq := NewBareRunner(seqAlg(), h, 1)
+	for i := 0; i < initial; i++ {
+		k := uint64(rng.Intn(s.keyRange))
+		o := p.part.Owner(k)
+		seq.Atomic(0, func(tx tm.Txn) { s.sets[o].Insert(tx, 0, k, k) })
+	}
+	return nil
+}
+
+// Fence word addresses of shard i: token, fence epoch, heartbeat, and
+// the placement-epoch word — the store-side witness a stale-routed
+// operation bounces off (serve's heap word 7 analogue).
+func (s *ServiceReshard) fence(i int) tm.Addr  { return s.words + tm.Addr(4*i) }
+func (s *ServiceReshard) fepoch(i int) tm.Addr { return s.words + tm.Addr(4*i) + 1 }
+func (s *ServiceReshard) beat(i int) tm.Addr   { return s.words + tm.Addr(4*i) + 2 }
+func (s *ServiceReshard) placew(i int) tm.Addr { return s.words + tm.Addr(4*i) + 3 }
+
+// key draws a key, hot-span-skewed so the low shard stays heaviest.
+func (s *ServiceReshard) key(rng *Rand) uint64 {
+	if rng.Intn(1000) < s.hotTenth {
+		return uint64(rng.Intn(s.keyRange / 8))
+	}
+	return uint64(rng.Intn(s.keyRange))
+}
+
+// Op implements Workload: refresh the placement replica on its cadence,
+// run one split step on its cadence, else a cross-shard batch or a
+// single-key operation routed through the (possibly stale) replica.
+func (s *ServiceReshard) Op(r Runner, self int, rng *Rand) {
+	n := s.ops.Add(1)
+	if n%uint64(s.refreshEvery) == 0 {
+		live := s.place.Load()
+		if rep := s.replica.Load(); rep.epoch != live.epoch {
+			s.replica.Store(live)
+			s.replans.Add(1)
+		}
+	}
+	if n%uint64(s.splitEvery) == 0 {
+		s.splitStep(r, self, n)
+		return
+	}
+	if n%uint64(s.crossEvery) == 0 {
+		s.crossBatch(r, self, rng, n)
+		return
+	}
+	s.singleKey(r, self, rng, n)
+}
+
+// singleKey routes one point operation through the client replica. If
+// the executing shard's placement-epoch word has advanced past the
+// replica's epoch the operation bounces — nothing applied — and retries
+// against the authoritative placement, exactly the serve submitRouted
+// loop.
+func (s *ServiceReshard) singleKey(r Runner, self int, rng *Rand, n uint64) {
+	k := s.key(rng)
+	mix := serviceMixes["mixed"]
+	p := rng.Float64()
+	plan := s.replica.Load()
+	for {
+		o := plan.part.Owner(k)
+		set, fence, placew := s.sets[o], s.fence(o), s.placew(o)
+		var fenced, moved bool
+		r.Atomic(self, func(tx tm.Txn) {
+			fenced, moved = false, false
+			if tx.Load(placew) > plan.epoch {
+				moved = true
+				return
+			}
+			if fenced = tx.Load(fence) != 0; fenced {
+				return
+			}
+			switch {
+			case p < mix.Get:
+				set.Get(tx, k)
+			case p < mix.Get+mix.Put:
+				set.Insert(tx, self, k, n)
+			case p < mix.Get+mix.Put+mix.Del:
+				set.Delete(tx, self, k)
+			default:
+				if v, ok := set.Get(tx, k); ok {
+					set.Insert(tx, self, k, v+1)
+				}
+			}
+		})
+		if moved {
+			// Stale route: the shard has shed a span since the replica
+			// was built. Re-route against the live placement.
+			s.bounces.Add(1)
+			plan = s.place.Load()
+			continue
+		}
+		if fenced {
+			s.fencedSkip.Add(1)
+		} else {
+			s.routed[o].Add(1)
+		}
+		return
+	}
+}
+
+// crossBatch runs one cross-shard batch put against the authoritative
+// placement: ordered fenced acquire, apply per participant, release —
+// the chaos workload's protocol without its fault schedule.
+func (s *ServiceReshard) crossBatch(r Runner, self int, rng *Rand, n uint64) {
+	live := s.place.Load()
+	keys := make([]uint64, s.batchKeys)
+	for i := range keys {
+		keys[i] = s.key(rng)
+	}
+	parts := live.part.Participants(keys)
+	token := n // unique and nonzero
+	epochs := make(map[int]uint64, len(parts))
+	acquired := 0
+	for _, p := range parts {
+		fw, ew, bw := s.fence(p), s.fepoch(p), s.beat(p)
+		var got bool
+		var e uint64
+		r.Atomic(self, func(tx tm.Txn) {
+			got = false
+			if tx.Load(fw) != 0 {
+				return
+			}
+			e = tx.Load(ew) + 1
+			tx.Store(fw, token)
+			tx.Store(ew, e)
+			tx.Store(bw, n)
+			got = true
+		})
+		if !got {
+			break
+		}
+		epochs[p] = e
+		acquired++
+	}
+	if acquired < len(parts) {
+		for _, p := range parts[:acquired] {
+			s.release(r, self, p, token, epochs[p])
+		}
+		s.blocked.Add(1)
+		return
+	}
+	s.batches.Add(1)
+	for _, p := range parts {
+		set, fw, ew := s.sets[p], s.fence(p), s.fepoch(p)
+		e := epochs[p]
+		r.Atomic(self, func(tx tm.Txn) {
+			if tx.Load(fw) != token || tx.Load(ew) != e {
+				return
+			}
+			for _, k := range keys {
+				if live.part.Owner(k) == p {
+					set.Insert(tx, self, k, n)
+				}
+			}
+			tx.Store(fw, 0)
+		})
+		s.routed[p].Add(1)
+	}
+	s.committed.Add(1)
+}
+
+// release frees shard p's fence iff still held by (token, epoch).
+func (s *ServiceReshard) release(r Runner, self int, p int, token, epoch uint64) {
+	fw, ew := s.fence(p), s.fepoch(p)
+	r.Atomic(self, func(tx tm.Txn) {
+		if tx.Load(fw) == token && tx.Load(ew) == epoch {
+			tx.Store(fw, 0)
+		}
+	})
+}
+
+// splitStep is one live reshard: plan SplitHeaviest from the routed-op
+// load signal, fence the donor, copy the moved span in batches, install
+// the grown placement, bump the donor's placement-epoch word, delete
+// the moved keys, release. A no-op plan (ok=false) is counted and
+// skipped, never installed — the SplitHeaviest-caller contract.
+func (s *ServiceReshard) splitStep(r Runner, self int, n uint64) {
+	live := s.place.Load()
+	if live.part.Shards() >= s.maxShards {
+		s.splitSkips.Add(1)
+		return
+	}
+	load := make([]uint64, live.part.Shards())
+	for i := range load {
+		load[i] = s.routed[i].Load()
+	}
+	plan, ok := live.part.PlanSplitHeaviest(load)
+	if !ok {
+		s.splitSkips.Add(1)
+		return
+	}
+	donor, recip := plan.Donor, plan.NewShard
+	token := n
+	fw, ew, bw := s.fence(donor), s.fepoch(donor), s.beat(donor)
+	var got bool
+	r.Atomic(self, func(tx tm.Txn) {
+		got = false
+		if tx.Load(fw) != 0 {
+			return
+		}
+		tx.Store(fw, token)
+		tx.Store(ew, tx.Load(ew)+1)
+		tx.Store(bw, n)
+		got = true
+	})
+	if !got {
+		s.splitBlocked.Add(1)
+		return
+	}
+
+	// Copy the moved span donor -> recipient in fenced batches; the
+	// fence keeps writers off the donor so no copied key can go stale
+	// between batch boundaries.
+	src, dst := s.sets[donor], s.sets[recip]
+	var moved uint64
+	cursor, done := plan.MovedLo, false
+	for !done {
+		var batch int
+		r.Atomic(self, func(tx tm.Txn) {
+			ks := make([]uint64, 0, s.migrateBatch)
+			vs := make([]uint64, 0, s.migrateBatch)
+			src.AscendRange(tx, cursor, plan.MovedHi, func(k, v uint64) bool {
+				ks = append(ks, k)
+				vs = append(vs, v)
+				return len(ks) < s.migrateBatch
+			})
+			for i, k := range ks {
+				dst.Insert(tx, self, k, vs[i])
+			}
+			tx.Store(bw, n)
+			if len(ks) < s.migrateBatch || ks[len(ks)-1] == plan.MovedHi {
+				done = true
+			} else {
+				cursor = ks[len(ks)-1] + 1
+			}
+			batch = len(ks)
+		})
+		moved += uint64(batch)
+	}
+
+	// Flip: publish the grown placement, then raise the donor's
+	// placement-epoch word so stale-routed operations bounce, then
+	// retire the moved keys from the donor.
+	newEpoch := live.epoch + 1
+	s.place.Store(&reshardPlace{part: plan.Grown, epoch: newEpoch})
+	r.Atomic(self, func(tx tm.Txn) {
+		tx.Store(s.placew(donor), newEpoch)
+		tx.Store(bw, n)
+	})
+	cursor, done = plan.MovedLo, false
+	for !done {
+		r.Atomic(self, func(tx tm.Txn) {
+			ks := make([]uint64, 0, s.migrateBatch)
+			src.AscendRange(tx, cursor, plan.MovedHi, func(k, _ uint64) bool {
+				ks = append(ks, k)
+				return len(ks) < s.migrateBatch
+			})
+			for _, k := range ks {
+				src.Delete(tx, self, k)
+			}
+			tx.Store(bw, n)
+			if len(ks) < s.migrateBatch {
+				done = true
+			} else {
+				cursor = ks[len(ks)-1] + 1
+			}
+		})
+	}
+	r.Atomic(self, func(tx tm.Txn) {
+		if tx.Load(fw) == token {
+			tx.Store(fw, 0)
+		}
+	})
+	s.splits.Add(1)
+	s.migrated.Add(moved)
+}
+
+// Metrics implements Metered.
+func (s *ServiceReshard) Metrics() map[string]uint64 {
+	return map[string]uint64{
+		"splits_installed": s.splits.Load(),
+		"splits_skipped":   s.splitSkips.Load(),
+		"splits_blocked":   s.splitBlocked.Load(),
+		"keys_migrated":    s.migrated.Load(),
+		"placement_epoch":  s.place.Load().epoch,
+		"moved_bounces":    s.bounces.Load(),
+		"replica_replans":  s.replans.Load(),
+		"cross_batches":    s.batches.Load(),
+		"cross_committed":  s.committed.Load(),
+		"batch_blocked":    s.blocked.Load(),
+		"fenced_skips":     s.fencedSkip.Load(),
+	}
+}
+
+// Verify implements Verifier: every fence free, every key on the shard
+// the final placement owns it on, spare stores empty. The replica's
+// catch-up (replica_replans) is pinned by the scenario goldens.
+func (s *ServiceReshard) Verify(h *tm.Heap) error {
+	live := s.place.Load()
+	seq := NewBareRunner(seqAlg(), h, 1)
+	var err error
+	for i, set := range s.sets {
+		seq.Atomic(0, func(tx tm.Txn) {
+			if v := tx.Load(s.fence(i)); v != 0 {
+				err = fmt.Errorf("reshard: shard %d fence left held by %d", i, v)
+				return
+			}
+			set.AscendRange(tx, 0, ^uint64(0), func(k, _ uint64) bool {
+				if i >= live.part.Shards() {
+					err = fmt.Errorf("reshard: key %d on spare shard %d (fleet is %d wide)", k, i, live.part.Shards())
+					return false
+				}
+				if o := live.part.Owner(k); o != i {
+					err = fmt.Errorf("reshard: key %d found on shard %d but owned by %d at epoch %d", k, i, o, live.epoch)
+					return false
+				}
+				return true
+			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
