@@ -16,6 +16,7 @@
 //	    [--group-commit] [--group-commit-max 16]
 //	    [--fence-granularity shard]
 //	    [--autosplit 0] [--autosplit-max 8] [--autosplit-interval 2s]
+//	    [--automerge 0] [--automerge-min 0] [--spare-grace 30s]
 //
 // --slo-p99 sets a tail-latency target: the per-shard tuners switch from
 // raw throughput to throughput-under-SLO (configurations that blow the
@@ -70,12 +71,24 @@
 // ops.moved_bounces. The deque stays pinned to shard 0 and its reserved
 // key window never migrates.
 //
+// The fleet shrinks the same way it grows: POST /admin/reshard with body
+// {"plan":"merge"} plans a MergeColdest step — the top shard, when it is
+// the coldest, hands its span to the adjacent shard under the same
+// fenced pipeline, the placement flips one shard smaller, and the donor
+// is drained and retired (its workers and tuner stop). --automerge=S
+// arms the symmetric background trigger: when the top shard's share of
+// the last interval's routed operations falls below S (or the fleet goes
+// idle), the daemon merges it away, down to --automerge-min shards,
+// checking every --autosplit-interval. Spare shards left by rolled-back
+// migrations are reaped after --spare-grace. Observables: ops.merges,
+// ops.shards_retired, server.spare_shards, ops.range_conservative.
+//
 // Endpoints (all parameters are uint64 query parameters; keys/vals are
 // comma-separated lists):
 //
 //	GET  /healthz                      readiness probe (503 while a breaker is open or a fence is stale)
 //	GET  /statusz                      per-shard tuner state, fleet rollup, latency split
-//	POST /admin/reshard                split the heaviest shard and migrate its moved span live
+//	POST /admin/reshard                migrate one placement step live: body {"plan":"split"} (default) or {"plan":"merge"}
 //	GET  /kv/get?key=K                 point read
 //	POST /kv/put?key=K&val=V           insert or update
 //	POST /kv/del?key=K                 delete
@@ -132,7 +145,10 @@ func main() {
 	fenceGranularity := flag.String("fence-granularity", "shard", "cross-shard fence granularity: shard (whole-shard word) or key (per-key fence table; non-intersecting local ops proceed during a 2PC)")
 	autosplit := flag.Float64("autosplit", 0, "hottest-shard ops_routed share above which the daemon splits it live (range partitioner only; 0 = manual /admin/reshard only)")
 	autosplitMax := flag.Int("autosplit-max", 0, "shard-count ceiling for --autosplit (0 = 8 default)")
-	autosplitInterval := flag.Duration("autosplit-interval", 0, "how often --autosplit checks the load signal (0 = 2s default)")
+	autosplitInterval := flag.Duration("autosplit-interval", 0, "how often --autosplit/--automerge check the load signal (0 = 2s default)")
+	automerge := flag.Float64("automerge", 0, "top-shard share of per-interval routed ops below which the daemon merges it away live (range partitioner only; 0 = manual /admin/reshard only)")
+	automergeMin := flag.Int("automerge-min", 0, "shard-count floor for --automerge (0 = the boot shard count)")
+	spareGrace := flag.Duration("spare-grace", 0, "idle time after which a spare shard left by a rolled-back migration is retired (0 = 30s default)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "proteusd: ", log.LstdFlags|log.Lmicroseconds)
@@ -168,6 +184,9 @@ func main() {
 		AutosplitShare:     *autosplit,
 		AutosplitMaxShards: *autosplitMax,
 		AutosplitInterval:  *autosplitInterval,
+		AutomergeShare:     *automerge,
+		AutomergeMinShards: *automergeMin,
+		SpareGrace:         *spareGrace,
 		Logf:               logger.Printf,
 	})
 	if err != nil {

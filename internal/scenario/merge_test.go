@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// mergeSpec is the pinned parameterization of the service-merge golden:
+// merges fire at operations 1500 and 3000, so a 4000-op run installs
+// exactly two PlanMergeColdest plans (4 -> 2 shards, placement epoch 2)
+// and ends with a post-flip tail in which the client replica has
+// re-synced to the shrunken span table and probe traffic routes
+// bounce-free under the final placement. The replica refresh is pinned
+// slow (every 512 ops) and the probe stream strong (100 per mille) so
+// the second flip's stale window — ops 3001 to 3071, during which probes
+// still route at the retired shard 2 — reliably produces bounces.
+func mergeSpec() RunSpec {
+	return RunSpec{
+		Scenario: "service-merge",
+		Params: Values{
+			"shards":       "4",
+			"minshards":    "2",
+			"keyrange":     "16384",
+			"hottenth":     "600",
+			"probetenth":   "100",
+			"mergeevery":   "1500",
+			"refreshevery": "512",
+			"migratebatch": "64",
+			"crossevery":   "16",
+		},
+		Seed:       42,
+		MaxThreads: 4,
+		HeapWords:  1 << 20,
+		Ops:        4000,
+		Configs:    []config.Config{{Alg: config.TL2, Threads: 4}},
+	}
+}
+
+// TestServiceMergeDeterminism pins the merge/shrink acceptance
+// criterion: a fixed seed plans the same merges, migrates the same
+// spans, retires the same shards and bounces the same stale-routed
+// probes every run, producing byte-identical records across runs and
+// against the committed golden. Regenerate with UPDATE_GOLDEN=1 after
+// intentional changes.
+func TestServiceMergeDeterminism(t *testing.T) {
+	const golden = "testdata/service_merge.golden"
+	a, err := Run(mergeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mergeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, jb := marshalResults(t, a), marshalResults(t, b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("two merge runs of the same spec differ:\n--- run 1\n%s\n--- run 2\n%s", ja, jb)
+	}
+	m := a[0].Metrics
+	if m["merges_installed"] != 2 || m["placement_epoch"] != 2 {
+		t.Fatalf("want 2 installed merges at placement epoch 2: %v", m)
+	}
+	if m["shards_retired"] != 2 || m["shards_final"] != 2 {
+		t.Fatalf("want 2 retired shards and a final fleet of 2: %v", m)
+	}
+	if m["keys_migrated"] == 0 {
+		t.Fatalf("merges installed but no keys migrated: %v", m)
+	}
+	if m["moved_bounces"] == 0 {
+		t.Fatalf("stale replica never bounced off a retired shard — the bugfix path went unexercised: %v", m)
+	}
+	if m["replica_replans"] != 2 {
+		t.Fatalf("replica_replans = %d, want 2 (one shrink re-sync per flip): %v", m["replica_replans"], m)
+	}
+	if m["merges_blocked"] != 0 || m["merges_skipped"] != 0 {
+		t.Fatalf("every scheduled merge must install under this spec: %v", m)
+	}
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, ja, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate with UPDATE_GOLDEN=1): %v", golden, err)
+	}
+	if !bytes.Equal(ja, want) {
+		t.Errorf("service-merge record drifted from %s — if intentional, regenerate with UPDATE_GOLDEN=1.\n--- got\n%s\n--- want\n%s",
+			golden, ja, want)
+	}
+}

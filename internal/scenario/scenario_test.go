@@ -67,6 +67,7 @@ func TestEveryScenarioSetsUp(t *testing.T) {
 		"service-chaos":   {"shards": "2", "keyrange": "256", "crossevery": "8", "faultevery": "2", "faultcount": "2", "deadlineops": "16"},
 		"service-range":   {"partitioner": "range", "shards": "2", "keyrange": "256", "span": "16", "batchevery": "8"},
 		"service-reshard": {"shards": "2", "maxshards": "3", "keyrange": "256", "splitevery": "32", "refreshevery": "8", "migratebatch": "8", "crossevery": "8"},
+		"service-merge":   {"shards": "3", "minshards": "2", "keyrange": "256", "mergeevery": "32", "refreshevery": "8", "migratebatch": "8", "crossevery": "8"},
 		"service-hotkey":  {"partitioner": "range", "shards": "2", "keyrange": "256", "hotspan": "32", "moveevery": "16", "span": "16", "batchevery": "8"},
 		"service-diurnal": {"keyrange": "256", "span": "16", "periodops": "64"},
 		"service-slo":     {"keyrange": "256", "span": "16", "mix": "scan-heavy"},

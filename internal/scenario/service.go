@@ -86,6 +86,18 @@ var (
 	rsCrossEvery   = Param{Name: "crossevery", Desc: "every Nth op is a cross-shard 2PC batch", Kind: Int, Default: "16"}
 	rsBatchKeys    = Param{Name: "batchkeys", Desc: "keys per cross-shard batch", Kind: Int, Default: "4"}
 
+	msShards       = Param{Name: "shards", Desc: "initial shard count", Kind: Int, Default: "4"}
+	msMinShards    = Param{Name: "minshards", Desc: "shard-count floor for merges", Kind: Int, Default: "2"}
+	msKeyRange     = Param{Name: "keyrange", Desc: "key range (and range-partitioner universe)", Kind: Int, Default: "16384"}
+	msInitial      = Param{Name: "initial", Desc: "pre-populated size (0 = keyrange/2)", Kind: Int, Default: "0"}
+	msHotTenth     = Param{Name: "hottenth", Desc: "per-mille chance an op draws from the hot low span", Kind: Int, Default: "600"}
+	msProbeTenth   = Param{Name: "probetenth", Desc: "per-mille chance an op probes the merge-moved window", Kind: Int, Default: "30"}
+	msMergeEvery   = Param{Name: "mergeevery", Desc: "attempt one merge-and-retire every N ops", Kind: Int, Default: "1500"}
+	msRefreshEvery = Param{Name: "refreshevery", Desc: "client placement-replica refresh cadence in ops", Kind: Int, Default: "64"}
+	msMigrateBatch = Param{Name: "migratebatch", Desc: "keys per fenced copy/delete batch", Kind: Int, Default: "64"}
+	msCrossEvery   = Param{Name: "crossevery", Desc: "every Nth op is a cross-shard 2PC batch", Kind: Int, Default: "16"}
+	msBatchKeys    = Param{Name: "batchkeys", Desc: "keys per cross-shard batch", Kind: Int, Default: "4"}
+
 	rgPartitioner = Param{Name: "partitioner", Desc: "placement policy: hash or range", Kind: String, Default: "range"}
 	rgShards      = Param{Name: "shards", Desc: "number of key-space shards", Kind: Int, Default: "4"}
 	rgKeyRange    = Param{Name: "keyrange", Desc: "key range (and range-partitioner universe)", Kind: Int, Default: "4096"}
@@ -190,6 +202,27 @@ func init() {
 				MigrateBatch: v.Int(rsMigrateBatch),
 				CrossEvery:   v.Int(rsCrossEvery),
 				BatchKeys:    v.Int(rsBatchKeys),
+			}, nil
+		},
+	})
+	Register(Scenario{
+		Name:        "service-merge",
+		Family:      "service",
+		Description: "live merge/shrink: PlanMergeColdest retires cooled top shards — fenced copy into the live recipient, shrinking placement flips, retired-shard bounces in metrics",
+		Params:      []Param{msShards, msMinShards, msKeyRange, msInitial, msHotTenth, msProbeTenth, msMergeEvery, msRefreshEvery, msMigrateBatch, msCrossEvery, msBatchKeys},
+		Make: func(v Values) (workloads.Workload, error) {
+			return &workloads.ServiceMerge{
+				Shards:       v.Int(msShards),
+				MinShards:    v.Int(msMinShards),
+				KeyRange:     v.Int(msKeyRange),
+				InitialSize:  v.Int(msInitial),
+				HotTenth:     v.Int(msHotTenth),
+				ProbeTenth:   v.Int(msProbeTenth),
+				MergeEvery:   v.Int(msMergeEvery),
+				RefreshEvery: v.Int(msRefreshEvery),
+				MigrateBatch: v.Int(msMigrateBatch),
+				CrossEvery:   v.Int(msCrossEvery),
+				BatchKeys:    v.Int(msBatchKeys),
 			}, nil
 		},
 	})

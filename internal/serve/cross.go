@@ -124,6 +124,13 @@ func (s *Server) submitCross(req *request) (response, int) {
 			for _, p := range part.OwnersInRange(req.lo, req.hi) {
 				batches = append(batches, subBatch{shard: p})
 			}
+			if part.Kind() == shard.KindHash && part.Shards() > 1 && req.hi-req.lo >= shard.RangeEnumCap {
+				// The hash partitioner gave up enumerating: the owner set is
+				// the conservative all-shards fallback, and this scan fences
+				// the entire fleet. Counted so the over-fencing is visible
+				// (ops.range_conservative in /statusz).
+				s.rangeConservative.Add(1)
+			}
 			if len(batches) == 1 {
 				s.rangeLocal.Add(1)
 			} else {
@@ -136,12 +143,16 @@ func (s *Server) submitCross(req *request) (response, int) {
 		var resp response
 		var code int
 		var flipped bool
-		if len(batches) == 1 {
+		if fleet := s.fleet(); len(batches) == 1 && batches[0].shard < len(fleet) {
 			// Fast path: the whole operation lives on one shard; the shard's
 			// own transaction makes it atomic, and the fence check inside
 			// execute keeps it ordered against concurrent cross-shard commits.
-			resp, code = s.submit(s.fleet()[batches[0].shard], req)
+			resp, code = s.submit(fleet[batches[0].shard], req)
 			flipped = resp.moved
+		} else if len(batches) == 1 {
+			// The single owner was merged away between the placement and
+			// fleet loads: re-route under the fresh placement.
+			flipped = true
 		} else {
 			resp, code, flipped = s.crossProtocol(req, batches, epoch)
 		}
@@ -167,9 +178,15 @@ func (s *Server) submitCross(req *request) (response, int) {
 func (s *Server) crossProtocol(req *request, batches []subBatch, routedEpoch uint64) (response, int, bool) {
 	// A sick participant fails the whole batch before any fence is
 	// taken: shed to the breaker's Retry-After instead of letting the
-	// protocol discover the stall the slow way.
+	// protocol discover the stall the slow way. A participant the fleet
+	// no longer holds was merged away after the batch was computed —
+	// bounce for re-routing instead of indexing past the truncation.
 	for _, b := range batches {
-		if ra := s.fleet()[b.shard].breakerRetryAfter(time.Now()); ra > 0 {
+		fleet := s.fleet()
+		if b.shard >= len(fleet) {
+			return response{}, 0, true
+		}
+		if ra := fleet[b.shard].breakerRetryAfter(time.Now()); ra > 0 {
 			s.breakerShed.Add(1)
 			return response{Err: "participant shard circuit breaker open",
 					code: http.StatusServiceUnavailable, retryAfter: ra},
@@ -206,6 +223,14 @@ func (s *Server) crossProtocol(req *request, batches []subBatch, routedEpoch uin
 			s.shedDeadline.Add(1)
 			return response{Err: "deadline exceeded", code: http.StatusGatewayTimeout}, http.StatusGatewayTimeout, false
 		}
+		// A placement flip while we were backing off (a merge retiring a
+		// participant, say) means the batch may be stale: bounce it back
+		// for recomputation instead of spinning the retry budget against a
+		// retired shard's drainer.
+		if s.place.Epoch() != routedEpoch {
+			s.releaseParts(rec)
+			return response{}, 0, true
+		}
 		ok := true
 		for _, p := range rec.parts {
 			// Injected coordinator stall between acquisitions: the
@@ -214,7 +239,13 @@ func (s *Server) crossProtocol(req *request, batches []subBatch, routedEpoch uin
 			if d, fire := s.opts.Fault.Fire(fault.FenceAcquireStall, -1); fire {
 				time.Sleep(d)
 			}
-			r := s.ctlAcquire(s.fleet()[p.shard], token, partSig(req, p))
+			fleet := s.fleet()
+			if p.shard >= len(fleet) {
+				// Participant merged away mid-protocol: recompute the batch.
+				s.releaseParts(rec)
+				return response{}, 0, true
+			}
+			r := s.ctlAcquire(fleet[p.shard], token, partSig(req, p))
 			if r.Err != "" {
 				s.releaseParts(rec)
 				return r, http.StatusServiceUnavailable, false
@@ -297,7 +328,9 @@ func (s *Server) ctl(ss *shardState, fn func(w *proteustm.Worker, slot int) resp
 	select {
 	case ss.prio <- req:
 	case <-ss.stop:
-		return response{Err: "server shutting down"}
+		// A retiring shard answers not-applied (the coordinator re-routes
+		// off the flipped epoch); only real shutdown is an error.
+		return ss.stopAnswer(req)
 	}
 	return <-req.done
 }
@@ -353,7 +386,14 @@ func (s *Server) releaseParts(rec *crossRec) {
 		if !held {
 			continue
 		}
-		ss := s.fleet()[p.shard]
+		fleet := s.fleet()
+		if p.shard >= len(fleet) {
+			// Defensive: a fenced shard cannot retire (the merge migrator
+			// needs the same fence), so a held part is always in the fleet —
+			// but never index past a truncation.
+			continue
+		}
+		ss := fleet[p.shard]
 		s.ctl(ss, func(w *proteustm.Worker, _ int) response {
 			w.Atomic(func(tx proteustm.Txn) {
 				if ss.store.FenceHeldAt(tx, slot, token, epoch) {
@@ -412,7 +452,11 @@ func (s *Server) applyAll(rec *crossRec, req *request) response {
 				// applied on this shard — fail the batch whole.
 				return s.superseded(rec)
 			}
-			ss, idx := s.fleet()[p.shard], p.idx
+			fleet := s.fleet()
+			if p.shard >= len(fleet) {
+				return s.superseded(rec) // defensive: fenced shards never retire
+			}
+			ss, idx := fleet[p.shard], p.idx
 			epoch, fslot := s.reg.holdOf(rec, p)
 			r := s.ctl(ss, func(w *proteustm.Worker, slot int) response {
 				var stale bool
@@ -442,7 +486,11 @@ func (s *Server) applyAll(rec *crossRec, req *request) response {
 		out.Vals = make([]uint64, len(req.keys))
 		out.Present = make([]bool, len(req.keys))
 		for _, p := range rec.parts {
-			ss, idx := s.fleet()[p.shard], p.idx
+			fleet := s.fleet()
+			if p.shard >= len(fleet) {
+				return s.superseded(rec) // defensive: fenced shards never retire
+			}
+			ss, idx := fleet[p.shard], p.idx
 			epoch, fslot := s.reg.holdOf(rec, p)
 			r := s.ctl(ss, func(w *proteustm.Worker, _ int) response {
 				var stale bool
@@ -474,7 +522,11 @@ func (s *Server) applyAll(rec *crossRec, req *request) response {
 		}
 	case opRange:
 		for _, p := range rec.parts {
-			ss := s.fleet()[p.shard]
+			fleet := s.fleet()
+			if p.shard >= len(fleet) {
+				return s.superseded(rec) // defensive: fenced shards never retire
+			}
+			ss := fleet[p.shard]
 			epoch, fslot := s.reg.holdOf(rec, p)
 			r := s.ctl(ss, func(w *proteustm.Worker, _ int) response {
 				var stale bool

@@ -450,6 +450,15 @@ func (s *Server) recoverOrphan(ss *shardState, token, epoch uint64, slot int) {
 		if known {
 			return // another shard's detector owns this batch's recovery
 		}
+		// An unregistered token is a migration fence (split or merge): its
+		// holder records no cross-shard batch. If a merge was live under
+		// this token, delete its partial copy from the recipient FIRST —
+		// releasing the donor's fence before the rollback would let a scan
+		// double-count the copied duplicates. A rollback that cannot finish
+		// leaves the fence held; this detector fires again next tick.
+		if !s.rollbackMergeCopy(token) {
+			return
+		}
 		released := false
 		ok := s.ctlRecover(ss, ss, func(w *proteustm.Worker, _ int) response {
 			w.Atomic(func(tx proteustm.Txn) {
@@ -470,7 +479,14 @@ func (s *Server) recoverOrphan(ss *shardState, token, epoch uint64, slot int) {
 		if !held {
 			continue
 		}
-		part, target := p, s.fleet()[p.shard]
+		fleet := s.fleet()
+		if p.shard >= len(fleet) {
+			// The participant was merged away (its fence died with it);
+			// mark it handled so the batch's recovery can complete.
+			s.reg.markReleased(rec, p, true)
+			continue
+		}
+		part, target := p, fleet[p.shard]
 		s.ctlRecover(ss, target, func(w *proteustm.Worker, slot int) response {
 			var did bool
 			w.Atomic(func(tx proteustm.Txn) {

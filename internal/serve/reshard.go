@@ -27,10 +27,22 @@
 // placement never flipped, so the donor still serves the whole span, and
 // the partial copy on the spare shard is cleared when the next attempt
 // begins). See docs/sharding.md for the crash matrix.
+//
+// The merge direction (PlanMergeColdest) reuses the same fenced
+// pipeline with the asymmetries inverted: there is no spare to grow and
+// clear — the recipient is a live shard serving its own keys throughout
+// — and the flip shrinks the placement, after which the donor (always
+// the fleet's top shard) is drained and retired for good. Because the
+// recipient is live, a crashed merge's partial copy must be rolled back
+// (deleted from the recipient) before the donor's fence is ever
+// released; the failure detector does this through the activeMig record
+// before its unregistered-token release. See docs/sharding.md.
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -61,15 +73,19 @@ const migrateBatch = 256
 const autosplitMinRouted = 1024
 
 // reshardResult is the JSON reply of POST /admin/reshard (and the
-// autosplit trigger's log source). Applied=false with a Reason is the
-// explicit no-op: nothing worth splitting, no degenerate plan installed.
+// autosplit/automerge triggers' log source). Applied=false with a Reason
+// is the explicit no-op: nothing worth moving, no degenerate plan
+// installed. Plan echoes the direction ("split" or "merge"); NewShard is
+// split-only and Recipient merge-only.
 type reshardResult struct {
+	Plan         string `json:"plan"`
 	Applied      bool   `json:"applied"`
 	Reason       string `json:"reason,omitempty"`
 	Err          string `json:"err,omitempty"`
 	Epoch        uint64 `json:"epoch,omitempty"`
 	Donor        int    `json:"donor"`
 	NewShard     int    `json:"new_shard"`
+	Recipient    int    `json:"recipient"`
 	MovedLo      uint64 `json:"moved_lo"`
 	MovedHi      uint64 `json:"moved_hi"`
 	KeysMigrated uint64 `json:"keys_migrated"`
@@ -77,14 +93,34 @@ type reshardResult struct {
 }
 
 // handleReshard serves POST /admin/reshard: plan, migrate and install
-// one SplitHeaviest step live.
+// one placement step live. The optional JSON body selects the direction
+// — {"plan":"split"} (the default when the body is empty) or
+// {"plan":"merge"}.
 func (s *Server) handleReshard(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeJSON(w, http.StatusMethodNotAllowed, reshardResult{Err: "POST required"})
 		return
 	}
-	res, code := s.Reshard()
+	var body struct {
+		Plan string `json:"plan"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && err != io.EOF {
+		writeJSON(w, http.StatusBadRequest, reshardResult{Err: fmt.Sprintf("parsing request body: %v", err)})
+		return
+	}
+	var res reshardResult
+	var code int
+	switch body.Plan {
+	case "", "split":
+		res, code = s.Reshard()
+	case "merge":
+		res, code = s.ReshardMerge()
+	default:
+		writeJSON(w, http.StatusBadRequest,
+			reshardResult{Err: fmt.Sprintf("unknown plan %q (want %q or %q)", body.Plan, "split", "merge")})
+		return
+	}
 	writeJSON(w, code, res)
 }
 
@@ -100,10 +136,10 @@ func (s *Server) Reshard() (reshardResult, int) {
 	s.inflight.Add(1)
 	defer s.inflight.Done()
 	if s.closed.Load() {
-		return reshardResult{Err: "server shutting down"}, http.StatusServiceUnavailable
+		return reshardResult{Plan: "split", Err: "server shutting down"}, http.StatusServiceUnavailable
 	}
 	if !s.reshardMu.TryLock() {
-		return reshardResult{Err: "a reshard is already in progress"}, http.StatusConflict
+		return reshardResult{Plan: "split", Err: "a reshard is already in progress"}, http.StatusConflict
 	}
 	defer s.reshardMu.Unlock()
 	s.resharding.Store(true)
@@ -112,7 +148,7 @@ func (s *Server) Reshard() (reshardResult, int) {
 	part, _ := s.place.Load()
 	rp, ok := part.(*shard.RangePartitioner)
 	if !ok {
-		return reshardResult{Err: fmt.Sprintf("resharding requires the range partitioner (have %q)", part.Kind())},
+		return reshardResult{Plan: "split", Err: fmt.Sprintf("resharding requires the range partitioner (have %q)", part.Kind())},
 			http.StatusBadRequest
 	}
 	fleet := s.fleet()
@@ -123,18 +159,18 @@ func (s *Server) Reshard() (reshardResult, int) {
 	plan, ok := rp.PlanSplitHeaviest(load)
 	if !ok {
 		s.opts.Logf("serve: reshard no-op: zero load or heaviest span too narrow to split (shards=%d)", part.Shards())
-		return reshardResult{Reason: "no splittable span (zero load or heaviest span too narrow)",
+		return reshardResult{Plan: "split", Reason: "no splittable span (zero load or heaviest span too narrow)",
 			Shards: part.Shards()}, http.StatusOK
 	}
 	plan, err := clampPlanForDeque(plan)
 	if err != nil {
-		return reshardResult{Err: err.Error(), Donor: plan.Donor, NewShard: plan.NewShard,
+		return reshardResult{Plan: "split", Err: err.Error(), Donor: plan.Donor, NewShard: plan.NewShard,
 			Shards: part.Shards()}, http.StatusBadRequest
 	}
 
 	moved, newEpoch, err := s.migrate(plan)
 	res := reshardResult{
-		Donor: plan.Donor, NewShard: plan.NewShard,
+		Plan: "split", Donor: plan.Donor, NewShard: plan.NewShard,
 		MovedLo: plan.MovedLo, MovedHi: plan.MovedHi,
 		KeysMigrated: moved, Shards: s.part().Shards(),
 	}
@@ -402,19 +438,408 @@ func (s *Server) releaseMigrationFence(donor *shardState, hold response, token u
 	})
 }
 
-// autosplitLoop is the background trigger behind --autosplit: poll the
-// per-shard routed counters, and when the hottest shard's share crosses
-// Options.AutosplitShare (with enough traffic to trust the signal and
-// room under AutosplitMaxShards), run the same reshard step the admin
-// endpoint does. A plan the planner declines is an explicit logged
-// no-op — never a degenerate install.
-func (s *Server) autosplitLoop() {
-	defer s.autosplitWG.Done()
-	t := time.NewTicker(s.opts.AutosplitInterval)
-	defer t.Stop()
+// migRecord identifies the in-flight merge migration so the failure
+// detector can roll its partial copy back off the live recipient. It is
+// set (under migMu) right after the donor's fence is acquired and
+// cleared atomically with the placement flip: a record still present
+// when the detector recovers the token means the flip never happened,
+// so the copied keys on the recipient are deletable duplicates.
+type migRecord struct {
+	token            uint64
+	donor, recipient int
+	lo, hi           uint64
+}
+
+// ReshardMerge computes a PlanMergeColdest plan from the live per-shard
+// routed counters and installs it: fence the retiring donor (always the
+// fleet's top shard), copy its span into the adjacent recipient, flip
+// the placement epoch one shard smaller, then drain and retire the
+// donor so its workers and tuner actually stop. It shares the split
+// path's single-migration lock (409 when busy) and no-op contract: a
+// plan the planner declines (single shard, top shard not coldest) is an
+// explicit 200 no-op.
+func (s *Server) ReshardMerge() (reshardResult, int) {
+	return s.reshardMerge(nil)
+}
+
+// reshardMerge is ReshardMerge with an optional load-vector override:
+// the automerge trigger passes its per-interval routed deltas, the admin
+// endpoint passes nil to read the cumulative counters.
+func (s *Server) reshardMerge(load []uint64) (reshardResult, int) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.closed.Load() {
+		return reshardResult{Plan: "merge", Err: "server shutting down"}, http.StatusServiceUnavailable
+	}
+	if !s.reshardMu.TryLock() {
+		return reshardResult{Plan: "merge", Err: "a reshard is already in progress"}, http.StatusConflict
+	}
+	defer s.reshardMu.Unlock()
+	s.resharding.Store(true)
+	defer s.resharding.Store(false)
+
+	part, _ := s.place.Load()
+	rp, ok := part.(*shard.RangePartitioner)
+	if !ok {
+		return reshardResult{Plan: "merge", Err: fmt.Sprintf("resharding requires the range partitioner (have %q)", part.Kind())},
+			http.StatusBadRequest
+	}
+	// Spares sit above the placement's top shard; retire them first so
+	// the fleet's top entry is the plan's donor.
+	s.retireSpares()
+	fleet := s.fleet()
+	if load == nil {
+		load = make([]uint64, part.Shards())
+		for i := range load {
+			load[i] = fleet[i].routed.Load()
+		}
+	}
+	plan, ok := rp.PlanMergeColdest(load)
+	if !ok {
+		s.opts.Logf("serve: merge no-op: single shard or top shard not coldest (shards=%d)", part.Shards())
+		return reshardResult{Plan: "merge", Reason: "no mergeable span (single shard or top shard not coldest)",
+			Shards: part.Shards()}, http.StatusOK
+	}
+
+	moved, newEpoch, err := s.migrateMerge(plan)
+	res := reshardResult{
+		Plan: "merge", Donor: plan.Donor, Recipient: plan.Recipient,
+		MovedLo: plan.MovedLo, MovedHi: plan.MovedHi,
+		KeysMigrated: moved, Shards: s.part().Shards(),
+	}
+	if err != nil {
+		res.Err = err.Error()
+		s.opts.Logf("serve: merge failed: %v", err)
+		return res, http.StatusServiceUnavailable
+	}
+	// The placement no longer names the donor: drain and retire it so
+	// its workers, detector and tuner stop for good.
+	s.retireShard(s.fleet()[plan.Donor])
+	s.merges.Add(1)
+	s.keysMigrated.Add(moved)
+	res.Applied = true
+	res.Epoch = newEpoch
+	res.Shards = s.part().Shards()
+	s.opts.Logf("serve: merge installed: shard %d's span [%d, %d] -> shard %d, %d keys migrated, placement epoch %d, donor retired",
+		plan.Donor, plan.MovedLo, plan.MovedHi, plan.Recipient, moved, newEpoch)
+	return res, http.StatusOK
+}
+
+// migrateMerge executes one merge plan: fence the retiring donor,
+// stream its span into the live recipient (which keeps serving its own
+// keys throughout — only operations the donor's fence covers wait),
+// flip the placement, and clean the donor up under the same fence. The
+// caller retires the donor afterwards. Unlike the split path there is
+// no spare to grow and clear: the recipient is live, so a partial copy
+// left by a crash is rolled back (rollbackMergeCopy) before the donor's
+// fence is released — copied duplicates must never become observable,
+// or a scan spanning the boundary would double-count them.
+func (s *Server) migrateMerge(plan shard.MergePlan) (moved uint64, newEpoch uint64, err error) {
+	fleet := s.fleet()
+	if plan.Donor != len(fleet)-1 {
+		return 0, 0, fmt.Errorf("merge donor %d is not the fleet's top shard (%d)", plan.Donor, len(fleet)-1)
+	}
+	donor, recip := fleet[plan.Donor], fleet[plan.Recipient]
+
+	token := s.nextToken.Add(1)
+	hold, err := s.acquireMigrationFence(donor, token)
+	if err != nil {
+		return 0, 0, err
+	}
+	beatAddr := donor.store.FenceBeatWord()
+	if hold.slot >= 0 {
+		_, _, beatAddr = donor.store.FenceSlotWordsOf(hold.slot)
+	}
+	// Record the migration before the first copy batch: if this migrator
+	// dies, the failure detector finds the record under the orphaned
+	// token and deletes the partial copy from the recipient before
+	// releasing the fence.
+	s.migMu.Lock()
+	s.activeMig = &migRecord{token: token, donor: plan.Donor, recipient: plan.Recipient, lo: plan.MovedLo, hi: plan.MovedHi}
+	s.migMu.Unlock()
+
+	lo := plan.MovedLo
+	for {
+		if _, fire := s.opts.Fault.Fire(fault.ReshardDonorCrash, plan.Donor); fire {
+			// Injected migrator crash mid-copy: abandon with the fence held
+			// and the migration record in place. The failure detector sees
+			// an unregistered token, rolls the recipient's partial copy
+			// back, and releases the fence — the placement never flipped,
+			// so the donor still serves the whole span.
+			return 0, 0, fmt.Errorf("merge migrator crashed mid-copy (injected fault); fence recovery pending")
+		}
+		var keys, vals []uint64
+		var next uint64
+		var resume, held bool
+		r := s.ctl(donor, func(w *proteustm.Worker, _ int) response {
+			w.Atomic(func(tx proteustm.Txn) {
+				keys, vals, next, resume = nil, nil, 0, false
+				if held = donor.store.FenceHeldAt(tx, hold.slot, token, hold.epoch); !held {
+					return
+				}
+				keys, vals, next, resume = donor.store.ExportSpan(tx, lo, plan.MovedHi, migrateBatch)
+				tx.Store(beatAddr, uint64(time.Now().UnixNano()))
+			})
+			return response{Applied: true}
+		})
+		if r.Err != "" {
+			s.rollbackMergeCopy(token)
+			s.releaseMigrationFence(donor, hold, token)
+			return 0, 0, fmt.Errorf("exporting span from shard %d: %s", plan.Donor, r.Err)
+		}
+		if !held {
+			// The detector stole the fence; it rolled the copy back if the
+			// record was still live. Run the rollback again ourselves in
+			// case a batch landed between its delete and the steal.
+			s.rollbackMergeCopy(token)
+			return 0, 0, fmt.Errorf("donor fence recovered out from under the merge; rolled back")
+		}
+		if len(keys) > 0 {
+			// Install under migMu: rollbackMergeCopy serializes on it, so
+			// no batch can land on the recipient after a rollback has
+			// decided what to delete.
+			s.migMu.Lock()
+			if s.activeMig == nil || s.activeMig.token != token {
+				s.migMu.Unlock()
+				return 0, 0, fmt.Errorf("merge rolled back by fence recovery mid-copy")
+			}
+			r = s.ctl(recip, func(w *proteustm.Worker, slot int) response {
+				w.Atomic(func(tx proteustm.Txn) {
+					recip.store.InstallPairs(tx, slot, keys, vals)
+				})
+				return response{Applied: true}
+			})
+			s.migMu.Unlock()
+			if r.Err != "" {
+				s.rollbackMergeCopy(token)
+				s.releaseMigrationFence(donor, hold, token)
+				return 0, 0, fmt.Errorf("installing span on shard %d: %s", plan.Recipient, r.Err)
+			}
+			moved += uint64(len(keys))
+		}
+		if !resume {
+			break
+		}
+		lo = next
+	}
+
+	if _, fire := s.opts.Fault.Fire(fault.ReshardInstallCrash, plan.Donor); fire {
+		// Injected crash after the copy, before the flip: same rollback as
+		// the mid-copy crash — detector deletes the copy, releases the
+		// fence, the fleet keeps all its shards.
+		return 0, 0, fmt.Errorf("merge migrator crashed before the flip (injected fault); fence recovery pending")
+	}
+
+	// Flip, atomically retiring the migration record under migMu: from
+	// here the merge is committed — the recipient owns the span, the
+	// copied keys are live data, and no rollback may ever delete them.
+	s.migMu.Lock()
+	if s.activeMig == nil || s.activeMig.token != token {
+		// Detector rollback won the race at the last instant: the copy is
+		// gone and the fence released. Nothing flipped.
+		s.migMu.Unlock()
+		return 0, 0, fmt.Errorf("merge rolled back by fence recovery before the flip")
+	}
+	newEpoch = s.place.Install(plan.Merged)
+	s.activeMig = nil
+	s.migMu.Unlock()
+
+	// Donor cleanup, entirely under the fence, exactly like the split
+	// path: bump the placement-epoch word in the same transactions that
+	// delete the moved span, re-acquiring on a detector steal. The donor
+	// is about to retire, but until the truncated fleet is published a
+	// stale-routed operation can still land here and must bounce, not
+	// read a half-deleted span.
+	held := true
+	for {
+		if !held {
+			hold, err = s.acquireMigrationFence(donor, token)
+			if err != nil {
+				s.ctl(donor, func(w *proteustm.Worker, _ int) response {
+					w.Atomic(func(tx proteustm.Txn) { donor.store.BumpPlacement(tx, newEpoch) })
+					return response{}
+				})
+				return moved, newEpoch, fmt.Errorf("re-fencing donor for cleanup: %w", err)
+			}
+			beatAddr = donor.store.FenceBeatWord()
+			if hold.slot >= 0 {
+				_, _, beatAddr = donor.store.FenceSlotWordsOf(hold.slot)
+			}
+			held = true
+		}
+		var more bool
+		r := s.ctl(donor, func(w *proteustm.Worker, slot int) response {
+			w.Atomic(func(tx proteustm.Txn) {
+				more = false
+				if held = donor.store.FenceHeldAt(tx, hold.slot, token, hold.epoch); !held {
+					return
+				}
+				donor.store.BumpPlacement(tx, newEpoch)
+				_, more = donor.store.DeleteSpan(tx, slot, plan.MovedLo, plan.MovedHi, migrateBatch)
+				tx.Store(beatAddr, uint64(time.Now().UnixNano()))
+			})
+			return response{Applied: true}
+		})
+		if r.Err != "" {
+			s.releaseMigrationFence(donor, hold, token)
+			return moved, newEpoch, fmt.Errorf("cleaning donor shard %d: %s", plan.Donor, r.Err)
+		}
+		if !held {
+			continue
+		}
+		if !more {
+			break
+		}
+	}
+	s.releaseMigrationFence(donor, hold, token)
+	return moved, newEpoch, nil
+}
+
+// rollbackMergeCopy clears a dead merge's partial copy from the live
+// recipient and retires the migration record. It serializes against the
+// migrator's install batches on migMu, so once it returns true no
+// further batch can land: the recipient holds no keys from the moved
+// span, and the donor's fence may be released. It returns false when
+// the copy could not be fully cleared (a control step failed, typically
+// at shutdown) — the caller must then NOT release the donor's fence, so
+// the duplicates stay unobservable until a later recovery tick finishes
+// the job. A token that doesn't match the live record is a no-op: the
+// merge either committed (flip cleared the record — the keys are live
+// data) or was already rolled back.
+func (s *Server) rollbackMergeCopy(token uint64) bool {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	rec := s.activeMig
+	if rec == nil || rec.token != token {
+		return true
+	}
+	fleet := s.fleet()
+	if rec.recipient < len(fleet) {
+		recip := fleet[rec.recipient]
+		for {
+			var more bool
+			r := s.ctl(recip, func(w *proteustm.Worker, slot int) response {
+				w.Atomic(func(tx proteustm.Txn) {
+					_, more = recip.store.DeleteSpan(tx, slot, rec.lo, rec.hi, migrateBatch)
+				})
+				return response{Applied: true}
+			})
+			if r.Err != "" {
+				return false
+			}
+			if !more {
+				break
+			}
+		}
+	}
+	s.activeMig = nil
+	s.opts.Logf("serve: merge rollback: cleared copied span [%d, %d] from recipient shard %d (token %d)",
+		rec.lo, rec.hi, rec.recipient, rec.token)
+	return true
+}
+
+// retireShard drains and permanently stops the fleet's top shard after
+// the placement has stopped naming it (a merge flip, or a spare the
+// reaper is reclaiming). The caller holds reshardMu. The shard leaves
+// the fleet first, so no new router can reach it; then its workers and
+// failure detector stop for good (the same drain contract Close uses:
+// ss.wg covers every per-shard goroutine) and its ProteusTM system —
+// tuner included — is closed. A lightweight drainer keeps answering
+// stragglers that loaded the fleet before the truncation: data
+// operations bounce for re-routing, control steps report not-applied so
+// their coordinator re-routes off the flipped epoch.
+func (s *Server) retireShard(ss *shardState) {
+	if !ss.retiring.CompareAndSwap(false, true) {
+		return
+	}
+	fleet := s.fleet()
+	if len(fleet) == 0 || fleet[len(fleet)-1] != ss {
+		// Retiring mid-fleet would renumber the survivors; every caller
+		// guarantees top-of-fleet, so this is unreachable.
+		s.opts.Logf("serve: BUG: retireShard on non-top shard %d", ss.idx)
+		return
+	}
+	shrunk := make([]*shardState, len(fleet)-1)
+	copy(shrunk, fleet)
+	s.fleetPtr.Store(&shrunk)
+	close(ss.stop)
+	s.drainersWG.Add(1)
+	go s.retiredDrainer(ss)
+	ss.wg.Wait()
+	ss.sys.OnReconfigure(nil)
+	s.opts.Logf("serve: shard %d retired (final config %s)", ss.idx, ss.sys.CurrentConfig())
+	ss.sys.Close() //nolint:errcheck // retiring; a late tuner error changes nothing
+	ss.retired.Store(true)
+	s.shardsRetired.Add(1)
+}
+
+// retiredDrainer answers requests that raced into a retired shard's
+// queues: its workers are gone, but a sender holding the pre-truncation
+// fleet may still deliver (the channels are buffered, so sends never
+// block — this loop exists so the sender's reply always arrives). It
+// lives until Close, when no new sender can exist.
+func (s *Server) retiredDrainer(ss *shardState) {
+	defer s.drainersWG.Done()
 	for {
 		select {
-		case <-s.autosplitStop:
+		case req := <-ss.prio:
+			req.done <- ss.stopAnswer(req)
+		case req := <-ss.queue:
+			req.done <- ss.stopAnswer(req)
+		case <-s.stopDrainers:
+			return
+		}
+	}
+}
+
+// retireSpares retires every spare shard — fleet entries above the
+// placement's top shard, left behind by rolled-back migrations — and
+// returns how many it retired. The caller holds reshardMu.
+func (s *Server) retireSpares() int {
+	n := 0
+	for {
+		part, _ := s.place.Load()
+		fleet := s.fleet()
+		if len(fleet) <= part.Shards() {
+			return n
+		}
+		s.retireShard(fleet[len(fleet)-1])
+		if len(s.fleet()) == len(fleet) {
+			// retireShard refused (already retiring); don't spin.
+			return n
+		}
+		n++
+	}
+}
+
+// maintenanceLoop is the background trigger behind --autosplit and
+// --automerge, and the spare-shard reaper. Each tick it:
+//
+//   - reaps spare shards that have idled past Options.SpareGrace (a
+//     rolled-back migration leaves its recipient as a spare; the next
+//     split reuses it, but with autosplit capped or disabled it would
+//     otherwise burn a worker pool and a tuner forever);
+//   - runs the autosplit trigger on the cumulative routed counters, as
+//     before: hottest shard's share above AutosplitShare with enough
+//     total traffic to trust, and room under AutosplitMaxShards;
+//   - runs the automerge trigger on the per-tick routed deltas: when the
+//     top shard's share of the last interval's traffic falls below
+//     AutomergeShare — or the whole fleet went idle — and the placement
+//     is above AutomergeMinShards, it merges the top shard away. Deltas,
+//     not cumulative counters, so a shard that was hot an hour ago can
+//     still retire once its traffic cools.
+//
+// A plan either planner declines is an explicit logged no-op — never a
+// degenerate install.
+func (s *Server) maintenanceLoop() {
+	defer s.maintWG.Done()
+	t := time.NewTicker(s.opts.AutosplitInterval)
+	defer t.Stop()
+	var prevRouted []uint64
+	var spareSince time.Time
+	for {
+		select {
+		case <-s.maintStop:
 			return
 		case <-t.C:
 		}
@@ -423,31 +848,78 @@ func (s *Server) autosplitLoop() {
 		}
 		part, _ := s.place.Load()
 		if part.Kind() != shard.KindRange {
-			s.opts.Logf("serve: autosplit disabled: requires the range partitioner (have %q)", part.Kind())
+			if s.opts.AutosplitShare > 0 || s.opts.AutomergeShare > 0 {
+				s.opts.Logf("serve: autosplit/automerge disabled: requires the range partitioner (have %q)", part.Kind())
+			}
 			return
 		}
-		if part.Shards() >= s.opts.AutosplitMaxShards {
-			continue
+
+		// Spare reaper: a spare must idle through a full grace period
+		// before it is retired, so a migration that is about to reuse it
+		// (or a rollback being retried) isn't racing its own recipient.
+		if len(s.fleet()) > part.Shards() {
+			if spareSince.IsZero() {
+				spareSince = time.Now()
+			} else if time.Since(spareSince) >= s.opts.SpareGrace && s.reshardMu.TryLock() {
+				n := s.retireSpares()
+				s.reshardMu.Unlock()
+				if n > 0 {
+					s.opts.Logf("serve: spare reaper: retired %d idle spare shard(s) after %v grace", n, s.opts.SpareGrace)
+				}
+				spareSince = time.Time{}
+			}
+		} else {
+			spareSince = time.Time{}
 		}
+
 		fleet := s.fleet()
+		routed := make([]uint64, part.Shards())
 		var total, hottest uint64
-		for i := 0; i < part.Shards() && i < len(fleet); i++ {
-			v := fleet[i].routed.Load()
-			total += v
-			if v > hottest {
-				hottest = v
+		for i := 0; i < len(routed) && i < len(fleet); i++ {
+			routed[i] = fleet[i].routed.Load()
+			total += routed[i]
+			if routed[i] > hottest {
+				hottest = routed[i]
 			}
 		}
-		if total < autosplitMinRouted || float64(hottest)/float64(total) <= s.opts.AutosplitShare {
-			continue
+		delta := make([]uint64, len(routed))
+		var totalDelta uint64
+		for i, v := range routed {
+			d := v
+			if i < len(prevRouted) && v >= prevRouted[i] {
+				d = v - prevRouted[i]
+			}
+			delta[i] = d
+			totalDelta += d
 		}
-		res, _ := s.Reshard()
-		switch {
-		case res.Applied:
-			s.opts.Logf("serve: autosplit: shard %d split at placement epoch %d (%d keys migrated, hottest share %.2f)",
-				res.Donor, res.Epoch, res.KeysMigrated, float64(hottest)/float64(total))
-		case res.Err != "":
-			s.opts.Logf("serve: autosplit attempt failed: %s", res.Err)
+		prevRouted = routed
+
+		if s.opts.AutosplitShare > 0 && part.Shards() < s.opts.AutosplitMaxShards &&
+			total >= autosplitMinRouted && float64(hottest)/float64(total) > s.opts.AutosplitShare {
+			res, _ := s.Reshard()
+			switch {
+			case res.Applied:
+				s.opts.Logf("serve: autosplit: shard %d split at placement epoch %d (%d keys migrated, hottest share %.2f)",
+					res.Donor, res.Epoch, res.KeysMigrated, float64(hottest)/float64(total))
+			case res.Err != "":
+				s.opts.Logf("serve: autosplit attempt failed: %s", res.Err)
+			}
+			continue // never split and merge on the same tick
+		}
+
+		if s.opts.AutomergeShare > 0 && part.Shards() > s.opts.AutomergeMinShards {
+			top := part.Shards() - 1
+			idle := totalDelta == 0
+			if idle || float64(delta[top])/float64(totalDelta) < s.opts.AutomergeShare {
+				res, _ := s.reshardMerge(delta)
+				switch {
+				case res.Applied:
+					s.opts.Logf("serve: automerge: shard %d merged into %d at placement epoch %d (%d keys migrated, idle=%v)",
+						res.Donor, res.Recipient, res.Epoch, res.KeysMigrated, idle)
+				case res.Err != "":
+					s.opts.Logf("serve: automerge attempt failed: %s", res.Err)
+				}
+			}
 		}
 	}
 }

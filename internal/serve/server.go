@@ -252,8 +252,25 @@ type Options struct {
 	AutosplitShare float64
 	// AutosplitMaxShards caps autosplit growth (default 8).
 	AutosplitMaxShards int
-	// AutosplitInterval is the trigger's poll period (default 2s).
+	// AutosplitInterval is the trigger's poll period (default 2s), shared
+	// by the automerge trigger and the spare-shard reaper.
 	AutosplitInterval time.Duration
+	// AutomergeShare arms the background automerge trigger, the shrink
+	// counterpart of AutosplitShare: when the fleet's top shard's share of
+	// the operations routed during the last poll interval falls below this
+	// fraction — or the whole fleet went idle — and the placement is above
+	// AutomergeMinShards, the server installs a PlanMergeColdest step
+	// live, exactly as POST /admin/reshard {"plan":"merge"} would.
+	// 0 disables.
+	AutomergeShare float64
+	// AutomergeMinShards is the floor automerge never shrinks below
+	// (default: the boot shard count).
+	AutomergeMinShards int
+	// SpareGrace is how long a spare shard — one left behind by a
+	// rolled-back migration — may idle before the background reaper
+	// retires it, stopping its workers and tuner for good (default 30s).
+	// Until then the next split reuses it.
+	SpareGrace time.Duration
 	// Logf, when set, receives operational log lines (reconfigurations,
 	// drains, shutdown).
 	Logf func(format string, args ...any)
@@ -323,6 +340,12 @@ func (o *Options) setDefaults() {
 	if o.AutosplitInterval <= 0 {
 		o.AutosplitInterval = 2 * time.Second
 	}
+	if o.AutomergeMinShards <= 0 {
+		o.AutomergeMinShards = o.Shards
+	}
+	if o.SpareGrace <= 0 {
+		o.SpareGrace = 30 * time.Second
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -368,6 +391,13 @@ type shardState struct {
 	// about to park. active mirrors the installed parallelism degree.
 	drainMu sync.RWMutex
 	active  atomic.Int64
+
+	// retiring flips when a merge (or the spare reaper) starts retiring
+	// this shard for good: stragglers are answered with a re-route bounce
+	// instead of an error. retired flips once its workers have stopped and
+	// its system is closed.
+	retiring atomic.Bool
+	retired  atomic.Bool
 }
 
 // Server is the proteusd serving layer: an http.Handler whose data
@@ -429,19 +459,40 @@ type Server struct {
 	breakerOpenTotal   atomic.Uint64
 	breakerShed        atomic.Uint64
 
-	// reshardMu serializes live resharding (one migration at a time);
-	// resharding mirrors it as the /statusz gauge. reshards counts
-	// installed placement flips, keysMigrated the key-value pairs moved
-	// between shards, and movedBounces the operations bounced back for
-	// re-routing by a placement-epoch mismatch (see store.PlacementStale).
-	// autosplitStop/autosplitWG manage the optional background trigger.
-	reshardMu     sync.Mutex
-	resharding    atomic.Bool
-	reshards      atomic.Uint64
-	keysMigrated  atomic.Uint64
-	movedBounces  atomic.Uint64
-	autosplitStop chan struct{}
-	autosplitWG   sync.WaitGroup
+	// reshardMu serializes live resharding (one migration at a time,
+	// split or merge); resharding mirrors it as the /statusz gauge.
+	// reshards counts installed split flips and merges installed merge
+	// flips; keysMigrated totals the key-value pairs moved by either;
+	// movedBounces counts the operations bounced back for re-routing by a
+	// placement-epoch mismatch (see store.PlacementStale); shardsRetired
+	// counts donor/spare shards drained and stopped for good; and
+	// rangeConservative counts hash-ring scans whose owner set fell back
+	// to every shard (see shard.RangeEnumCap). maintStop/maintWG manage
+	// the background maintenance loop (autosplit, automerge, spare
+	// reaper).
+	reshardMu         sync.Mutex
+	resharding        atomic.Bool
+	reshards          atomic.Uint64
+	merges            atomic.Uint64
+	keysMigrated      atomic.Uint64
+	movedBounces      atomic.Uint64
+	shardsRetired     atomic.Uint64
+	rangeConservative atomic.Uint64
+	maintStop         chan struct{}
+	maintWG           sync.WaitGroup
+
+	// migMu guards activeMig, the record of the in-flight merge
+	// migration. The merge's install batches, its placement flip and the
+	// rollback path (rollbackMergeCopy) all serialize on it, so a crashed
+	// merge's partial copy is cleared from the live recipient exactly
+	// once, before the donor's fence release can make it observable.
+	migMu     sync.Mutex
+	activeMig *migRecord
+
+	// stopDrainers ends the retired-shard drainer goroutines at Close;
+	// drainersWG waits them out.
+	stopDrainers chan struct{}
+	drainersWG   sync.WaitGroup
 
 	// shedDeadline counts queued ops dropped unexecuted because their
 	// deadline passed or their client hung up; shedLatency counts
@@ -508,15 +559,16 @@ func newServer(opts Options) (*Server, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s := &Server{
-		opts:       opts,
-		place:      shard.NewEpoched(part),
-		start:      time.Now(),
-		crossSem:   make(chan struct{}, crossSlots),
-		reg:        newCrossReg(),
-		lat:        metrics.NewReservoir(opts.LatencyWindow),
-		queueWait:  metrics.NewReservoir(opts.LatencyWindow),
-		svc:        metrics.NewReservoir(opts.LatencyWindow),
-		batchSizes: metrics.NewReservoir(opts.LatencyWindow),
+		opts:         opts,
+		place:        shard.NewEpoched(part),
+		start:        time.Now(),
+		crossSem:     make(chan struct{}, crossSlots),
+		reg:          newCrossReg(),
+		stopDrainers: make(chan struct{}),
+		lat:          metrics.NewReservoir(opts.LatencyWindow),
+		queueWait:    metrics.NewReservoir(opts.LatencyWindow),
+		svc:          metrics.NewReservoir(opts.LatencyWindow),
+		batchSizes:   metrics.NewReservoir(opts.LatencyWindow),
 	}
 	s.jitterState.Store(opts.Seed | 1)
 	fleet := make([]*shardState, 0, opts.Shards)
@@ -543,8 +595,13 @@ func newServer(opts Options) (*Server, error) {
 
 // fleet returns the current shard slice. When both the placement and the
 // fleet are needed, load the placement first: the fleet is grown before
-// a new placement is installed, so a placement loaded earlier can never
-// name a shard the fleet lacks.
+// a new placement is installed, so on the grow side a placement loaded
+// earlier can never name a shard the fleet lacks. The shrink side breaks
+// that invariant — a retire truncates the fleet after the merged
+// placement flips, so a placement loaded before the flip may name the
+// departed top shard. Every placement→fleet indexing site therefore
+// bounds-checks and treats an out-of-range owner as a moved bounce: the
+// epoch has advanced, re-route.
 func (s *Server) fleet() []*shardState { return *s.fleetPtr.Load() }
 
 // part returns the current partitioner, discarding its epoch. Routing
@@ -609,15 +666,18 @@ func (s *Server) newShard(i int) (*shardState, error) {
 }
 
 // startWorkers launches one queue worker per slot per shard, plus each
-// shard's failure detector (unless detection is disabled).
+// shard's failure detector (unless detection is disabled) and the
+// background maintenance loop. The loop runs whenever the placement is
+// resharding-capable even with both triggers disabled: the spare-shard
+// reaper must retire spares stranded by manual migrations too.
 func (s *Server) startWorkers() {
 	for _, ss := range s.fleet() {
 		s.startShardWorkers(ss)
 	}
-	if s.opts.AutosplitShare > 0 {
-		s.autosplitStop = make(chan struct{})
-		s.autosplitWG.Add(1)
-		go s.autosplitLoop()
+	if s.opts.AutosplitShare > 0 || s.opts.AutomergeShare > 0 || s.part().Kind() == shard.KindRange {
+		s.maintStop = make(chan struct{})
+		s.maintWG.Add(1)
+		go s.maintenanceLoop()
 	}
 }
 
@@ -914,7 +974,7 @@ func (ss *shardState) requeue(req *request) {
 		select {
 		case ss.prio <- req:
 		case <-ss.stop:
-			req.done <- response{Err: "server shutting down"}
+			req.done <- ss.stopAnswer(req)
 		}
 		return
 	}
@@ -923,13 +983,30 @@ func (ss *shardState) requeue(req *request) {
 		case ss.queue <- req:
 			return
 		case <-ss.stop:
-			req.done <- response{Err: "server shutting down"}
+			req.done <- ss.stopAnswer(req)
 			return
 		default:
 		}
 		time.Sleep(time.Millisecond)
 	}
 	req.done <- response{Err: "admission queue full during requeue"}
+}
+
+// stopAnswer is the reply for a request caught by this shard's closed
+// stop channel. A retiring shard (merge donor or reaped spare) answers
+// with a bounce instead of an error: the placement has already flipped
+// away from it, so data operations re-route under the fresh placement
+// (moved) and control steps report not-applied, sending their
+// coordinator back through the placement-epoch re-check. A shard whose
+// whole server is shutting down keeps the hard error.
+func (ss *shardState) stopAnswer(req *request) response {
+	if !ss.retiring.Load() {
+		return response{Err: "server shutting down"}
+	}
+	if req.ctl != nil {
+		return response{}
+	}
+	return response{moved: true}
 }
 
 // opFenced reports whether req must requeue because a cross-shard
@@ -1167,11 +1244,12 @@ func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	// Stop the autosplit trigger and wait out any in-flight migration
-	// before draining, so no reshard races the shard teardown below.
-	if s.autosplitStop != nil {
-		close(s.autosplitStop)
-		s.autosplitWG.Wait()
+	// Stop the maintenance loop (autosplit/automerge/spare reaper) and
+	// wait out any in-flight migration before draining, so no reshard
+	// races the shard teardown below.
+	if s.maintStop != nil {
+		close(s.maintStop)
+		s.maintWG.Wait()
 	}
 	s.reshardMu.Lock()
 	s.reshardMu.Unlock() //nolint:staticcheck // barrier: wait out a live migration
@@ -1190,6 +1268,11 @@ func (s *Server) Close() error {
 			firstErr = err
 		}
 	}
+	// Retired-shard drainers outlive their shards (stragglers holding a
+	// pre-truncation fleet may deliver long after the retire); they only
+	// stop once no new sender can exist.
+	close(s.stopDrainers)
+	s.drainersWG.Wait()
 	s.opts.Logf("serve: drained and stopped (shards=%d served=%d rejected=%d cross=%d)",
 		len(s.fleet()), s.totalServed(), s.rejected.Load(), s.crossOps.Load())
 	return firstErr
@@ -1231,14 +1314,19 @@ func (s *Server) routes() *http.ServeMux {
 // current placement, stamping the placement epoch into the request so a
 // concurrent flip is detectable at execution time. Single-key operations
 // go to the key's owner; deque operations live on shard dequeHome (the
-// deque is not partitioned — see docs/sharding.md).
+// deque is not partitioned — see docs/sharding.md). A nil result means
+// the loaded placement named a shard a concurrent merge already retired
+// (the fleet was read after the truncation): the caller must re-route.
 func (s *Server) shardFor(req *request) *shardState {
 	p, epoch := s.place.Load()
 	req.routingEpoch = epoch
 	fleet := s.fleet()
 	switch req.op {
 	case opGet, opPut, opDel, opCAS:
-		return fleet[p.Owner(req.key)]
+		if o := p.Owner(req.key); o < len(fleet) {
+			return fleet[o]
+		}
+		return nil
 	default:
 		return fleet[dequeHome]
 	}
@@ -1253,7 +1341,15 @@ const movedRetries = 8
 // shard bounces the op back with resp.moved, having executed nothing).
 func (s *Server) submitRouted(req *request) (response, int) {
 	for try := 0; ; try++ {
-		resp, code := s.submit(s.shardFor(req), req)
+		var resp response
+		var code int
+		if ss := s.shardFor(req); ss != nil {
+			resp, code = s.submit(ss, req)
+		} else {
+			// The owner the stale placement named was retired between the
+			// placement and fleet loads: bounce as if the shard said moved.
+			resp = response{moved: true}
+		}
 		if !resp.moved {
 			return resp, code
 		}

@@ -63,8 +63,12 @@ type ServerStatus struct {
 	// installed reshard. A client that cached Partitioner/SpanStarts must
 	// rebuild its replica when this moves (the loadgen skew planner does).
 	PartitionerEpoch uint64 `json:"partitioner_epoch"`
-	// Resharding is true while a split-and-migrate is in flight.
+	// Resharding is true while a migration (split or merge) is in flight.
 	Resharding bool `json:"resharding"`
+	// SpareShards counts fleet entries above the placement's top shard:
+	// shards a rolled-back migration left behind. The next split reuses
+	// them; the reaper retires them after Options.SpareGrace.
+	SpareShards int `json:"spare_shards"`
 	// SpanStarts/SpanOwners are the range partitioner's live span table
 	// (start key of each span, ascending, and its owning shard) — after a
 	// reshard the placement is no longer derivable from Shards alone, so
@@ -178,13 +182,20 @@ type OpsStatus struct {
 	// FenceKeysHeld sums the keyed fence table occupancy across shards at
 	// snapshot time (identically 0 under --fence-granularity=shard).
 	FenceKeysHeld uint64 `json:"fence_keys_held"`
-	// Reshards counts installed placement flips; KeysMigrated totals the
-	// key-value pairs moved by them; MovedBounces counts operations that
-	// hit a donor's bumped placement-epoch word and were re-routed under
-	// the new placement.
-	Reshards     uint64 `json:"reshards"`
-	KeysMigrated uint64 `json:"keys_migrated"`
-	MovedBounces uint64 `json:"moved_bounces"`
+	// Reshards counts installed split flips and Merges installed merge
+	// flips; KeysMigrated totals the key-value pairs moved by either;
+	// MovedBounces counts operations that hit a donor's bumped
+	// placement-epoch word and were re-routed under the new placement.
+	// ShardsRetired counts donor and spare shards drained and stopped for
+	// good; RangeConservative counts hash-partitioner scans whose owner
+	// set fell back to every shard because the interval was wider than
+	// shard.RangeEnumCap (the over-fencing the range partitioner avoids).
+	Reshards          uint64 `json:"reshards"`
+	Merges            uint64 `json:"merges"`
+	KeysMigrated      uint64 `json:"keys_migrated"`
+	MovedBounces      uint64 `json:"moved_bounces"`
+	ShardsRetired     uint64 `json:"shards_retired"`
+	RangeConservative uint64 `json:"range_conservative"`
 }
 
 // LatencyStatus summarizes one latency dimension in milliseconds over the
@@ -361,6 +372,7 @@ func (s *Server) StatusSnapshot() Status {
 			FenceDeadlineMs:  float64(s.opts.FenceDeadline) / float64(time.Millisecond),
 			PartitionerEpoch: epoch,
 			Resharding:       s.resharding.Load(),
+			SpareShards:      max(0, len(fleetShards)-part.Shards()),
 			SpanStarts:       spanStarts,
 			SpanOwners:       spanOwners,
 		},
@@ -400,8 +412,11 @@ func (s *Server) StatusSnapshot() Status {
 			GroupBatchP99:      batch.P99,
 			FenceKeysHeld:      fenceKeysHeld,
 			Reshards:           s.reshards.Load(),
+			Merges:             s.merges.Load(),
 			KeysMigrated:       s.keysMigrated.Load(),
 			MovedBounces:       s.movedBounces.Load(),
+			ShardsRetired:      s.shardsRetired.Load(),
+			RangeConservative:  s.rangeConservative.Load(),
 		},
 		Latency:          latencyStatus(s.lat),
 		QueueWait:        latencyStatus(s.queueWait),

@@ -1,0 +1,115 @@
+package shard
+
+// MergePlan is one executable shrink step: the inverse of SplitPlan. The
+// donor — always the top shard, index n-1 — hands its whole span, keys
+// in [MovedLo, MovedHi] inclusive, to the Recipient owning the
+// left-adjacent span, and Merged is the n-1-shard placement to install
+// once those keys have been copied. Pinning the donor to the top index
+// is what lets the executor retire the donor by truncating the fleet
+// slice: no surviving shard is renumbered, so in-flight work and
+// recovery records keyed by shard index stay valid across the flip.
+type MergePlan struct {
+	// Donor is the retiring shard: always the current top index n-1.
+	Donor int
+	// Recipient is the shard owning the span immediately below the
+	// donor's — the one whose span extends to cover the moved keys.
+	Recipient int
+	// MovedLo and MovedHi bound the migrating keys, inclusive on both
+	// ends (MovedHi is ^uint64(0) when the donor owned the key space's
+	// top span).
+	MovedLo, MovedHi uint64
+	// Merged is the post-merge placement, one shard fewer.
+	Merged *RangePartitioner
+}
+
+// PlanMergeColdest is the shrink counterpart of PlanSplitHeaviest: given
+// per-shard load counters (the ops_routed column of /statusz), it plans
+// merging the top shard's span into its left-adjacent neighbour — but
+// only when the top shard is the coldest, so shrinking never evicts a
+// shard that is carrying the load. Ties resolve in the donor's favour
+// (an all-idle fleet should shrink), and load entries beyond len(load)
+// read as zero. It reports ok=false as an explicit no-op when:
+//
+//   - the partitioner has fewer than two shards;
+//   - some other shard carries strictly less load than the top shard
+//     (the donor is not the coldest);
+//   - the top shard owns anything other than exactly one span, or that
+//     span is the first span (no left-adjacent recipient) — states the
+//     NewRange/split evolution never produces, rejected defensively.
+//
+// Callers must treat ok=false as "do nothing", exactly like the split
+// contract: never install a degenerate merge.
+func (p *RangePartitioner) PlanMergeColdest(load []uint64) (MergePlan, bool) {
+	if p.n < 2 {
+		return MergePlan{}, false
+	}
+	donor := p.n - 1
+	loadOf := func(s int) uint64 {
+		if s < len(load) {
+			return load[s]
+		}
+		return 0
+	}
+	donorLoad := loadOf(donor)
+	for s := 0; s < donor; s++ {
+		if loadOf(s) < donorLoad {
+			return MergePlan{}, false
+		}
+	}
+	span := -1
+	for i, o := range p.owners {
+		if o != donor {
+			continue
+		}
+		if span >= 0 {
+			return MergePlan{}, false // donor owns more than one span
+		}
+		span = i
+	}
+	if span <= 0 {
+		return MergePlan{}, false // no span, or no left-adjacent recipient
+	}
+	movedLo := p.starts[span]
+	movedHi := ^uint64(0)
+	if span+1 < len(p.starts) {
+		movedHi = p.starts[span+1] - 1
+	}
+	merged, err := p.removeSpan(span)
+	if err != nil {
+		return MergePlan{}, false
+	}
+	return MergePlan{
+		Donor:     donor,
+		Recipient: p.owners[span-1],
+		MovedLo:   movedLo,
+		MovedHi:   movedHi,
+		Merged:    merged,
+	}, true
+}
+
+// removeSpan returns a copy with span i deleted: span i-1 silently
+// extends through the removed span's keys, so the neighbour's owner
+// inherits them. Only meaningful for i > 0 (the first span has no left
+// neighbour to absorb it); validation is delegated to
+// NewRangeFromSpans, which rejects any result that leaves a shard
+// without a span.
+func (p *RangePartitioner) removeSpan(i int) (*RangePartitioner, error) {
+	starts := make([]uint64, 0, len(p.starts)-1)
+	owners := make([]int, 0, len(p.owners)-1)
+	starts = append(append(starts, p.starts[:i]...), p.starts[i+1:]...)
+	owners = append(append(owners, p.owners[:i]...), p.owners[i+1:]...)
+	return NewRangeFromSpans(starts, owners, p.universe)
+}
+
+// Shrink returns the N-1-shard partitioner: the top shard's span is
+// absorbed by its left-adjacent neighbour, the exact inverse of Grow's
+// widest-span midpoint cut. Like Grow it is total — when no merge is
+// possible (single shard, or a span layout splits never produce) it
+// returns the receiver unchanged.
+func (p *RangePartitioner) Shrink() *RangePartitioner {
+	plan, ok := p.PlanMergeColdest(nil)
+	if !ok {
+		return p
+	}
+	return plan.Merged
+}

@@ -115,16 +115,19 @@ func (r *Ring) Participants(keys []uint64) []int {
 // Kind implements Partitioner.
 func (r *Ring) Kind() string { return KindHash }
 
-// rangeEnumCap bounds the per-key enumeration OwnersInRange performs on
+// RangeEnumCap bounds the per-key enumeration OwnersInRange performs on
 // a hash ring before giving up and returning every shard. It comfortably
 // covers the serve layer's clamped scan spans (MaxScanSpan defaults to
 // 4096), and the walk short-circuits as soon as every shard has appeared
-// — which uniform hashing makes happen within a few dozen keys.
-const rangeEnumCap = 1 << 13
+// — which uniform hashing makes happen within a few dozen keys. The
+// constant is exported so callers (the serve layer's range path) can
+// detect when a hash-ring owner set is the conservative all-shards
+// fallback rather than an exact enumeration and count the over-fencing.
+const RangeEnumCap = 1 << 13
 
 // OwnersInRange implements Partitioner. Hashing destroys range locality,
 // so the owner set of an ordered interval is computed by enumerating the
-// possible keys in [lo, hi]; intervals wider than rangeEnumCap
+// possible keys in [lo, hi]; intervals wider than RangeEnumCap
 // conservatively report every shard. The result is exact for the narrow
 // scans where it matters (it is what lets a single-key /kv/range skip
 // the cross-shard fence protocol entirely) and a superset otherwise.
@@ -135,7 +138,7 @@ func (r *Ring) OwnersInRange(lo, hi uint64) []int {
 	if r.n == 1 {
 		return []int{0}
 	}
-	if hi-lo >= rangeEnumCap {
+	if hi-lo >= RangeEnumCap {
 		out := make([]int, r.n)
 		for s := range out {
 			out[s] = s
